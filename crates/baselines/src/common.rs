@@ -1,0 +1,78 @@
+//! The common inferred-type representation scored by the evaluation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use retypd_core::{Loc, Symbol};
+
+/// A bounded-depth inferred type tree with lattice-interval leaves.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InfTy {
+    /// No information.
+    Unknown,
+    /// A scalar with `[lower, upper]` lattice bounds and a display mark.
+    Scalar {
+        /// Display mark (lattice element name).
+        mark: String,
+        /// Lower bound name.
+        lower: String,
+        /// Upper bound name.
+        upper: String,
+    },
+    /// A pointer.
+    Ptr(Box<InfTy>),
+    /// A record with fields at byte offsets.
+    Struct(Vec<(i32, InfTy)>),
+}
+
+impl InfTy {
+    /// Number of pointer levels along the leftmost spine.
+    pub fn pointer_depth(&self) -> u32 {
+        match self {
+            InfTy::Ptr(p) => 1 + p.pointer_depth(),
+            InfTy::Struct(fields) => fields
+                .iter()
+                .find(|(o, _)| *o == 0)
+                .map(|(_, t)| t.pointer_depth())
+                .unwrap_or(0),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for InfTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfTy::Unknown => f.write_str("?"),
+            InfTy::Scalar { mark, lower, upper } => {
+                if lower == upper {
+                    write!(f, "{mark}")
+                } else {
+                    write!(f, "{mark}[{lower},{upper}]")
+                }
+            }
+            InfTy::Ptr(p) => write!(f, "{p}*"),
+            InfTy::Struct(fields) => {
+                f.write_str("{ ")?;
+                for (o, t) in fields {
+                    write!(f, "@{o}:{t}; ")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// One function's inferred interface.
+#[derive(Clone, Debug, Default)]
+pub struct InferredFunc {
+    /// Parameter types by location.
+    pub params: BTreeMap<Loc, InfTy>,
+    /// `const` flags per pointer parameter location.
+    pub const_params: BTreeMap<Loc, bool>,
+    /// Return type, if any.
+    pub ret: Option<InfTy>,
+}
+
+/// A whole program's inferred interfaces, keyed by function name.
+pub type InferredProgram = BTreeMap<Symbol, InferredFunc>;

@@ -1,0 +1,60 @@
+//! Criterion microbenchmarks for the core saturation/simplification engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retypd_core::graph::ConstraintGraph;
+use retypd_core::parse::parse_constraint_set;
+use retypd_core::saturation::saturate;
+use retypd_core::{ConstraintSet, Lattice, SchemeBuilder};
+
+fn figure2_constraints() -> ConstraintSet {
+    parse_constraint_set(
+        "
+        f.in_stack0 <= t
+        t.load.σ32@0 <= t
+        t.load.σ32@4 <= #FileDescriptor
+        t.load.σ32@4 <= int
+        int <= f.out_eax
+        #SuccessZ <= f.out_eax
+        ",
+    )
+    .unwrap()
+}
+
+fn chain_constraints(n: usize) -> ConstraintSet {
+    let mut cs = ConstraintSet::new();
+    for i in 0..n {
+        cs.add_sub_str(&format!("v{i}"), &format!("v{}", i + 1));
+        if i % 3 == 0 {
+            cs.add_sub_str(&format!("p{i}.load.σ32@0"), &format!("v{i}"));
+            cs.add_sub_str(&format!("v{i}"), &format!("p{}.store.σ32@0", i + 1));
+        }
+    }
+    cs.add_sub_str("v0", "int");
+    cs
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("saturate_figure2", |b| {
+        let cs = figure2_constraints();
+        b.iter(|| {
+            let mut g = ConstraintGraph::build(&cs);
+            saturate(&mut g)
+        })
+    });
+    c.bench_function("saturate_chain_200", |b| {
+        let cs = chain_constraints(200);
+        b.iter(|| {
+            let mut g = ConstraintGraph::build(&cs);
+            saturate(&mut g)
+        })
+    });
+    c.bench_function("simplify_figure2_scheme", |b| {
+        let cs = figure2_constraints();
+        let lattice = Lattice::c_types();
+        let builder = SchemeBuilder::new(&lattice);
+        b.iter(|| builder.infer("f", &cs))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark: the full pipeline (compile → constraints → solve)
+//! on generated programs of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retypd_core::{Lattice, Solver};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{GenConfig, ProgramGenerator};
+
+fn bench(c: &mut Criterion) {
+    let lattice = Lattice::c_types();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for functions in [10usize, 40, 120] {
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 7,
+            functions,
+            ..GenConfig::default()
+        })
+        .generate();
+        let (mir, _) = compile(&module).unwrap();
+        let program = retypd_congen::generate(&mir);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mir.instruction_count()),
+            &program,
+            |b, p| b.iter(|| Solver::new(&lattice).infer(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark: sketch lattice operations (Figure 18).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retypd_core::graph::ConstraintGraph;
+use retypd_core::parse::parse_constraint_set;
+use retypd_core::saturation::saturate;
+use retypd_core::shapes::ShapeQuotient;
+use retypd_core::{BaseVar, Lattice, Sketch};
+
+fn sketch_for(src: &str, lattice: &Lattice) -> Sketch {
+    let cs = parse_constraint_set(src).unwrap();
+    let mut g = ConstraintGraph::build(&cs);
+    saturate(&mut g);
+    let q = ShapeQuotient::build(&cs);
+    let consts: Vec<BaseVar> = cs.base_vars().into_iter().filter(|b| b.is_const()).collect();
+    Sketch::infer(BaseVar::var("f"), &g, &q, lattice, &consts).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let lattice = Lattice::c_types();
+    let a = sketch_for(
+        "f.in_stack0 <= t; t.load.σ32@0 <= t; t.load.σ32@4 <= int; int <= f.out_eax",
+        &lattice,
+    );
+    let b2 = sketch_for(
+        "f.in_stack0 <= u; int <= u.store.σ32@0; u.load.σ32@8 <= #FileDescriptor",
+        &lattice,
+    );
+    c.bench_function("sketch_meet", |b| b.iter(|| a.meet(&b2, &lattice)));
+    c.bench_function("sketch_join", |b| b.iter(|| a.join(&b2, &lattice)));
+    c.bench_function("sketch_leq", |b| b.iter(|| a.leq(&b2, &lattice)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

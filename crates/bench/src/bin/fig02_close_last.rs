@@ -1,0 +1,32 @@
+//! Figure 2, end to end: the `close_last` machine code, its inferred type
+//! scheme, the sketch, and the reconstructed C type.
+
+use retypd_core::{CTypeBuilder, Lattice, Solver, Symbol};
+use retypd_minic::codegen::compile;
+use retypd_minic::parse_module;
+
+fn main() {
+    let src = "
+        struct LL { struct LL* next; int handle; };
+        int close_last(const struct LL* list) {
+            while (list->next != 0) { list = list->next; }
+            return close(list->handle);
+        }
+    ";
+    let module = parse_module(src).expect("parses");
+    let (mir, _) = compile(&module).expect("compiles");
+    println!("— disassembly —\n{mir}");
+    let program = retypd_congen::generate(&mir);
+    let lattice = Lattice::c_types();
+    let result = Solver::new(&lattice).infer(&program);
+    let proc = &result.procs[&Symbol::intern("close_last")];
+    println!("— inferred type scheme —\n{}\n", proc.scheme);
+    let sketch = proc.sketch.as_ref().expect("sketch");
+    println!("— sketch —\n{}", sketch.render(&lattice));
+    let mut builder = CTypeBuilder::new(&lattice);
+    let sig = builder.function_type(sketch);
+    let table = builder.into_table();
+    println!("— reconstructed C —");
+    print!("{}", table.render());
+    println!("{};", retypd_core::ctype::render_signature("close_last", &sig, &table));
+}

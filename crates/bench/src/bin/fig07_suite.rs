@@ -1,0 +1,34 @@
+//! Figure 7: the benchmark suite (name, description, instruction count).
+
+use retypd_bench::{clusters, generate_single, SINGLES};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::ProgramGenerator;
+
+fn main() {
+    println!("Figure 7: benchmark suite");
+    println!("{:<20} {:<28} {:>12}", "Benchmark", "Description", "Instructions");
+    println!("{}", "-".repeat(62));
+    for spec in SINGLES {
+        let module = generate_single(spec);
+        let (mir, _) = compile(&module).expect("suite compiles");
+        println!(
+            "{:<20} {:<28} {:>12}",
+            spec.name,
+            spec.description,
+            mir.instruction_count()
+        );
+    }
+    println!("\nClusters (Figure 10 rows):");
+    println!("{:<20} {:>8} {:>16}", "Cluster", "Members", "Avg instructions");
+    println!("{}", "-".repeat(48));
+    for spec in clusters() {
+        let members = ProgramGenerator::generate_cluster(&spec);
+        let mut total = 0usize;
+        let n = members.len();
+        for (_, m) in members {
+            let (mir, _) = compile(&m).expect("cluster member compiles");
+            total += mir.instruction_count();
+        }
+        println!("{:<20} {:>8} {:>16}", spec.name, n, total / n.max(1));
+    }
+}

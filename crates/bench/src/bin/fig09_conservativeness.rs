@@ -1,0 +1,37 @@
+//! Figure 9: conservativeness rate and multi-level pointer accuracy.
+
+use retypd_bench::{clusters, generate_single, pct, SINGLES};
+use retypd_core::Lattice;
+use retypd_eval::harness::evaluate_module;
+use retypd_eval::metrics::{average, ToolMetrics};
+use retypd_minic::genprog::ProgramGenerator;
+
+fn main() {
+    let lattice = Lattice::c_types();
+    let mut rows: Vec<[ToolMetrics; 3]> = Vec::new();
+    for spec in clusters() {
+        let mut member_scores = Vec::new();
+        for (name, module) in ProgramGenerator::generate_cluster(&spec) {
+            let r = evaluate_module(&name, &module, &lattice);
+            member_scores.push([r.scores.retypd, r.scores.tie, r.scores.unification]);
+        }
+        rows.push([
+            average(&member_scores.iter().map(|r| r[0]).collect::<Vec<_>>()),
+            average(&member_scores.iter().map(|r| r[1]).collect::<Vec<_>>()),
+            average(&member_scores.iter().map(|r| r[2]).collect::<Vec<_>>()),
+        ]);
+    }
+    for spec in SINGLES {
+        let module = generate_single(spec);
+        let r = evaluate_module(spec.name, &module, &lattice);
+        rows.push([r.scores.retypd, r.scores.tie, r.scores.unification]);
+    }
+    println!("Figure 9: conservativeness / multi-level pointer accuracy");
+    println!("{:<14} {:>16} {:>16}", "Tool", "Conservative", "Ptr accuracy");
+    println!("{}", "-".repeat(48));
+    for (i, tool) in ["Retypd", "TIE-like", "Unification"].iter().enumerate() {
+        let m = average(&rows.iter().map(|r| r[i]).collect::<Vec<_>>());
+        println!("{:<14} {:>16} {:>16}", tool, pct(m.conservativeness), pct(m.pointer_accuracy));
+    }
+    println!("\n(paper: Retypd 95% / 88%, SecondWrite 96% / 73%, TIE 94% / —)");
+}

@@ -1,0 +1,31 @@
+//! # retypd-congen
+//!
+//! Constraint generation: the abstract interpretation of Appendix A,
+//! turning machine IR into Retypd type constraints.
+//!
+//! For every procedure the generator:
+//!
+//! 1. runs the [`retypd_mir`] analyses (CFG, stack-pointer tracking,
+//!    reaching definitions),
+//! 2. recovers the *locators* — formal-in/out locations (Appendix A.4),
+//! 3. walks every instruction, emitting roughly one subtype constraint per
+//!    instruction (§5.3): value copies become `Y ⊑ X`, loads become
+//!    `P.load.σN@k ⊑ X`, stores become `Y ⊑ P.store.σN@k`, calls link
+//!    actuals against callsite-tagged callee variables, and
+//!    non-constant-operand arithmetic becomes `ADD`/`SUB` constraints.
+//!
+//! Flow sensitivity comes from reaching definitions: a location use is
+//! typed by the definitions that reach it (Example A.2), which is what
+//! defuses the §2.1 idioms (stack-slot reuse, fortuitous value reuse) and
+//! the `xor reg,reg` semi-syntactic constants. The bit-twiddling special
+//! cases of §A.5.2 (flag-only `test`/`cmp`, alignment masks, tag-bit
+//! `or`s) are implemented faithfully.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gen;
+pub mod stdlib;
+
+pub use gen::{generate, generate_with_externals, FuncSummary};
+pub use stdlib::standard_externals;

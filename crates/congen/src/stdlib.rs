@@ -1,0 +1,212 @@
+//! Pre-computed polymorphic type schemes for external (libc-like)
+//! functions (§2.2, Appendix A.4).
+//!
+//! These are the "procedure summaries" inserted at external callsites:
+//! `malloc : ∀τ. size_t → τ*`, `free : ∀τ. τ* → void`,
+//! `memcpy : ∀α,β. (β ⊑ α) ⇒ (α* × β* × size_t) → α*`, and the
+//! semantically tagged POSIX handles (`close` takes a `#FileDescriptor`
+//! and returns a `#SuccessZ`, as in Figure 2).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use retypd_core::parse::parse_constraint_set;
+use retypd_core::{BaseVar, Loc, Symbol, TypeScheme};
+
+/// An external function model: parameter locations plus a type scheme.
+#[derive(Clone, Debug)]
+pub struct ExternalModel {
+    /// Formal-in locations (stack offsets for cdecl).
+    pub ins: Vec<Loc>,
+    /// True if the function returns a value in `eax`.
+    pub has_out: bool,
+    /// The polymorphic scheme instantiated per callsite.
+    pub scheme: TypeScheme,
+}
+
+fn model(name: &str, arity: usize, has_out: bool, constraints: &str) -> (Symbol, ExternalModel) {
+    let cs = parse_constraint_set(constraints)
+        .unwrap_or_else(|e| panic!("bad stdlib scheme for {name}: {e}"));
+    // Existentials: every non-constant variable other than the subject.
+    let subject = BaseVar::var(name);
+    let mut existentials = BTreeSet::new();
+    for b in cs.base_vars() {
+        if !b.is_const() && b != subject {
+            existentials.insert(b.name());
+        }
+    }
+    (
+        Symbol::intern(name),
+        ExternalModel {
+            ins: (0..arity).map(|i| Loc::Stack(4 * i as u32)).collect(),
+            has_out,
+            scheme: TypeScheme::new(subject, existentials, cs),
+        },
+    )
+}
+
+/// The standard external-function models keyed by name.
+pub fn standard_externals() -> BTreeMap<Symbol, ExternalModel> {
+    let mut m = BTreeMap::new();
+    for (name, arity, has_out, cs) in [
+        // ∀τ. size_t → τ* : the return is a fresh variable per callsite.
+        ("malloc", 1, true, "malloc.in_stack0 <= size_t"),
+        // ∀τ. τ* → void.
+        ("free", 1, false, "VAR free.in_stack0.load"),
+        // ∀α,β. (β ⊑ α) ⇒ (α*, β*, size_t) → α*.
+        (
+            "memcpy",
+            3,
+            true,
+            "
+            memcpy.in_stack0 <= d
+            memcpy.in_stack4 <= s
+            s.load <= d.store
+            memcpy.in_stack8 <= size_t
+            memcpy.in_stack0 <= memcpy.out_eax
+            ",
+        ),
+        (
+            "close",
+            1,
+            true,
+            "
+            close.in_stack0 <= #FileDescriptor
+            close.in_stack0 <= int
+            int <= close.out_eax
+            #SuccessZ <= close.out_eax
+            ",
+        ),
+        (
+            "open",
+            2,
+            true,
+            "
+            open.in_stack0.load.σ8@0 <= char
+            #FileDescriptor <= open.out_eax
+            int <= open.out_eax
+            ",
+        ),
+        (
+            "fopen",
+            2,
+            true,
+            "
+            fopen.in_stack0.load.σ8@0 <= char
+            fopen.in_stack4.load.σ8@0 <= char
+            FILE <= fopen.out_eax.load
+            fopen.out_eax.load <= FILE
+            ",
+        ),
+        (
+            "fclose",
+            1,
+            true,
+            "
+            fclose.in_stack0.load <= FILE
+            FILE <= fclose.in_stack0.load
+            int <= fclose.out_eax
+            ",
+        ),
+        (
+            "strlen",
+            1,
+            true,
+            "
+            strlen.in_stack0.load.σ8@0 <= char
+            size_t <= strlen.out_eax
+            ",
+        ),
+        (
+            "signal",
+            2,
+            true,
+            "
+            signal.in_stack0 <= #SignalNumber
+            signal.in_stack0 <= int
+            ",
+        ),
+        (
+            "socket",
+            3,
+            true,
+            "
+            socket.in_stack0 <= int
+            socket.in_stack4 <= int
+            socket.in_stack8 <= int
+            SOCKET <= socket.out_eax
+            ",
+        ),
+        ("getpid", 0, true, "pid_t <= getpid.out_eax"),
+        (
+            "time",
+            1,
+            true,
+            "
+            time_t <= time.out_eax
+            time_t <= time.in_stack0.store.σ32@0
+            ",
+        ),
+        (
+            "puts",
+            1,
+            true,
+            "
+            puts.in_stack0.load.σ8@0 <= char
+            int <= puts.out_eax
+            ",
+        ),
+        (
+            "abs",
+            1,
+            true,
+            "
+            abs.in_stack0 <= int
+            int <= abs.out_eax
+            ",
+        ),
+    ] {
+        let (k, v) = model(name, arity, has_out, cs);
+        m.insert(k, v);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn externals_build() {
+        let m = standard_externals();
+        assert!(m.len() >= 10);
+        let malloc = &m[&Symbol::intern("malloc")];
+        assert_eq!(malloc.ins.len(), 1);
+        assert!(malloc.has_out);
+        // The malloc scheme says nothing about the return type: that is the
+        // polymorphism (each callsite gets a fresh out variable).
+        let printed = malloc.scheme.to_string();
+        assert!(printed.contains("size_t"), "{printed}");
+        assert!(!printed.contains("out_eax"), "{printed}");
+    }
+
+    #[test]
+    fn close_matches_figure2() {
+        let m = standard_externals();
+        let close = &m[&Symbol::intern("close")];
+        let printed = close.scheme.to_string();
+        assert!(printed.contains("#FileDescriptor"), "{printed}");
+        assert!(printed.contains("#SuccessZ"), "{printed}");
+    }
+
+    #[test]
+    fn instantiation_is_per_callsite() {
+        let m = standard_externals();
+        let malloc = &m[&Symbol::intern("malloc")];
+        let keep = BTreeSet::new();
+        let (a, sa) = malloc.scheme.instantiate("c1", &keep);
+        let (_, sb) = malloc.scheme.instantiate("c2", &keep);
+        assert_ne!(sa, sb);
+        assert!(a.to_string().contains("malloc@c1.in_stack0"));
+    }
+}

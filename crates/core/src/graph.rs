@@ -1,0 +1,407 @@
+//! The constraint graph: a finite encoding of the unconstrained pushdown
+//! system `P_C` of Appendix D.
+//!
+//! Nodes are pairs *(derived type variable, variance)*; the variance
+//! component tracks whether the ambient subtyping direction has been flipped
+//! by contravariant labels (the `⊕`/`⊖` superscripts on control states in
+//! Definition D.3). Edges come in three kinds:
+//!
+//! * **ε edges** encode constraints: `l ⊑ r` yields `(l,⊕) → (r,⊕)` and the
+//!   dual `(r,⊖) → (l,⊖)` (the `rule⊕`/`rule⊖` constructions).
+//! * **pop edges** `(x,v) --pop ℓ--> (x.ℓ, v·⟨ℓ⟩)` read a capability label
+//!   from the input (the `∆start`-side chains).
+//! * **push edges** `(x.ℓ,v) --push ℓ--> (x, v·⟨ℓ⟩)` write a capability
+//!   label to the output (the `∆end`-side chains).
+//!
+//! A proof of `X.u ⊑ Y.v` in the Figure 3 system corresponds to a path from
+//! `(X, ⟨u⟩)` to `(Y, ⟨v⟩)` whose stack-operation word reduces to
+//! `pop u ⊗ push v` (Theorem D.1). [`crate::saturation`] closes the graph so
+//! that balanced push/pop excursions become explicit ε edges.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use crate::constraint::ConstraintSet;
+use crate::dtv::{BaseVar, DerivedVar};
+use crate::label::Label;
+use crate::variance::Variance;
+
+/// Dense index of a node `(derived type variable, variance)`.
+///
+/// The two variances of a derived variable occupy adjacent indices so that
+/// the mirror involution of Lemma D.7 is `id ^ 1`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The mirror node `(d, ¬v)` (Lemma D.7's involution).
+    pub fn mirror(self) -> NodeId {
+        NodeId(self.0 ^ 1)
+    }
+
+    /// The variance component of this node.
+    pub fn variance(self) -> Variance {
+        if self.0 & 1 == 0 {
+            Variance::Covariant
+        } else {
+            Variance::Contravariant
+        }
+    }
+
+    fn dtv_index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+}
+
+/// Kind of a graph edge (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EdgeKind {
+    /// A subtype step (weight 1 in the `StackOp` semiring).
+    Eps,
+    /// Reads label `ℓ` from the input stack.
+    Pop(Label),
+    /// Writes label `ℓ` to the output stack.
+    Push(Label),
+}
+
+/// A directed edge to `to` with the given kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Edge {
+    /// Target node.
+    pub to: NodeId,
+    /// Edge kind.
+    pub kind: EdgeKind,
+}
+
+/// The constraint graph for one constraint set.
+#[derive(Clone, Debug)]
+pub struct ConstraintGraph {
+    dtvs: Vec<DerivedVar>,
+    dtv_ids: HashMap<DerivedVar, u32>,
+    out: Vec<Vec<Edge>>,
+    edge_set: HashSet<(NodeId, NodeId, EdgeKind)>,
+}
+
+impl ConstraintGraph {
+    /// Builds the graph for a constraint set: materializes every prefix of
+    /// every mentioned derived variable (in both variances) with its
+    /// push/pop chains, and adds the ε edges for each subtype constraint
+    /// and its dual.
+    ///
+    /// The materialized set is additionally closed under swapping `.load` ↔
+    /// `.store` at any position. The pushdown system's `∆ptr` rule family
+    /// (`v.store ⊑ v.load` for *every* derived variable `v`) can rewrite a
+    /// pointer label mid-derivation, so the sibling chain must exist for
+    /// saturation's lazy S-POINTER clause to find its pop edge. Sibling
+    /// chains that correspond to no real capability are pruned later by the
+    /// shape quotient (see [`crate::simplify`]).
+    pub fn build(cs: &ConstraintSet) -> ConstraintGraph {
+        let mut g = ConstraintGraph {
+            dtvs: Vec::new(),
+            dtv_ids: HashMap::new(),
+            out: Vec::new(),
+            edge_set: HashSet::new(),
+        };
+        for dv in cs.mentioned_vars() {
+            g.ensure_dtv(&dv);
+        }
+        // Sibling closure: `dtvs` grows monotonically, so a plain index scan
+        // reaches a fixpoint (each variable has finitely many load/store
+        // positions to toggle).
+        let mut idx = 0;
+        while idx < g.dtvs.len() {
+            let d = g.dtvs[idx].clone();
+            for (i, &l) in d.path().iter().enumerate() {
+                let swapped = match l {
+                    Label::Load => Label::Store,
+                    Label::Store => Label::Load,
+                    _ => continue,
+                };
+                let mut path = d.path().to_vec();
+                path[i] = swapped;
+                g.ensure_dtv(&DerivedVar::with_path(d.base(), path));
+            }
+            idx += 1;
+        }
+        for c in cs.subtypes() {
+            g.add_constraint_edges(&c.lhs, &c.rhs);
+        }
+        g
+    }
+
+    /// Ensures the derived variable and all its prefixes are materialized,
+    /// with pop/push chain edges in both variance rows. Returns the id of
+    /// the dtv itself.
+    pub fn ensure_dtv(&mut self, dv: &DerivedVar) -> u32 {
+        if let Some(&id) = self.dtv_ids.get(dv) {
+            return id;
+        }
+        // Materialize parent first.
+        let parent = dv.parent();
+        let parent_id = parent.as_ref().map(|p| self.ensure_dtv(p));
+        let id = self.dtvs.len() as u32;
+        self.dtvs.push(dv.clone());
+        self.dtv_ids.insert(dv.clone(), id);
+        self.out.push(Vec::new()); // (dtv, ⊕)
+        self.out.push(Vec::new()); // (dtv, ⊖)
+        if let (Some(pid), Some(label)) = (parent_id, dv.last_label()) {
+            // Chain edges in both variance rows:
+            //   (x, v)   --pop ℓ-->  (x.ℓ, v·⟨ℓ⟩)
+            //   (x.ℓ, v) --push ℓ--> (x,   v·⟨ℓ⟩)
+            for v in [Variance::Covariant, Variance::Contravariant] {
+                let x = Self::node_of(pid, v);
+                let xl = Self::node_of(id, v.compose(label.variance()));
+                self.add_edge(x, xl, EdgeKind::Pop(label));
+                let xl_src = Self::node_of(id, v);
+                let x_tgt = Self::node_of(pid, v.compose(label.variance()));
+                self.add_edge(xl_src, x_tgt, EdgeKind::Push(label));
+            }
+        }
+        id
+    }
+
+    /// Adds the ε edges for constraint `l ⊑ r` (and its dual), materializing
+    /// both sides if needed.
+    pub fn add_constraint_edges(&mut self, l: &DerivedVar, r: &DerivedVar) {
+        let lid = self.ensure_dtv(l);
+        let rid = self.ensure_dtv(r);
+        let co = Variance::Covariant;
+        let contra = Variance::Contravariant;
+        self.add_edge(
+            Self::node_of(lid, co),
+            Self::node_of(rid, co),
+            EdgeKind::Eps,
+        );
+        self.add_edge(
+            Self::node_of(rid, contra),
+            Self::node_of(lid, contra),
+            EdgeKind::Eps,
+        );
+    }
+
+    fn node_of(dtv_id: u32, v: Variance) -> NodeId {
+        NodeId(dtv_id * 2 + if v.is_covariant() { 0 } else { 1 })
+    }
+
+    /// Adds an edge if not already present; returns true if new.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
+        if from == to && kind == EdgeKind::Eps {
+            return false;
+        }
+        if self.edge_set.insert((from, to, kind)) {
+            self.out[from.0 as usize].push(Edge { to, kind });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up the node for `(dv, variance)` if the dtv is materialized.
+    pub fn node(&self, dv: &DerivedVar, v: Variance) -> Option<NodeId> {
+        self.dtv_ids.get(dv).map(|&id| Self::node_of(id, v))
+    }
+
+    /// True if the derived variable is materialized (mentioned in the
+    /// constraint set, a prefix of a mention, or in the load/store sibling
+    /// closure thereof). Entailment queries between materialized variables
+    /// are complete with respect to Figure 3; deeper words are supported
+    /// only through the untouched-suffix mechanism (see
+    /// [`crate::transducer::accepts`]).
+    pub fn contains(&self, dv: &DerivedVar) -> bool {
+        self.dtv_ids.contains_key(dv)
+    }
+
+    /// The derived variable of a node.
+    pub fn dtv(&self, n: NodeId) -> &DerivedVar {
+        &self.dtvs[n.dtv_index()]
+    }
+
+    /// Outgoing edges of a node.
+    pub fn edges_out(&self, n: NodeId) -> &[Edge] {
+        &self.out[n.0 as usize]
+    }
+
+    /// Number of nodes (twice the number of materialized dtvs).
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.out.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all materialized derived variables.
+    pub fn dtvs(&self) -> impl Iterator<Item = &DerivedVar> {
+        self.dtvs.iter()
+    }
+
+    /// All nodes whose dtv is the bare `base` variable.
+    pub fn base_nodes(&self, base: BaseVar) -> Vec<NodeId> {
+        let dv = DerivedVar::new(base);
+        match self.dtv_ids.get(&dv) {
+            Some(&id) => vec![
+                Self::node_of(id, Variance::Covariant),
+                Self::node_of(id, Variance::Contravariant),
+            ],
+            None => vec![],
+        }
+    }
+
+    /// The set of base variables appearing in the graph.
+    pub fn bases(&self) -> BTreeSet<BaseVar> {
+        self.dtvs.iter().map(|d| d.base()).collect()
+    }
+
+    /// Builds the reverse adjacency list (for backward reachability).
+    pub fn reverse_adjacency(&self) -> Vec<Vec<Edge>> {
+        let mut rev = vec![Vec::new(); self.out.len()];
+        for n in self.nodes() {
+            for e in self.edges_out(n) {
+                rev[e.to.0 as usize].push(Edge { to: n, kind: e.kind });
+            }
+        }
+        rev
+    }
+}
+
+impl fmt::Display for ConstraintGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for n in self.nodes() {
+            for e in self.edges_out(n) {
+                let kind = match e.kind {
+                    EdgeKind::Eps => "ε".to_owned(),
+                    EdgeKind::Pop(l) => format!("pop {l}"),
+                    EdgeKind::Push(l) => format!("push {l}"),
+                };
+                writeln!(
+                    f,
+                    "({}, {}) --{}--> ({}, {})",
+                    self.dtv(n),
+                    n.variance(),
+                    kind,
+                    self.dtv(e.to),
+                    e.to.variance()
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deduplicating map from derived variables to ids, exposed for analyses
+/// that need to intern extra dtvs mid-flight.
+#[derive(Clone, Default, Debug)]
+pub struct DtvInterner {
+    map: HashMap<DerivedVar, u32>,
+    items: Vec<DerivedVar>,
+}
+
+impl DtvInterner {
+    /// Creates an empty interner.
+    pub fn new() -> DtvInterner {
+        DtvInterner::default()
+    }
+
+    /// Interns a derived variable.
+    pub fn intern(&mut self, dv: &DerivedVar) -> u32 {
+        match self.map.entry(dv.clone()) {
+            Entry::Occupied(o) => *o.get(),
+            Entry::Vacant(v) => {
+                let id = self.items.len() as u32;
+                self.items.push(dv.clone());
+                v.insert(id);
+                id
+            }
+        }
+    }
+
+    /// Resolves an id.
+    pub fn resolve(&self, id: u32) -> &DerivedVar {
+        &self.items[id as usize]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_constraint_set;
+
+    #[test]
+    fn chains_materialize_with_variance() {
+        let cs = parse_constraint_set("p.load.σ32@0 <= x").unwrap();
+        let g = ConstraintGraph::build(&cs);
+        // dtvs: p, p.load, p.load.σ32@0, x, plus the sibling-closure chain
+        // p.store, p.store.σ32@0 → 12 nodes.
+        assert_eq!(g.node_count(), 12);
+        let p = crate::parse::parse_derived_var("p").unwrap();
+        let pl = crate::parse::parse_derived_var("p.load").unwrap();
+        let n_p = g.node(&p, Variance::Covariant).unwrap();
+        // (p,⊕) --pop load--> (p.load,⊕)
+        let has_pop = g
+            .edges_out(n_p)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Pop(Label::Load) && g.dtv(e.to) == &pl);
+        assert!(has_pop);
+    }
+
+    #[test]
+    fn store_chain_flips_variance() {
+        let cs = parse_constraint_set("x <= p.store").unwrap();
+        let g = ConstraintGraph::build(&cs);
+        let p = crate::parse::parse_derived_var("p").unwrap();
+        let ps = crate::parse::parse_derived_var("p.store").unwrap();
+        let n_ps_co = g.node(&ps, Variance::Covariant).unwrap();
+        // (p.store,⊕) --push store--> (p,⊖): variance flips through store.
+        let pushes: Vec<_> = g
+            .edges_out(n_ps_co)
+            .iter()
+            .filter(|e| matches!(e.kind, EdgeKind::Push(Label::Store)))
+            .collect();
+        assert_eq!(pushes.len(), 1);
+        assert_eq!(g.dtv(pushes[0].to), &p);
+        assert_eq!(pushes[0].to.variance(), Variance::Contravariant);
+    }
+
+    #[test]
+    fn constraint_edges_have_duals() {
+        let cs = parse_constraint_set("a <= b").unwrap();
+        let g = ConstraintGraph::build(&cs);
+        let a = DerivedVar::var("a");
+        let b = DerivedVar::var("b");
+        let a_co = g.node(&a, Variance::Covariant).unwrap();
+        let b_contra = g.node(&b, Variance::Contravariant).unwrap();
+        assert!(g
+            .edges_out(a_co)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Eps && g.dtv(e.to) == &b));
+        assert!(g
+            .edges_out(b_contra)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Eps && g.dtv(e.to) == &a));
+    }
+
+    #[test]
+    fn mirror_involution() {
+        let n = NodeId(4);
+        assert_eq!(n.variance(), Variance::Covariant);
+        assert_eq!(n.mirror().variance(), Variance::Contravariant);
+        assert_eq!(n.mirror().mirror(), n);
+    }
+}

@@ -1,0 +1,142 @@
+//! Global string interner for type-variable and label names.
+//!
+//! Compiler-style symbol interning: strings are leaked into a process-wide
+//! table and referenced by a small copyable [`Symbol`]. Interning the same
+//! string twice yields the same symbol, so equality and hashing are O(1).
+//!
+//! ```
+//! use retypd_core::Symbol;
+//!
+//! let a = Symbol::intern("eax");
+//! let b = Symbol::intern("eax");
+//! assert_eq!(a, b);
+//! assert_eq!(a.as_str(), "eax");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// An interned string.
+///
+/// Symbols are cheap to copy and compare. Ordering is by string content (not
+/// interning order) so that data structures built from symbols iterate in a
+/// deterministic order regardless of interning history.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical symbol.
+    pub fn intern(s: &str) -> Symbol {
+        {
+            let guard = interner().read();
+            if let Some(&id) = guard.map.get(s) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write();
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = guard.strings.len() as u32;
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().strings[self.0 as usize]
+    }
+
+    /// Returns the raw index of this symbol in the interner.
+    ///
+    /// Only meaningful within a single process run; use [`Symbol::as_str`]
+    /// for anything persistent.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        let c = Symbol::intern("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn ordering_is_by_string() {
+        // Intern in reverse lexicographic order; Ord must still be lexicographic.
+        let z = Symbol::intern("zzz_order");
+        let a = Symbol::intern("aaa_order");
+        assert!(a < z);
+    }
+
+    #[test]
+    fn debug_shows_content() {
+        let s = Symbol::intern("dbg");
+        assert_eq!(format!("{s:?}"), "\"dbg\"");
+        assert_eq!(format!("{s}"), "dbg");
+    }
+}

@@ -1,0 +1,559 @@
+//! The customizable auxiliary lattice Λ of atomic types and semantic tags
+//! (§2.8, §3.5, Appendix E).
+//!
+//! Sketch nodes are marked with elements of a finite lattice Λ. The lattice
+//! is uninterpreted by the core solver: it only needs `≤`, joins and meets.
+//! Users extend it with ad-hoc typedef hierarchies and semantic classes such
+//! as `#FileDescriptor` (§2.8: Windows handle hierarchies, `#signal-number`
+//! seeds, …).
+//!
+//! ```
+//! use retypd_core::Lattice;
+//!
+//! let lat = Lattice::c_types();
+//! let int32 = lat.element("int32").unwrap();
+//! let fd = lat.element("#FileDescriptor").unwrap();
+//! assert!(lat.leq(fd, int32));
+//! assert_eq!(lat.join(fd, int32), int32);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::intern::Symbol;
+
+/// An element of a [`Lattice`], as a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LatticeElem(pub(crate) u16);
+
+/// Errors produced while building or querying a lattice.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LatticeError {
+    /// An edge mentioned an element that was never added.
+    UnknownElement(String),
+    /// The `≤` relation has a nontrivial cycle, so it is not a partial order.
+    NotAntisymmetric(String, String),
+    /// Two elements have no unique least upper bound.
+    NoJoin {
+        /// First element.
+        a: String,
+        /// Second element.
+        b: String,
+        /// The minimal upper bounds found (more than one, or none).
+        candidates: Vec<String>,
+    },
+    /// Two elements have no unique greatest lower bound.
+    NoMeet {
+        /// First element.
+        a: String,
+        /// Second element.
+        b: String,
+        /// The maximal lower bounds found (more than one, or none).
+        candidates: Vec<String>,
+    },
+    /// A name was added twice.
+    Duplicate(String),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::UnknownElement(n) => write!(f, "unknown lattice element {n:?}"),
+            LatticeError::NotAntisymmetric(a, b) => {
+                write!(f, "elements {a:?} and {b:?} are in a ≤-cycle")
+            }
+            LatticeError::NoJoin { a, b, candidates } => write!(
+                f,
+                "no unique join of {a:?} and {b:?}; minimal upper bounds: {candidates:?}"
+            ),
+            LatticeError::NoMeet { a, b, candidates } => write!(
+                f,
+                "no unique meet of {a:?} and {b:?}; maximal lower bounds: {candidates:?}"
+            ),
+            LatticeError::Duplicate(n) => write!(f, "duplicate lattice element {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+/// Incrementally builds a [`Lattice`] from elements and `≤` edges.
+///
+/// The builder validates on [`LatticeBuilder::build`] that the resulting
+/// structure really is a lattice (antisymmetric order with unique binary
+/// joins and meets); ill-formed hierarchies are rejected with a useful
+/// error rather than silently mis-solving constraints later.
+#[derive(Clone, Default, Debug)]
+pub struct LatticeBuilder {
+    names: Vec<Symbol>,
+    index: HashMap<Symbol, u16>,
+    edges: Vec<(u16, u16)>, // (lower, upper)
+}
+
+impl LatticeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> LatticeBuilder {
+        LatticeBuilder::default()
+    }
+
+    /// Adds an element; returns an error if the name already exists.
+    pub fn add(&mut self, name: &str) -> Result<(), LatticeError> {
+        let sym = Symbol::intern(name);
+        if self.index.contains_key(&sym) {
+            return Err(LatticeError::Duplicate(name.to_owned()));
+        }
+        let id = self.names.len() as u16;
+        self.names.push(sym);
+        self.index.insert(sym, id);
+        Ok(())
+    }
+
+    /// Adds an element if not already present.
+    pub fn ensure(&mut self, name: &str) {
+        let _ = self.add(name);
+    }
+
+    /// Declares `lower ≤ upper`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LatticeError::UnknownElement`] if either side was not added.
+    pub fn le(&mut self, lower: &str, upper: &str) -> Result<(), LatticeError> {
+        let l = self.lookup(lower)?;
+        let u = self.lookup(upper)?;
+        self.edges.push((l, u));
+        Ok(())
+    }
+
+    /// Adds `child` as a new element below `parent` (a convenience for
+    /// tree-shaped hierarchies).
+    pub fn add_under(&mut self, child: &str, parent: &str) -> Result<(), LatticeError> {
+        self.add(child)?;
+        self.le(child, parent)
+    }
+
+    fn lookup(&self, name: &str) -> Result<u16, LatticeError> {
+        self.index
+            .get(&Symbol::intern(name))
+            .copied()
+            .ok_or_else(|| LatticeError::UnknownElement(name.to_owned()))
+    }
+
+    /// Validates the order and computes join/meet tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the relation is not antisymmetric or some pair of
+    /// elements lacks a unique join or meet. The conventional fix for the
+    /// latter is to introduce an explicit common bound element.
+    pub fn build(self) -> Result<Lattice, LatticeError> {
+        let n = self.names.len();
+        assert!(n > 0, "a lattice needs at least one element");
+        assert!(n < u16::MAX as usize, "too many lattice elements");
+        // Reflexive-transitive closure of ≤ via simple propagation.
+        let mut leq = vec![false; n * n];
+        for i in 0..n {
+            leq[i * n + i] = true;
+        }
+        for &(l, u) in &self.edges {
+            leq[l as usize * n + u as usize] = true;
+        }
+        // Floyd–Warshall style closure.
+        for k in 0..n {
+            for i in 0..n {
+                if leq[i * n + k] {
+                    for j in 0..n {
+                        if leq[k * n + j] {
+                            leq[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Antisymmetry.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if leq[i * n + j] && leq[j * n + i] {
+                    return Err(LatticeError::NotAntisymmetric(
+                        self.names[i].as_str().to_owned(),
+                        self.names[j].as_str().to_owned(),
+                    ));
+                }
+            }
+        }
+        // Join and meet tables with uniqueness validation.
+        let name_of = |i: u16| self.names[i as usize].as_str().to_owned();
+        let mut join = vec![0u16; n * n];
+        let mut meet = vec![0u16; n * n];
+        for a in 0..n {
+            for b in a..n {
+                let uppers: Vec<u16> = (0..n as u16)
+                    .filter(|&c| leq[a * n + c as usize] && leq[b * n + c as usize])
+                    .collect();
+                let minimal: Vec<u16> = uppers
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        uppers
+                            .iter()
+                            .all(|&d| d == c || !leq[d as usize * n + c as usize])
+                    })
+                    .collect();
+                if minimal.len() != 1 {
+                    return Err(LatticeError::NoJoin {
+                        a: name_of(a as u16),
+                        b: name_of(b as u16),
+                        candidates: minimal.into_iter().map(name_of).collect(),
+                    });
+                }
+                join[a * n + b] = minimal[0];
+                join[b * n + a] = minimal[0];
+
+                let lowers: Vec<u16> = (0..n as u16)
+                    .filter(|&c| leq[c as usize * n + a] && leq[c as usize * n + b])
+                    .collect();
+                let maximal: Vec<u16> = lowers
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        lowers
+                            .iter()
+                            .all(|&d| d == c || !leq[c as usize * n + d as usize])
+                    })
+                    .collect();
+                if maximal.len() != 1 {
+                    return Err(LatticeError::NoMeet {
+                        a: name_of(a as u16),
+                        b: name_of(b as u16),
+                        candidates: maximal.into_iter().map(name_of).collect(),
+                    });
+                }
+                meet[a * n + b] = maximal[0];
+                meet[b * n + a] = maximal[0];
+            }
+        }
+        // Top and bottom: the unique maximum/minimum must exist because
+        // join/meet of everything exists; fold to find them.
+        let mut top = 0u16;
+        let mut bottom = 0u16;
+        for i in 0..n as u16 {
+            top = join[top as usize * n + i as usize];
+            bottom = meet[bottom as usize * n + i as usize];
+        }
+        Ok(Lattice {
+            names: self.names,
+            index: self.index,
+            n,
+            leq,
+            join,
+            meet,
+            top: LatticeElem(top),
+            bottom: LatticeElem(bottom),
+        })
+    }
+}
+
+/// A validated finite lattice of atomic types and semantic tags.
+#[derive(Clone, Debug)]
+pub struct Lattice {
+    names: Vec<Symbol>,
+    index: HashMap<Symbol, u16>,
+    n: usize,
+    leq: Vec<bool>,
+    join: Vec<u16>,
+    meet: Vec<u16>,
+    top: LatticeElem,
+    bottom: LatticeElem,
+}
+
+impl Lattice {
+    /// Looks up an element by name.
+    pub fn element(&self, name: &str) -> Option<LatticeElem> {
+        self.index.get(&Symbol::intern(name)).map(|&i| LatticeElem(i))
+    }
+
+    /// Looks up an element by interned symbol.
+    pub fn element_sym(&self, sym: Symbol) -> Option<LatticeElem> {
+        self.index.get(&sym).map(|&i| LatticeElem(i))
+    }
+
+    /// The element's name.
+    pub fn name(&self, e: LatticeElem) -> &'static str {
+        self.names[e.0 as usize].as_str()
+    }
+
+    /// `a ≤ b` in the lattice order.
+    pub fn leq(&self, a: LatticeElem, b: LatticeElem) -> bool {
+        self.leq[a.0 as usize * self.n + b.0 as usize]
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, a: LatticeElem, b: LatticeElem) -> LatticeElem {
+        LatticeElem(self.join[a.0 as usize * self.n + b.0 as usize])
+    }
+
+    /// Greatest lower bound.
+    pub fn meet(&self, a: LatticeElem, b: LatticeElem) -> LatticeElem {
+        LatticeElem(self.meet[a.0 as usize * self.n + b.0 as usize])
+    }
+
+    /// The greatest element ⊤.
+    pub fn top(&self) -> LatticeElem {
+        self.top
+    }
+
+    /// The least element ⊥.
+    pub fn bottom(&self) -> LatticeElem {
+        self.bottom
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the lattice has exactly the trivial two elements; never true
+    /// for the built-in lattices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all elements.
+    pub fn elements(&self) -> impl Iterator<Item = LatticeElem> + '_ {
+        (0..self.n as u16).map(LatticeElem)
+    }
+
+    /// The "distance" between two comparable elements: the length of the
+    /// longest chain between them; used by the TIE-style evaluation metrics.
+    /// Returns `None` for incomparable elements.
+    pub fn chain_distance(&self, a: LatticeElem, b: LatticeElem) -> Option<u32> {
+        let (lo, hi) = if self.leq(a, b) {
+            (a, b)
+        } else if self.leq(b, a) {
+            (b, a)
+        } else {
+            return None;
+        };
+        // Longest chain from lo to hi by DFS over the interval [lo, hi].
+        fn longest(lat: &Lattice, cur: LatticeElem, hi: LatticeElem) -> u32 {
+            if cur == hi {
+                return 0;
+            }
+            let mut best = 0;
+            for nxt in lat.elements() {
+                if nxt != cur && lat.leq(cur, nxt) && lat.leq(nxt, hi) {
+                    // Only step to covers-ish elements: this DFS is exponential
+                    // in pathological lattices but ours are small trees.
+                    let d = longest(lat, nxt, hi);
+                    best = best.max(d + 1);
+                }
+            }
+            best
+        }
+        Some(longest(self, lo, hi))
+    }
+
+    /// The Figure 15 example lattice: `⊥ ⊑ url ⊑ str ⊑ ⊤`, `⊥ ⊑ num ⊑ ⊤`.
+    pub fn paper_example() -> Lattice {
+        let mut b = LatticeBuilder::new();
+        for e in ["⊤", "num", "str", "url", "⊥"] {
+            b.add(e).expect("fresh element");
+        }
+        b.le("num", "⊤").expect("known");
+        b.le("str", "⊤").expect("known");
+        b.le("url", "str").expect("known");
+        b.le("⊥", "num").expect("known");
+        b.le("⊥", "url").expect("known");
+        b.build().expect("the paper lattice is a lattice")
+    }
+
+    /// Returns a builder pre-populated with the default C-types lattice, so
+    /// user code can extend it with domain tags before building (§2.8).
+    pub fn c_types_builder() -> LatticeBuilder {
+        let mut b = LatticeBuilder::new();
+        b.ensure("⊤");
+        // Width strata.
+        for (reg, members) in [
+            ("reg64", &["int64", "uint64", "float64"][..]),
+            ("reg32", &["float32", "code"][..]),
+            ("reg16", &["int16", "uint16"][..]),
+            ("reg8", &["int8", "uint8", "char"][..]),
+        ] {
+            b.add_under(reg, "⊤").expect("fresh");
+            for m in members {
+                b.add_under(m, reg).expect("fresh");
+            }
+        }
+        // The signed/unsigned 32-bit integers share `integral32`, the
+        // conclusion type of the Figure 13 ADD/SUB rules.
+        b.add_under("integral32", "reg32").expect("fresh");
+        b.add_under("int32", "integral32").expect("fresh");
+        b.add_under("uint32", "integral32").expect("fresh");
+        // The general C names sit directly below the width classes, and the
+        // typedefs and semantic classes (§2.8, Figure 2) below those, so
+        // that e.g. `#FileDescriptor ∧ int = #FileDescriptor`.
+        b.add_under("int", "int32").expect("fresh");
+        b.add_under("uint", "uint32").expect("fresh");
+        b.add_under("float", "float32").expect("fresh");
+        b.add_under("double", "float64").expect("fresh");
+        for (tag, parent) in [
+            ("#FileDescriptor", "int"),
+            ("#SuccessZ", "int"),
+            ("#SignalNumber", "int"),
+            ("pid_t", "int"),
+            ("bool_t", "int"),
+            ("time_t", "int"),
+            ("size_t", "uint"),
+            ("uintptr_t", "uint"),
+        ] {
+            b.add_under(tag, parent).expect("fresh");
+        }
+        // Opaque pointed-to types (used as the Λ mark of a pointee node).
+        for opaque in ["FILE", "HANDLE", "SOCKET", "cstring"] {
+            b.add_under(opaque, "⊤").expect("fresh");
+        }
+        // Bottom below every leaf: connect under every element lacking
+        // children; simplest is to connect ⊥ under all current elements.
+        b.ensure("⊥");
+        let names: Vec<&'static str> = b.names.iter().map(|s| s.as_str()).collect();
+        for name in names {
+            if name != "⊥" {
+                b.le("⊥", name).expect("known");
+            }
+        }
+        b
+    }
+
+    /// The default lattice of C scalar types, common typedefs, and semantic
+    /// tags. Tree-shaped (plus ⊥), hence a valid lattice.
+    pub fn c_types() -> Lattice {
+        Lattice::c_types_builder()
+            .build()
+            .expect("the built-in C lattice is a lattice")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lattice_orders() {
+        let lat = Lattice::paper_example();
+        let url = lat.element("url").unwrap();
+        let s = lat.element("str").unwrap();
+        let num = lat.element("num").unwrap();
+        assert!(lat.leq(url, s));
+        assert!(!lat.leq(s, url));
+        assert!(!lat.leq(url, num));
+        assert_eq!(lat.join(url, num), lat.top());
+        assert_eq!(lat.meet(url, num), lat.bottom());
+        assert_eq!(lat.join(url, s), s);
+        assert_eq!(lat.name(lat.top()), "⊤");
+        assert_eq!(lat.name(lat.bottom()), "⊥");
+    }
+
+    #[test]
+    fn c_lattice_builds_and_tags_sit_under_int32() {
+        let lat = Lattice::c_types();
+        let fd = lat.element("#FileDescriptor").unwrap();
+        let int = lat.element("int").unwrap();
+        let int32 = lat.element("int32").unwrap();
+        let reg32 = lat.element("reg32").unwrap();
+        assert!(lat.leq(fd, int));
+        assert!(lat.leq(int, int32));
+        assert!(lat.leq(int32, reg32));
+        // Tags meet their base type at the tag (Figure 2's int ∧ #FileDescriptor).
+        assert_eq!(lat.meet(fd, int), fd);
+        assert_eq!(lat.join(fd, lat.element("#SuccessZ").unwrap()), int);
+        assert_eq!(
+            lat.meet(fd, lat.element("#SuccessZ").unwrap()),
+            lat.bottom()
+        );
+    }
+
+    #[test]
+    fn join_meet_laws_exhaustive_on_paper_lattice() {
+        let lat = Lattice::paper_example();
+        let elems: Vec<_> = lat.elements().collect();
+        for &a in &elems {
+            for &b in &elems {
+                // Commutativity.
+                assert_eq!(lat.join(a, b), lat.join(b, a));
+                assert_eq!(lat.meet(a, b), lat.meet(b, a));
+                // Absorption.
+                assert_eq!(lat.join(a, lat.meet(a, b)), a);
+                assert_eq!(lat.meet(a, lat.join(a, b)), a);
+                // Consistency with ≤.
+                assert_eq!(lat.leq(a, b), lat.join(a, b) == b);
+                assert_eq!(lat.leq(a, b), lat.meet(a, b) == a);
+                for &c in &elems {
+                    // Associativity.
+                    assert_eq!(lat.join(lat.join(a, b), c), lat.join(a, lat.join(b, c)));
+                    assert_eq!(lat.meet(lat.meet(a, b), c), lat.meet(a, lat.meet(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_lattices() {
+        // Diamond with two incomparable upper bounds for {a, b}.
+        let mut b = LatticeBuilder::new();
+        for e in ["top", "u1", "u2", "a", "bb", "bot"] {
+            b.add(e).unwrap();
+        }
+        for (l, u) in [
+            ("u1", "top"),
+            ("u2", "top"),
+            ("a", "u1"),
+            ("a", "u2"),
+            ("bb", "u1"),
+            ("bb", "u2"),
+            ("bot", "a"),
+            ("bot", "bb"),
+        ] {
+            b.le(l, u).unwrap();
+        }
+        // Validation may trip on the missing unique meet of {u1, u2} or the
+        // missing unique join of {a, bb}, whichever pair is checked first.
+        match b.build() {
+            Err(LatticeError::NoJoin { candidates, .. })
+            | Err(LatticeError::NoMeet { candidates, .. }) => {
+                assert_eq!(candidates.len(), 2);
+            }
+            other => panic!("expected NoJoin/NoMeet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = LatticeBuilder::new();
+        b.add("a").unwrap();
+        b.add("b").unwrap();
+        b.le("a", "b").unwrap();
+        b.le("b", "a").unwrap();
+        assert!(matches!(b.build(), Err(LatticeError::NotAntisymmetric(..))));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut b = LatticeBuilder::new();
+        b.add("x").unwrap();
+        assert!(matches!(b.add("x"), Err(LatticeError::Duplicate(_))));
+    }
+
+    #[test]
+    fn chain_distance() {
+        let lat = Lattice::c_types();
+        let fd = lat.element("#FileDescriptor").unwrap();
+        let int32 = lat.element("int32").unwrap();
+        let top = lat.top();
+        assert_eq!(lat.chain_distance(fd, fd), Some(0));
+        assert_eq!(lat.chain_distance(fd, int32), Some(2)); // fd < int < int32
+        assert_eq!(lat.chain_distance(int32, fd), Some(2));
+        assert_eq!(lat.chain_distance(fd, top), Some(5)); // fd<int<int32<integral32<reg32<⊤
+        let f32 = lat.element("float32").unwrap();
+        assert_eq!(lat.chain_distance(fd, f32), None);
+    }
+}

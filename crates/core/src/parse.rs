@@ -1,0 +1,247 @@
+//! Textual syntax for derived type variables and constraints.
+//!
+//! This mirrors the notation used in the paper so that tests and examples
+//! can state constraint sets readably:
+//!
+//! * derived variables: `f.in_stack0.load.σ32@4` (ASCII `s32@4` also
+//!   accepted),
+//! * subtype constraints: `x.load ⊑ y` or `x.load <= y`,
+//! * type constants: names starting with `#` (semantic tags) or names listed
+//!   in [`WELL_KNOWN_CONSTANTS`], or any name wrapped as `$name`.
+//!
+//! ```
+//! use retypd_core::parse::{parse_constraint, parse_derived_var};
+//!
+//! let dv = parse_derived_var("f.in_stack0.load.σ32@4").unwrap();
+//! assert_eq!(dv.path().len(), 3);
+//! let c = parse_constraint("int <= f.out_eax").unwrap();
+//! assert!(c.lhs.is_const());
+//! ```
+
+use std::fmt;
+
+use crate::constraint::SubtypeConstraint;
+use crate::dtv::{BaseVar, DerivedVar};
+use crate::label::{Label, Loc};
+
+/// Names treated as type constants without requiring a `#`/`$` sigil.
+///
+/// These cover the default lattices shipped with this crate; user-defined
+/// lattice elements can always be written with a `$` sigil or `#` tag.
+pub const WELL_KNOWN_CONSTANTS: &[&str] = &[
+    "top", "bottom", "⊤", "⊥", "int", "uint", "int8", "int16", "int32", "int64", "uint8",
+    "uint16", "uint32", "uint64", "char", "float", "double", "float32", "float64", "code",
+    "size_t", "uintptr_t", "pid_t", "bool_t", "str", "num", "url", "FILE", "HANDLE", "SOCKET",
+    "reg8", "reg16", "reg32", "reg64", "cstring",
+];
+
+/// An error produced while parsing the textual constraint syntax.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    message: String,
+    input: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, input: &str) -> ParseError {
+        ParseError {
+            message: message.into(),
+            input: input.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in {:?}", self.message, self.input)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_label(tok: &str, input: &str) -> Result<Label, ParseError> {
+    if tok == "load" {
+        return Ok(Label::Load);
+    }
+    if tok == "store" {
+        return Ok(Label::Store);
+    }
+    if let Some(rest) = tok.strip_prefix("in_") {
+        return Ok(Label::In(parse_loc(rest, input)?));
+    }
+    if let Some(rest) = tok.strip_prefix("out_") {
+        return Ok(Label::Out(parse_loc(rest, input)?));
+    }
+    // σN@k or sN@k
+    let body = tok
+        .strip_prefix("σ")
+        .or_else(|| tok.strip_prefix('s'))
+        .ok_or_else(|| ParseError::new(format!("unknown label {tok:?}"), input))?;
+    let (bits, off) = body
+        .split_once('@')
+        .ok_or_else(|| ParseError::new(format!("malformed σ label {tok:?}"), input))?;
+    let bits: u16 = bits
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad bit width in {tok:?}"), input))?;
+    let off: i32 = off
+        .parse()
+        .map_err(|_| ParseError::new(format!("bad offset in {tok:?}"), input))?;
+    Ok(Label::Sigma { bits, offset: off })
+}
+
+fn parse_loc(tok: &str, input: &str) -> Result<Loc, ParseError> {
+    if let Some(num) = tok.strip_prefix("stack") {
+        let off: u32 = num
+            .parse()
+            .map_err(|_| ParseError::new(format!("bad stack offset {tok:?}"), input))?;
+        return Ok(Loc::Stack(off));
+    }
+    if tok.is_empty() {
+        return Err(ParseError::new("empty location", input));
+    }
+    Ok(Loc::reg(tok))
+}
+
+/// Parses a derived type variable such as `p.load.σ32@0`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if a label is malformed or the base name is
+/// empty.
+pub fn parse_derived_var(s: &str) -> Result<DerivedVar, ParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(ParseError::new("empty derived variable", s));
+    }
+    let mut parts = s.split('.');
+    let base_tok = parts.next().expect("split yields at least one element");
+    if base_tok.is_empty() {
+        return Err(ParseError::new("empty base variable", s));
+    }
+    let base = if let Some(name) = base_tok.strip_prefix('$') {
+        BaseVar::constant(name)
+    } else if base_tok.starts_with('#') || WELL_KNOWN_CONSTANTS.contains(&base_tok) {
+        BaseVar::constant(base_tok)
+    } else {
+        BaseVar::var(base_tok)
+    };
+    let mut dv = DerivedVar::new(base);
+    for tok in parts {
+        dv = dv.push(parse_label(tok, s)?);
+    }
+    Ok(dv)
+}
+
+/// Parses a subtype constraint, accepting `⊑`, `<=` or `<:` as the relation
+/// symbol.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the relation symbol is missing or either side
+/// fails to parse.
+pub fn parse_constraint(s: &str) -> Result<SubtypeConstraint, ParseError> {
+    for sep in ["⊑", "<=", "<:"] {
+        if let Some((l, r)) = s.split_once(sep) {
+            let lhs = parse_derived_var(l)?;
+            let rhs = parse_derived_var(r)?;
+            return Ok(SubtypeConstraint::new(lhs, rhs));
+        }
+    }
+    Err(ParseError::new("missing ⊑ / <= / <:", s))
+}
+
+/// Parses a whole constraint set, one constraint per line or semicolon-
+/// separated. Blank lines and `//` comments are skipped.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_constraint_set(s: &str) -> Result<crate::ConstraintSet, ParseError> {
+    let mut out = crate::ConstraintSet::new();
+    for raw in s.split(|c| c == '\n' || c == ';') {
+        let line = match raw.split_once("//") {
+            Some((code, _)) => code.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(v) = line.strip_prefix("VAR ") {
+            out.add_var_decl(parse_derived_var(v)?);
+        } else {
+            let c = parse_constraint(line)?;
+            out.add_sub(c.lhs, c.rhs);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Variance;
+
+    #[test]
+    fn round_trips_display() {
+        for s in [
+            "f.in_stack0.load.σ32@4",
+            "p.load",
+            "close_last.out_eax",
+            "x",
+            "#FileDescriptor",
+        ] {
+            let d = parse_derived_var(s).unwrap();
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn ascii_sigma_accepted() {
+        let d = parse_derived_var("p.load.s32@8").unwrap();
+        assert_eq!(d.to_string(), "p.load.σ32@8");
+    }
+
+    #[test]
+    fn constants_recognized() {
+        assert!(parse_derived_var("int").unwrap().is_const());
+        assert!(parse_derived_var("#SuccessZ").unwrap().is_const());
+        assert!(parse_derived_var("$custom").unwrap().is_const());
+        assert!(!parse_derived_var("myvar").unwrap().is_const());
+    }
+
+    #[test]
+    fn constraint_separators() {
+        for s in ["a ⊑ b", "a <= b", "a <: b"] {
+            let c = parse_constraint(s).unwrap();
+            assert_eq!(c.lhs.to_string(), "a");
+            assert_eq!(c.rhs.to_string(), "b");
+        }
+    }
+
+    #[test]
+    fn set_parsing_with_comments() {
+        let cs = parse_constraint_set(
+            "// Figure 4, first program\n\
+             q <= p\n\
+             x <= p.store ; q.load <= y\n\
+             VAR q.load\n",
+        )
+        .unwrap();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs.var_decls().count(), 1);
+    }
+
+    #[test]
+    fn variance_through_parse() {
+        let d = parse_derived_var("f.in_stack0.load").unwrap();
+        assert_eq!(d.variance(), Variance::Contravariant);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_derived_var("").is_err());
+        assert!(parse_derived_var("x.banana").is_err());
+        assert!(parse_derived_var("x.σ32").is_err());
+        assert!(parse_constraint("a b").is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! Saturation of the constraint graph (Algorithm D.2).
+//!
+//! Saturation adds ε "shortcut" edges so that every balanced
+//! push-ℓ … pop-ℓ excursion in a derivation is summarized by a single ε
+//! edge. After saturation, every entailed constraint `X.u ⊑ Y.v` (with
+//! `X.u`, `Y.v` materialized) is witnessed by a path that performs all its
+//! pops first, then all its pushes — the "reduced" form of Appendix D.4.
+//!
+//! The algorithm maintains, per node `q`, a *reaching-push* set `R(q)` of
+//! pairs `(ℓ, z)`: there is a transition sequence from `z` to `q` whose
+//! stack-operation word reduces to `push ℓ`. The rules are:
+//!
+//! 1. seed: a push-ℓ edge `x → y` puts `(ℓ, x)` into `R(y)`;
+//! 2. propagate: an ε edge `x → y` makes `R(y) ⊇ R(x)`;
+//! 3. shortcut: a pop-ℓ edge `x → y` with `(ℓ, z) ∈ R(x)` adds the ε edge
+//!    `z → y` (and its mirror, keeping the graph symmetric);
+//! 4. **lazy S-POINTER** (the paper's ∆ptr has one rule per derived type
+//!    variable, an infinite set, so it is applied lazily): at a
+//!    contravariant node `(d,⊖)`, `(.store, z) ∈ R((d,⊖))` implies
+//!    `(.load, z) ∈ R((d,⊕))`, and `(.load, z) ∈ R((d,⊖))` implies
+//!    `(.store, z) ∈ R((d,⊕))`.
+//!
+//! Rule 4 moves entries **across the variance rows**: the pushdown rules
+//! `rule⊕/rule⊖(v.store ⊑ v.load)` both transfer control from `v⊖` to `v⊕`
+//! (swapping the pending label), which is what makes the Figure 14 example
+//! derive its dashed `x.store⊕ → y.load⊕` edge. This cross-variance form is
+//! validated against the naive Figure 3 oracle by the proptests in this
+//! module.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::graph::{ConstraintGraph, EdgeKind, NodeId};
+use crate::label::Label;
+use crate::variance::Variance;
+
+/// Saturates the graph in place. Returns the number of ε edges added.
+pub fn saturate(g: &mut ConstraintGraph) -> usize {
+    let mut reaching: Vec<HashSet<(Label, NodeId)>> = vec![HashSet::new(); g.node_count()];
+    let mut dirty: VecDeque<NodeId> = VecDeque::new();
+    let mut queued: Vec<bool> = vec![false; g.node_count()];
+    let mut added = 0usize;
+
+    let enqueue = |n: NodeId, dirty: &mut VecDeque<NodeId>, queued: &mut Vec<bool>| {
+        if !queued[n.0 as usize] {
+            queued[n.0 as usize] = true;
+            dirty.push_back(n);
+        }
+    };
+
+    // Seed: push edges.
+    for n in g.nodes() {
+        for e in g.edges_out(n) {
+            if let EdgeKind::Push(l) = e.kind {
+                if reaching[e.to.0 as usize].insert((l, n)) {
+                    enqueue(e.to, &mut dirty, &mut queued);
+                }
+            }
+        }
+    }
+
+    // Worklist: process nodes whose R set changed; re-run propagation,
+    // shortcut and lazy rules from them. New ε edges may require
+    // re-propagating from their sources.
+    while let Some(n) = dirty.pop_front() {
+        queued[n.0 as usize] = false;
+
+        // Lazy S-POINTER at contravariant nodes: swap the pending label and
+        // flip to the covariant twin.
+        if n.variance() == Variance::Contravariant {
+            let twin = n.mirror();
+            let swapped: Vec<(Label, NodeId)> = reaching[n.0 as usize]
+                .iter()
+                .filter_map(|&(l, z)| match l {
+                    Label::Store => Some((Label::Load, z)),
+                    Label::Load => Some((Label::Store, z)),
+                    _ => None,
+                })
+                .collect();
+            let mut twin_changed = false;
+            for entry in swapped {
+                if reaching[twin.0 as usize].insert(entry) {
+                    twin_changed = true;
+                }
+            }
+            if twin_changed {
+                enqueue(twin, &mut dirty, &mut queued);
+            }
+        }
+
+        // Snapshot outgoing edges (we mutate the graph below).
+        let edges: Vec<_> = g.edges_out(n).to_vec();
+        for e in edges {
+            match e.kind {
+                EdgeKind::Eps => {
+                    // Propagate R along ε.
+                    let from: Vec<_> = reaching[n.0 as usize].iter().copied().collect();
+                    let tgt = &mut reaching[e.to.0 as usize];
+                    let mut changed = false;
+                    for entry in from {
+                        if tgt.insert(entry) {
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        enqueue(e.to, &mut dirty, &mut queued);
+                    }
+                }
+                EdgeKind::Pop(l) => {
+                    // Shortcut rule.
+                    let sources: Vec<NodeId> = reaching[n.0 as usize]
+                        .iter()
+                        .filter(|&&(ll, _)| ll == l)
+                        .map(|&(_, z)| z)
+                        .collect();
+                    for z in sources {
+                        if g.add_edge(z, e.to, EdgeKind::Eps) {
+                            added += 1;
+                            enqueue(z, &mut dirty, &mut queued);
+                        }
+                        // Mirror edge (Lemma D.7 symmetry).
+                        if g.add_edge(e.to.mirror(), z.mirror(), EdgeKind::Eps) {
+                            added += 1;
+                            enqueue(e.to.mirror(), &mut dirty, &mut queued);
+                        }
+                    }
+                }
+                EdgeKind::Push(_) => {}
+            }
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_constraint_set, parse_derived_var};
+    use crate::transducer::accepts;
+
+    fn saturated(src: &str) -> ConstraintGraph {
+        let cs = parse_constraint_set(src).unwrap();
+        let mut g = ConstraintGraph::build(&cs);
+        saturate(&mut g);
+        g
+    }
+
+    fn check(src: &str, query: &str) -> bool {
+        let g = saturated(src);
+        let c = crate::parse::parse_constraint(query).unwrap();
+        accepts(&g, &c.lhs, &c.rhs)
+    }
+
+    #[test]
+    fn figure4_first_program() {
+        // §3.3: C′1 = {q ⊑ p, x ⊑ p.store, q.load ⊑ y} ⊢ x ⊑ y.
+        let src = "q <= p; x <= p.store; q.load <= y";
+        assert!(check(src, "x <= y"));
+        assert!(!check(src, "y <= x"));
+    }
+
+    #[test]
+    fn figure4_second_program() {
+        // §3.3: C′2 = {q ⊑ p, x ⊑ q.store, p.load ⊑ y} ⊢ x ⊑ y.
+        let src = "q <= p; x <= q.store; p.load <= y";
+        assert!(check(src, "x <= y"));
+        assert!(!check(src, "y <= x"));
+    }
+
+    #[test]
+    fn figure14_lazy_pointer_rule() {
+        // {y ⊑ p, p ⊑ x, A ⊑ x.store, y.load ⊑ B} ⊢ A ⊑ B, via an implicit
+        // S-POINTER application — the dashed edge of Figure 14.
+        let src = "y <= p; p <= x; A <= x.store; y.load <= B";
+        let g = saturated(src);
+        let a = parse_derived_var("A").unwrap();
+        let b = parse_derived_var("B").unwrap();
+        assert!(accepts(&g, &a, &b));
+        assert!(!accepts(&g, &b, &a));
+        // The dashed edge itself: (x.store,⊕) --ε--> (y.load,⊕).
+        let xs = g
+            .node(
+                &parse_derived_var("x.store").unwrap(),
+                Variance::Covariant,
+            )
+            .unwrap();
+        let yl = g
+            .node(&parse_derived_var("y.load").unwrap(), Variance::Covariant)
+            .unwrap();
+        assert!(g
+            .edges_out(xs)
+            .iter()
+            .any(|e| e.kind == EdgeKind::Eps && e.to == yl));
+    }
+
+    #[test]
+    fn nested_sigma_through_pointer() {
+        // Writing through one alias and reading through the other at a field
+        // offset: y ⊑ p.store.σ32@0 and p.load.σ32@0 ⊑ x gives y ⊑ x.
+        let src = "q <= p; y <= q.store.σ32@0; p.load.σ32@0 <= x";
+        assert!(check(src, "y <= x"));
+        assert!(!check(src, "x <= y"));
+    }
+
+    #[test]
+    fn transitive_chain() {
+        assert!(check("a <= b; b <= c; c <= d", "a <= d"));
+        assert!(!check("a <= b; b <= c; c <= d", "d <= a"));
+    }
+
+    #[test]
+    fn field_queries() {
+        // a ⊑ b with b.load materialized ⟹ a.load ⊑ b.load.
+        let src = "a <= b; b.load <= c";
+        assert!(check(src, "a.load <= b.load"));
+        assert!(check(src, "a.load <= c"));
+        // Contravariant: b.store ⊑ a.store when a.store materialized, but
+        // NOT a.store ⊑ b.store (store flips the direction).
+        let src2 = "a <= b; d <= a.store";
+        assert!(check(src2, "b.store <= a.store"));
+        assert!(!check(src2, "d <= b.store"));
+        // Dually, a value stored through the supertype's pointer reaches the
+        // subtype's store capability.
+        let src3 = "a <= b; d <= b.store";
+        assert!(check(src3, "d <= a.store"));
+    }
+
+    #[test]
+    fn recursive_loop_accepted() {
+        // τ.load.σ32@0 ⊑ τ lets arbitrarily deep words collapse.
+        let src = "t.load.σ32@0 <= t; t.load.σ32@4 <= int";
+        assert!(check(src, "t.load.σ32@4 <= int"));
+        // Unrolled once: t.load.σ32@0.load.σ32@4 ⊑ int.
+        let g = saturated(src);
+        let lhs = parse_derived_var("t.load.σ32@0.load.σ32@4").unwrap();
+        let rhs = parse_derived_var("int").unwrap();
+        assert!(accepts(&g, &lhs, &rhs));
+    }
+
+    #[test]
+    fn graph_stays_mirror_symmetric() {
+        let g = saturated("y <= p; p <= x; A <= x.store; y.load <= B");
+        for n in g.nodes() {
+            for e in g.edges_out(n) {
+                if e.kind == EdgeKind::Eps {
+                    let has_mirror = g
+                        .edges_out(e.to.mirror())
+                        .iter()
+                        .any(|m| m.kind == EdgeKind::Eps && m.to == n.mirror());
+                    assert!(
+                        has_mirror,
+                        "missing mirror of ({:?}, {:?})",
+                        g.dtv(n),
+                        g.dtv(e.to)
+                    );
+                }
+            }
+        }
+    }
+}

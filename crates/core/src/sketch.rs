@@ -1,0 +1,503 @@
+//! Sketches: the semantic model of the type system (§3.5, Appendix E).
+//!
+//! A sketch is a possibly infinite, finitely-branching regular tree with
+//! edges labeled by field labels and nodes marked with elements of the
+//! auxiliary lattice Λ. Collapsing isomorphic subtrees represents a sketch
+//! as a deterministic finite automaton whose every state is accepting
+//! (the language is prefix-closed).
+//!
+//! Sketches form a lattice (Figure 18):
+//!
+//! * `L(X ⊓ Y) = L(X) ∪ L(Y)` — *more* capabilities is *lower* (more
+//!   constrained);
+//! * `L(X ⊔ Y) = L(X) ∩ L(Y)`;
+//! * node marks combine by `∧`/`∨` according to the variance of the word
+//!   reaching the node.
+//!
+//! Sketch shapes are inferred from the [`crate::shapes::ShapeQuotient`]
+//! (Theorem 3.1) and the marks are solved from the saturated constraint
+//! graph (Algorithm F.2's `SOLVE`): at each node, lower bounds are joined
+//! into the mark and upper bounds are met into it.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use crate::dtv::{BaseVar, DerivedVar};
+use crate::graph::ConstraintGraph;
+use crate::label::Label;
+use crate::lattice::{Lattice, LatticeElem};
+use crate::shapes::{ClassId, ShapeQuotient};
+use crate::transducer::accepts;
+use crate::variance::Variance;
+
+/// State index within a [`Sketch`].
+pub type SketchState = u32;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Node {
+    mark: LatticeElem,
+    lower: LatticeElem,
+    upper: LatticeElem,
+    edges: BTreeMap<Label, SketchState>,
+}
+
+/// A sketch: a rooted, deterministic, prefix-closed automaton over field
+/// labels with Λ-marked states.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Sketch {
+    nodes: Vec<Node>,
+    root: SketchState,
+}
+
+impl Sketch {
+    /// The trivial sketch `{ε}` with the given root mark.
+    pub fn leaf(mark: LatticeElem) -> Sketch {
+        Sketch::leaf_with_interval(mark, mark, mark)
+    }
+
+    /// The trivial sketch `{ε}` with an explicit `[lower, upper]` interval.
+    pub fn leaf_with_interval(
+        mark: LatticeElem,
+        lower: LatticeElem,
+        upper: LatticeElem,
+    ) -> Sketch {
+        Sketch {
+            nodes: vec![Node {
+                mark,
+                lower,
+                upper,
+                edges: BTreeMap::new(),
+            }],
+            root: 0,
+        }
+    }
+
+    /// The ⊤ sketch: language `{ε}`, marked ⊤ (the greatest sketch).
+    pub fn top(lattice: &Lattice) -> Sketch {
+        Sketch::leaf(lattice.top())
+    }
+
+    /// The root state.
+    pub fn root(&self) -> SketchState {
+        self.root
+    }
+
+    /// The mark of a state.
+    pub fn mark(&self, s: SketchState) -> LatticeElem {
+        self.nodes[s as usize].mark
+    }
+
+    /// The `[lower, upper]` bound interval of a state (used by the
+    /// TIE-style evaluation metrics: interval size and conservativeness).
+    pub fn interval(&self, s: SketchState) -> (LatticeElem, LatticeElem) {
+        let n = &self.nodes[s as usize];
+        (n.lower, n.upper)
+    }
+
+    /// The labeled successors of a state.
+    pub fn edges(&self, s: SketchState) -> impl Iterator<Item = (Label, SketchState)> + '_ {
+        self.nodes[s as usize].edges.iter().map(|(&l, &t)| (l, t))
+    }
+
+    /// Follows one label.
+    pub fn step(&self, s: SketchState, l: Label) -> Option<SketchState> {
+        self.nodes[s as usize].edges.get(&l).copied()
+    }
+
+    /// Follows a word from the root.
+    pub fn walk(&self, word: &[Label]) -> Option<SketchState> {
+        let mut cur = self.root;
+        for &l in word {
+            cur = self.step(cur, l)?;
+        }
+        Some(cur)
+    }
+
+    /// True if the word is in the sketch's language.
+    pub fn contains_word(&self, word: &[Label]) -> bool {
+        self.walk(word).is_some()
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A sketch always has at least the root state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Infers the sketch of `base` from the shape quotient, solving marks
+    /// from the saturated graph (Algorithm F.2's `SOLVE`):
+    ///
+    /// * shape: the sub-automaton of the quotient reachable from `base`'s
+    ///   class, with states split by path variance;
+    /// * marks: initialized to ⊤ at covariant nodes and ⊥ at contravariant
+    ///   nodes, then `ν := (ν ∨ ⋁ lowers) ∧ ⋀ uppers` where the bounds are
+    ///   the type constants κ with `κ ⊑ base.u` / `base.u ⊑ κ` entailed.
+    ///
+    /// Returns `None` if `base` has no class (never mentioned).
+    pub fn infer(
+        base: BaseVar,
+        g: &ConstraintGraph,
+        quotient: &ShapeQuotient,
+        lattice: &Lattice,
+        consts: &[BaseVar],
+    ) -> Option<Sketch> {
+        let root_class = quotient.walk(base, &[])?;
+        // BFS over (class, variance), tracking a shortest representative
+        // word per state for the bound queries.
+        let mut index: HashMap<(ClassId, Variance), SketchState> = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut reps: Vec<Vec<Label>> = Vec::new();
+        let mut queue: VecDeque<(ClassId, Variance)> = VecDeque::new();
+        index.insert((root_class, Variance::Covariant), 0);
+        nodes.push(Node {
+            mark: lattice.top(),
+            lower: lattice.bottom(),
+            upper: lattice.top(),
+            edges: BTreeMap::new(),
+        });
+        reps.push(Vec::new());
+        queue.push_back((root_class, Variance::Covariant));
+        while let Some((c, v)) = queue.pop_front() {
+            let sid = index[&(c, v)];
+            let rep = reps[sid as usize].clone();
+            for (l, tc) in quotient.successors(c) {
+                let tv = v * l.variance();
+                let entry = (tc, tv);
+                let tid = match index.get(&entry) {
+                    Some(&t) => t,
+                    None => {
+                        let t = nodes.len() as SketchState;
+                        index.insert(entry, t);
+                        nodes.push(Node {
+                            mark: lattice.top(),
+                            lower: lattice.bottom(),
+                            upper: lattice.top(),
+                            edges: BTreeMap::new(),
+                        });
+                        let mut w = rep.clone();
+                        w.push(l);
+                        reps.push(w);
+                        queue.push_back(entry);
+                        t
+                    }
+                };
+                nodes[sid as usize].edges.insert(l, tid);
+            }
+        }
+        // Solve the marks. Display policy per Figure 5: a covariant node
+        // (output-like) shows the join of its lower bounds — everything
+        // that flows into it; a contravariant node (input-like) shows the
+        // meet of its upper bounds — everything demanded of it. The other
+        // bound is used as a fallback when the primary one is degenerate.
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let word = &reps[i];
+            let variance = crate::word_variance(word);
+            let dv = DerivedVar::with_path(base, word.clone());
+            let mut lower = lattice.bottom();
+            let mut upper = lattice.top();
+            for &k in consts {
+                let kd = DerivedVar::new(k);
+                let ke = match lattice.element_sym(k.name()) {
+                    Some(e) => e,
+                    None => continue,
+                };
+                if accepts(g, &kd, &dv) {
+                    lower = lattice.join(lower, ke);
+                }
+                if accepts(g, &dv, &kd) {
+                    upper = lattice.meet(upper, ke);
+                }
+            }
+            let conflicted =
+                lower != lattice.bottom() && upper != lattice.top() && !lattice.leq(lower, upper);
+            let mark = if conflicted {
+                // Inconsistent interval: signal ⊥ so the C-type conversion
+                // applies the union policy (Example 4.2).
+                lattice.bottom()
+            } else {
+                match variance {
+                    Variance::Covariant if lower != lattice.bottom() => lower,
+                    Variance::Covariant if upper != lattice.top() => upper,
+                    Variance::Contravariant if upper != lattice.top() => upper,
+                    Variance::Contravariant if lower != lattice.bottom() => lower,
+                    _ => lattice.top(),
+                }
+            };
+            node.mark = mark;
+            node.lower = lower;
+            node.upper = upper;
+        }
+        Some(Sketch { nodes, root: 0 })
+    }
+
+    /// Meet (`⊓`): language union, marks combined by variance
+    /// (Figure 18).
+    pub fn meet(&self, other: &Sketch, lattice: &Lattice) -> Sketch {
+        self.combine(other, lattice, true)
+    }
+
+    /// Join (`⊔`): language intersection, marks combined by variance
+    /// (Figure 18).
+    pub fn join(&self, other: &Sketch, lattice: &Lattice) -> Sketch {
+        self.combine(other, lattice, false)
+    }
+
+    fn combine(&self, other: &Sketch, lattice: &Lattice, is_meet: bool) -> Sketch {
+        type PState = (Option<SketchState>, Option<SketchState>, Variance);
+        let mut index: HashMap<PState, SketchState> = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut queue: VecDeque<PState> = VecDeque::new();
+        let start = (Some(self.root), Some(other.root), Variance::Covariant);
+        index.insert(start, 0);
+        nodes.push(Node {
+            mark: lattice.top(),
+            lower: lattice.bottom(),
+            upper: lattice.top(),
+            edges: BTreeMap::new(),
+        });
+        queue.push_back(start);
+        while let Some(st @ (a, b, v)) = queue.pop_front() {
+            let sid = index[&st];
+            // Mark (Figure 18).
+            let blend = |xa: Option<LatticeElem>, xb: Option<LatticeElem>| match (xa, xb) {
+                (Some(ma), Some(mb)) => match (is_meet, v) {
+                    (true, Variance::Covariant) | (false, Variance::Contravariant) => {
+                        lattice.meet(ma, mb)
+                    }
+                    (true, Variance::Contravariant) | (false, Variance::Covariant) => {
+                        lattice.join(ma, mb)
+                    }
+                },
+                (Some(ma), None) => ma,
+                (None, Some(mb)) => mb,
+                (None, None) => unreachable!("product state with no sides"),
+            };
+            nodes[sid as usize].mark = blend(a.map(|s| self.mark(s)), b.map(|s| other.mark(s)));
+            nodes[sid as usize].lower = blend(
+                a.map(|s| self.nodes[s as usize].lower),
+                b.map(|s| other.nodes[s as usize].lower),
+            );
+            nodes[sid as usize].upper = blend(
+                a.map(|s| self.nodes[s as usize].upper),
+                b.map(|s| other.nodes[s as usize].upper),
+            );
+            // Successor labels: union for meet, intersection for join.
+            let mut labels: Vec<Label> = Vec::new();
+            if let Some(s) = a {
+                labels.extend(self.edges(s).map(|(l, _)| l));
+            }
+            if let Some(s) = b {
+                labels.extend(other.edges(s).map(|(l, _)| l));
+            }
+            labels.sort();
+            labels.dedup();
+            for l in labels {
+                let ta = a.and_then(|s| self.step(s, l));
+                let tb = b.and_then(|s| other.step(s, l));
+                let keep = if is_meet {
+                    ta.is_some() || tb.is_some()
+                } else {
+                    ta.is_some() && tb.is_some()
+                };
+                if !keep {
+                    continue;
+                }
+                let nv = v * l.variance();
+                let key = (ta, tb, nv);
+                let tid = match index.get(&key) {
+                    Some(&t) => t,
+                    None => {
+                        let t = nodes.len() as SketchState;
+                        index.insert(key, t);
+                        nodes.push(Node {
+                            mark: lattice.top(),
+                            lower: lattice.bottom(),
+                            upper: lattice.top(),
+                            edges: BTreeMap::new(),
+                        });
+                        queue.push_back(key);
+                        t
+                    }
+                };
+                nodes[sid as usize].edges.insert(l, tid);
+            }
+        }
+        Sketch { nodes, root: 0 }
+    }
+
+    /// The partial order `X ⊑ Y` on sketches: `L(Y) ⊆ L(X)` and for every
+    /// word `w ∈ L(Y)`, the marks satisfy `νX(w) ≤ νY(w)` at covariant `w`
+    /// and `νY(w) ≤ νX(w)` at contravariant `w`.
+    pub fn leq(&self, other: &Sketch, lattice: &Lattice) -> bool {
+        // Walk the product over other's language.
+        let mut seen: HashMap<(SketchState, SketchState, Variance), ()> = HashMap::new();
+        let mut queue: VecDeque<(SketchState, SketchState, Variance)> = VecDeque::new();
+        queue.push_back((self.root, other.root, Variance::Covariant));
+        seen.insert((self.root, other.root, Variance::Covariant), ());
+        while let Some((a, b, v)) = queue.pop_front() {
+            let (ma, mb) = (self.mark(a), other.mark(b));
+            let ok = match v {
+                Variance::Covariant => lattice.leq(ma, mb),
+                Variance::Contravariant => lattice.leq(mb, ma),
+            };
+            if !ok {
+                return false;
+            }
+            for (l, tb) in other.edges(b) {
+                match self.step(a, l) {
+                    None => return false, // L(other) ⊄ L(self)
+                    Some(ta) => {
+                        let key = (ta, tb, v * l.variance());
+                        if seen.insert(key, ()).is_none() {
+                            queue.push_back(key);
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Structural equality up to bisimulation (language and marks).
+    pub fn equivalent(&self, other: &Sketch, lattice: &Lattice) -> bool {
+        self.leq(other, lattice) && other.leq(self, lattice)
+    }
+
+    /// Renders the sketch with one state per line (cyclic references shown
+    /// by state number).
+    pub fn render(&self, lattice: &Lattice) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = write!(out, "%{i}: {}", lattice.name(n.mark));
+            for (l, t) in &n.edges {
+                let _ = write!(out, "  .{l} → %{t}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Sketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.nodes.iter().enumerate() {
+            write!(f, "%{i}:")?;
+            for (l, t) in &n.edges {
+                write!(f, " .{l}→%{t}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_constraint_set;
+    use crate::saturation::saturate;
+
+    fn infer(src: &str, base: &str) -> (Sketch, Lattice) {
+        let cs = parse_constraint_set(src).unwrap();
+        let lattice = Lattice::c_types();
+        let mut g = ConstraintGraph::build(&cs);
+        saturate(&mut g);
+        let quotient = ShapeQuotient::build(&cs);
+        let consts: Vec<BaseVar> = cs
+            .base_vars()
+            .into_iter()
+            .filter(|b| b.is_const())
+            .collect();
+        let sk = Sketch::infer(BaseVar::var(base), &g, &quotient, &lattice, &consts)
+            .expect("base has a class");
+        (sk, lattice)
+    }
+
+    fn word(s: &str) -> Vec<Label> {
+        crate::parse::parse_derived_var(&format!("x.{s}"))
+            .unwrap()
+            .path()
+            .to_vec()
+    }
+
+    #[test]
+    fn figure2_like_sketch() {
+        // A linked-list handle reader (Figure 2 / Figure 16 shape).
+        let src = "
+            f.in_stack0 <= t
+            t.load.σ32@0 <= t
+            t.load.σ32@4 <= #FileDescriptor
+        ";
+        let (sk, lat) = infer(src, "f");
+        assert!(sk.contains_word(&word("in_stack0.load.σ32@0")));
+        assert!(sk.contains_word(&word("in_stack0.load.σ32@0.load.σ32@4")));
+        // The recursive state folds back: deep words stay in the language.
+        assert!(sk.contains_word(&word(
+            "in_stack0.load.σ32@0.load.σ32@0.load.σ32@4"
+        )));
+        // The handle field is marked #FileDescriptor (an upper bound at a
+        // contravariant-path... here ⟨in.load.σ⟩ = ⊖, so the mark joins the
+        // lower bounds: the field type must be *at most* #FileDescriptor).
+        let s = sk.walk(&word("in_stack0.load.σ32@4")).unwrap();
+        let mark = sk.mark(s);
+        assert_eq!(lat.name(mark), "#FileDescriptor");
+    }
+
+    #[test]
+    fn no_store_capability_for_const_param() {
+        let src = "f.in_stack0 <= p; p.load.σ32@0 <= int";
+        let (sk, _) = infer(src, "f");
+        assert!(sk.contains_word(&word("in_stack0.load")));
+        assert!(!sk.contains_word(&word("in_stack0.store")));
+    }
+
+    #[test]
+    fn meet_unions_languages() {
+        let (a, lat) = infer("f.in_stack0 <= x; x.load <= int", "f");
+        let (b, _) = infer("f.out_eax <= y; int <= f.out_eax", "f");
+        let m = a.meet(&b, &lat);
+        assert!(m.contains_word(&word("in_stack0.load")));
+        assert!(m.contains_word(&word("out_eax")));
+        // Meet is the lattice glb: m ⊑ a and m ⊑ b.
+        assert!(m.leq(&a, &lat));
+        assert!(m.leq(&b, &lat));
+    }
+
+    #[test]
+    fn join_intersects_languages() {
+        let (a, lat) = infer("f.in_stack0 <= x; f.out_eax <= y", "f");
+        let (b, _) = infer("f.in_stack0 <= z", "f");
+        let j = a.join(&b, &lat);
+        assert!(j.contains_word(&word("in_stack0")));
+        assert!(!j.contains_word(&word("out_eax")));
+        assert!(a.leq(&j, &lat));
+        assert!(b.leq(&j, &lat));
+    }
+
+    #[test]
+    fn lattice_laws_on_sketches() {
+        let (a, lat) = infer("f.in_stack0 <= x; x.load <= int", "f");
+        let (b, _) = infer("f.in_stack0 <= z; int <= z.store", "f");
+        let (c, _) = infer("f.out_eax <= w", "f");
+        // Idempotence, commutativity, absorption (up to bisimulation).
+        assert!(a.meet(&a, &lat).equivalent(&a, &lat));
+        assert!(a.join(&a, &lat).equivalent(&a, &lat));
+        assert!(a.meet(&b, &lat).equivalent(&b.meet(&a, &lat), &lat));
+        assert!(a.join(&b, &lat).equivalent(&b.join(&a, &lat), &lat));
+        assert!(a.meet(&a.join(&c, &lat), &lat).equivalent(&a, &lat));
+        assert!(a.join(&a.meet(&c, &lat), &lat).equivalent(&a, &lat));
+    }
+
+    #[test]
+    fn top_is_greatest() {
+        let (a, lat) = infer("f.in_stack0 <= x; x.load <= int", "f");
+        let top = Sketch::top(&lat);
+        assert!(a.leq(&top, &lat));
+        assert!(!top.leq(&a, &lat));
+    }
+}

@@ -1,0 +1,550 @@
+//! The bottom-up, SCC-driven type inference pipeline (§4.2, Appendix F).
+//!
+//! Inference runs in two passes over the strongly connected components of
+//! the call graph:
+//!
+//! 1. **`INFERPROCTYPES`** (Algorithm F.1), callees first: each SCC's
+//!    combined constraint set — with callee schemes instantiated at tagged
+//!    callsites (Appendix A.4) and intra-SCC calls linked monomorphically —
+//!    is simplified down to a type scheme per procedure.
+//! 2. **`INFERTYPES`** (Algorithm F.2), callers first: constraint sets are
+//!    re-solved into sketches; each procedure's sketch is specialized to
+//!    its observed uses (`REFINEPARAMETERS`, Algorithm F.3) by meeting it
+//!    with the join of the actual sketches recorded at its callsites.
+//!
+//! Consistency checking is deferred (§3: satisfiability reduces to scalar
+//! constraint checks `κ₁ <: κ₂`): violations are *reported*, never fatal,
+//! which is what lets Retypd survive type-unsafe idioms (§2.6).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::addsub::apply_addsubs;
+use crate::constraint::ConstraintSet;
+use crate::dtv::BaseVar;
+use crate::graph::ConstraintGraph;
+use crate::intern::Symbol;
+use crate::lattice::Lattice;
+use crate::saturation::saturate;
+use crate::scheme::TypeScheme;
+use crate::shapes::ShapeQuotient;
+use crate::simplify::SchemeBuilder;
+use crate::sketch::Sketch;
+
+/// A procedure's constraints and callsites, as produced by constraint
+/// generation.
+#[derive(Clone, Debug)]
+pub struct Procedure {
+    /// The procedure's type-variable name (also the key for its scheme).
+    pub name: Symbol,
+    /// Body constraints. References to callees use the tagged form
+    /// `callee@tag` matching [`Callsite::tag`].
+    pub constraints: ConstraintSet,
+    /// Callsites within the body.
+    pub callsites: Vec<Callsite>,
+}
+
+/// One callsite: an index into [`Program::procs`] plus the tag used for
+/// the callee's variables in the caller's constraints.
+#[derive(Clone, Debug)]
+pub struct Callsite {
+    /// Callee index in the program's procedure list, or `None` for an
+    /// external with a pre-computed scheme.
+    pub callee: CallTarget,
+    /// Instantiation tag: the caller references the callee's variables as
+    /// `name@tag`.
+    pub tag: String,
+}
+
+/// Target of a call: an internal procedure or an external function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallTarget {
+    /// Index into [`Program::procs`].
+    Internal(usize),
+    /// External function resolved via [`Program::externals`].
+    External(Symbol),
+}
+
+/// A whole program: procedures, external schemes, and global variables.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All procedures.
+    pub procs: Vec<Procedure>,
+    /// Pre-computed schemes for externally linked functions (e.g. `malloc`,
+    /// `free`, `memcpy`, `fopen` — §2.2).
+    pub externals: BTreeMap<Symbol, TypeScheme>,
+    /// Global variables: never renamed during instantiation.
+    pub globals: BTreeSet<BaseVar>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a procedure, returning its index.
+    pub fn add_proc(&mut self, p: Procedure) -> usize {
+        self.procs.push(p);
+        self.procs.len() - 1
+    }
+}
+
+/// Per-procedure inference output.
+#[derive(Clone, Debug)]
+pub struct ProcResult {
+    /// The inferred (most general) type scheme.
+    pub scheme: TypeScheme,
+    /// The solved sketch for the procedure's type variable, after
+    /// use-based specialization.
+    pub sketch: Option<Sketch>,
+    /// The most general sketch, before `REFINEPARAMETERS`.
+    pub general_sketch: Option<Sketch>,
+}
+
+/// Aggregate size statistics, used by the evaluation's memory model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Total constraint-graph nodes across SCC solves.
+    pub graph_nodes: usize,
+    /// Total constraint-graph edges across SCC solves (post saturation).
+    pub graph_edges: usize,
+    /// Total quotient nodes.
+    pub quotient_nodes: usize,
+    /// Total sketch states retained.
+    pub sketch_states: usize,
+    /// Total constraints processed.
+    pub constraints: usize,
+}
+
+/// Result of whole-program inference.
+#[derive(Clone, Debug)]
+pub struct SolverResult {
+    /// Per-procedure results keyed by procedure name.
+    pub procs: BTreeMap<Symbol, ProcResult>,
+    /// Scalar consistency violations `(κ₁, κ₂)` where `κ₁ ⊑ κ₂` was
+    /// entailed but does not hold in Λ.
+    pub inconsistencies: Vec<(Symbol, Symbol)>,
+    /// Size statistics for the memory model.
+    pub stats: SolverStats,
+}
+
+/// The whole-program solver.
+#[derive(Clone, Debug)]
+pub struct Solver<'l> {
+    lattice: &'l Lattice,
+}
+
+impl<'l> Solver<'l> {
+    /// Creates a solver over the given lattice.
+    pub fn new(lattice: &'l Lattice) -> Solver<'l> {
+        Solver { lattice }
+    }
+
+    /// Runs the two-pass pipeline on a program.
+    pub fn infer(&self, program: &Program) -> SolverResult {
+        let sccs = tarjan_sccs(program);
+        let mut schemes: BTreeMap<Symbol, TypeScheme> = BTreeMap::new();
+        for (name, scheme) in &program.externals {
+            schemes.insert(*name, scheme.clone());
+        }
+        let builder = SchemeBuilder::new(self.lattice);
+        let mut stats = SolverStats::default();
+
+        // ---- Pass 1: INFERPROCTYPES (callees first). ----
+        let scc_of: HashMap<usize, usize> = sccs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, scc)| scc.iter().map(move |&p| (p, i)))
+            .collect();
+        for scc in &sccs {
+            let combined = crate::addsub::augment_with_addsubs(
+                &self.scc_constraints(program, scc, &scc_of, &schemes),
+                self.lattice,
+            );
+            stats.constraints += combined.len();
+            for &p in scc {
+                let proc = &program.procs[p];
+                let mut interesting: BTreeSet<BaseVar> = program.globals.clone();
+                interesting.insert(BaseVar::Var(proc.name));
+                let scheme = builder.infer_with_interesting(
+                    BaseVar::Var(proc.name),
+                    &interesting,
+                    &combined,
+                );
+                schemes.insert(proc.name, scheme);
+            }
+        }
+
+        // ---- Pass 2: INFERTYPES (callers first). ----
+        let mut sketches: BTreeMap<BaseVar, Sketch> = BTreeMap::new();
+        let mut general: BTreeMap<Symbol, Sketch> = BTreeMap::new();
+        // Actual-sketch index: callee name → tagged variables at callsites.
+        let mut actuals: BTreeMap<Symbol, Vec<BaseVar>> = BTreeMap::new();
+        for proc in &program.procs {
+            for cs in &proc.callsites {
+                let callee_name = match cs.callee {
+                    CallTarget::Internal(i) => program.procs[i].name,
+                    CallTarget::External(n) => n,
+                };
+                actuals
+                    .entry(callee_name)
+                    .or_default()
+                    .push(BaseVar::var(&format!("{callee_name}@{}", cs.tag)));
+            }
+        }
+        let mut inconsistencies = Vec::new();
+        for scc in sccs.iter().rev() {
+            let combined = crate::addsub::augment_with_addsubs(
+                &self.scc_constraints(program, scc, &scc_of, &schemes),
+                self.lattice,
+            );
+            let mut g = ConstraintGraph::build(&combined);
+            saturate(&mut g);
+            let mut quotient = ShapeQuotient::build(&combined);
+            apply_addsubs(&combined, &mut quotient, self.lattice);
+            stats.graph_nodes += g.node_count();
+            stats.graph_edges += g.edge_count();
+            stats.quotient_nodes += quotient.node_count();
+            let consts: Vec<BaseVar> = combined
+                .base_vars()
+                .into_iter()
+                .filter(|b| b.is_const())
+                .collect();
+            inconsistencies.extend(crate::transducer::scalar_violations(&g, self.lattice));
+            for &p in scc {
+                let proc = &program.procs[p];
+                let pv = BaseVar::Var(proc.name);
+                let own = Sketch::infer(pv, &g, &quotient, self.lattice, &consts);
+                if let Some(own) = own {
+                    stats.sketch_states += own.len();
+                    general.insert(proc.name, own.clone());
+                    // REFINEPARAMETERS: meet with the join of actual
+                    // sketches recorded at processed callsites.
+                    let mut refined = own;
+                    if let Some(tags) = actuals.get(&proc.name) {
+                        let mut use_join: Option<Sketch> = None;
+                        for a in tags {
+                            if let Some(s) = sketches.get(a) {
+                                use_join = Some(match use_join {
+                                    None => s.clone(),
+                                    Some(u) => u.join(s, self.lattice),
+                                });
+                            }
+                        }
+                        if let Some(u) = use_join {
+                            refined = refined.meet(&u, self.lattice);
+                        }
+                    }
+                    sketches.insert(pv, refined);
+                }
+                // Record sketches for this procedure's callsite actuals so
+                // lower SCCs can specialize against them.
+                for csite in &proc.callsites {
+                    let callee_name = match csite.callee {
+                        CallTarget::Internal(i) => program.procs[i].name,
+                        CallTarget::External(n) => n,
+                    };
+                    let tagged = BaseVar::var(&format!("{callee_name}@{}", csite.tag));
+                    if let Some(s) =
+                        Sketch::infer(tagged, &g, &quotient, self.lattice, &consts)
+                    {
+                        stats.sketch_states += s.len();
+                        sketches.insert(tagged, s);
+                    }
+                }
+            }
+        }
+
+        let mut procs = BTreeMap::new();
+        for proc in &program.procs {
+            let pv = BaseVar::Var(proc.name);
+            procs.insert(
+                proc.name,
+                ProcResult {
+                    scheme: schemes
+                        .get(&proc.name)
+                        .cloned()
+                        .unwrap_or_else(|| TypeScheme::empty(pv)),
+                    sketch: sketches.get(&pv).cloned(),
+                    general_sketch: general.get(&proc.name).cloned(),
+                },
+            );
+        }
+        inconsistencies.sort();
+        inconsistencies.dedup();
+        SolverResult {
+            procs,
+            inconsistencies,
+            stats,
+        }
+    }
+
+    /// Combines the constraint sets of an SCC: bodies plus instantiated
+    /// schemes for cross-SCC callees, plus monomorphic links for intra-SCC
+    /// calls.
+    fn scc_constraints(
+        &self,
+        program: &Program,
+        scc: &[usize],
+        scc_of: &HashMap<usize, usize>,
+        schemes: &BTreeMap<Symbol, TypeScheme>,
+    ) -> ConstraintSet {
+        let mut combined = ConstraintSet::new();
+        let my_scc = scc_of[&scc[0]];
+        for &p in scc {
+            let proc = &program.procs[p];
+            combined.extend(&proc.constraints);
+            for csite in &proc.callsites {
+                match csite.callee {
+                    CallTarget::Internal(i) if scc_of.get(&i) == Some(&my_scc) => {
+                        // Monomorphic within the SCC: the tagged variable is
+                        // the callee itself.
+                        let callee = program.procs[i].name;
+                        let tagged = crate::DerivedVar::var(&format!("{callee}@{}", csite.tag));
+                        let own = crate::DerivedVar::new(BaseVar::Var(callee));
+                        combined.add_sub(tagged.clone(), own.clone());
+                        combined.add_sub(own, tagged);
+                    }
+                    CallTarget::Internal(i) => {
+                        if let Some(s) = schemes.get(&program.procs[i].name) {
+                            let (inst, _) = s.instantiate(&csite.tag, &program.globals);
+                            combined.extend(&inst);
+                        }
+                    }
+                    CallTarget::External(n) => {
+                        if let Some(s) = schemes.get(&n) {
+                            let (inst, _) = s.instantiate(&csite.tag, &program.globals);
+                            combined.extend(&inst);
+                        }
+                    }
+                }
+            }
+        }
+        combined
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm over the call graph;
+/// returned in reverse topological order (callees before callers), which is
+/// the processing order for Pass 1.
+pub fn tarjan_sccs(program: &Program) -> Vec<Vec<usize>> {
+    struct State<'a> {
+        program: &'a Program,
+        index: Vec<Option<u32>>,
+        low: Vec<u32>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: u32,
+        out: Vec<Vec<usize>>,
+    }
+    fn strongconnect(s: &mut State<'_>, v: usize) {
+        s.index[v] = Some(s.next);
+        s.low[v] = s.next;
+        s.next += 1;
+        s.stack.push(v);
+        s.on_stack[v] = true;
+        let callees: Vec<usize> = s.program.procs[v]
+            .callsites
+            .iter()
+            .filter_map(|c| match c.callee {
+                CallTarget::Internal(i) => Some(i),
+                CallTarget::External(_) => None,
+            })
+            .collect();
+        for w in callees {
+            if s.index[w].is_none() {
+                strongconnect(s, w);
+                s.low[v] = s.low[v].min(s.low[w]);
+            } else if s.on_stack[w] {
+                s.low[v] = s.low[v].min(s.index[w].expect("indexed"));
+            }
+        }
+        if s.low[v] == s.index[v].expect("indexed") {
+            let mut scc = Vec::new();
+            loop {
+                let w = s.stack.pop().expect("stack nonempty");
+                s.on_stack[w] = false;
+                scc.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            scc.sort_unstable();
+            s.out.push(scc);
+        }
+    }
+    let n = program.procs.len();
+    let mut st = State {
+        program,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if st.index[v].is_none() {
+            strongconnect(&mut st, v);
+        }
+    }
+    st.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_constraint_set;
+
+    fn proc(name: &str, cs: &str, callsites: Vec<Callsite>) -> Procedure {
+        Procedure {
+            name: Symbol::intern(name),
+            constraints: parse_constraint_set(cs).unwrap(),
+            callsites,
+        }
+    }
+
+    #[test]
+    fn sccs_respect_call_order() {
+        // main → helper → leaf; leaf must come first.
+        let mut prog = Program::new();
+        prog.add_proc(proc(
+            "main",
+            "main.in_stack0 <= x",
+            vec![Callsite {
+                callee: CallTarget::Internal(1),
+                tag: "c1".into(),
+            }],
+        ));
+        prog.add_proc(proc(
+            "helper",
+            "helper.in_stack0 <= y",
+            vec![Callsite {
+                callee: CallTarget::Internal(2),
+                tag: "c2".into(),
+            }],
+        ));
+        prog.add_proc(proc("leaf", "leaf.out_eax <= int", vec![]));
+        let sccs = tarjan_sccs(&prog);
+        assert_eq!(sccs, vec![vec![2], vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_scc() {
+        let mut prog = Program::new();
+        prog.add_proc(proc(
+            "even",
+            "",
+            vec![Callsite {
+                callee: CallTarget::Internal(1),
+                tag: "e".into(),
+            }],
+        ));
+        prog.add_proc(proc(
+            "odd",
+            "",
+            vec![Callsite {
+                callee: CallTarget::Internal(0),
+                tag: "o".into(),
+            }],
+        ));
+        let sccs = tarjan_sccs(&prog);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn polymorphic_identity_not_unified_across_callsites() {
+        // id(x) = x, called once with int-ish and once with a pointer. The
+        // callsite instantiations must stay independent: the int bound from
+        // one callsite must not contaminate the other.
+        let lattice = Lattice::c_types();
+        let mut prog = Program::new();
+        prog.add_proc(proc(
+            "id",
+            "id.in_stack0 <= v; v <= id.out_eax",
+            vec![],
+        ));
+        prog.add_proc(proc(
+            "caller",
+            "
+                int32 <= id@a.in_stack0
+                id@a.out_eax <= caller.out_eax
+                p.load.σ32@0 <= q
+                p <= id@b.in_stack0
+                id@b.out_eax <= r2
+            ",
+            vec![
+                Callsite {
+                    callee: CallTarget::Internal(0),
+                    tag: "a".into(),
+                },
+                Callsite {
+                    callee: CallTarget::Internal(0),
+                    tag: "b".into(),
+                },
+            ],
+        ));
+        let result = Solver::new(&lattice).infer(&prog);
+        // The scheme for id is input ⊑ output, polymorphically.
+        let id = &result.procs[&Symbol::intern("id")];
+        let printed = id.scheme.to_string();
+        assert!(printed.contains("in_stack0"), "{printed}");
+        assert!(printed.contains("out_eax"), "{printed}");
+        // Callsite a's int flows to caller's return...
+        let caller = &result.procs[&Symbol::intern("caller")];
+        let sk = caller.sketch.as_ref().expect("caller sketch");
+        let out = sk
+            .walk(&[crate::Label::out_reg("eax")])
+            .expect("out capability");
+        let (low, _) = sk.interval(out);
+        assert_eq!(lattice.name(low), "int32");
+        // ...but callsite b's pointer does not contaminate it: the return
+        // value gained no load capability.
+        assert!(sk
+            .step(out, crate::Label::Load)
+            .is_none());
+    }
+
+    #[test]
+    fn recursive_list_walker_end_to_end() {
+        // close_last-like: walks a list, returns the int handle field.
+        let lattice = Lattice::c_types();
+        let mut prog = Program::new();
+        prog.add_proc(proc(
+            "close_last",
+            "
+                close_last.in_stack0 <= t
+                t.load.σ32@0 <= t
+                t.load.σ32@4 <= #FileDescriptor
+                int <= close_last.out_eax
+            ",
+            vec![],
+        ));
+        let result = Solver::new(&lattice).infer(&prog);
+        let r = &result.procs[&Symbol::intern("close_last")];
+        let sk = r.sketch.as_ref().expect("sketch inferred");
+        let w = |s: &str| {
+            crate::parse::parse_derived_var(&format!("x.{s}"))
+                .unwrap()
+                .path()
+                .to_vec()
+        };
+        assert!(sk.contains_word(&w("in_stack0.load.σ32@0.load.σ32@4")));
+        assert!(result.inconsistencies.is_empty());
+    }
+
+    #[test]
+    fn inconsistency_reported_not_fatal() {
+        let lattice = Lattice::c_types();
+        let mut prog = Program::new();
+        prog.add_proc(proc(
+            "weird",
+            "int32 <= x; x <= float32; weird.in_stack0 <= x",
+            vec![],
+        ));
+        let result = Solver::new(&lattice).infer(&prog);
+        assert!(!result.inconsistencies.is_empty());
+        assert!(result.procs.contains_key(&Symbol::intern("weird")));
+    }
+}

@@ -1,0 +1,307 @@
+//! Queries over the saturated constraint graph, viewed as the transducer `Q`
+//! of Theorem 5.1.
+//!
+//! The saturated graph accepts a pair `(X.u, Y.v)` — meaning
+//! `C ⊢ X.u ⊑ Y.v` — iff there is a path from `(X, ⟨u⟩)` to `(Y, ⟨v⟩)` that
+//! first pops exactly `u` (interleaved with ε steps) and then pushes exactly
+//! `v` (Appendix D.4's "shadowing" discipline: all pops precede all pushes).
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::dtv::DerivedVar;
+use crate::graph::{ConstraintGraph, EdgeKind, NodeId};
+use crate::lattice::{Lattice, LatticeElem};
+use crate::variance::Variance;
+
+/// True if the saturated graph witnesses `C ⊢ lhs ⊑ rhs` in the pushdown
+/// system of Appendix D.
+///
+/// A subtype judgement `X.u ⊑ Y.v` may share a common label suffix `s`
+/// (`u = u′s`, `v = v′s`) that no rule of the derivation touches: in the
+/// pushdown encoding the suffix simply stays on the stack (Definition 5.3
+/// allows any stack suffix), and deduction-wise it corresponds to trailing
+/// S-FIELD applications.
+///
+/// Note that the pushdown system applies S-POINTER *unconditionally* (its
+/// `∆ptr` contains `v.store ⊑ v.load` for every derived variable), so
+/// acceptance slightly over-approximates the Figure 3 rules on words that
+/// denote no derivable capability; gate queries with
+/// [`crate::shapes::ShapeQuotient::has_var`] where that distinction
+/// matters.
+pub fn accepts(g: &ConstraintGraph, lhs: &DerivedVar, rhs: &DerivedVar) -> bool {
+    if lhs == rhs {
+        return true;
+    }
+    let u = lhs.path();
+    let v = rhs.path();
+    let max_suffix = u.len().min(v.len());
+    for k in 0..=max_suffix {
+        if k > 0 && u[u.len() - k] != v[v.len() - k] {
+            break;
+        }
+        if accepts_trimmed(g, lhs, rhs, k) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The base acceptance test with `k` trailing labels of both words left on
+/// the stack untouched.
+fn accepts_trimmed(g: &ConstraintGraph, lhs: &DerivedVar, rhs: &DerivedVar, k: usize) -> bool {
+    let u = &lhs.path()[..lhs.path().len() - k];
+    let v = &rhs.path()[..rhs.path().len() - k];
+    // Entry and exit variances are those of the *full* words (the control
+    // tags of ∆start/∆end match ⟨u⟩ and ⟨v⟩).
+    let entry = match g.node(&DerivedVar::new(lhs.base()), lhs.variance()) {
+        Some(n) => n,
+        None => return false,
+    };
+    let exit = match g.node(&DerivedVar::new(rhs.base()), rhs.variance()) {
+        Some(n) => n,
+        None => return false,
+    };
+
+    let mut seen: HashSet<(NodeId, usize, usize)> = HashSet::new();
+    let mut queue: VecDeque<(NodeId, usize, usize)> = VecDeque::new();
+    queue.push_back((entry, 0, 0));
+    seen.insert((entry, 0, 0));
+    while let Some((n, i, j)) = queue.pop_front() {
+        if n == exit && i == u.len() && j == v.len() {
+            return true;
+        }
+        for e in g.edges_out(n) {
+            let next = match e.kind {
+                EdgeKind::Eps => Some((e.to, i, j)),
+                EdgeKind::Pop(l) => {
+                    if j == 0 && i < u.len() && u[i] == l {
+                        Some((e.to, i + 1, j))
+                    } else {
+                        None
+                    }
+                }
+                EdgeKind::Push(l) => {
+                    if i == u.len() && j < v.len() && v[v.len() - 1 - j] == l {
+                        Some((e.to, i, j + 1))
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(cfg) = next {
+                if seen.insert(cfg) {
+                    queue.push_back(cfg);
+                }
+            }
+        }
+    }
+    false
+}
+
+
+/// Lattice bounds inferred for the derived type variables of a constraint
+/// set: for each materialized dtv, the set of type constants that bound it
+/// from above and below (the Appendix D.4 queries "which derived type
+/// variables are bound above or below by which type constants").
+#[derive(Clone, Debug, Default)]
+pub struct ConstBounds {
+    /// `uppers[dtv]`: constants κ with `dtv ⊑ κ`.
+    pub uppers: std::collections::BTreeMap<DerivedVar, BTreeSet<crate::Symbol>>,
+    /// `lowers[dtv]`: constants κ with `κ ⊑ dtv`.
+    pub lowers: std::collections::BTreeMap<DerivedVar, BTreeSet<crate::Symbol>>,
+}
+
+impl ConstBounds {
+    /// The meet of all upper bounds of `dv` resolvable in `lattice`
+    /// (defaulting to ⊤ when there are none).
+    pub fn upper_mark(&self, dv: &DerivedVar, lattice: &Lattice) -> LatticeElem {
+        let mut m = lattice.top();
+        if let Some(us) = self.uppers.get(dv) {
+            for sym in us {
+                if let Some(e) = lattice.element_sym(*sym) {
+                    m = lattice.meet(m, e);
+                }
+            }
+        }
+        m
+    }
+
+    /// The join of all lower bounds of `dv` (defaulting to ⊥).
+    pub fn lower_mark(&self, dv: &DerivedVar, lattice: &Lattice) -> LatticeElem {
+        let mut j = lattice.bottom();
+        if let Some(ls) = self.lowers.get(dv) {
+            for sym in ls {
+                if let Some(e) = lattice.element_sym(*sym) {
+                    j = lattice.join(j, e);
+                }
+            }
+        }
+        j
+    }
+}
+
+/// Computes constant bounds for every materialized dtv by ε-reachability on
+/// the saturated graph.
+///
+/// After saturation, any derivation `d ⊑ κ` whose endpoints are materialized
+/// is witnessed by a pure-ε path `(d,⊕) ⇝ (κ,⊕)` (balanced excursions having
+/// been shortcut), and dually `(κ,⊖) ⇝ (d,⊖)`; lower bounds mirror this.
+pub fn const_bounds(g: &ConstraintGraph) -> ConstBounds {
+    let mut bounds = ConstBounds::default();
+    // Collect constant entry nodes.
+    let const_nodes: Vec<(NodeId, crate::Symbol)> = g
+        .nodes()
+        .filter_map(|n| {
+            let d = g.dtv(n);
+            if d.is_empty() && d.base().is_const() {
+                Some((n, d.base().name()))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    // Forward ε-reachability from (κ,⊕) marks lower bounds; from (κ,⊖) it
+    // marks upper bounds (the dual row runs backwards).
+    for &(n, sym) in &const_nodes {
+        let reached = eps_reachable(g, n);
+        for m in reached {
+            let d = g.dtv(m).clone();
+            if d.base().is_const() && d.is_empty() {
+                continue;
+            }
+            match n.variance() {
+                Variance::Covariant => {
+                    // (κ,⊕) ⇝ (d,⊕): κ ⊑ d. Only same-variance ε edges exist,
+                    // so m is covariant.
+                    bounds.lowers.entry(d).or_default().insert(sym);
+                }
+                Variance::Contravariant => {
+                    // (κ,⊖) ⇝ (d,⊖) is the dual of d ⊑ κ.
+                    bounds.uppers.entry(d).or_default().insert(sym);
+                }
+            }
+        }
+    }
+    bounds
+}
+
+/// Deferred consistency checking (§3): finds entailed scalar constraints
+/// `κ₁ ⊑ κ₂` between type constants that do not hold in the lattice.
+pub fn scalar_violations(g: &ConstraintGraph, lattice: &Lattice) -> Vec<(crate::Symbol, crate::Symbol)> {
+    let mut out = Vec::new();
+    let const_nodes: Vec<(NodeId, crate::Symbol)> = g
+        .nodes()
+        .filter_map(|n| {
+            let d = g.dtv(n);
+            if d.is_empty() && d.base().is_const() && n.variance() == Variance::Covariant {
+                Some((n, d.base().name()))
+            } else {
+                None
+            }
+        })
+        .collect();
+    for &(n, k1) in &const_nodes {
+        let (Some(e1),) = (lattice.element_sym(k1),) else {
+            continue;
+        };
+        for m in eps_reachable(g, n) {
+            let d = g.dtv(m);
+            if d.is_empty() && d.base().is_const() && m.variance() == Variance::Covariant {
+                let k2 = d.base().name();
+                if let Some(e2) = lattice.element_sym(k2) {
+                    if !lattice.leq(e1, e2) {
+                        out.push((k1, k2));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn eps_reachable(g: &ConstraintGraph, from: NodeId) -> Vec<NodeId> {
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(from);
+    queue.push_back(from);
+    let mut out = Vec::new();
+    while let Some(n) = queue.pop_front() {
+        for e in g.edges_out(n) {
+            if e.kind == EdgeKind::Eps && seen.insert(e.to) {
+                queue.push_back(e.to);
+                out.push(e.to);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_constraint_set, parse_derived_var};
+    use crate::saturation::saturate;
+
+    fn saturated(src: &str) -> ConstraintGraph {
+        let cs = parse_constraint_set(src).unwrap();
+        let mut g = ConstraintGraph::build(&cs);
+        saturate(&mut g);
+        g
+    }
+
+    #[test]
+    fn reflexive_accepts() {
+        let g = saturated("a <= b");
+        let a = parse_derived_var("a.load").unwrap();
+        assert!(accepts(&g, &a, &a));
+    }
+
+    #[test]
+    fn missing_vars_reject() {
+        let g = saturated("a <= b");
+        let z = parse_derived_var("zz").unwrap();
+        let a = parse_derived_var("a").unwrap();
+        assert!(!accepts(&g, &z, &a));
+    }
+
+    #[test]
+    fn const_bounds_simple() {
+        let g = saturated("x <= int; #FileDescriptor <= x; x <= y");
+        let b = const_bounds(&g);
+        let x = parse_derived_var("x").unwrap();
+        let y = parse_derived_var("y").unwrap();
+        let int = crate::Symbol::intern("int");
+        let fd = crate::Symbol::intern("#FileDescriptor");
+        assert!(b.uppers.get(&x).unwrap().contains(&int));
+        assert!(b.lowers.get(&x).unwrap().contains(&fd));
+        // y inherits the lower bound through x ⊑ y, but not the upper.
+        assert!(b.lowers.get(&y).unwrap().contains(&fd));
+        assert!(!b.uppers.contains_key(&y) || !b.uppers.get(&y).unwrap().contains(&int));
+    }
+
+    #[test]
+    fn const_bounds_through_pointer() {
+        // Storing an int through p and loading it out: the loaded value has
+        // int as a lower bound.
+        let g = saturated("int <= p.store.σ32@0; p.load.σ32@0 <= out");
+        let b = const_bounds(&g);
+        let out = parse_derived_var("out").unwrap();
+        assert!(b
+            .lowers
+            .get(&out)
+            .is_some_and(|s| s.contains(&crate::Symbol::intern("int"))));
+    }
+
+    #[test]
+    fn upper_marks_meet() {
+        let lat = crate::Lattice::c_types();
+        let g = saturated("x <= int32; x <= #FileDescriptor");
+        let b = const_bounds(&g);
+        let x = parse_derived_var("x").unwrap();
+        let mark = b.upper_mark(&x, &lat);
+        assert_eq!(lat.name(mark), "#FileDescriptor");
+        let lower = b.lower_mark(&x, &lat);
+        assert_eq!(lower, lat.bottom());
+    }
+}

@@ -1,0 +1,108 @@
+//! The sign monoid `{⊕, ⊖}` of label variances (Definition 3.2).
+//!
+//! Every field label has a variance; the variance of a word of labels is the
+//! product of the labels' variances in the sign monoid where
+//! `⊕·⊕ = ⊖·⊖ = ⊕` and `⊕·⊖ = ⊖·⊕ = ⊖`.
+
+use std::fmt;
+use std::ops::Mul;
+
+/// Variance of a field label or label word (Definition 3.2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Variance {
+    /// `⊕` — covariant: `α ⊑ β` entails `α.ℓ ⊑ β.ℓ` (rule S-FIELD⊕).
+    #[default]
+    Covariant,
+    /// `⊖` — contravariant: `α ⊑ β` entails `β.ℓ ⊑ α.ℓ` (rule S-FIELD⊖).
+    Contravariant,
+}
+
+impl Variance {
+    /// Composes two variances in the sign monoid.
+    ///
+    /// ```
+    /// use retypd_core::Variance::{Contravariant, Covariant};
+    /// assert_eq!(Covariant * Contravariant, Contravariant);
+    /// assert_eq!(Contravariant * Contravariant, Covariant);
+    /// ```
+    pub fn compose(self, other: Variance) -> Variance {
+        if self == other {
+            Variance::Covariant
+        } else {
+            Variance::Contravariant
+        }
+    }
+
+    /// Returns the opposite variance.
+    pub fn flip(self) -> Variance {
+        match self {
+            Variance::Covariant => Variance::Contravariant,
+            Variance::Contravariant => Variance::Covariant,
+        }
+    }
+
+    /// True if this is `⊕`.
+    pub fn is_covariant(self) -> bool {
+        self == Variance::Covariant
+    }
+}
+
+impl Mul for Variance {
+    type Output = Variance;
+
+    fn mul(self, rhs: Variance) -> Variance {
+        self.compose(rhs)
+    }
+}
+
+impl fmt::Display for Variance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Variance::Covariant => f.write_str("⊕"),
+            Variance::Contravariant => f.write_str("⊖"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Variance::{self, Contravariant as N, Covariant as P};
+
+    #[test]
+    fn monoid_laws() {
+        let all = [P, N];
+        // Identity.
+        for v in all {
+            assert_eq!(P * v, v);
+            assert_eq!(v * P, v);
+        }
+        // Associativity (exhaustive).
+        for a in all {
+            for b in all {
+                for c in all {
+                    assert_eq!((a * b) * c, a * (b * c));
+                }
+            }
+        }
+        // Commutativity (the sign monoid is abelian).
+        for a in all {
+            for b in all {
+                assert_eq!(a * b, b * a);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        assert_eq!(P.flip(), N);
+        assert_eq!(N.flip(), P);
+        assert_eq!(P.flip().flip(), P);
+    }
+
+    #[test]
+    fn default_is_covariant() {
+        assert_eq!(Variance::default(), P);
+        assert!(P.is_covariant());
+        assert!(!N.is_covariant());
+    }
+}

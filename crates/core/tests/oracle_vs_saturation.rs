@@ -1,0 +1,249 @@
+//! Cross-validation of the pushdown saturation solver against the naive
+//! Figure 3 deduction oracle.
+//!
+//! * **Completeness**: every subtype fact the bounded oracle derives
+//!   *between materialized derived variables* must be accepted by the
+//!   saturated-graph transducer (Theorem D.1, ⇒ direction). The
+//!   materialization scope — mentions, prefixes, and their load/store
+//!   sibling closure — is the documented completeness envelope: like the
+//!   paper's Algorithm D.2, the saturation does not instantiate the
+//!   pushdown `∆ptr` rules at arbitrary unmentioned depths, so Fig. 3
+//!   entailments reachable only by repeatedly S-FIELD-lifting S-POINTER
+//!   conclusions beyond that envelope are out of scope.
+//! * **Soundness**: every pair the transducer accepts between *derivable
+//!   capabilities* (shape-quotient-real words) must be derivable by the
+//!   oracle. On phantom words the pushdown system deliberately
+//!   over-approximates (its `∆ptr` has no `VAR` gates).
+
+use proptest::prelude::*;
+use retypd_core::deduction::Oracle;
+use retypd_core::graph::ConstraintGraph;
+use retypd_core::saturation::saturate;
+use retypd_core::shapes::ShapeQuotient;
+use retypd_core::transducer::accepts;
+use retypd_core::{BaseVar, ConstraintSet, DerivedVar, Label};
+
+fn label_strategy() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        Just(Label::Load),
+        Just(Label::Store),
+        Just(Label::sigma(32, 0)),
+    ]
+}
+
+fn base_strategy() -> impl Strategy<Value = BaseVar> {
+    prop_oneof![
+        4 => prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(BaseVar::var),
+        1 => Just(BaseVar::constant("int")),
+    ]
+}
+
+fn dtv_strategy(max_len: usize) -> impl Strategy<Value = DerivedVar> {
+    (
+        base_strategy(),
+        proptest::collection::vec(label_strategy(), 0..=max_len),
+    )
+        .prop_map(|(b, path)| {
+            if b.is_const() {
+                // Constants carry no capabilities in generated sets.
+                DerivedVar::new(b)
+            } else {
+                DerivedVar::with_path(b, path)
+            }
+        })
+}
+
+fn constraint_set_strategy(
+    max_word: usize,
+    max_constraints: usize,
+) -> impl Strategy<Value = ConstraintSet> {
+    proptest::collection::vec(
+        (dtv_strategy(max_word), dtv_strategy(max_word)),
+        1..=max_constraints,
+    )
+    .prop_map(|pairs| {
+        let mut cs = ConstraintSet::new();
+        for (l, r) in pairs {
+            cs.add_sub(l, r);
+        }
+        cs
+    })
+}
+
+/// Constraints shaped like real constraint-generation output: at most one
+/// side carries a label word (value copies `x ⊑ y`, loads `p.load.σ ⊑ x`,
+/// stores `x ⊑ p.store.σ`, formals `f.in ⊑ x`), and the two sides have
+/// distinct base variables. The abstract interpreter of Appendix A never
+/// emits deep words on both sides of one constraint nor relates a variable
+/// to its own derived variable (each definition site gets a fresh
+/// variable); restricting the generator to this shape keeps the
+/// completeness check within the engine's documented envelope (see module
+/// docs).
+fn machine_shaped_strategy(
+    max_word: usize,
+    max_constraints: usize,
+) -> impl Strategy<Value = ConstraintSet> {
+    proptest::collection::vec(
+        (dtv_strategy(max_word), dtv_strategy(max_word), any::<bool>()),
+        1..=max_constraints,
+    )
+    .prop_map(|triples| {
+        let mut cs = ConstraintSet::new();
+        for (l, r, left_deep) in triples {
+            if l.base() == r.base() {
+                continue;
+            }
+            let (l, r) = if left_deep {
+                (l, DerivedVar::new(r.base()))
+            } else {
+                (DerivedVar::new(l.base()), r)
+            };
+            cs.add_sub(l, r);
+        }
+        if cs.is_empty() {
+            cs.add_sub(DerivedVar::var("a"), DerivedVar::var("b"));
+        }
+        cs
+    })
+}
+
+/// All query dtvs: bases and constants extended by words up to length 2
+/// over the test alphabet.
+fn query_universe(cs: &ConstraintSet) -> Vec<DerivedVar> {
+    let labels = [Label::Load, Label::Store, Label::sigma(32, 0)];
+    let mut out = Vec::new();
+    for base in cs.base_vars() {
+        let root = DerivedVar::new(base);
+        out.push(root.clone());
+        if base.is_const() {
+            continue;
+        }
+        for &l1 in &labels {
+            let d1 = root.clone().push(l1);
+            out.push(d1.clone());
+            for &l2 in &labels {
+                out.push(d1.clone().push(l2));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transducer_complete_wrt_oracle(cs in machine_shaped_strategy(2, 5)) {
+        let oracle = Oracle::close(&cs, 2);
+        let mut g = ConstraintGraph::build(&cs);
+        saturate(&mut g);
+        for (l, r) in oracle.subtype_facts() {
+            if l == r || !g.contains(l) || !g.contains(r) {
+                continue;
+            }
+            prop_assert!(
+                accepts(&g, l, r),
+                "oracle derives {l} ⊑ {r} but transducer rejects it\nconstraints:\n{cs}"
+            );
+        }
+    }
+
+    #[test]
+    fn transducer_sound_wrt_oracle(cs in constraint_set_strategy(1, 4)) {
+        let oracle = Oracle::close(&cs, 3);
+        let mut g = ConstraintGraph::build(&cs);
+        saturate(&mut g);
+        let quotient = ShapeQuotient::build(&cs);
+        let universe = query_universe(&cs);
+        let mut deep_oracle: Option<Oracle> = None;
+        for l in &universe {
+            for r in &universe {
+                if l == r || !accepts(&g, l, r) {
+                    continue;
+                }
+                // The pushdown system over-approximates on words that are
+                // not derivable capabilities (§ module docs); skip those.
+                if !quotient.has_var(l) || !quotient.has_var(r) {
+                    continue;
+                }
+                if oracle.entails_sub(l, r) {
+                    continue;
+                }
+                // Retry with a deeper universe before failing: the minimal
+                // derivation may pass through longer intermediate words.
+                let deep = deep_oracle.get_or_insert_with(|| Oracle::close(&cs, 5));
+                prop_assert!(
+                    deep.entails_sub(l, r),
+                    "transducer accepts {l} ⊑ {r} but the oracle cannot derive it\nconstraints:\n{cs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_capabilities_agree_with_oracle(cs in constraint_set_strategy(2, 5)) {
+        // Shape-quotient capability language ⟺ Figure 3 `VAR` derivability.
+        let oracle = Oracle::close(&cs, 2);
+        let quotient = ShapeQuotient::build(&cs);
+        let universe = query_universe(&cs);
+        for d in &universe {
+            if d.is_const() {
+                continue;
+            }
+            // Strict direction: the quotient must never *lose* a derivable
+            // capability (a lost capability means a lost struct field).
+            // The converse inclusion holds by the Theorem 3.1 construction
+            // but is indistinguishable from oracle bound truncation on
+            // adversarial self-referential inputs, so it is not asserted.
+            if oracle.entails_var(d) {
+                prop_assert!(
+                    quotient.has_var(d),
+                    "quotient lost capability {}\nconstraints:\n{}",
+                    d,
+                    cs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_interesting_constraints(
+        cs in constraint_set_strategy(2, 5)
+    ) {
+        // Simplify with `a` interesting; every oracle-derivable constraint
+        // between a-rooted materialized dtvs and constants must survive
+        // simplification.
+        let lattice = retypd_core::Lattice::c_types();
+        let builder = retypd_core::SchemeBuilder::new(&lattice);
+        let mut interesting = std::collections::BTreeSet::new();
+        interesting.insert(BaseVar::var("a"));
+        let (simplified, _) = builder.simplify(&cs, &interesting);
+
+        let oracle = Oracle::close(&cs, 2);
+        let mut g = ConstraintGraph::build(&cs);
+        saturate(&mut g);
+        let quotient = ShapeQuotient::build(&cs);
+        let mut g2 = ConstraintGraph::build(&simplified);
+        saturate(&mut g2);
+        for (l, r) in oracle.subtype_facts() {
+            if l == r || !g.contains(l) || !g.contains(r) {
+                continue;
+            }
+            if !quotient.has_var(l) || !quotient.has_var(r) {
+                continue;
+            }
+            let l_ok = l.base() == BaseVar::var("a") || l.is_const();
+            let r_ok = r.base() == BaseVar::var("a") || r.is_const();
+            if !(l_ok && r_ok) {
+                continue;
+            }
+            if l.is_const() && r.is_const() {
+                continue;
+            }
+            prop_assert!(
+                accepts(&g2, l, r),
+                "simplification lost {l} ⊑ {r}\noriginal:\n{cs}\nsimplified:\n{simplified}"
+            );
+        }
+    }
+}

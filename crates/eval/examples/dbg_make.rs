@@ -1,0 +1,26 @@
+use retypd_core::{Lattice, Solver, Symbol};
+use retypd_minic::codegen::compile;
+use retypd_minic::parse_module;
+
+fn main() {
+    let src = "
+        struct S1 { struct S1* next; };
+        struct S1* make_S1() {
+            struct S1* p = (struct S1*) malloc(4);
+            p->next = 0;
+            return p;
+        }
+    ";
+    let module = parse_module(src).unwrap();
+    let (mir, _) = compile(&module).unwrap();
+    println!("{mir}");
+    let program = retypd_congen::generate(&mir);
+    println!("constraints:\n{}", program.procs[0].constraints);
+    let lattice = Lattice::c_types();
+    let result = Solver::new(&lattice).infer(&program);
+    let p = &result.procs[&Symbol::intern("make_S1")];
+    println!("\nscheme: {}", p.scheme);
+    if let Some(sk) = &p.sketch {
+        println!("sketch:\n{}", sk.render(&lattice));
+    }
+}

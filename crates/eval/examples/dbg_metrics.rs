@@ -1,0 +1,34 @@
+use retypd_baselines::{infer_tie, infer_unification};
+use retypd_core::Lattice;
+use retypd_eval::front::infer_retypd;
+use retypd_eval::metrics::truth_to_infty;
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{GenConfig, ProgramGenerator};
+use retypd_minic::truth::ParamLoc;
+
+fn main() {
+    let module = ProgramGenerator::new(GenConfig { seed: 3, functions: 8, ..GenConfig::default() }).generate();
+    let (mir, truth) = compile(&module).unwrap();
+    let program = retypd_congen::generate(&mir);
+    let lattice = Lattice::c_types();
+    let r = infer_retypd(&program, &lattice);
+    let t = infer_tie(&program, &lattice);
+    let u = infer_unification(&program, &lattice);
+    for ft in &truth.funcs {
+        println!("== {} ==", ft.name);
+        let sym = retypd_core::Symbol::intern(&ft.name);
+        for p in &ft.params {
+            let loc = match &p.loc { ParamLoc::Stack(k) => retypd_core::Loc::Stack(*k), ParamLoc::Reg(n) => retypd_core::Loc::reg(n) };
+            println!("  param {:?}: truth={}", p.loc, truth_to_infty(&p.ty, &truth.module, 0));
+            println!("    retypd: {:?}", r.get(&sym).and_then(|f| f.params.get(&loc)).map(|x| x.to_string()));
+            println!("    tie:    {:?}", t.get(&sym).and_then(|f| f.params.get(&loc)).map(|x| x.to_string()));
+            println!("    unif:   {:?}", u.get(&sym).and_then(|f| f.params.get(&loc)).map(|x| x.to_string()));
+        }
+        if let Some(rt) = &ft.ret {
+            println!("  ret: truth={}", truth_to_infty(rt, &truth.module, 0));
+            println!("    retypd: {:?}", r.get(&sym).and_then(|f| f.ret.clone()).map(|x| x.to_string()));
+            println!("    tie:    {:?}", t.get(&sym).and_then(|f| f.ret.clone()).map(|x| x.to_string()));
+            println!("    unif:   {:?}", u.get(&sym).and_then(|f| f.ret.clone()).map(|x| x.to_string()));
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The Retypd front-end: whole pipeline plus sketch → [`InfTy`] conversion.
+
+use retypd_baselines::{InfTy, InferredFunc, InferredProgram};
+use retypd_core::solver::SolverResult;
+use retypd_core::{Label, Lattice, Program, Sketch, Solver};
+
+/// Depth bound when unrolling sketches into trees for scoring (the sketch
+/// itself is recursive; scoring trees are finite).
+const SCORE_DEPTH: u32 = 4;
+
+/// Runs Retypd on a constraint program and converts the results.
+pub fn infer_retypd(program: &Program, lattice: &Lattice) -> InferredProgram {
+    let result = Solver::new(lattice).infer(program);
+    convert_result(&result, lattice)
+}
+
+/// Converts an existing solver result (lets callers time the solve
+/// separately).
+pub fn convert_result(result: &SolverResult, lattice: &Lattice) -> InferredProgram {
+    let mut out = InferredProgram::new();
+    for (name, proc) in &result.procs {
+        let mut inferred = InferredFunc::default();
+        if let Some(sk) = &proc.sketch {
+            let root = sk.root();
+            for (l, s) in sk.edges(root) {
+                match l {
+                    Label::In(loc) => {
+                        inferred.params.insert(loc, node_to_infty(sk, s, lattice, 0));
+                        let has_load = sk.step(s, Label::Load).is_some();
+                        let has_store = sk.step(s, Label::Store).is_some();
+                        if has_load || has_store {
+                            inferred.const_params.insert(loc, has_load && !has_store);
+                        }
+                    }
+                    Label::Out(_) => {
+                        inferred.ret = Some(node_to_infty(sk, s, lattice, 0));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out.insert(*name, inferred);
+    }
+    out
+}
+
+fn node_to_infty(sk: &Sketch, s: u32, lattice: &Lattice, depth: u32) -> InfTy {
+    if depth > SCORE_DEPTH {
+        return InfTy::Unknown;
+    }
+    let pointee = sk.step(s, Label::Load).or_else(|| sk.step(s, Label::Store));
+    if let Some(p) = pointee {
+        let fields: Vec<(i32, InfTy)> = sk
+            .edges(p)
+            .filter_map(|(l, t)| match l {
+                Label::Sigma { offset, .. } => {
+                    Some((offset, node_to_infty(sk, t, lattice, depth + 1)))
+                }
+                _ => None,
+            })
+            .collect();
+        if fields.is_empty() {
+            return InfTy::Ptr(Box::new(node_to_infty(sk, p, lattice, depth + 1)));
+        }
+        if fields.len() == 1 && fields[0].0 == 0 {
+            return InfTy::Ptr(Box::new(fields.into_iter().next().expect("one").1));
+        }
+        return InfTy::Ptr(Box::new(InfTy::Struct(fields)));
+    }
+    let (lower, upper) = sk.interval(s);
+    if lower == lattice.bottom() && upper == lattice.top() {
+        return InfTy::Unknown;
+    }
+    InfTy::Scalar {
+        mark: lattice.name(sk.mark(s)).to_owned(),
+        lower: lattice.name(lower).to_owned(),
+        upper: lattice.name(upper).to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retypd_core::parse::parse_constraint_set;
+    use retypd_core::{Loc, Procedure, Symbol};
+
+    #[test]
+    fn close_last_shape_converts() {
+        let lattice = Lattice::c_types();
+        let mut program = Program::new();
+        program.procs.push(Procedure {
+            name: Symbol::intern("cl"),
+            constraints: parse_constraint_set(
+                "
+                cl.in_stack0 <= t
+                t.load.σ32@0 <= t
+                t.load.σ32@4 <= #FileDescriptor
+                int <= cl.out_eax
+                ",
+            )
+            .unwrap(),
+            callsites: vec![],
+        });
+        let inferred = infer_retypd(&program, &lattice);
+        let f = &inferred[&Symbol::intern("cl")];
+        let p = &f.params[&Loc::Stack(0)];
+        // Pointer to a struct whose field 0 is again a pointer (recursion,
+        // unrolled to the scoring depth) and whose field 4 is the tagged int.
+        match p {
+            InfTy::Ptr(inner) => match inner.as_ref() {
+                InfTy::Struct(fields) => {
+                    assert!(fields.iter().any(|(o, _)| *o == 0));
+                    let handle = fields.iter().find(|(o, _)| *o == 4).expect("handle");
+                    match &handle.1 {
+                        InfTy::Scalar { upper, .. } => assert_eq!(upper, "#FileDescriptor"),
+                        other => panic!("{other}"),
+                    }
+                }
+                other => panic!("expected struct pointee, got {other}"),
+            },
+            other => panic!("expected pointer, got {other}"),
+        }
+        assert_eq!(f.const_params.get(&Loc::Stack(0)), Some(&true));
+        assert!(f.ret.is_some());
+    }
+}

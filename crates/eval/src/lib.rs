@@ -1,0 +1,27 @@
+//! # retypd-eval
+//!
+//! The evaluation harness: everything needed to regenerate the tables and
+//! figures of the paper's §6 on the synthetic corpus.
+//!
+//! * [`front`] — runs the full Retypd pipeline and converts its sketches
+//!   into the shared [`retypd_baselines::InfTy`] representation.
+//! * [`metrics`] — the TIE evaluation metrics (distance, interval size,
+//!   conservativeness), SecondWrite's multi-level pointer accuracy, and
+//!   the §6.4 const-recall metric.
+//! * [`harness`] — compiles mini-C modules, runs all three tools, and
+//!   scores them against ground truth.
+//! * [`fit`] — the `T = α·N^β` power-law regression of Figures 11–12
+//!   (numerically fitted in linear space, as the paper's note specifies).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fit;
+pub mod front;
+pub mod harness;
+pub mod metrics;
+
+pub use fit::{fit_power_law, PowerLawFit};
+pub use front::infer_retypd;
+pub use harness::{evaluate_module, BenchResult, ToolScores};
+pub use metrics::{score, ToolMetrics};

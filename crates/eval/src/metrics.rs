@@ -1,0 +1,342 @@
+//! The evaluation metrics of §6.5 (defined by Lee et al. for TIE, plus
+//! SecondWrite's multi-level pointer accuracy and the §6.4 const recall).
+
+use retypd_baselines::{InfTy, InferredProgram};
+use retypd_core::{Lattice, LatticeElem, Loc};
+use retypd_minic::ast::{Module, SrcType};
+use retypd_minic::truth::{GroundTruth, ParamLoc};
+
+/// Maximum lattice distance (TIE caps distances at 4).
+pub const MAX_DIST: f64 = 4.0;
+
+/// Aggregated metrics for one tool over one program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ToolMetrics {
+    /// Mean distance from displayed type to ground truth (lower = better).
+    pub distance: f64,
+    /// Mean interval size (upper-vs-lower bound distance).
+    pub interval: f64,
+    /// Fraction of slots whose interval over-approximates the truth.
+    pub conservativeness: f64,
+    /// Mean fraction of pointer levels recovered.
+    pub pointer_accuracy: f64,
+    /// Fraction of source `const` pointer params recovered as const.
+    pub const_recall: f64,
+    /// Number of scored type slots.
+    pub slots: usize,
+    /// Number of scored pointer slots.
+    pub pointer_slots: usize,
+    /// Number of ground-truth const params.
+    pub const_truths: usize,
+}
+
+/// Converts a source type into the scoring tree.
+pub fn truth_to_infty(t: &SrcType, module: &Module, depth: u32) -> InfTy {
+    if depth > 4 {
+        return InfTy::Unknown;
+    }
+    match t {
+        SrcType::Void => InfTy::Unknown,
+        SrcType::Int => scalar("int"),
+        SrcType::UInt => scalar("uint"),
+        SrcType::Char => scalar("char"),
+        SrcType::Float => scalar("float"),
+        SrcType::Tagged(tag, _) => scalar(tag),
+        SrcType::Ptr { pointee, .. } => {
+            InfTy::Ptr(Box::new(truth_to_infty(pointee, module, depth + 1)))
+        }
+        SrcType::Struct(i) => {
+            let s = &module.structs[*i];
+            let mut fields = Vec::new();
+            let mut off = 0i32;
+            for (_, fty) in &s.fields {
+                fields.push((off, truth_to_infty(fty, module, depth + 1)));
+                off += fty.size(module).max(4) as i32;
+            }
+            InfTy::Struct(fields)
+        }
+    }
+}
+
+fn scalar(name: &str) -> InfTy {
+    InfTy::Scalar {
+        mark: name.to_owned(),
+        lower: name.to_owned(),
+        upper: name.to_owned(),
+    }
+}
+
+fn elem(lattice: &Lattice, name: &str) -> LatticeElem {
+    lattice.element(name).unwrap_or_else(|| lattice.top())
+}
+
+/// TIE-style lattice distance between two named elements, capped.
+fn scalar_distance(lattice: &Lattice, a: &str, b: &str) -> f64 {
+    let (ea, eb) = (elem(lattice, a), elem(lattice, b));
+    match lattice.chain_distance(ea, eb) {
+        Some(d) => (d as f64).min(MAX_DIST),
+        None => MAX_DIST,
+    }
+}
+
+/// Distance between an inferred type and the truth (0 = exact).
+pub fn distance(lattice: &Lattice, inferred: &InfTy, truth: &InfTy) -> f64 {
+    match (inferred, truth) {
+        (InfTy::Unknown, InfTy::Unknown) => 0.0,
+        (InfTy::Unknown, InfTy::Scalar { mark, .. }) => scalar_distance(lattice, "⊤", mark),
+        (InfTy::Unknown, InfTy::Ptr(_)) | (InfTy::Unknown, InfTy::Struct(_)) => MAX_DIST / 2.0,
+        (InfTy::Scalar { mark: a, .. }, InfTy::Scalar { mark: b, .. }) => {
+            scalar_distance(lattice, a, b)
+        }
+        (InfTy::Ptr(a), InfTy::Ptr(b)) => 0.5 * distance(lattice, a, b),
+        (InfTy::Struct(fa), InfTy::Struct(fb)) => {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for (off, tb) in fb {
+                n += 1;
+                match fa.iter().find(|(o, _)| o == off) {
+                    Some((_, ta)) => total += distance(lattice, ta, tb),
+                    None => total += MAX_DIST,
+                }
+            }
+            // Spurious inferred fields cost half each.
+            for (off, _) in fa {
+                if !fb.iter().any(|(o, _)| o == off) {
+                    total += MAX_DIST / 2.0;
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                (total / n as f64).min(MAX_DIST)
+            }
+        }
+        // A single-field struct at offset 0 is compatible with a scalar
+        // view of the same cell (physical subtyping, §2.4).
+        (InfTy::Struct(fs), t) if fs.len() == 1 && fs[0].0 == 0 => {
+            0.5 + distance(lattice, &fs[0].1, t).min(MAX_DIST - 0.5)
+        }
+        (t, InfTy::Struct(fs)) if fs.len() == 1 && fs[0].0 == 0 => {
+            0.5 + distance(lattice, t, &fs[0].1).min(MAX_DIST - 0.5)
+        }
+        _ => MAX_DIST,
+    }
+}
+
+/// True if the inferred interval over-approximates the truth.
+pub fn conservative(lattice: &Lattice, inferred: &InfTy, truth: &InfTy) -> bool {
+    match (inferred, truth) {
+        (InfTy::Unknown, _) => true,
+        (InfTy::Scalar { lower, upper, .. }, InfTy::Scalar { mark, .. }) => {
+            let t = elem(lattice, mark);
+            lattice.leq(elem(lattice, lower), t) && lattice.leq(t, elem(lattice, upper))
+        }
+        (InfTy::Ptr(a), InfTy::Ptr(b)) => conservative(lattice, a, b),
+        (InfTy::Struct(fa), InfTy::Struct(fb)) => fa.iter().all(|(off, ta)| {
+            match fb.iter().find(|(o, _)| o == off) {
+                Some((_, tb)) => conservative(lattice, ta, tb),
+                None => false, // claimed structure that is not there
+            }
+        }),
+        (InfTy::Struct(fs), t) if fs.len() == 1 && fs[0].0 == 0 => {
+            conservative(lattice, &fs[0].1, t)
+        }
+        (t, InfTy::Struct(fs)) if fs.len() == 1 && fs[0].0 == 0 => {
+            conservative(lattice, t, &fs[0].1)
+        }
+        _ => false,
+    }
+}
+
+/// Interval size of an inferred type.
+pub fn interval_size(lattice: &Lattice, inferred: &InfTy) -> f64 {
+    match inferred {
+        InfTy::Unknown => MAX_DIST,
+        InfTy::Scalar { lower, upper, .. } => scalar_distance(lattice, lower, upper),
+        InfTy::Ptr(p) => 0.5 * interval_size(lattice, p),
+        InfTy::Struct(fs) => {
+            if fs.is_empty() {
+                0.0
+            } else {
+                fs.iter().map(|(_, t)| interval_size(lattice, t)).sum::<f64>() / fs.len() as f64
+            }
+        }
+    }
+}
+
+/// Matched pointer levels / truth pointer levels.
+pub fn pointer_accuracy(inferred: &InfTy, truth: &InfTy) -> Option<f64> {
+    let truth_depth = truth.pointer_depth();
+    if truth_depth == 0 {
+        return None;
+    }
+    let mut matched = 0u32;
+    let (mut a, mut b) = (inferred, truth);
+    loop {
+        match (a, b) {
+            (InfTy::Ptr(pa), InfTy::Ptr(pb)) => {
+                matched += 1;
+                a = pa;
+                b = pb;
+            }
+            // Struct pointees still count as a matched level target.
+            (InfTy::Struct(fs), InfTy::Ptr(_)) | (InfTy::Struct(fs), InfTy::Struct(_))
+                if fs.len() == 1 && fs[0].0 == 0 =>
+            {
+                a = &fs[0].1;
+            }
+            (_, InfTy::Struct(fs)) if fs.len() == 1 && fs[0].0 == 0 => {
+                b = &fs[0].1;
+            }
+            _ => break,
+        }
+    }
+    Some(matched.min(truth_depth) as f64 / truth_depth as f64)
+}
+
+/// Scores one tool's inferred program against ground truth.
+pub fn score(lattice: &Lattice, inferred: &InferredProgram, truth: &GroundTruth) -> ToolMetrics {
+    let mut m = ToolMetrics::default();
+    let mut dist_sum = 0.0;
+    let mut int_sum = 0.0;
+    let mut cons = 0usize;
+    let mut ptr_sum = 0.0;
+    let mut const_found = 0usize;
+    for ft in &truth.funcs {
+        let inf = inferred.get(&retypd_core::Symbol::intern(&ft.name));
+        // Parameters.
+        for p in &ft.params {
+            let loc = match &p.loc {
+                ParamLoc::Stack(k) => Loc::Stack(*k),
+                ParamLoc::Reg(r) => Loc::reg(r),
+            };
+            let t = truth_to_infty(&p.ty, &truth.module, 0);
+            let i = inf
+                .and_then(|f| f.params.get(&loc))
+                .cloned()
+                .unwrap_or(InfTy::Unknown);
+            m.slots += 1;
+            dist_sum += distance(lattice, &i, &t);
+            int_sum += interval_size(lattice, &i);
+            if conservative(lattice, &i, &t) {
+                cons += 1;
+            }
+            if let Some(pa) = pointer_accuracy(&i, &t) {
+                m.pointer_slots += 1;
+                ptr_sum += pa;
+            }
+            if matches!(p.ty.untagged(), SrcType::Ptr { is_const: true, .. }) {
+                m.const_truths += 1;
+                if inf
+                    .and_then(|f| f.const_params.get(&loc))
+                    .copied()
+                    .unwrap_or(false)
+                {
+                    const_found += 1;
+                }
+            }
+        }
+        // Return slot.
+        if let Some(rt) = &ft.ret {
+            let t = truth_to_infty(rt, &truth.module, 0);
+            let i = inf
+                .and_then(|f| f.ret.clone())
+                .unwrap_or(InfTy::Unknown);
+            m.slots += 1;
+            dist_sum += distance(lattice, &i, &t);
+            int_sum += interval_size(lattice, &i);
+            if conservative(lattice, &i, &t) {
+                cons += 1;
+            }
+            if let Some(pa) = pointer_accuracy(&i, &t) {
+                m.pointer_slots += 1;
+                ptr_sum += pa;
+            }
+        }
+    }
+    if m.slots > 0 {
+        m.distance = dist_sum / m.slots as f64;
+        m.interval = int_sum / m.slots as f64;
+        m.conservativeness = cons as f64 / m.slots as f64;
+    }
+    if m.pointer_slots > 0 {
+        m.pointer_accuracy = ptr_sum / m.pointer_slots as f64;
+    }
+    if m.const_truths > 0 {
+        m.const_recall = const_found as f64 / m.const_truths as f64;
+    } else {
+        m.const_recall = 1.0;
+    }
+    m
+}
+
+/// Averages metrics (for cluster folding, Figure 10).
+pub fn average(items: &[ToolMetrics]) -> ToolMetrics {
+    let n = items.len().max(1) as f64;
+    let mut out = ToolMetrics::default();
+    for m in items {
+        out.distance += m.distance / n;
+        out.interval += m.interval / n;
+        out.conservativeness += m.conservativeness / n;
+        out.pointer_accuracy += m.pointer_accuracy / n;
+        out.const_recall += m.const_recall / n;
+        out.slots += m.slots;
+        out.pointer_slots += m.pointer_slots;
+        out.const_truths += m.const_truths;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_has_zero_distance() {
+        let lattice = Lattice::c_types();
+        let t = scalar("int");
+        assert_eq!(distance(&lattice, &t, &t), 0.0);
+        assert!(conservative(&lattice, &t, &t));
+        assert_eq!(interval_size(&lattice, &t), 0.0);
+    }
+
+    #[test]
+    fn pointer_distance_halves() {
+        let lattice = Lattice::c_types();
+        let a = InfTy::Ptr(Box::new(scalar("int")));
+        let b = InfTy::Ptr(Box::new(scalar("uint")));
+        let d_scalar = distance(&lattice, &scalar("int"), &scalar("uint"));
+        assert!(d_scalar > 0.0);
+        assert_eq!(distance(&lattice, &a, &b), 0.5 * d_scalar);
+    }
+
+    #[test]
+    fn conservativeness_checks_interval() {
+        let lattice = Lattice::c_types();
+        let truth = scalar("#FileDescriptor");
+        let good = InfTy::Scalar {
+            mark: "int".into(),
+            lower: "⊥".into(),
+            upper: "int".into(),
+        };
+        let bad = InfTy::Scalar {
+            mark: "float".into(),
+            lower: "float".into(),
+            upper: "float".into(),
+        };
+        assert!(conservative(&lattice, &good, &truth));
+        assert!(!conservative(&lattice, &bad, &truth));
+        assert!(conservative(&lattice, &InfTy::Unknown, &truth));
+    }
+
+    #[test]
+    fn pointer_accuracy_counts_levels() {
+        let pp_int = InfTy::Ptr(Box::new(InfTy::Ptr(Box::new(scalar("char")))));
+        let p_int = InfTy::Ptr(Box::new(scalar("char")));
+        assert_eq!(pointer_accuracy(&pp_int, &pp_int), Some(1.0));
+        assert_eq!(pointer_accuracy(&p_int, &pp_int), Some(0.5));
+        assert_eq!(pointer_accuracy(&InfTy::Unknown, &pp_int), Some(0.0));
+        assert_eq!(pointer_accuracy(&p_int, &scalar("int")), None);
+    }
+}

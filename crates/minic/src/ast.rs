@@ -1,0 +1,290 @@
+//! Abstract syntax and source types for mini-C.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A source-level type (the ground truth the evaluation compares against).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SrcType {
+    /// `void` (function returns only).
+    Void,
+    /// 32-bit signed integer.
+    Int,
+    /// 32-bit unsigned integer.
+    UInt,
+    /// 8-bit character.
+    Char,
+    /// 32-bit float.
+    Float,
+    /// A semantically tagged scalar, e.g. `#FileDescriptor` over `int`.
+    Tagged(String, Box<SrcType>),
+    /// Pointer; `is_const` reflects a `const` pointee annotation.
+    Ptr {
+        /// Pointee type.
+        pointee: Box<SrcType>,
+        /// `const` annotation on the pointee.
+        is_const: bool,
+    },
+    /// Reference to a struct by index into [`Module::structs`].
+    Struct(usize),
+}
+
+impl SrcType {
+    /// Convenience: non-const pointer to `t`.
+    pub fn ptr(t: SrcType) -> SrcType {
+        SrcType::Ptr {
+            pointee: Box::new(t),
+            is_const: false,
+        }
+    }
+
+    /// Convenience: const pointer to `t`.
+    pub fn const_ptr(t: SrcType) -> SrcType {
+        SrcType::Ptr {
+            pointee: Box::new(t),
+            is_const: true,
+        }
+    }
+
+    /// Size in bytes (structs are sized by their module).
+    pub fn size(&self, module: &Module) -> u32 {
+        match self {
+            SrcType::Void => 0,
+            SrcType::Char => 1,
+            SrcType::Int | SrcType::UInt | SrcType::Float | SrcType::Ptr { .. } => 4,
+            SrcType::Tagged(_, t) => t.size(module),
+            SrcType::Struct(i) => module.structs[*i].size(module),
+        }
+    }
+
+    /// True if values of this type occupy a machine word (can live in a
+    /// register).
+    pub fn is_scalar(&self) -> bool {
+        !matches!(self, SrcType::Struct(_) | SrcType::Void)
+    }
+
+    /// Strips tags.
+    pub fn untagged(&self) -> &SrcType {
+        match self {
+            SrcType::Tagged(_, t) => t.untagged(),
+            t => t,
+        }
+    }
+
+    /// Number of pointer levels (for the multi-level pointer accuracy
+    /// metric).
+    pub fn pointer_depth(&self) -> u32 {
+        match self.untagged() {
+            SrcType::Ptr { pointee, .. } => 1 + pointee.pointer_depth(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for SrcType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrcType::Void => f.write_str("void"),
+            SrcType::Int => f.write_str("int"),
+            SrcType::UInt => f.write_str("uint"),
+            SrcType::Char => f.write_str("char"),
+            SrcType::Float => f.write_str("float"),
+            SrcType::Tagged(tag, t) => write!(f, "{t} /*{tag}*/"),
+            SrcType::Ptr { pointee, is_const } => {
+                if *is_const {
+                    write!(f, "const {pointee}*")
+                } else {
+                    write!(f, "{pointee}*")
+                }
+            }
+            SrcType::Struct(i) => write!(f, "struct#{i}"),
+        }
+    }
+}
+
+/// A struct definition: named fields at sequential word-aligned offsets.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, SrcType)>,
+}
+
+impl StructDef {
+    /// Byte offset of a field.
+    pub fn offset_of(&self, field: &str, module: &Module) -> Option<u32> {
+        let mut off = 0;
+        for (name, ty) in &self.fields {
+            if name == field {
+                return Some(off);
+            }
+            off += ty.size(module).max(4); // word-aligned fields
+        }
+        None
+    }
+
+    /// The field's type.
+    pub fn field_type(&self, field: &str) -> Option<&SrcType> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, t)| t)
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self, module: &Module) -> u32 {
+        self.fields
+            .iter()
+            .map(|(_, t)| t.size(module).max(4))
+            .sum()
+    }
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Local variable or parameter reference.
+    Var(String),
+    /// `e1 op e2` arithmetic.
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    /// Comparison, yielding an int.
+    Cmp(CmpKind, Box<Expr>, Box<Expr>),
+    /// `p->field`.
+    Field(Box<Expr>, String),
+    /// `*p`.
+    Deref(Box<Expr>),
+    /// `&x` (address of a local).
+    AddrOf(String),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// `(T*)e` pointer cast (type-unsafe idioms, §2.6).
+    Cast(SrcType, Box<Expr>),
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CmpKind {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Declaration with initializer: `T x = e;`.
+    Decl(String, SrcType, Expr),
+    /// Assignment to a local: `x = e;`.
+    Assign(String, Expr),
+    /// Store through a field: `p->f = e;`.
+    StoreField(Expr, String, Expr),
+    /// Store through a pointer: `*p = e;`.
+    StoreDeref(Expr, Expr),
+    /// Expression for effect (calls).
+    Expr(Expr),
+    /// `if (c) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`.
+    While(Expr, Vec<Stmt>),
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, SrcType)>,
+    /// Return type.
+    pub ret: SrcType,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Pass parameters in registers (ecx, edx) instead of the stack — the
+    /// custom-convention functions of §2.5.
+    pub fastcall: bool,
+}
+
+/// A compilation unit.
+#[derive(Clone, Default, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Module {
+    /// Struct table.
+    pub structs: Vec<StructDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+}
+
+impl Module {
+    /// Looks up a struct index by name.
+    pub fn struct_by_name(&self, name: &str) -> Option<usize> {
+        self.structs.iter().position(|s| s.name == name)
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn struct_layout() {
+        let m = Module {
+            structs: vec![StructDef {
+                name: "LL".into(),
+                fields: vec![
+                    ("next".into(), SrcType::ptr(SrcType::Struct(0))),
+                    ("handle".into(), SrcType::Int),
+                ],
+            }],
+            funcs: vec![],
+        };
+        let s = &m.structs[0];
+        assert_eq!(s.offset_of("next", &m), Some(0));
+        assert_eq!(s.offset_of("handle", &m), Some(4));
+        assert_eq!(s.size(&m), 8);
+    }
+
+    #[test]
+    fn pointer_depth() {
+        let t = SrcType::ptr(SrcType::ptr(SrcType::Char));
+        assert_eq!(t.pointer_depth(), 2);
+        assert_eq!(SrcType::Int.pointer_depth(), 0);
+        let tagged = SrcType::Tagged("#FileDescriptor".into(), Box::new(SrcType::Int));
+        assert_eq!(tagged.pointer_depth(), 0);
+        assert_eq!(tagged.size(&Module::default()), 4);
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(SrcType::const_ptr(SrcType::Char).to_string(), "const char*");
+        assert_eq!(
+            SrcType::Tagged("#SuccessZ".into(), Box::new(SrcType::Int)).to_string(),
+            "int /*#SuccessZ*/"
+        );
+    }
+}

@@ -1,0 +1,700 @@
+//! Seeded random program generation: the benchmark corpus factory.
+//!
+//! Substitutes for the paper's 160-binary suite (§6.2). Programs are
+//! generated as *typed ASTs* — guaranteeing well-typed ground truth — and
+//! then compiled through the type-erasing code generator. The generator
+//! produces the source-level shapes the paper's evaluation exercises:
+//!
+//! * recursive structs (linked lists, trees) walked by loops,
+//! * `malloc`/`free` wrapper functions (user-defined allocators, §2.2),
+//! * getter/setter helpers reused at several types (polymorphism),
+//! * `const` pointer parameters (read-only walkers) for §6.4,
+//! * tagged scalars (`#FileDescriptor`) flowing through wrappers,
+//! * occasional pointer casts (§2.6 cross-casting),
+//! * `fastcall` register-parameter functions (§2.5).
+//!
+//! Clusters mimic coreutils: every member program links the same utility
+//! module, so results within a cluster correlate (Figure 10's motivation
+//! for cluster-averaged metrics).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ast::{BinKind, CmpKind, Expr, FuncDef, Module, SrcType, Stmt, StructDef};
+
+/// Size/shape knobs for generated programs.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed (deterministic output per seed).
+    pub seed: u64,
+    /// Approximate number of generated functions.
+    pub functions: usize,
+    /// Number of struct types to define (at least 1).
+    pub structs: usize,
+    /// Probability (0–100) that a pointer parameter is `const`.
+    pub const_percent: u32,
+    /// Probability (0–100) of `fastcall` convention per function.
+    pub fastcall_percent: u32,
+    /// Probability (0–100) of a type-unsafe cast inside a function.
+    pub cast_percent: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            seed: 0xC0FFEE,
+            functions: 10,
+            structs: 3,
+            const_percent: 60,
+            fastcall_percent: 10,
+            cast_percent: 5,
+        }
+    }
+}
+
+/// A coreutils-like cluster: one shared utility module linked into every
+/// member.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Cluster name (e.g. `coreutils`).
+    pub name: String,
+    /// Number of member programs.
+    pub members: usize,
+    /// Functions in the shared utility module.
+    pub shared_functions: usize,
+    /// Functions unique to each member.
+    pub member_functions: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// The deterministic program generator.
+#[derive(Debug)]
+pub struct ProgramGenerator {
+    rng: StdRng,
+    config: GenConfig,
+}
+
+impl ProgramGenerator {
+    /// Creates a generator for a configuration.
+    pub fn new(config: GenConfig) -> ProgramGenerator {
+        ProgramGenerator {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Generates one module.
+    pub fn generate(&mut self) -> Module {
+        let mut module = Module::default();
+        self.gen_structs(&mut module);
+        // A few allocator wrappers first (they are callees of everything).
+        let n_wrappers = (self.config.structs).max(1);
+        for si in 0..n_wrappers.min(module.structs.len()) {
+            module.funcs.push(self.gen_alloc_wrapper(si, &module));
+        }
+        // A generic release wrapper: ∀τ. τ* → void, the user-defined
+        // deallocator idiom of §2.2 — the sharpest polymorphism test,
+        // since it is called with *every* struct type.
+        module.funcs.push(FuncDef {
+            name: "release".into(),
+            params: vec![("p".into(), SrcType::ptr(SrcType::Void))],
+            ret: SrcType::Void,
+            body: vec![
+                Stmt::Expr(Expr::Call("free".into(), vec![Expr::Var("p".into())])),
+                Stmt::Return(None),
+            ],
+            fastcall: false,
+        });
+        // Walkers, getters, setters, arithmetic helpers.
+        while module.funcs.len() < self.config.functions {
+            let f = match self.rng.gen_range(0..7) {
+                0 => self.gen_list_walker(&module),
+                1 => self.gen_getter(&module),
+                2 => self.gen_setter(&module),
+                3 => self.gen_arith(&module),
+                4 => self.gen_fd_user(&module),
+                5 => self.gen_poly_user(&module),
+                _ => self.gen_caller(&module),
+            };
+            module.funcs.push(f);
+        }
+        module
+    }
+
+    /// Allocates two *different* struct types and releases both through the
+    /// polymorphic `release` wrapper: a unification-based analysis merges
+    /// the two structs through the shared formal, Retypd does not.
+    fn gen_poly_user(&mut self, module: &Module) -> FuncDef {
+        if module.structs.len() < 2 || module.func_by_name("release").is_none() {
+            return self.gen_arith(module);
+        }
+        let si = self.rng.gen_range(0..module.structs.len());
+        let mut sj = self.rng.gen_range(0..module.structs.len());
+        if sj == si {
+            sj = (sj + 1) % module.structs.len();
+        }
+        let n = self.rng.gen::<u32>();
+        let mk = |s: usize, var: &str, module: &Module| -> Vec<Stmt> {
+            let ty = SrcType::ptr(SrcType::Struct(s));
+            let maker = format!("make_S{s}");
+            let init = if module.func_by_name(&maker).is_some() {
+                Expr::Call(maker, vec![])
+            } else {
+                Expr::Cast(
+                    ty.clone(),
+                    Box::new(Expr::Call(
+                        "malloc".into(),
+                        vec![Expr::Int(module.structs[s].size(module).max(4) as i64)],
+                    )),
+                )
+            };
+            vec![Stmt::Decl(var.into(), ty, init)]
+        };
+        let mut body = Vec::new();
+        body.extend(mk(si, "a", module));
+        body.extend(mk(sj, "b", module));
+        body.push(Stmt::Expr(Expr::Call(
+            "release".into(),
+            vec![Expr::Cast(
+                SrcType::ptr(SrcType::Void),
+                Box::new(Expr::Var("a".into())),
+            )],
+        )));
+        body.push(Stmt::Expr(Expr::Call(
+            "release".into(),
+            vec![Expr::Cast(
+                SrcType::ptr(SrcType::Void),
+                Box::new(Expr::Var("b".into())),
+            )],
+        )));
+        body.push(Stmt::Return(Some(Expr::Int(0))));
+        FuncDef {
+            name: format!("poly_{n:x}"),
+            params: vec![],
+            ret: SrcType::Int,
+            body,
+            fastcall: false,
+        }
+    }
+
+    /// Generates a cluster of modules sharing a utility library.
+    pub fn generate_cluster(spec: &ClusterSpec) -> Vec<(String, Module)> {
+        let mut out = Vec::new();
+        // The shared library is generated once with the cluster seed.
+        let mut shared_gen = ProgramGenerator::new(GenConfig {
+            seed: spec.seed,
+            functions: spec.shared_functions,
+            ..GenConfig::default()
+        });
+        let shared = shared_gen.generate();
+        for m in 0..spec.members {
+            let mut gen = ProgramGenerator::new(GenConfig {
+                seed: spec.seed ^ (0x9E3779B9u64.wrapping_mul(m as u64 + 1)),
+                functions: spec.member_functions,
+                ..GenConfig::default()
+            });
+            let mut member = shared.clone();
+            let extra = gen.generate();
+            // Link: append member-unique structs and functions, remapping
+            // struct indices.
+            let offset = member.structs.len();
+            for s in &extra.structs {
+                let mut s = s.clone();
+                s.name = format!("{}_{}", s.name, m);
+                for (_, t) in &mut s.fields {
+                    remap_struct(t, offset);
+                }
+                member.structs.push(s);
+            }
+            for f in &extra.funcs {
+                let mut f = f.clone();
+                f.name = format!("{}_m{}", f.name, m);
+                for (_, t) in &mut f.params {
+                    remap_struct(t, offset);
+                }
+                remap_struct(&mut f.ret, offset);
+                remap_body(&mut f.body, offset, m);
+                member.funcs.push(f);
+            }
+            out.push((format!("{}_{m}", spec.name), member));
+        }
+        out
+    }
+
+    fn gen_structs(&mut self, module: &mut Module) {
+        for i in 0..self.config.structs.max(1) {
+            let recursive = i == 0 || self.rng.gen_bool(0.4);
+            let mut fields = Vec::new();
+            if recursive {
+                fields.push(("next".to_owned(), SrcType::ptr(SrcType::Struct(i))));
+            }
+            let n_fields = self.rng.gen_range(1..4usize);
+            for k in 0..n_fields {
+                let ty = match self.rng.gen_range(0..5) {
+                    0 => SrcType::Int,
+                    1 => SrcType::UInt,
+                    2 if i > 0 => SrcType::ptr(SrcType::Struct(self.rng.gen_range(0..i))),
+                    3 => SrcType::Tagged("#FileDescriptor".into(), Box::new(SrcType::Int)),
+                    _ => SrcType::Int,
+                };
+                fields.push((format!("f{k}"), ty));
+            }
+            module.structs.push(StructDef {
+                name: format!("S{i}"),
+                fields,
+            });
+        }
+    }
+
+    fn maybe_const(&mut self, t: SrcType) -> SrcType {
+        if let SrcType::Ptr { pointee, .. } = t {
+            let c = self.rng.gen_range(0..100) < self.config.const_percent;
+            SrcType::Ptr {
+                pointee,
+                is_const: c,
+            }
+        } else {
+            t
+        }
+    }
+
+    fn gen_alloc_wrapper(&mut self, si: usize, module: &Module) -> FuncDef {
+        // struct Si* make_Si(void) { struct Si* p = (struct Si*)malloc(N);
+        //   p->f = 0...; return p; }
+        let sty = SrcType::ptr(SrcType::Struct(si));
+        let size = module.structs[si].size(module).max(4);
+        let mut body = vec![Stmt::Decl(
+            "p".into(),
+            sty.clone(),
+            Expr::Cast(
+                sty.clone(),
+                Box::new(Expr::Call("malloc".into(), vec![Expr::Int(size as i64)])),
+            ),
+        )];
+        // Zero/NULL-initialize every word-sized field, as real allocator
+        // wrappers do (the stores compile to the xor/push semi-syntactic
+        // constant idiom of §2.1).
+        for (name, ty) in &module.structs[si].fields {
+            if ty.is_scalar() {
+                body.push(Stmt::StoreField(
+                    Expr::Var("p".into()),
+                    name.clone(),
+                    Expr::Int(0),
+                ));
+            }
+        }
+        body.push(Stmt::Return(Some(Expr::Var("p".into()))));
+        FuncDef {
+            name: format!("make_S{si}"),
+            params: vec![],
+            ret: sty,
+            body,
+            fastcall: false,
+        }
+    }
+
+    fn recursive_struct(&mut self, module: &Module) -> Option<usize> {
+        let candidates: Vec<usize> = module
+            .structs
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                s.fields
+                    .iter()
+                    .any(|(_, t)| matches!(t.untagged(), SrcType::Ptr { pointee, .. } if matches!(pointee.untagged(), SrcType::Struct(j) if j == i)))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    fn scalar_field(&mut self, module: &Module, si: usize) -> Option<(String, SrcType)> {
+        let fields: Vec<_> = module.structs[si]
+            .fields
+            .iter()
+            .filter(|(_, t)| !matches!(t.untagged(), SrcType::Ptr { .. } | SrcType::Struct(_)))
+            .cloned()
+            .collect();
+        if fields.is_empty() {
+            None
+        } else {
+            Some(fields[self.rng.gen_range(0..fields.len())].clone())
+        }
+    }
+
+    fn gen_list_walker(&mut self, module: &Module) -> FuncDef {
+        // int walk_N(const struct S* p) { while (p->next != 0) { p = p->next; }
+        //   return p->field; }
+        let Some(si) = self.recursive_struct(module) else {
+            return self.gen_arith(module);
+        };
+        let (fname, fty) = self
+            .scalar_field(module, si)
+            .unwrap_or(("next".into(), SrcType::Int));
+        let param_ty = self.maybe_const(SrcType::ptr(SrcType::Struct(si)));
+        let n = self.rng.gen::<u32>();
+        FuncDef {
+            name: format!("walk_{n:x}"),
+            params: vec![("p".into(), param_ty)],
+            ret: fty.clone(),
+            body: vec![
+                Stmt::While(
+                    Expr::Cmp(
+                        CmpKind::Ne,
+                        Box::new(Expr::Field(Box::new(Expr::Var("p".into())), "next".into())),
+                        Box::new(Expr::Int(0)),
+                    ),
+                    vec![Stmt::Assign(
+                        "p".into(),
+                        Expr::Field(Box::new(Expr::Var("p".into())), "next".into()),
+                    )],
+                ),
+                Stmt::Return(Some(Expr::Field(
+                    Box::new(Expr::Var("p".into())),
+                    fname,
+                ))),
+            ],
+            fastcall: false,
+        }
+    }
+
+    fn gen_getter(&mut self, module: &Module) -> FuncDef {
+        let si = self.rng.gen_range(0..module.structs.len());
+        let Some((fname, fty)) = self.scalar_field(module, si) else {
+            return self.gen_arith(module);
+        };
+        let n = self.rng.gen::<u32>();
+        let param_ty = self.maybe_const(SrcType::ptr(SrcType::Struct(si)));
+        FuncDef {
+            name: format!("get_{n:x}"),
+            params: vec![("p".into(), param_ty)],
+            ret: fty,
+            body: vec![Stmt::Return(Some(Expr::Field(
+                Box::new(Expr::Var("p".into())),
+                fname,
+            )))],
+            fastcall: self.rng.gen_range(0..100) < self.config.fastcall_percent,
+        }
+    }
+
+    fn gen_setter(&mut self, module: &Module) -> FuncDef {
+        let si = self.rng.gen_range(0..module.structs.len());
+        let Some((fname, fty)) = self.scalar_field(module, si) else {
+            return self.gen_arith(module);
+        };
+        let n = self.rng.gen::<u32>();
+        FuncDef {
+            name: format!("set_{n:x}"),
+            params: vec![
+                ("p".into(), SrcType::ptr(SrcType::Struct(si))),
+                ("v".into(), fty),
+            ],
+            ret: SrcType::Void,
+            body: vec![
+                Stmt::StoreField(Expr::Var("p".into()), fname, Expr::Var("v".into())),
+                Stmt::Return(None),
+            ],
+            fastcall: self.rng.gen_range(0..100) < self.config.fastcall_percent,
+        }
+    }
+
+    fn gen_arith(&mut self, _module: &Module) -> FuncDef {
+        let n = self.rng.gen::<u32>();
+        let op = match self.rng.gen_range(0..3) {
+            0 => BinKind::Add,
+            1 => BinKind::Sub,
+            _ => BinKind::Mul,
+        };
+        FuncDef {
+            name: format!("calc_{n:x}"),
+            params: vec![("a".into(), SrcType::Int), ("b".into(), SrcType::Int)],
+            ret: SrcType::Int,
+            body: vec![
+                Stmt::Decl(
+                    "t".into(),
+                    SrcType::Int,
+                    Expr::Bin(
+                        op,
+                        Box::new(Expr::Var("a".into())),
+                        Box::new(Expr::Var("b".into())),
+                    ),
+                ),
+                Stmt::If(
+                    Expr::Cmp(
+                        CmpKind::Lt,
+                        Box::new(Expr::Var("t".into())),
+                        Box::new(Expr::Int(0)),
+                    ),
+                    vec![Stmt::Return(Some(Expr::Call(
+                        "abs".into(),
+                        vec![Expr::Var("t".into())],
+                    )))],
+                    vec![],
+                ),
+                Stmt::Return(Some(Expr::Var("t".into()))),
+            ],
+            fastcall: self.rng.gen_range(0..100) < self.config.fastcall_percent,
+        }
+    }
+
+    fn gen_fd_user(&mut self, _module: &Module) -> FuncDef {
+        // int use_fd(#FileDescriptor int fd) { ... return close(fd); }
+        let n = self.rng.gen::<u32>();
+        FuncDef {
+            name: format!("fduser_{n:x}"),
+            params: vec![(
+                "fd".into(),
+                SrcType::Tagged("#FileDescriptor".into(), Box::new(SrcType::Int)),
+            )],
+            ret: SrcType::Int,
+            body: vec![
+                Stmt::If(
+                    Expr::Cmp(
+                        CmpKind::Lt,
+                        Box::new(Expr::Var("fd".into())),
+                        Box::new(Expr::Int(0)),
+                    ),
+                    vec![Stmt::Return(Some(Expr::Int(0)))],
+                    vec![],
+                ),
+                Stmt::Return(Some(Expr::Call(
+                    "close".into(),
+                    vec![Expr::Var("fd".into())],
+                ))),
+            ],
+            fastcall: false,
+        }
+    }
+
+    fn gen_caller(&mut self, module: &Module) -> FuncDef {
+        // Calls an existing function with freshly built arguments.
+        let callable: Vec<FuncDef> = module
+            .funcs
+            .iter()
+            .filter(|f| !f.params.is_empty() || f.ret != SrcType::Void)
+            .cloned()
+            .collect();
+        if callable.is_empty() {
+            return self.gen_arith(module);
+        }
+        let callee = &callable[self.rng.gen_range(0..callable.len())];
+        let mut body: Vec<Stmt> = Vec::new();
+        let mut args = Vec::new();
+        for (pi, (_, pty)) in callee.params.iter().enumerate() {
+            match pty.untagged() {
+                SrcType::Ptr { pointee, .. } => match pointee.untagged() {
+                    SrcType::Struct(si) => {
+                        let var = format!("a{pi}");
+                        let maker = format!("make_S{si}");
+                        let init = if module.func_by_name(&maker).is_some() {
+                            Expr::Call(maker, vec![])
+                        } else {
+                            Expr::Cast(
+                                SrcType::ptr(SrcType::Struct(*si)),
+                                Box::new(Expr::Call(
+                                    "malloc".into(),
+                                    vec![Expr::Int(
+                                        module.structs[*si].size(module).max(4) as i64
+                                    )],
+                                )),
+                            )
+                        };
+                        body.push(Stmt::Decl(var.clone(), pty.clone(), init));
+                        args.push(Expr::Var(var));
+                    }
+                    _ => {
+                        // NULL argument: the f(0, NULL) idiom.
+                        args.push(Expr::Int(0));
+                    }
+                },
+                _ => {
+                    let v = self.rng.gen_range(0..64i64);
+                    args.push(Expr::Int(v));
+                }
+            }
+        }
+        let call = Expr::Call(callee.name.clone(), args);
+        let n = self.rng.gen::<u32>();
+        let unsafe_cast = self.rng.gen_range(0..100) < self.config.cast_percent;
+        if callee.ret == SrcType::Void {
+            body.push(Stmt::Expr(call));
+            body.push(Stmt::Return(Some(Expr::Int(0))));
+        } else if unsafe_cast && callee.ret.untagged().is_scalar() {
+            // Cross-cast: reinterpret the result (§2.6).
+            body.push(Stmt::Decl(
+                "r".into(),
+                SrcType::ptr(SrcType::Int),
+                Expr::Cast(SrcType::ptr(SrcType::Int), Box::new(call)),
+            ));
+            body.push(Stmt::Return(Some(Expr::Cast(
+                SrcType::Int,
+                Box::new(Expr::Var("r".into())),
+            ))));
+        } else {
+            body.push(Stmt::Decl("r".into(), callee.ret.clone(), call));
+            body.push(Stmt::Return(Some(Expr::Var("r".into()))));
+        }
+        FuncDef {
+            name: format!("use_{n:x}"),
+            params: vec![],
+            ret: SrcType::Int,
+            body,
+            fastcall: false,
+        }
+    }
+}
+
+fn remap_struct(t: &mut SrcType, offset: usize) {
+    match t {
+        SrcType::Struct(i) => *i += offset,
+        SrcType::Ptr { pointee, .. } => remap_struct(pointee, offset),
+        SrcType::Tagged(_, inner) => remap_struct(inner, offset),
+        _ => {}
+    }
+}
+
+fn remap_body(stmts: &mut [Stmt], offset: usize, member: usize) {
+    for s in stmts {
+        match s {
+            Stmt::Decl(_, ty, e) => {
+                remap_struct(ty, offset);
+                remap_expr(e, offset, member);
+            }
+            Stmt::Assign(_, e) | Stmt::Expr(e) => remap_expr(e, offset, member),
+            Stmt::StoreField(b, _, v) | Stmt::StoreDeref(b, v) => {
+                remap_expr(b, offset, member);
+                remap_expr(v, offset, member);
+            }
+            Stmt::If(c, a, b) => {
+                remap_expr(c, offset, member);
+                remap_body(a, offset, member);
+                remap_body(b, offset, member);
+            }
+            Stmt::While(c, b) => {
+                remap_expr(c, offset, member);
+                remap_body(b, offset, member);
+            }
+            Stmt::Return(Some(e)) => remap_expr(e, offset, member),
+            Stmt::Return(None) => {}
+        }
+    }
+}
+
+fn remap_expr(e: &mut Expr, offset: usize, member: usize) {
+    match e {
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+            remap_expr(a, offset, member);
+            remap_expr(b, offset, member);
+        }
+        Expr::Field(b, _) | Expr::Deref(b) => remap_expr(b, offset, member),
+        Expr::Call(name, args) => {
+            // Calls to member-local functions are renamed like the
+            // functions themselves; shared-library and external names are
+            // untouched. Member functions call either externals, shared
+            // functions (generated from the same prefix set), or their own
+            // module's functions — we rename only names that will exist in
+            // renamed form.
+            if name.starts_with("use_")
+                || name.starts_with("calc_")
+                || name.starts_with("walk_")
+                || name.starts_with("get_")
+                || name.starts_with("set_")
+                || name.starts_with("fduser_")
+                || name.starts_with("make_S")
+            {
+                // make_SN refers to struct indices: remap those too.
+                if let Some(rest) = name.strip_prefix("make_S") {
+                    if let Ok(si) = rest.parse::<usize>() {
+                        *name = format!("make_S{}", si + offset);
+                    }
+                } else {
+                    *name = format!("{name}_m{member}");
+                }
+            }
+            for a in args {
+                remap_expr(a, offset, member);
+            }
+        }
+        Expr::Cast(t, inner) => {
+            remap_struct(t, offset);
+            remap_expr(inner, offset, member);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ProgramGenerator::new(GenConfig::default()).generate();
+        let b = ProgramGenerator::new(GenConfig::default()).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..20 {
+            let cfg = GenConfig {
+                seed,
+                functions: 12,
+                ..GenConfig::default()
+            };
+            let m = ProgramGenerator::new(cfg).generate();
+            let (mir, truth) = compile(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(mir.instruction_count() > 50);
+            assert_eq!(truth.funcs.len(), m.funcs.len());
+        }
+    }
+
+    #[test]
+    fn clusters_share_code() {
+        let spec = ClusterSpec {
+            name: "core".into(),
+            members: 3,
+            shared_functions: 6,
+            member_functions: 4,
+            seed: 42,
+        };
+        let members = ProgramGenerator::generate_cluster(&spec);
+        assert_eq!(members.len(), 3);
+        // All members contain the shared functions (same names).
+        let shared_names: Vec<&String> = members[0]
+            .1
+            .funcs
+            .iter()
+            .map(|f| &f.name)
+            .filter(|n| !n.ends_with("_m0"))
+            .collect();
+        for (_, m) in &members[1..] {
+            for n in &shared_names {
+                assert!(m.funcs.iter().any(|f| &&f.name == n), "missing {n}");
+            }
+        }
+        // And every member compiles.
+        for (name, m) in &members {
+            compile(m).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn scaling_sizes() {
+        for target in [5usize, 50, 200] {
+            let cfg = GenConfig {
+                seed: 7,
+                functions: target,
+                ..GenConfig::default()
+            };
+            let m = ProgramGenerator::new(cfg).generate();
+            assert!(m.funcs.len() >= target);
+        }
+    }
+}

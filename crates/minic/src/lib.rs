@@ -1,0 +1,36 @@
+//! # retypd-minic
+//!
+//! A mini-C compiler targeting the [`retypd_mir`] ISA, used to manufacture
+//! the benchmark corpus that substitutes for the paper's
+//! coreutils/SPEC2006 binaries (§6.2).
+//!
+//! The pipeline is deliberately *type-erasing*: source types drive layout
+//! and nothing else, and the code generator reproduces the §2.1 idioms
+//! that motivated Retypd's design:
+//!
+//! * `xor eax,eax` + `push eax` semi-syntactic constants,
+//! * stack-slot reuse across disjoint scopes,
+//! * early-return value merging (fortuitous re-use),
+//! * parameters in registers for "fastcall"-marked functions.
+//!
+//! Because the source is typechecked first, every compiled program carries
+//! its *ground truth* ([`truth::GroundTruth`]) — the role DWARF/PDB debug
+//! info plays in the paper's evaluation.
+//!
+//! [`genprog`] generates seeded random programs and coreutils-like
+//! clusters of programs sharing a statically-linked utility library.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod codegen;
+pub mod genprog;
+pub mod parser;
+pub mod truth;
+
+pub use ast::{Expr, FuncDef, Module, SrcType, Stmt, StructDef};
+pub use codegen::compile;
+pub use genprog::{ClusterSpec, GenConfig, ProgramGenerator};
+pub use parser::parse_module;
+pub use truth::GroundTruth;

@@ -1,0 +1,576 @@
+//! A small recursive-descent parser for mini-C, so tests and examples can
+//! state programs as source text.
+//!
+//! ```
+//! let src = "
+//!     struct LL { struct LL* next; int handle; };
+//!     int close_last(const struct LL* list) {
+//!         while (list->next != 0) { list = list->next; }
+//!         return close(list->handle);
+//!     }
+//! ";
+//! let module = retypd_minic::parse_module(src).unwrap();
+//! assert_eq!(module.funcs.len(), 1);
+//! ```
+
+use std::fmt;
+
+use crate::ast::{BinKind, CmpKind, Expr, FuncDef, Module, SrcType, Stmt, StructDef};
+
+/// A parse error with a rough position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    message: String,
+    near: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {} near {:?}", self.message, self.near)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Punct(&'static str),
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] as char == '/' {
+            while i < b.len() && b[i] as char != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' || c == '#' {
+            let start = i;
+            i += 1;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(src[start..i].to_owned()));
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '-' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit())
+        {
+            let start = i;
+            i += 1;
+            while i < b.len() && (b[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let v: i64 = src[start..i].parse().map_err(|_| ParseError {
+                message: "bad integer".into(),
+                near: src[start..i].to_owned(),
+            })?;
+            out.push(Tok::Int(v));
+            continue;
+        }
+        let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+        let tok2 = ["->", "==", "!=", "<=", ">="]
+            .iter()
+            .find(|&&p| p == two)
+            .copied();
+        if let Some(p) = tok2 {
+            out.push(Tok::Punct(p));
+            i += 2;
+            continue;
+        }
+        let tok1 = [
+            "{", "}", "(", ")", ";", ",", "*", "&", "+", "-", "=", "<", ">", "|", "^",
+        ]
+        .iter()
+        .find(|&&p| p == &src[i..i + 1])
+        .copied();
+        match tok1 {
+            Some(p) => {
+                out.push(Tok::Punct(p));
+                i += 1;
+            }
+            None => {
+                return Err(ParseError {
+                    message: format!("unexpected character {c:?}"),
+                    near: src[i..src.len().min(i + 16)].to_owned(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    module: Module,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            near: format!("{:?}", &self.toks[self.pos.min(self.toks.len().saturating_sub(1))..self.toks.len().min(self.pos + 4)]),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_ident(&self) -> Option<&str> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if let Some(Tok::Punct(q)) = self.peek() {
+            if *q == p {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {p:?}")))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_ident() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek_ident(),
+            Some("int" | "uint" | "char" | "float" | "void" | "struct" | "const")
+        ) || self.peek_ident().is_some_and(|s| s.starts_with('#'))
+    }
+
+    fn parse_type(&mut self) -> Result<SrcType, ParseError> {
+        let is_const = self.eat_kw("const");
+        let mut base = if self.eat_kw("int") {
+            SrcType::Int
+        } else if self.eat_kw("uint") {
+            SrcType::UInt
+        } else if self.eat_kw("char") {
+            SrcType::Char
+        } else if self.eat_kw("float") {
+            SrcType::Float
+        } else if self.eat_kw("void") {
+            SrcType::Void
+        } else if self.eat_kw("struct") {
+            let name = self.ident()?;
+            let idx = match self.module.struct_by_name(&name) {
+                Some(i) => i,
+                None => {
+                    // Forward reference: reserve a slot.
+                    self.module.structs.push(StructDef {
+                        name: name.clone(),
+                        fields: Vec::new(),
+                    });
+                    self.module.structs.len() - 1
+                }
+            };
+            SrcType::Struct(idx)
+        } else if let Some(tag) = self.peek_ident().filter(|s| s.starts_with('#')) {
+            let tag = tag.to_owned();
+            self.pos += 1;
+            // `#Tag int`-style tagged scalars.
+            let inner = self.parse_type()?;
+            SrcType::Tagged(tag, Box::new(inner))
+        } else {
+            return Err(self.err("expected type"));
+        };
+        let mut first_ptr = true;
+        while self.eat_punct("*") {
+            base = SrcType::Ptr {
+                pointee: Box::new(base),
+                is_const: is_const && first_ptr,
+            };
+            first_ptr = false;
+        }
+        Ok(base)
+    }
+
+    fn parse_module(&mut self) -> Result<(), ParseError> {
+        while self.peek().is_some() {
+            let fastcall = self.eat_kw("fastcall");
+            if !fastcall && self.peek_ident() == Some("struct") {
+                // Could be a struct definition or a function returning a
+                // struct pointer; look ahead for '{' after the name.
+                if let Some(Tok::Ident(_)) = self.toks.get(self.pos + 1) {
+                    if self.toks.get(self.pos + 2) == Some(&Tok::Punct("{")) {
+                        self.parse_struct()?;
+                        continue;
+                    }
+                }
+            }
+            self.parse_func(fastcall)?;
+        }
+        Ok(())
+    }
+
+    fn parse_struct(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("struct")?;
+        let name = self.ident()?;
+        let idx = match self.module.struct_by_name(&name) {
+            Some(i) => i,
+            None => {
+                self.module.structs.push(StructDef {
+                    name: name.clone(),
+                    fields: Vec::new(),
+                });
+                self.module.structs.len() - 1
+            }
+        };
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct("}") {
+            let ty = self.parse_type()?;
+            let fname = self.ident()?;
+            self.expect_punct(";")?;
+            fields.push((fname, ty));
+        }
+        self.expect_punct(";")?;
+        self.module.structs[idx].fields = fields;
+        Ok(())
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn parse_func(&mut self, fastcall: bool) -> Result<(), ParseError> {
+        let ret = self.parse_type()?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                // `f(void)`: an empty parameter list.
+                if self.peek_ident() == Some("void")
+                    && self.toks.get(self.pos + 1) == Some(&Tok::Punct(")"))
+                {
+                    self.pos += 2;
+                    break;
+                }
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                params.push((pname, ty));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.parse_block()?;
+        self.module.funcs.push(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            fastcall,
+        });
+        Ok(())
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.parse_stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_kw("if") {
+            self.expect_punct("(")?;
+            let c = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let then_b = self.parse_block()?;
+            let else_b = if self.eat_kw("else") {
+                self.parse_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(c, then_b, else_b));
+        }
+        if self.eat_kw("while") {
+            self.expect_punct("(")?;
+            let c = self.parse_expr()?;
+            self.expect_punct(")")?;
+            let body = self.parse_block()?;
+            return Ok(Stmt::While(c, body));
+        }
+        if self.is_type_start() {
+            let ty = self.parse_type()?;
+            let name = self.ident()?;
+            self.expect_punct("=")?;
+            let init = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl(name, ty, init));
+        }
+        // Expression or assignment.
+        let lhs = self.parse_expr()?;
+        if self.eat_punct("=") {
+            let rhs = self.parse_expr()?;
+            self.expect_punct(";")?;
+            return match lhs {
+                Expr::Var(n) => Ok(Stmt::Assign(n, rhs)),
+                Expr::Field(base, field) => Ok(Stmt::StoreField(*base, field, rhs)),
+                Expr::Deref(p) => Ok(Stmt::StoreDeref(*p, rhs)),
+                _ => Err(self.err("invalid assignment target")),
+            };
+        }
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(lhs))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Punct("==")) => Some(CmpKind::Eq),
+            Some(Tok::Punct("!=")) => Some(CmpKind::Ne),
+            Some(Tok::Punct("<=")) => Some(CmpKind::Le),
+            Some(Tok::Punct(">=")) => Some(CmpKind::Ge),
+            Some(Tok::Punct("<")) => Some(CmpKind::Lt),
+            Some(Tok::Punct(">")) => Some(CmpKind::Gt),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.parse_add()?;
+            return Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Punct("+")) => Some(BinKind::Add),
+                Some(Tok::Punct("-")) => Some(BinKind::Sub),
+                Some(Tok::Punct("*")) => Some(BinKind::Mul),
+                Some(Tok::Punct("&")) => Some(BinKind::And),
+                Some(Tok::Punct("|")) => Some(BinKind::Or),
+                Some(Tok::Punct("^")) => Some(BinKind::Xor),
+                _ => None,
+            };
+            let Some(op) = op else { break };
+            self.pos += 1;
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("*") {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Deref(Box::new(inner)));
+        }
+        if self.eat_punct("&") {
+            let name = self.ident()?;
+            return Ok(Expr::AddrOf(name));
+        }
+        // Cast: '(' type ')' unary.
+        if self.peek() == Some(&Tok::Punct("(")) {
+            let save = self.pos;
+            self.pos += 1;
+            if self.is_type_start() {
+                if let Ok(ty) = self.parse_type() {
+                    if self.eat_punct(")") {
+                        let inner = self.parse_unary()?;
+                        return Ok(Expr::Cast(ty, Box::new(inner)));
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat_punct("->") {
+                let f = self.ident()?;
+                e = Expr::Field(Box::new(e), f);
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Int(v))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::Punct("(")) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            _ => Err(self.err("expected expression")),
+        }
+    }
+}
+
+/// Parses a mini-C module.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        module: Module::default(),
+    };
+    p.parse_module()?;
+    Ok(p.module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_close_last() {
+        let src = "
+            struct LL { struct LL* next; int handle; };
+            int close_last(const struct LL* list) {
+                while (list->next != 0) { list = list->next; }
+                return close(list->handle);
+            }
+        ";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.structs.len(), 1);
+        assert_eq!(m.funcs.len(), 1);
+        let f = &m.funcs[0];
+        assert!(matches!(
+            f.params[0].1,
+            SrcType::Ptr { is_const: true, .. }
+        ));
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_casts_and_malloc() {
+        let src = "
+            int main() {
+                int* p = (int*) malloc(4);
+                *p = 5;
+                return *p;
+            }
+        ";
+        let m = parse_module(src).unwrap();
+        match &m.funcs[0].body[0] {
+            Stmt::Decl(_, ty, Expr::Cast(cty, _)) => {
+                assert_eq!(ty, cty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fastcall_and_ops() {
+        let src = "
+            fastcall int mix(int a, int b) {
+                int c = a + b * 2;
+                if (c > 0) { return c; } else { return 0 - c; }
+            }
+        ";
+        let m = parse_module(src).unwrap();
+        assert!(m.funcs[0].fastcall);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_module("int f( {").is_err());
+        assert!(parse_module("banana").is_err());
+    }
+
+    #[test]
+    fn forward_struct_references() {
+        let src = "
+            struct A { struct B* b; };
+            struct B { int x; };
+            int g(struct A* a) { return a->b->x; }
+        ";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.structs.len(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Ground-truth signatures recorded at compile time.
+//!
+//! This plays the role of the DWARF/PDB debug builds in the paper's
+//! evaluation (§6.2): a separate copy of the type information that the
+//! inference never sees, used only for scoring.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{Module, SrcType};
+
+/// Where a parameter is passed.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ParamLoc {
+    /// cdecl stack slot at byte offset `k` within the argument area.
+    Stack(u32),
+    /// Register by name (fastcall).
+    Reg(String),
+}
+
+/// Ground truth for one parameter.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ParamTruth {
+    /// Location.
+    pub loc: ParamLoc,
+    /// Declared source type.
+    pub ty: SrcType,
+}
+
+/// Ground truth for one function.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct FuncTruth {
+    /// Function name.
+    pub name: String,
+    /// Parameters in location order.
+    pub params: Vec<ParamTruth>,
+    /// Declared return type (`None` for `void`).
+    pub ret: Option<SrcType>,
+}
+
+/// Whole-program ground truth: declared signatures plus the struct table
+/// needed to interpret them.
+#[derive(Clone, Default, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The source module (struct layouts).
+    pub module: Module,
+    /// Per-function signatures.
+    pub funcs: Vec<FuncTruth>,
+}
+
+impl GroundTruth {
+    /// Looks up a function's truth by name.
+    pub fn func(&self, name: &str) -> Option<&FuncTruth> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Total count of `const`-annotated pointer parameters (the §6.4
+    /// metric's denominator).
+    pub fn const_param_count(&self) -> usize {
+        self.funcs
+            .iter()
+            .flat_map(|f| &f.params)
+            .filter(|p| matches!(p.ty.untagged(), SrcType::Ptr { is_const: true, .. }))
+            .count()
+    }
+}

@@ -1,0 +1,236 @@
+//! Control-flow graph construction.
+//!
+//! Basic blocks are maximal single-entry straight-line instruction ranges;
+//! leaders are the entry, branch targets, and fall-through successors of
+//! terminators.
+
+use std::collections::BTreeSet;
+
+use crate::program::Function;
+
+/// Index of a basic block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub usize);
+
+/// A basic block: the half-open instruction range `[start, end)`.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+/// A function's control-flow graph.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    block_of_inst: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function.
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.insts.len();
+        let mut leaders: BTreeSet<usize> = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0);
+        }
+        for (i, inst) in f.insts.iter().enumerate() {
+            if let Some(t) = inst.branch_target() {
+                leaders.insert(t);
+            }
+            if inst.is_terminator() && i + 1 < n {
+                leaders.insert(i + 1);
+            }
+        }
+        let starts: Vec<usize> = leaders.into_iter().collect();
+        let mut blocks: Vec<Block> = Vec::with_capacity(starts.len());
+        for (bi, &s) in starts.iter().enumerate() {
+            let e = starts.get(bi + 1).copied().unwrap_or(n);
+            blocks.push(Block {
+                start: s,
+                end: e,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+        let block_index =
+            |starts: &[usize], inst: usize| -> usize { starts.partition_point(|&s| s <= inst) - 1 };
+        let mut block_of_inst = vec![0usize; n];
+        for (bi, b) in blocks.iter().enumerate() {
+            for i in b.start..b.end {
+                block_of_inst[i] = bi;
+            }
+        }
+        // Successors.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            if b.end == b.start {
+                continue;
+            }
+            let last = &f.insts[b.end - 1];
+            if let Some(t) = last.branch_target() {
+                edges.push((bi, block_index(&starts, t)));
+            }
+            if last.falls_through() && b.end < n {
+                edges.push((bi, block_index(&starts, b.end)));
+            }
+        }
+        for (from, to) in edges {
+            blocks[from].succs.push(BlockId(to));
+            blocks[to].preds.push(BlockId(from));
+        }
+        Cfg {
+            blocks,
+            block_of_inst,
+        }
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing an instruction.
+    pub fn block_of(&self, inst: usize) -> BlockId {
+        BlockId(self.block_of_inst[inst])
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the function was empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks in reverse post-order from the entry (good iteration order for
+    /// forward dataflow).
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        if self.blocks.is_empty() {
+            return Vec::new();
+        }
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post: Vec<usize> = Vec::new();
+        // Iterative DFS.
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        visited[0] = true;
+        while let Some((b, child)) = stack.pop() {
+            if child < self.blocks[b].succs.len() {
+                stack.push((b, child + 1));
+                let s = self.blocks[b].succs[child].0;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+            }
+        }
+        post.reverse();
+        post.into_iter().map(BlockId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Inst, Operand, Reg};
+
+    fn diamond() -> Function {
+        // 0: cmp eax, 0
+        // 1: jz 4
+        // 2: mov eax, 1
+        // 3: jmp 5
+        // 4: mov eax, 2
+        // 5: ret
+        Function::new(
+            "diamond",
+            vec![
+                Inst::Cmp {
+                    a: Reg::Eax,
+                    b: Operand::Imm(0),
+                },
+                Inst::Jcc {
+                    cond: Cond::Eq,
+                    target: 4,
+                },
+                Inst::Mov {
+                    dst: Reg::Eax,
+                    src: Operand::Imm(1),
+                },
+                Inst::Jmp(5),
+                Inst::Mov {
+                    dst: Reg::Eax,
+                    src: Operand::Imm(2),
+                },
+                Inst::Ret,
+            ],
+        )
+    }
+
+    #[test]
+    fn diamond_blocks() {
+        let cfg = Cfg::build(&diamond());
+        assert_eq!(cfg.len(), 4);
+        // Entry block covers 0..2 and has two successors.
+        let entry = &cfg.blocks()[0];
+        assert_eq!((entry.start, entry.end), (0, 2));
+        assert_eq!(entry.succs.len(), 2);
+        // The ret block has two predecessors.
+        let ret = cfg.block_of(5);
+        assert_eq!(cfg.blocks()[ret.0].preds.len(), 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let cfg = Cfg::build(&diamond());
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        // 0: mov eax, 0
+        // 1: add eax, 1
+        // 2: cmp eax, 10
+        // 3: jnz 1
+        // 4: ret
+        let f = Function::new(
+            "loop",
+            vec![
+                Inst::Mov {
+                    dst: Reg::Eax,
+                    src: Operand::Imm(0),
+                },
+                Inst::Bin {
+                    op: crate::isa::BinOp::Add,
+                    dst: Reg::Eax,
+                    src: Operand::Imm(1),
+                },
+                Inst::Cmp {
+                    a: Reg::Eax,
+                    b: Operand::Imm(10),
+                },
+                Inst::Jcc {
+                    cond: Cond::Ne,
+                    target: 1,
+                },
+                Inst::Ret,
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        // Blocks: [0..1), [1..4), [4..5).
+        assert_eq!(cfg.len(), 3);
+        let body = cfg.block_of(1);
+        assert!(cfg.blocks()[body.0].succs.contains(&body));
+    }
+}

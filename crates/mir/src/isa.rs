@@ -1,0 +1,340 @@
+//! The 32-bit x86-like instruction set.
+//!
+//! The ISA covers the idioms the paper's §2 catalog exercises: register
+//! moves, loads/stores with displacement addressing, `push`/`pop`,
+//! arithmetic (including `xor reg,reg` as a semi-syntactic constant and
+//! `test` as a flag-only operation), conditional branches, direct and
+//! external calls, and returns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::CallKind;
+
+/// General-purpose 32-bit registers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Eax,
+    Ebx,
+    Ecx,
+    Edx,
+    Esi,
+    Edi,
+    Ebp,
+    Esp,
+}
+
+impl Reg {
+    /// All registers, for dataflow bit-vectors.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ebx,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Esi,
+        Reg::Edi,
+        Reg::Ebp,
+        Reg::Esp,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The conventional name, lowercase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ebx => "ebx",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+            Reg::Ebp => "ebp",
+            Reg::Esp => "esp",
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A register or immediate operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate constant.
+    Imm(i64),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i:#x}"),
+        }
+    }
+}
+
+/// A `[base + disp]` memory operand.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Mem {
+    /// Base register.
+    pub base: Reg,
+    /// Byte displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// Convenience constructor.
+    pub fn new(base: Reg, disp: i32) -> Mem {
+        Mem { base, disp }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disp == 0 {
+            write!(f, "[{}]", self.base)
+        } else if self.disp > 0 {
+            write!(f, "[{}+{:#x}]", self.base, self.disp)
+        } else {
+            write!(f, "[{}-{:#x}]", self.base, -self.disp)
+        }
+    }
+}
+
+/// Two-operand ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Imul,
+    Shl,
+    Shr,
+}
+
+impl BinOp {
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Imul => "imul",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+}
+
+/// Branch conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cond {
+    /// Mnemonic suffix (`jz`, `jnz`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "jz",
+            Cond::Ne => "jnz",
+            Cond::Lt => "jl",
+            Cond::Le => "jle",
+            Cond::Gt => "jg",
+            Cond::Ge => "jge",
+        }
+    }
+}
+
+/// One instruction. Branch targets are instruction indices within the
+/// owning function.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Inst {
+    /// `mov dst, src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `mov dst, size [addr]` — load from memory.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address.
+        addr: Mem,
+        /// Access size in bytes (1, 2 or 4).
+        size: u8,
+    },
+    /// `mov size [addr], src` — store to memory.
+    Store {
+        /// Address.
+        addr: Mem,
+        /// Value stored.
+        src: Operand,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// `lea dst, [addr]`.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Address computed (not dereferenced).
+        addr: Mem,
+    },
+    /// `push src`.
+    Push(Operand),
+    /// `pop dst`.
+    Pop(Reg),
+    /// ALU operation `op dst, src`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination (and first operand).
+        dst: Reg,
+        /// Second operand.
+        src: Operand,
+    },
+    /// `cmp a, b` — flags only.
+    Cmp {
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Operand,
+    },
+    /// `test a, b` — flags only (bitwise AND, result discarded; §A.5.2).
+    Test {
+        /// First operand.
+        a: Reg,
+        /// Second operand.
+        b: Reg,
+    },
+    /// Unconditional jump to an instruction index.
+    Jmp(usize),
+    /// Conditional jump.
+    Jcc {
+        /// Condition.
+        cond: Cond,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Call.
+    Call(CallKind),
+    /// Return.
+    Ret,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// True for instructions ending a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Jmp(_) | Inst::Jcc { .. } | Inst::Ret)
+    }
+
+    /// The branch target, if any.
+    pub fn branch_target(&self) -> Option<usize> {
+        match self {
+            Inst::Jmp(t) | Inst::Jcc { target: t, .. } => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// True if control can fall through to the next instruction.
+    pub fn falls_through(&self) -> bool {
+        !matches!(self, Inst::Jmp(_) | Inst::Ret)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Inst::Load { dst, addr, size } => write!(f, "mov {dst}, {}{addr}", size_prefix(*size)),
+            Inst::Store { addr, src, size } => {
+                write!(f, "mov {}{addr}, {src}", size_prefix(*size))
+            }
+            Inst::Lea { dst, addr } => write!(f, "lea {dst}, {addr}"),
+            Inst::Push(s) => write!(f, "push {s}"),
+            Inst::Pop(d) => write!(f, "pop {d}"),
+            Inst::Bin { op, dst, src } => write!(f, "{} {dst}, {src}", op.mnemonic()),
+            Inst::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Inst::Test { a, b } => write!(f, "test {a}, {b}"),
+            Inst::Jmp(t) => write!(f, "jmp L{t}"),
+            Inst::Jcc { cond, target } => write!(f, "{} L{target}", cond.mnemonic()),
+            Inst::Call(k) => write!(f, "call {k}"),
+            Inst::Ret => f.write_str("ret"),
+            Inst::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+fn size_prefix(size: u8) -> &'static str {
+    match size {
+        1 => "byte ",
+        2 => "word ",
+        _ => "dword ",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_asm_like() {
+        let i = Inst::Load {
+            dst: Reg::Eax,
+            addr: Mem::new(Reg::Edx, 4),
+            size: 4,
+        };
+        assert_eq!(i.to_string(), "mov eax, dword [edx+0x4]");
+        let s = Inst::Store {
+            addr: Mem::new(Reg::Ebp, -8),
+            src: Operand::Imm(0),
+            size: 4,
+        };
+        assert_eq!(s.to_string(), "mov dword [ebp-0x8], 0x0");
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Inst::Ret.is_terminator());
+        assert!(Inst::Jmp(3).is_terminator());
+        assert!(!Inst::Nop.is_terminator());
+        assert!(Inst::Jcc {
+            cond: Cond::Eq,
+            target: 0
+        }
+        .falls_through());
+        assert!(!Inst::Jmp(0).falls_through());
+    }
+
+    #[test]
+    fn reg_indexing_is_dense() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+}

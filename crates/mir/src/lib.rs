@@ -1,0 +1,31 @@
+//! # retypd-mir
+//!
+//! The machine-code substrate for the Retypd reproduction: a 32-bit
+//! x86-like instruction set, program representation, and the program
+//! analyses the paper's constraint generator relies on (§4.1):
+//!
+//! * control-flow graphs per procedure ([`mod@cfg`]),
+//! * stack-pointer tracking — "affine relations between the stack and frame
+//!   pointers" (§6.1) — and activation-record layout ([`stack`]),
+//! * reaching definitions for registers and stack slots, giving the
+//!   flow-sensitive variable naming of Appendix A's `TYPE_A` ([`reaching`]),
+//! * formal-in/out location recovery ("locators", Appendix A.4)
+//!   ([`stack`]).
+//!
+//! This crate plays the role CodeSurfer's recovered IR plays for the
+//! original system; see `DESIGN.md` for the substitution argument.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cfg;
+pub mod isa;
+pub mod program;
+pub mod reaching;
+pub mod stack;
+
+pub use cfg::Cfg;
+pub use isa::{BinOp, Cond, Inst, Mem, Operand, Reg};
+pub use program::{CallKind, FuncId, Function, Program};
+pub use reaching::ReachingDefs;
+pub use stack::{FrameInfo, Loc32};

@@ -1,0 +1,370 @@
+//! Reaching definitions for registers and entry-relative stack slots.
+//!
+//! This is the flow-sensitive backbone of constraint generation
+//! (Appendix A, Example A.2): a register use at a program point maps to
+//! type variables tagged with the *definitions* that reach it, which is
+//! what protects the analysis from the stack-slot-reuse and
+//! fortuitous-value-reuse idioms of §2.1.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::cfg::Cfg;
+use crate::isa::{Inst, Operand, Reg};
+use crate::program::Function;
+use crate::stack::{FrameInfo, Loc32};
+
+/// A dataflow location: a register or an entry-relative stack slot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Location {
+    /// A register.
+    Reg(Reg),
+    /// An entry-relative stack slot.
+    Slot(Loc32),
+}
+
+/// A definition site.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum DefSite {
+    /// The location holds its function-entry value (formal parameters).
+    Entry,
+    /// Defined by the instruction at this index.
+    Inst(usize),
+}
+
+type Defs = HashMap<Location, BTreeSet<DefSite>>;
+
+/// Reaching-definition sets before every instruction.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    ins: Vec<Defs>,
+}
+
+/// The registers clobbered by a cdecl call (caller-saved).
+pub const CALL_CLOBBERED: [Reg; 3] = [Reg::Eax, Reg::Ecx, Reg::Edx];
+
+impl ReachingDefs {
+    /// Computes reaching definitions for a function.
+    pub fn compute(f: &Function, cfg: &Cfg, frame: &FrameInfo) -> ReachingDefs {
+        let n = f.insts.len();
+        let mut ins: Vec<Defs> = vec![Defs::new(); n];
+        if n == 0 {
+            return ReachingDefs { ins };
+        }
+        // Entry state: every register and every referenced non-negative
+        // slot holds its entry value.
+        let mut entry = Defs::new();
+        for r in Reg::ALL {
+            entry.insert(Location::Reg(r), BTreeSet::from([DefSite::Entry]));
+        }
+        for i in 0..n {
+            for loc in referenced_slots(f, frame, i) {
+                entry
+                    .entry(Location::Slot(loc))
+                    .or_insert_with(|| BTreeSet::from([DefSite::Entry]));
+            }
+        }
+
+        let nb = cfg.len();
+        let mut bin: Vec<Option<Defs>> = vec![None; nb];
+        bin[0] = Some(entry);
+        let order = cfg.reverse_postorder();
+        loop {
+            let mut changed = false;
+            for &b in &order {
+                let Some(state) = bin[b.0].clone() else {
+                    continue;
+                };
+                let blk = &cfg.blocks()[b.0];
+                let mut cur = state;
+                for i in blk.start..blk.end {
+                    if ins[i] != cur {
+                        // Merge (monotone union).
+                        let mut merged = ins[i].clone();
+                        for (k, v) in &cur {
+                            merged.entry(*k).or_default().extend(v.iter().copied());
+                        }
+                        if merged != ins[i] {
+                            ins[i] = merged;
+                            changed = true;
+                        }
+                    }
+                    cur = ins[i].clone();
+                    apply(f, frame, i, &mut cur);
+                }
+                for s in &blk.succs {
+                    let nv = match &bin[s.0] {
+                        None => cur.clone(),
+                        Some(old) => {
+                            let mut m = old.clone();
+                            for (k, v) in &cur {
+                                m.entry(*k).or_default().extend(v.iter().copied());
+                            }
+                            m
+                        }
+                    };
+                    if bin[s.0].as_ref() != Some(&nv) {
+                        bin[s.0] = Some(nv);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        ReachingDefs { ins }
+    }
+
+    /// Definitions of `loc` reaching instruction `i`.
+    pub fn reaching(&self, i: usize, loc: Location) -> Vec<DefSite> {
+        self.ins[i]
+            .get(&loc)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// True if the entry value of `loc` can reach instruction `i`.
+    pub fn entry_reaches(&self, i: usize, loc: Location) -> bool {
+        self.reaching(i, loc).contains(&DefSite::Entry)
+    }
+}
+
+fn referenced_slots(f: &Function, frame: &FrameInfo, i: usize) -> Vec<Loc32> {
+    let mut out = Vec::new();
+    match &f.insts[i] {
+        Inst::Load { addr, .. } | Inst::Store { addr, .. } | Inst::Lea { addr, .. } => {
+            if let Some(s) = frame.resolve(i, addr) {
+                out.push(s);
+            }
+        }
+        Inst::Push(_) => {
+            if let Some(s) = frame.push_slot(i) {
+                out.push(s);
+            }
+        }
+        Inst::Pop(_) => {
+            if let Some(s) = frame.pop_slot(i) {
+                out.push(s);
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// The locations written by instruction `i` (used to kill + gen defs).
+pub fn defs_of(f: &Function, frame: &FrameInfo, i: usize) -> Vec<Location> {
+    match &f.insts[i] {
+        Inst::Mov { dst, .. } | Inst::Load { dst, .. } | Inst::Lea { dst, .. } => {
+            vec![Location::Reg(*dst)]
+        }
+        Inst::Store { addr, .. } => frame
+            .resolve(i, addr)
+            .map(|s| vec![Location::Slot(s)])
+            .unwrap_or_default(),
+        Inst::Push(_) => {
+            let mut v = vec![Location::Reg(Reg::Esp)];
+            if let Some(s) = frame.push_slot(i) {
+                v.push(Location::Slot(s));
+            }
+            v
+        }
+        Inst::Pop(dst) => vec![Location::Reg(*dst), Location::Reg(Reg::Esp)],
+        Inst::Bin { dst, .. } => vec![Location::Reg(*dst)],
+        Inst::Call(_) => CALL_CLOBBERED.iter().map(|&r| Location::Reg(r)).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// The locations read by instruction `i`.
+pub fn uses_of(f: &Function, frame: &FrameInfo, i: usize) -> Vec<Location> {
+    let mut out = Vec::new();
+    let use_op = |o: &Operand, out: &mut Vec<Location>| {
+        if let Operand::Reg(r) = o {
+            out.push(Location::Reg(*r));
+        }
+    };
+    match &f.insts[i] {
+        Inst::Mov { src, .. } => use_op(src, &mut out),
+        Inst::Load { addr, .. } => {
+            out.push(Location::Reg(addr.base));
+            if let Some(s) = frame.resolve(i, addr) {
+                out.push(Location::Slot(s));
+            }
+        }
+        Inst::Store { addr, src, .. } => {
+            out.push(Location::Reg(addr.base));
+            use_op(src, &mut out);
+        }
+        Inst::Lea { addr, .. } => out.push(Location::Reg(addr.base)),
+        Inst::Push(src) => use_op(src, &mut out),
+        Inst::Pop(_) => {
+            if let Some(s) = frame.pop_slot(i) {
+                out.push(Location::Slot(s));
+            }
+        }
+        Inst::Bin { op, dst, src } => {
+            // `xor r, r` defines a constant; it does not read r (§A.5.2).
+            let self_clear =
+                *op == crate::isa::BinOp::Xor && *src == Operand::Reg(*dst);
+            if !self_clear {
+                out.push(Location::Reg(*dst));
+                use_op(src, &mut out);
+            }
+        }
+        Inst::Cmp { a, b } => {
+            out.push(Location::Reg(*a));
+            use_op(b, &mut out);
+        }
+        Inst::Test { a, b } => {
+            out.push(Location::Reg(*a));
+            out.push(Location::Reg(*b));
+        }
+        Inst::Ret => out.push(Location::Reg(Reg::Eax)),
+        _ => {}
+    }
+    out
+}
+
+fn apply(f: &Function, frame: &FrameInfo, i: usize, state: &mut Defs) {
+    for d in defs_of(f, frame, i) {
+        state.insert(d, BTreeSet::from([DefSite::Inst(i)]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BinOp, Cond, Mem};
+
+    fn analyze(f: &Function) -> (Cfg, FrameInfo, ReachingDefs) {
+        let cfg = Cfg::build(f);
+        let frame = FrameInfo::compute(f, &cfg);
+        let rd = ReachingDefs::compute(f, &cfg, &frame);
+        (cfg, frame, rd)
+    }
+
+    #[test]
+    fn straight_line_defs() {
+        let f = Function::new(
+            "f",
+            vec![
+                Inst::Mov {
+                    dst: Reg::Eax,
+                    src: Operand::Imm(1),
+                }, // 0
+                Inst::Mov {
+                    dst: Reg::Ebx,
+                    src: Operand::Reg(Reg::Eax),
+                }, // 1
+                Inst::Ret, // 2
+            ],
+        );
+        let (_, _, rd) = analyze(&f);
+        assert_eq!(
+            rd.reaching(1, Location::Reg(Reg::Eax)),
+            vec![DefSite::Inst(0)]
+        );
+        assert!(rd.entry_reaches(0, Location::Reg(Reg::Eax)));
+        assert!(!rd.entry_reaches(2, Location::Reg(Reg::Eax)));
+    }
+
+    #[test]
+    fn joins_merge_defs() {
+        // Fortuitous-reuse shape (§2.1): eax defined on two paths.
+        let f = Function::new(
+            "g",
+            vec![
+                Inst::Cmp {
+                    a: Reg::Ecx,
+                    b: Operand::Imm(0),
+                }, // 0
+                Inst::Jcc {
+                    cond: Cond::Eq,
+                    target: 3,
+                }, // 1
+                Inst::Mov {
+                    dst: Reg::Eax,
+                    src: Operand::Imm(1),
+                }, // 2
+                Inst::Nop, // 3 (join)
+                Inst::Ret, // 4
+            ],
+        );
+        let (_, _, rd) = analyze(&f);
+        let defs = rd.reaching(4, Location::Reg(Reg::Eax));
+        assert!(defs.contains(&DefSite::Inst(2)));
+        assert!(defs.contains(&DefSite::Entry));
+    }
+
+    #[test]
+    fn stack_slot_reuse_keeps_defs_apart() {
+        // Write arg slot late (§2.1 stack-slot reuse): the read at 1 sees
+        // Entry, the read at 3 sees the new def.
+        let f = Function::new(
+            "h",
+            vec![
+                Inst::Nop, // 0
+                Inst::Load {
+                    dst: Reg::Eax,
+                    addr: Mem::new(Reg::Esp, 4),
+                    size: 4,
+                }, // 1: read arg0
+                Inst::Store {
+                    addr: Mem::new(Reg::Esp, 4),
+                    src: Operand::Imm(7),
+                    size: 4,
+                }, // 2: overwrite arg0 slot
+                Inst::Load {
+                    dst: Reg::Ebx,
+                    addr: Mem::new(Reg::Esp, 4),
+                    size: 4,
+                }, // 3: read the reused slot
+                Inst::Ret,
+            ],
+        );
+        let (_, _, rd) = analyze(&f);
+        let slot = Location::Slot(Loc32(4));
+        assert_eq!(rd.reaching(1, slot), vec![DefSite::Entry]);
+        assert_eq!(rd.reaching(3, slot), vec![DefSite::Inst(2)]);
+    }
+
+    #[test]
+    fn xor_self_is_not_a_use() {
+        let f = Function::new(
+            "k",
+            vec![
+                Inst::Bin {
+                    op: BinOp::Xor,
+                    dst: Reg::Eax,
+                    src: Operand::Reg(Reg::Eax),
+                }, // 0
+                Inst::Ret,
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        let frame = FrameInfo::compute(&f, &cfg);
+        assert!(uses_of(&f, &frame, 0).is_empty());
+        assert_eq!(defs_of(&f, &frame, 0), vec![Location::Reg(Reg::Eax)]);
+    }
+
+    #[test]
+    fn calls_clobber_caller_saved() {
+        let f = Function::new(
+            "m",
+            vec![
+                Inst::Mov {
+                    dst: Reg::Eax,
+                    src: Operand::Imm(5),
+                }, // 0
+                Inst::Call(crate::program::CallKind::External("ext".into())), // 1
+                Inst::Ret, // 2
+            ],
+        );
+        let (_, _, rd) = analyze(&f);
+        assert_eq!(
+            rd.reaching(2, Location::Reg(Reg::Eax)),
+            vec![DefSite::Inst(1)]
+        );
+    }
+}

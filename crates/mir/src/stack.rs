@@ -1,0 +1,268 @@
+//! Stack-pointer tracking and activation-record layout.
+//!
+//! The paper's evaluation runs with VSA disabled but "computing affine
+//! relations between the stack and frame pointers" (§6.1). This module does
+//! exactly that: for every instruction it derives the `esp` and `ebp`
+//! offsets relative to the value of `esp` at function entry (where `[esp]`
+//! holds the return address and `[esp+4]` the first stack argument), so
+//! that memory operands based on either register resolve to
+//! *entry-relative stack slots*.
+
+use crate::cfg::Cfg;
+use crate::isa::{BinOp, Inst, Mem, Operand, Reg};
+use crate::program::Function;
+
+/// An entry-relative stack location: `+4` is the first cdecl argument,
+/// negative offsets are locals.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Loc32(pub i32);
+
+/// Per-instruction stack-frame facts.
+#[derive(Clone, Debug)]
+pub struct FrameInfo {
+    /// `esp − esp_entry` *before* each instruction (`None` = unknown).
+    pub esp_delta: Vec<Option<i32>>,
+    /// `ebp − esp_entry` before each instruction, if `ebp` currently holds
+    /// a frame pointer.
+    pub ebp_delta: Vec<Option<i32>>,
+}
+
+impl FrameInfo {
+    /// Computes frame facts by forward propagation over the CFG, joining
+    /// with equality (disagreeing deltas become unknown).
+    pub fn compute(f: &Function, cfg: &Cfg) -> FrameInfo {
+        let n = f.insts.len();
+        let mut esp: Vec<Option<Option<i32>>> = vec![None; n]; // None = unvisited
+        let mut ebp: Vec<Option<Option<i32>>> = vec![None; n];
+        if n == 0 {
+            return FrameInfo {
+                esp_delta: Vec::new(),
+                ebp_delta: Vec::new(),
+            };
+        }
+        // Block-entry states.
+        let nb = cfg.len();
+        let mut bin: Vec<Option<(Option<i32>, Option<i32>)>> = vec![None; nb];
+        bin[0] = Some((Some(0), None));
+        let order = cfg.reverse_postorder();
+        // Iterate to fixpoint (deltas only decrease in precision).
+        loop {
+            let mut changed = false;
+            for &b in &order {
+                let Some((mut e, mut p)) = bin[b.0] else {
+                    continue;
+                };
+                let blk = &cfg.blocks()[b.0];
+                for i in blk.start..blk.end {
+                    let merged_e = merge(esp[i], e);
+                    let merged_p = merge(ebp[i], p);
+                    if esp[i] != Some(merged_e) || ebp[i] != Some(merged_p) {
+                        esp[i] = Some(merged_e);
+                        ebp[i] = Some(merged_p);
+                        changed = true;
+                    }
+                    e = merged_e;
+                    p = merged_p;
+                    step(&f.insts[i], &mut e, &mut p);
+                }
+                for s in &blk.succs {
+                    let nv = match bin[s.0] {
+                        None => (e, p),
+                        Some((se, sp)) => (join(se, e), join(sp, p)),
+                    };
+                    if bin[s.0] != Some(nv) {
+                        bin[s.0] = Some(nv);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        FrameInfo {
+            esp_delta: esp.into_iter().map(|x| x.flatten()).collect(),
+            ebp_delta: ebp.into_iter().map(|x| x.flatten()).collect(),
+        }
+    }
+
+    /// Resolves a memory operand at instruction `i` to an entry-relative
+    /// stack slot, if its base register's offset is known.
+    pub fn resolve(&self, i: usize, m: &Mem) -> Option<Loc32> {
+        let base = match m.base {
+            Reg::Esp => self.esp_delta[i]?,
+            Reg::Ebp => self.ebp_delta[i]?,
+            _ => return None,
+        };
+        Some(Loc32(base + m.disp))
+    }
+
+    /// The slot written by a `push` at instruction `i`.
+    pub fn push_slot(&self, i: usize) -> Option<Loc32> {
+        Some(Loc32(self.esp_delta[i]? - 4))
+    }
+
+    /// The slot read by a `pop` at instruction `i`.
+    pub fn pop_slot(&self, i: usize) -> Option<Loc32> {
+        Some(Loc32(self.esp_delta[i]?))
+    }
+}
+
+fn merge(slot: Option<Option<i32>>, v: Option<i32>) -> Option<i32> {
+    match slot {
+        None => v,
+        Some(prev) => join(prev, v),
+    }
+}
+
+fn join(a: Option<i32>, b: Option<i32>) -> Option<i32> {
+    match (a, b) {
+        (Some(x), Some(y)) if x == y => Some(x),
+        _ => None,
+    }
+}
+
+fn step(inst: &Inst, esp: &mut Option<i32>, ebp: &mut Option<i32>) {
+    match inst {
+        Inst::Push(_) => *esp = esp.map(|d| d - 4),
+        Inst::Pop(r) => {
+            if *r == Reg::Ebp {
+                // `pop ebp` restores a saved frame pointer: ebp is no longer
+                // a known frame pointer (conservative).
+                *ebp = None;
+            }
+            *esp = esp.map(|d| d + 4);
+        }
+        Inst::Mov {
+            dst: Reg::Ebp,
+            src: Operand::Reg(Reg::Esp),
+        } => *ebp = *esp,
+        Inst::Mov {
+            dst: Reg::Esp,
+            src: Operand::Reg(Reg::Ebp),
+        } => *esp = *ebp,
+        Inst::Mov { dst: Reg::Esp, .. } => *esp = None,
+        Inst::Mov { dst: Reg::Ebp, .. } => *ebp = None,
+        Inst::Bin {
+            op,
+            dst: Reg::Esp,
+            src: Operand::Imm(k),
+        } => {
+            *esp = match op {
+                BinOp::Add => esp.map(|d| d + *k as i32),
+                BinOp::Sub => esp.map(|d| d - *k as i32),
+                _ => None,
+            }
+        }
+        Inst::Bin { dst: Reg::Esp, .. } => *esp = None,
+        Inst::Bin { dst: Reg::Ebp, .. } => *ebp = None,
+        Inst::Lea { dst: Reg::Esp, .. } => *esp = None,
+        Inst::Lea { dst: Reg::Ebp, .. } => *ebp = None,
+        Inst::Load { dst: Reg::Esp, .. } => *esp = None,
+        Inst::Load { dst: Reg::Ebp, .. } => *ebp = None,
+        Inst::Call(_) => {
+            // Callee pops the return address; cdecl: caller cleans args, so
+            // esp after the call equals esp before it.
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Mem};
+    use crate::program::Function;
+
+    fn prologue_fn() -> Function {
+        // Standard frame: push ebp; mov ebp, esp; sub esp, 8;
+        // mov eax, [ebp+8] (arg0); mov [esp], eax (local); leave-ish; ret
+        Function::new(
+            "f",
+            vec![
+                Inst::Push(Operand::Reg(Reg::Ebp)),
+                Inst::Mov {
+                    dst: Reg::Ebp,
+                    src: Operand::Reg(Reg::Esp),
+                },
+                Inst::Bin {
+                    op: BinOp::Sub,
+                    dst: Reg::Esp,
+                    src: Operand::Imm(8),
+                },
+                Inst::Load {
+                    dst: Reg::Eax,
+                    addr: Mem::new(Reg::Ebp, 8),
+                    size: 4,
+                },
+                Inst::Store {
+                    addr: Mem::new(Reg::Esp, 0),
+                    src: Operand::Reg(Reg::Eax),
+                    size: 4,
+                },
+                Inst::Mov {
+                    dst: Reg::Esp,
+                    src: Operand::Reg(Reg::Ebp),
+                },
+                Inst::Pop(Reg::Ebp),
+                Inst::Ret,
+            ],
+        )
+    }
+
+    #[test]
+    fn frame_deltas() {
+        let f = prologue_fn();
+        let cfg = Cfg::build(&f);
+        let fi = FrameInfo::compute(&f, &cfg);
+        // Before the push, esp = 0; after push ebp / mov / sub, esp = -12.
+        assert_eq!(fi.esp_delta[0], Some(0));
+        assert_eq!(fi.esp_delta[3], Some(-12));
+        // ebp was set to -4 by the prologue.
+        assert_eq!(fi.ebp_delta[3], Some(-4));
+        // [ebp+8] is entry-relative +4: the first argument.
+        assert_eq!(fi.resolve(3, &Mem::new(Reg::Ebp, 8)), Some(Loc32(4)));
+        // [esp] in the body is the local at -12.
+        assert_eq!(fi.resolve(4, &Mem::new(Reg::Esp, 0)), Some(Loc32(-12)));
+        // The epilogue restores esp before ret.
+        assert_eq!(fi.esp_delta[7], Some(0));
+    }
+
+    #[test]
+    fn joins_disagreeing_deltas_to_unknown() {
+        // One path pushes, the other does not, then they join.
+        // 0: cmp eax,0; 1: jz 3; 2: push eax; 3: nop; 4: ret
+        let f = Function::new(
+            "g",
+            vec![
+                Inst::Cmp {
+                    a: Reg::Eax,
+                    b: Operand::Imm(0),
+                },
+                Inst::Jcc {
+                    cond: Cond::Eq,
+                    target: 3,
+                },
+                Inst::Push(Operand::Reg(Reg::Eax)),
+                Inst::Nop,
+                Inst::Ret,
+            ],
+        );
+        let cfg = Cfg::build(&f);
+        let fi = FrameInfo::compute(&f, &cfg);
+        assert_eq!(fi.esp_delta[2], Some(0));
+        assert_eq!(fi.esp_delta[3], None); // join of 0 and -4
+    }
+
+    #[test]
+    fn push_pop_slots() {
+        let f = Function::new(
+            "h",
+            vec![Inst::Push(Operand::Reg(Reg::Eax)), Inst::Pop(Reg::Ebx), Inst::Ret],
+        );
+        let cfg = Cfg::build(&f);
+        let fi = FrameInfo::compute(&f, &cfg);
+        assert_eq!(fi.push_slot(0), Some(Loc32(-4)));
+        assert_eq!(fi.pop_slot(1), Some(Loc32(-4)));
+    }
+}

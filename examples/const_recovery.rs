@@ -1,0 +1,59 @@
+//! Recovery of pointer-parameter `const` annotations (§6.4): Retypd
+//! models read and write capabilities separately (`.load` / `.store`), so
+//! a parameter that is only ever loaded through is recovered as `const`.
+//!
+//! ```text
+//! cargo run --example const_recovery
+//! ```
+
+use retypd::core::{CTypeBuilder, Lattice, Solver, Symbol};
+use retypd::minic::codegen::compile;
+use retypd::minic::parse_module;
+
+fn main() {
+    let src = "
+        struct buf { int len; int cap; };
+
+        // Only reads through its parameter: const is recoverable.
+        int get_len(const struct buf* b) {
+            return b->len;
+        }
+
+        // Writes through its parameter: not const.
+        int set_len(struct buf* b, int n) {
+            b->len = n;
+            return n;
+        }
+
+        // Reads one field, writes another: still not const.
+        int bump(struct buf* b) {
+            int l = b->len;
+            b->len = l + 1;
+            return l;
+        }
+    ";
+    let module = parse_module(src).expect("parses");
+    let (mir, truth) = compile(&module).expect("compiles");
+    let program = retypd::congen::generate(&mir);
+    let lattice = Lattice::c_types();
+    let result = Solver::new(&lattice).infer(&program);
+
+    for f in ["get_len", "set_len", "bump"] {
+        let proc = &result.procs[&Symbol::intern(f)];
+        let sk = proc.sketch.as_ref().expect("sketch");
+        let mut b = CTypeBuilder::new(&lattice);
+        let sig = b.function_type(sk);
+        let table = b.into_table();
+        let declared_const = matches!(
+            truth.func(f).unwrap().params[0].ty.untagged(),
+            retypd::minic::SrcType::Ptr { is_const: true, .. }
+        );
+        println!(
+            "{:<8} declared {}  inferred: {}",
+            f,
+            if declared_const { "const    " } else { "non-const" },
+            retypd::core::ctype::render_signature(f, &sig, &table)
+        );
+    }
+    println!("\n(the policy of Example 4.1: const iff .load without .store)");
+}

@@ -1,0 +1,72 @@
+//! Full pipeline on a "binary": compile mini-C source with the
+//! type-erasing compiler, run the analyses and constraint generation on
+//! the machine code, infer types, and compare against the source.
+//!
+//! ```text
+//! cargo run --example decompile_binary
+//! ```
+
+use retypd::core::{CTypeBuilder, Lattice, Solver, Symbol};
+use retypd::minic::codegen::compile;
+use retypd::minic::parse_module;
+
+fn main() {
+    let src = "
+        struct node { struct node* next; int weight; char* name; };
+
+        // Walk a list, summing weights (const: the list is only read).
+        int total(const struct node* list) {
+            int sum = 0;
+            while (list != 0) {
+                sum = sum + list->weight;
+                list = list->next;
+            }
+            return sum;
+        }
+
+        // Allocate and NULL-initialize a node.
+        struct node* make_node(int weight) {
+            struct node* n = (struct node*) malloc(12);
+            n->next = 0;
+            n->weight = weight;
+            n->name = 0;
+            return n;
+        }
+
+        int main_like() {
+            struct node* n = make_node(5);
+            return total(n);
+        }
+    ";
+    let module = parse_module(src).expect("source parses");
+    let (mir, truth) = compile(&module).expect("source compiles");
+    println!("=== stripped binary ({} instructions) ===", mir.instruction_count());
+    println!("{mir}");
+
+    let program = retypd::congen::generate(&mir);
+    let lattice = Lattice::c_types();
+    let result = Solver::new(&lattice).infer(&program);
+
+    for f in ["total", "make_node", "main_like"] {
+        let proc = &result.procs[&Symbol::intern(f)];
+        println!("=== {f} ===");
+        println!("scheme: {}", proc.scheme);
+        if let Some(sk) = &proc.sketch {
+            let mut builder = CTypeBuilder::new(&lattice);
+            let sig = builder.function_type(sk);
+            let table = builder.into_table();
+            print!("{}", table.render());
+            println!(
+                "inferred:  {};",
+                retypd::core::ctype::render_signature(f, &sig, &table)
+            );
+        }
+        let ft = truth.func(f).expect("truth recorded");
+        let params: Vec<String> = ft.params.iter().map(|p| p.ty.to_string()).collect();
+        println!(
+            "declared:  {} {f}({});\n",
+            ft.ret.as_ref().map(|t| t.to_string()).unwrap_or("void".into()),
+            params.join(", ")
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Polymorphic functions in machine code (§2.2): one `malloc` wrapper and
+//! one generic `release` wrapper used at two *different* struct types.
+//! Retypd's callsite instantiation keeps the two types separate; a
+//! unification-based analysis merges them.
+//!
+//! ```text
+//! cargo run --example polymorphic_malloc
+//! ```
+
+use retypd::baselines::{infer_unification, InfTy};
+use retypd::core::{Lattice, Loc, Symbol};
+use retypd::eval::infer_retypd;
+use retypd::minic::codegen::compile;
+use retypd::minic::parse_module;
+
+fn main() {
+    let src = "
+        struct point { int x; int y; };
+        struct name { char* first; char* last; };
+
+        // ∀τ. size_t → τ*, via malloc (a user-defined allocator, §2.2).
+        void* alloc(int n) { return malloc(n); }
+        // ∀τ. τ* → void.
+        void release(void* p) { free(p); return; }
+
+        int use_both() {
+            struct point* p = (struct point*) alloc(8);
+            p->y = 1;
+            struct name* q = (struct name*) alloc(8);
+            char* f = q->first;
+            release((void*) p);
+            release((void*) q);
+            return p->y;
+        }
+    ";
+    let module = parse_module(src).expect("parses");
+    let (mir, _) = compile(&module).expect("compiles");
+    let program = retypd::congen::generate(&mir);
+    let lattice = Lattice::c_types();
+
+    let retypd_types = infer_retypd(&program, &lattice);
+    let unif_types = infer_unification(&program, &lattice);
+
+    let show = |types: &retypd::baselines::InferredProgram, f: &str| -> String {
+        types
+            .get(&Symbol::intern(f))
+            .and_then(|x| x.params.get(&Loc::Stack(0)))
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+
+    println!("alloc's parameter (both tools agree — it is just a size):");
+    println!("  retypd:      {}", show(&retypd_types, "alloc"));
+    println!("  unification: {}\n", show(&unif_types, "alloc"));
+
+    println!("release's parameter — the polymorphism test:");
+    let r = show(&retypd_types, "release");
+    let u = show(&unif_types, "release");
+    println!("  retypd:      {r}");
+    println!("  unification: {u}");
+    println!();
+    println!("Retypd leaves the generic pointer generic (each callsite gets a");
+    println!("fresh instantiation); unification merges the two structs through");
+    println!("the shared formal, inventing a blob type with both field sets.");
+
+    let unif_release = unif_types
+        .get(&Symbol::intern("release"))
+        .and_then(|x| x.params.get(&Loc::Stack(0)));
+    if let Some(InfTy::Ptr(p)) = unif_release {
+        if let InfTy::Struct(fields) = p.as_ref() {
+            println!(
+                "(unification's merged pointee has {} fields — from two structs)",
+                fields.len()
+            );
+        }
+    }
+}

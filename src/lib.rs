@@ -1,0 +1,23 @@
+//! # retypd — facade crate
+//!
+//! Re-exports the full Retypd reproduction workspace: the core type
+//! inference engine, the machine-IR substrate, constraint generation, the
+//! mini-C compiler used for workload generation, baseline algorithms, and
+//! the evaluation harness.
+//!
+//! See the individual crates for details:
+//!
+//! * [`core`] — the paper's contribution: constraint system, saturation
+//!   solver, sketches, type schemes, C-type conversion.
+//! * [`mir`] — x86-like machine IR and program analyses.
+//! * [`congen`] — abstract interpretation generating type constraints.
+//! * [`minic`] — mini-C compiler and benchmark generator.
+//! * [`baselines`] — unification-based and TIE-style baselines.
+//! * [`eval`] — metrics and experiment harness.
+
+pub use retypd_baselines as baselines;
+pub use retypd_congen as congen;
+pub use retypd_core as core;
+pub use retypd_eval as eval;
+pub use retypd_minic as minic;
+pub use retypd_mir as mir;

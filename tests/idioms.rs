@@ -1,0 +1,173 @@
+//! The §2 idiom catalog, end to end: each test compiles an idiomatic
+//! program and checks that inference survives where unification-style
+//! reasoning would be damaged.
+
+use retypd::baselines::infer_unification;
+use retypd::core::{Label, Lattice, Loc, Solver, Symbol};
+use retypd::eval::infer_retypd;
+use retypd::minic::codegen::compile;
+use retypd::minic::parse_module;
+
+fn solve(src: &str) -> (retypd::core::SolverResult, Lattice, retypd::core::Program) {
+    let module = parse_module(src).expect("parses");
+    let (mir, _) = compile(&module).expect("compiles");
+    let program = retypd::congen::generate(&mir);
+    let lattice = Lattice::c_types();
+    let result = Solver::new(&lattice).infer(&program);
+    (result, lattice, program)
+}
+
+#[test]
+fn semi_syntactic_constants_do_not_unify_params() {
+    // §2.1: f(0, 0) compiles to xor eax,eax; push eax; push eax. The int
+    // parameter and the pointer parameter must not be unified through the
+    // shared zero register.
+    let src = "
+        struct S { int a; };
+        int f(int x, struct S* y) {
+            if (y != 0) { return y->a; }
+            return x;
+        }
+        int caller() {
+            return f(0, (struct S*) 0);
+        }
+    ";
+    let (result, lattice, _) = solve(src);
+    let f = &result.procs[&Symbol::intern("f")];
+    let sk = f.sketch.as_ref().expect("sketch");
+    // Param 1 (stack4) is pointer-like; param 0 (stack0) must NOT have
+    // acquired pointer capabilities through the constant.
+    let p1 = sk.walk(&[Label::in_stack(4)]).expect("param 1");
+    assert!(sk.step(p1, Label::Load).is_some());
+    if let Some(p0) = sk.walk(&[Label::in_stack(0)]) {
+        assert!(
+            sk.step(p0, Label::Load).is_none(),
+            "int param contaminated with pointer capability:\n{}",
+            sk.render(&lattice)
+        );
+    }
+}
+
+#[test]
+fn fortuitous_reuse_keeps_return_types_apart() {
+    // §2.1 / Figure 1: an early return of NULL shares the register with
+    // the real result; the callee's return type must not leak into the
+    // NULL path's producer.
+    let src = "
+        struct S { int a; };
+        struct T { struct S* inner; };
+        struct T* get_T(struct S* s) {
+            if (s == 0) { return (struct T*) 0; }
+            struct T* t = (struct T*) malloc(4);
+            t->inner = s;
+            return t;
+        }
+    ";
+    let (result, _, _) = solve(src);
+    let f = &result.procs[&Symbol::intern("get_T")];
+    assert!(f.sketch.is_some());
+    // The early-return zero contributes no constraints, so no
+    // inconsistency can arise between the paths.
+    assert!(result.inconsistencies.is_empty());
+}
+
+#[test]
+fn stack_slot_reuse_does_not_merge_types() {
+    // §2.1: two locals in disjoint scopes share one stack slot; one is an
+    // int, the other a struct pointer. Flow-sensitive slot naming must
+    // keep them apart (no pointer capability on the int's uses).
+    let src = "
+        struct S { int a; int b; };
+        int g(int c) {
+            if (c > 0) {
+                int x = c + 1;
+                return x;
+            }
+            if (c < 0) {
+                struct S* p = (struct S*) malloc(8);
+                return p->a;
+            }
+            return 0;
+        }
+    ";
+    let (result, _, _) = solve(src);
+    assert!(result.procs[&Symbol::intern("g")].sketch.is_some());
+    assert!(result.inconsistencies.is_empty());
+}
+
+#[test]
+fn polymorphic_wrappers_beat_unification() {
+    // §2.2: a shared generic release wrapper must not merge its users'
+    // types under Retypd, but does merge them under unification.
+    let src = "
+        struct A { int x; int y; };
+        struct B { char* s; };
+        void release(void* p) { free(p); return; }
+        int user() {
+            struct A* a = (struct A*) malloc(8);
+            a->y = 3;
+            struct B* b = (struct B*) malloc(4);
+            char* s = b->s;
+            release((void*) a);
+            release((void*) b);
+            return a->y;
+        }
+    ";
+    let module = parse_module(src).unwrap();
+    let (mir, _) = compile(&module).unwrap();
+    let program = retypd::congen::generate(&mir);
+    let lattice = Lattice::c_types();
+
+    let rt = infer_retypd(&program, &lattice);
+    let un = infer_unification(&program, &lattice);
+    let rel = Symbol::intern("release");
+    let r_param = &rt[&rel].params[&Loc::Stack(0)];
+    let u_param = &un[&rel].params[&Loc::Stack(0)];
+    // Retypd: generic pointer (no invented fields).
+    let r_fields = count_fields(r_param);
+    let u_fields = count_fields(u_param);
+    assert!(
+        r_fields < u_fields,
+        "retypd {r_param} ({r_fields} fields) vs unification {u_param} ({u_fields} fields)"
+    );
+}
+
+fn count_fields(t: &retypd::baselines::InfTy) -> usize {
+    match t {
+        retypd::baselines::InfTy::Ptr(p) => count_fields(p),
+        retypd::baselines::InfTy::Struct(fs) => fs.len(),
+        _ => 0,
+    }
+}
+
+#[test]
+fn register_param_false_positive_is_harmless() {
+    // §2.5: fastcall register params + callsites with unrelated register
+    // contents must not corrupt results (subtyping, not unification).
+    let src = "
+        fastcall int fast_add(int a, int b) {
+            return a + b;
+        }
+        int caller() {
+            int r = fast_add(1, 2);
+            return r;
+        }
+    ";
+    let (result, _, _) = solve(src);
+    assert!(result.procs[&Symbol::intern("fast_add")].sketch.is_some());
+    assert!(result.inconsistencies.is_empty());
+}
+
+#[test]
+fn cross_cast_reports_but_does_not_crash() {
+    // §2.6: reinterpreting a float's bits as an int is inconsistent but
+    // must degrade gracefully (reported, not fatal).
+    let src = "
+        int bits(float f) {
+            int* p = (int*) &f;
+            return *p;
+        }
+    ";
+    let (result, _, _) = solve(src);
+    assert!(result.procs.contains_key(&Symbol::intern("bits")));
+}

