@@ -5,7 +5,7 @@
 //!
 //! * [`unification`] — a SecondWrite/REWARDS-style *unification* algorithm:
 //!   every value assignment merges types, callsites are monomorphic, and a
-//!!   single type is produced per variable. Sensitive to the §2 idioms by
+//!   single type is produced per variable. Sensitive to the §2 idioms by
 //!   construction (over-unification).
 //! * [`tie`] — a TIE-style *subtype-bounds* algorithm: upper and lower
 //!   lattice bounds per variable, but monomorphic callsites and no

@@ -51,6 +51,9 @@ impl fmt::Display for Loc {
     }
 }
 
+// With the offline no-op serde shim the derive ignores `#[serde(with)]`,
+// leaving these helpers uncalled; the real serde derive wires them up.
+#[allow(dead_code)]
 mod symbol_serde {
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
 

@@ -15,6 +15,9 @@
 //! * [`baselines`] — unification-based and TIE-style baselines.
 //! * [`eval`] — metrics and experiment harness.
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub use retypd_baselines as baselines;
 pub use retypd_congen as congen;
 pub use retypd_core as core;

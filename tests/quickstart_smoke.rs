@@ -1,0 +1,84 @@
+//! Smoke test for the documented entry points.
+//!
+//! Mirrors `examples/quickstart.rs` and the `retypd-core` crate-root
+//! quick-start step for step, so the commands shown in `README.md` and
+//! the rustdoc can never silently rot: constraint parsing → solver →
+//! type scheme → sketch → reconstructed C type.
+//!
+//! This is an in-process mirror (assertable), not an execution of the
+//! example file itself; CI additionally runs
+//! `cargo run --release --example quickstart` to catch drift in the
+//! example. If you change the example, change this test to match.
+
+use retypd::core::parse::parse_constraint_set;
+use retypd::core::{
+    CTypeBuilder, ConstraintSet, Lattice, Procedure, Program, SchemeBuilder, Solver, Symbol,
+};
+
+/// The Figure 2 constraint set used by `examples/quickstart.rs`.
+fn quickstart_constraints() -> retypd::core::ConstraintSet {
+    parse_constraint_set(
+        "
+        close_last.in_stack0 <= t
+        t.load.σ32@0 <= t
+        t.load.σ32@4 <= #FileDescriptor
+        t.load.σ32@4 <= int
+        int <= close_last.out_eax
+        #SuccessZ <= close_last.out_eax
+        ",
+    )
+    .expect("quickstart constraints parse")
+}
+
+#[test]
+fn quickstart_example_path_end_to_end() {
+    // Solve the one-procedure program, exactly as the example does.
+    let lattice = Lattice::c_types();
+    let mut program = Program::new();
+    program.procs.push(Procedure {
+        name: Symbol::intern("close_last"),
+        constraints: quickstart_constraints(),
+        callsites: vec![],
+    });
+    let result = Solver::new(&lattice).infer(&program);
+    let proc = &result.procs[&Symbol::intern("close_last")];
+
+    // A non-trivial simplified scheme comes out.
+    assert!(
+        !proc.scheme.constraints().is_empty(),
+        "quickstart scheme should carry constraints, got:\n  {}",
+        proc.scheme
+    );
+
+    // A sketch is inferred and renders (the recursive list shows a cycle).
+    let sketch = proc.sketch.as_ref().expect("quickstart sketch inferred");
+    let rendered = sketch.render(&lattice);
+    assert!(!rendered.trim().is_empty(), "sketch renders non-empty");
+
+    // The C downgrade produces a non-empty signature for the procedure.
+    let mut builder = CTypeBuilder::new(&lattice);
+    let sig = builder.function_type(sketch);
+    let table = builder.into_table();
+    let signature = retypd::core::ctype::render_signature("close_last", &sig, &table);
+    assert!(
+        signature.contains("close_last"),
+        "rendered C signature names the procedure: {signature}"
+    );
+    assert!(
+        !signature.trim().is_empty() && signature.len() > "close_last".len(),
+        "rendered C signature is a real type: {signature}"
+    );
+}
+
+#[test]
+fn core_crate_root_quickstart_matches_docs() {
+    // The `retypd-core` lib.rs quick-start, verbatim through the facade.
+    let mut cs = ConstraintSet::new();
+    cs.add_sub_str("f.in_stack0", "t");
+    cs.add_sub_str("t.load.σ32@0", "int");
+    cs.add_sub_str("t.load.σ32@0", "f.out_eax");
+
+    let lattice = Lattice::c_types();
+    let scheme = SchemeBuilder::new(&lattice).infer("f", &cs);
+    assert!(!scheme.constraints().is_empty());
+}

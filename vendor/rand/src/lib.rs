@@ -1,0 +1,176 @@
+//! Minimal API-compatible stand-in for the `rand` crate (0.8 API).
+//!
+//! The build environment is offline, so this vendored shim provides the
+//! subset the workspace uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension trait with
+//! `gen`, `gen_range`, and `gen_bool`. The generator is a deterministic
+//! xorshift64* stream seeded through splitmix64 — statistically fine for
+//! workload generation, **not** cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (deterministic stream).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (xorshift64* core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 whitening so nearby seeds give unrelated streams.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            StdRng {
+                state: if z == 0 { 0xDEAD_BEEF_CAFE_F00D } else { z },
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+/// Types producible uniformly at random from an [`RngCore`].
+pub trait FromRandom: Sized {
+    /// Draws one uniformly random value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! from_random_int {
+    ($($t:ty),*) => {$(
+        impl FromRandom for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+from_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRandom for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types drawable uniformly from a half-open or inclusive range.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`. Panics if empty.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[low, high]`. Panics if empty.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges a uniform value can be drawn from.
+///
+/// The blanket impls (mirroring real rand) let type inference unify the
+/// range's element type with the expected result type.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from `self`. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`] (the rand 0.8 API).
+pub trait Rng: RngCore {
+    /// Draws a uniformly random value of type `T`.
+    fn gen<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

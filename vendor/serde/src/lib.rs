@@ -1,0 +1,78 @@
+//! Minimal API-compatible stand-in for the `serde` crate.
+//!
+//! The build environment for this repository is offline, so the real
+//! `serde` cannot be fetched. The workspace only *declares*
+//! serializability (derives and one `#[serde(with = …)]` field); nothing
+//! actually serializes at runtime yet (there is no `serde_json`
+//! dependency). This shim therefore provides the trait skeleton —
+//! [`Serialize`], [`Deserialize`], [`Serializer`], [`Deserializer`] — and
+//! no-op derive macros, so the annotations compile today and can be
+//! swapped for the real serde (same public surface) the moment the
+//! workspace gains network access or a vendored full copy.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Formats a value into a serializer's output.
+///
+/// Unlike real serde this shim's data model is collapsed to the handful of
+/// entry points the workspace touches.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a unit / opaque marker (what the no-op derives emit).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Reads values out of a data stream.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error;
+
+    /// Deserializes a string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+
+    /// Builds an error value (used by the no-op derive stubs).
+    fn custom_error(self, msg: &str) -> Self::Error;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}

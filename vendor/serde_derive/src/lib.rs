@@ -1,0 +1,81 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde shim.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which are
+//! unavailable offline): the macro scans the input token stream for the
+//! type name and emits a trivial trait impl. `#[serde(...)]` helper
+//! attributes are accepted and ignored. Generic types are not supported —
+//! no annotated type in this workspace has generics; the macro panics
+//! loudly if one appears.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum`/`union` being derived for.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = tokens.next() {
+                                if p.as_char() == '<' {
+                                    panic!(
+                                        "serde_derive shim: generic type `{name}` is not \
+                                         supported (vendor the real serde to derive it)"
+                                    );
+                                }
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)` etc. fall through and are skipped.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: no struct/enum/union found in derive input")
+}
+
+/// No-op `Serialize` derive: serializes every value as its type name.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 serializer.serialize_str(\"{name}\")\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl parses")
+}
+
+/// No-op `Deserialize` derive: always errors (nothing deserializes yet).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::core::result::Result::Err(::serde::Deserializer::custom_error(\n\
+                     deserializer,\n\
+                     \"deserialization is stubbed in the offline serde shim\",\n\
+                 ))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl parses")
+}
