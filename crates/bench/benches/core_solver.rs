@@ -1,37 +1,10 @@
 //! Criterion microbenchmarks for the core saturation/simplification engine.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use retypd_bench::{chain_constraints, figure2_constraints};
 use retypd_core::graph::ConstraintGraph;
-use retypd_core::parse::parse_constraint_set;
 use retypd_core::saturation::saturate;
-use retypd_core::{ConstraintSet, Lattice, SchemeBuilder};
-
-fn figure2_constraints() -> ConstraintSet {
-    parse_constraint_set(
-        "
-        f.in_stack0 <= t
-        t.load.σ32@0 <= t
-        t.load.σ32@4 <= #FileDescriptor
-        t.load.σ32@4 <= int
-        int <= f.out_eax
-        #SuccessZ <= f.out_eax
-        ",
-    )
-    .unwrap()
-}
-
-fn chain_constraints(n: usize) -> ConstraintSet {
-    let mut cs = ConstraintSet::new();
-    for i in 0..n {
-        cs.add_sub_str(&format!("v{i}"), &format!("v{}", i + 1));
-        if i % 3 == 0 {
-            cs.add_sub_str(&format!("p{i}.load.σ32@0"), &format!("v{i}"));
-            cs.add_sub_str(&format!("v{i}"), &format!("p{}.store.σ32@0", i + 1));
-        }
-    }
-    cs.add_sub_str("v0", "int");
-    cs
-}
+use retypd_core::{Lattice, SchemeBuilder};
 
 fn bench(c: &mut Criterion) {
     c.bench_function("saturate_figure2", |b| {

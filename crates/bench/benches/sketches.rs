@@ -1,20 +1,8 @@
 //! Criterion benchmark: sketch lattice operations (Figure 18).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use retypd_core::graph::ConstraintGraph;
-use retypd_core::parse::parse_constraint_set;
-use retypd_core::saturation::saturate;
-use retypd_core::shapes::ShapeQuotient;
-use retypd_core::{BaseVar, Lattice, Sketch};
-
-fn sketch_for(src: &str, lattice: &Lattice) -> Sketch {
-    let cs = parse_constraint_set(src).unwrap();
-    let mut g = ConstraintGraph::build(&cs);
-    saturate(&mut g);
-    let q = ShapeQuotient::build(&cs);
-    let consts: Vec<BaseVar> = cs.base_vars().into_iter().filter(|b| b.is_const()).collect();
-    Sketch::infer(BaseVar::var("f"), &g, &q, lattice, &consts).unwrap()
-}
+use retypd_bench::sketch_for;
+use retypd_core::Lattice;
 
 fn bench(c: &mut Criterion) {
     let lattice = Lattice::c_types();

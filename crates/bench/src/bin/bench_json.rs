@@ -1,0 +1,152 @@
+//! Machine-readable benchmark runner: times the same workloads as the
+//! criterion bench targets (`core_solver`, `pipeline`, `sketches`) and
+//! emits one JSON document, so perf trajectories can be committed and
+//! diffed across PRs (`BENCH_*.json` at the repo root).
+//!
+//! ```text
+//! cargo run --release -p retypd-bench --bin bench_json            # full suite
+//! cargo run --release -p retypd-bench --bin bench_json -- --small # CI smoke
+//! cargo run --release -p retypd-bench --bin bench_json -- --out BENCH_pr2.json
+//! ```
+//!
+//! Names are `<group>/<bench>` matching the criterion targets, e.g.
+//! `core_solver/saturate_chain_200` and `pipeline/2650` (the pipeline
+//! parameter is the generated program's instruction count).
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use retypd_bench::{chain_constraints, figure2_constraints, sketch_for};
+use retypd_core::graph::ConstraintGraph;
+use retypd_core::saturation::saturate;
+use retypd_core::{Lattice, SchemeBuilder, Solver};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{GenConfig, ProgramGenerator};
+
+/// Wall-clock budget spent measuring each benchmark (after warm-up).
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+const MAX_ITERS: u64 = 100_000;
+
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Times `body` adaptively and records the mean wall-clock per iteration,
+/// taking the best of three measurement passes to damp scheduler noise.
+fn bench<O>(records: &mut Vec<Record>, name: &str, mut body: impl FnMut() -> O) {
+    let warm_start = Instant::now();
+    std::hint::black_box(body());
+    let once = warm_start.elapsed().max(Duration::from_nanos(1));
+    let iters =
+        (TARGET_MEASURE.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(body());
+        }
+        let mean = start.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(mean);
+    }
+    eprintln!("{name:<40} {best:>14.0} ns/iter (n = {iters})");
+    records.push(Record {
+        name: name.to_owned(),
+        ns_per_iter: best,
+        iters,
+    });
+}
+
+fn main() {
+    let mut out_path: Option<String> = None;
+    let mut small = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next(),
+            "--small" => small = true,
+            other => {
+                eprintln!("unknown argument {other}; usage: bench_json [--small] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let lattice = Lattice::c_types();
+    let mut records = Vec::new();
+
+    // --- core_solver ---
+    let fig2 = figure2_constraints();
+    bench(&mut records, "core_solver/saturate_figure2", || {
+        let mut g = ConstraintGraph::build(&fig2);
+        saturate(&mut g)
+    });
+    let chain_len = if small { 50 } else { 200 };
+    let chain = chain_constraints(chain_len);
+    bench(
+        &mut records,
+        &format!("core_solver/saturate_chain_{chain_len}"),
+        || {
+            let mut g = ConstraintGraph::build(&chain);
+            saturate(&mut g)
+        },
+    );
+    let builder = SchemeBuilder::new(&lattice);
+    bench(&mut records, "core_solver/simplify_figure2_scheme", || {
+        builder.infer("f", &fig2)
+    });
+
+    // --- pipeline ---
+    let sizes: &[usize] = if small { &[10] } else { &[10, 40, 120] };
+    for &functions in sizes {
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 7,
+            functions,
+            ..GenConfig::default()
+        })
+        .generate();
+        let (mir, _) = compile(&module).unwrap();
+        let program = retypd_congen::generate(&mir);
+        bench(
+            &mut records,
+            &format!("pipeline/{}", mir.instruction_count()),
+            || Solver::new(&lattice).infer(&program),
+        );
+    }
+
+    // --- sketches ---
+    let a = sketch_for(
+        "f.in_stack0 <= t; t.load.σ32@0 <= t; t.load.σ32@4 <= int; int <= f.out_eax",
+        &lattice,
+    );
+    let b2 = sketch_for(
+        "f.in_stack0 <= u; int <= u.store.σ32@0; u.load.σ32@8 <= #FileDescriptor",
+        &lattice,
+    );
+    bench(&mut records, "sketches/sketch_meet", || a.meet(&b2, &lattice));
+    bench(&mut records, "sketches/sketch_join", || a.join(&b2, &lattice));
+    bench(&mut records, "sketches/sketch_leq", || a.leq(&b2, &lattice));
+
+    // --- emit JSON (hand-rolled: the vendored serde shim has no serializer) ---
+    let mut json = String::from("{\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+            r.name,
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write bench JSON");
+            eprintln!("wrote {p}");
+        }
+        None => {
+            std::io::stdout().write_all(json.as_bytes()).expect("stdout");
+        }
+    }
+}

@@ -17,8 +17,58 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use retypd_core::graph::ConstraintGraph;
+use retypd_core::parse::parse_constraint_set;
+use retypd_core::saturation::saturate;
+use retypd_core::shapes::ShapeQuotient;
+use retypd_core::{BaseVar, ConstraintSet, Lattice, Sketch};
 use retypd_minic::ast::Module;
 use retypd_minic::genprog::{ClusterSpec, GenConfig, ProgramGenerator};
+
+/// The Figure 2 constraint set used by the `core_solver` benches: the
+/// recursive linked-list walker with a `#FileDescriptor` handle field.
+pub fn figure2_constraints() -> ConstraintSet {
+    parse_constraint_set(
+        "
+        f.in_stack0 <= t
+        t.load.σ32@0 <= t
+        t.load.σ32@4 <= #FileDescriptor
+        t.load.σ32@4 <= int
+        int <= f.out_eax
+        #SuccessZ <= f.out_eax
+        ",
+    )
+    .expect("figure2 constraints parse")
+}
+
+/// A value-flow chain of `n` links with pointer stores/loads every third
+/// link — the `saturate_chain_*` workload shared by the criterion bench,
+/// the JSON emitter, and the determinism regression tests. Keeping one
+/// definition here means the committed `BENCH_*.json` trajectories and the
+/// pinned graph counts always measure the same program.
+pub fn chain_constraints(n: usize) -> ConstraintSet {
+    let mut cs = ConstraintSet::new();
+    for i in 0..n {
+        cs.add_sub_str(&format!("v{i}"), &format!("v{}", i + 1));
+        if i % 3 == 0 {
+            cs.add_sub_str(&format!("p{i}.load.σ32@0"), &format!("v{i}"));
+            cs.add_sub_str(&format!("v{i}"), &format!("p{}.store.σ32@0", i + 1));
+        }
+    }
+    cs.add_sub_str("v0", "int");
+    cs
+}
+
+/// Infers `f`'s sketch from a textual constraint set (the `sketches`
+/// bench fixture builder).
+pub fn sketch_for(src: &str, lattice: &Lattice) -> Sketch {
+    let cs = parse_constraint_set(src).expect("sketch fixture parses");
+    let mut g = ConstraintGraph::build(&cs);
+    saturate(&mut g);
+    let q = ShapeQuotient::build(&cs);
+    let consts: Vec<BaseVar> = cs.base_vars().into_iter().filter(|b| b.is_const()).collect();
+    Sketch::infer(BaseVar::var("f"), &g, &q, lattice, &consts).expect("f has a class")
+}
 
 /// A named standalone benchmark (the Figure 7 singles).
 pub struct SingleSpec {

@@ -1,0 +1,81 @@
+//! Determinism regression tests for the benchmark workloads.
+//!
+//! The bench generators are seeded, and the whole pipeline — graph
+//! construction, saturation, quotient building — is required to be
+//! deterministic (BTree-ordered constraint sets, dense index assignment in
+//! first-materialization order). These tests pin the node and ε-edge counts
+//! of the bench generator programs so that a representation change that
+//! silently perturbs the graph (lost edges, duplicated nodes,
+//! iteration-order dependence) fails here rather than as an unexplained
+//! perf or accuracy shift.
+
+use retypd_bench::chain_constraints;
+use retypd_core::graph::ConstraintGraph;
+use retypd_core::saturation::saturate;
+use retypd_core::{Lattice, Solver};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{GenConfig, ProgramGenerator};
+
+#[test]
+fn chain_200_graph_counts_are_pinned() {
+    let cs = chain_constraints(200);
+    let mut g = ConstraintGraph::build(&cs);
+    let nodes = g.node_count();
+    let edges_before = g.edge_count();
+    let added = saturate(&mut g);
+    let report = format!(
+        "nodes={nodes} edges_before={edges_before} eps_added={added} edges_after={}",
+        g.edge_count()
+    );
+    assert_eq!(
+        report,
+        "nodes=1744 edges_before=2814 eps_added=536 edges_after=3350"
+    );
+}
+
+#[test]
+fn chain_200_saturation_is_repeatable() {
+    let cs = chain_constraints(200);
+    let mut g1 = ConstraintGraph::build(&cs);
+    let mut g2 = ConstraintGraph::build(&cs);
+    assert_eq!(saturate(&mut g1), saturate(&mut g2));
+    assert_eq!(g1.node_count(), g2.node_count());
+    assert_eq!(g1.edge_count(), g2.edge_count());
+    // Edge-for-edge equality, not just counts.
+    for n in g1.nodes() {
+        let e1: Vec<_> = g1.edges_out(n).collect();
+        let e2: Vec<_> = g2.edges_out(n).collect();
+        assert_eq!(e1, e2, "adjacency diverges at node {n:?}");
+    }
+}
+
+#[test]
+fn pipeline_generator_counts_are_pinned() {
+    let lattice = Lattice::c_types();
+    let mut reports = Vec::new();
+    for functions in [10usize, 40] {
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 7,
+            functions,
+            ..GenConfig::default()
+        })
+        .generate();
+        let (mir, _) = compile(&module).unwrap();
+        let program = retypd_congen::generate(&mir);
+        let result = Solver::new(&lattice).infer(&program);
+        reports.push(format!(
+            "insts={} graph_nodes={} graph_edges={} quotient_nodes={}",
+            mir.instruction_count(),
+            result.stats.graph_nodes,
+            result.stats.graph_edges,
+            result.stats.quotient_nodes,
+        ));
+    }
+    assert_eq!(
+        reports,
+        [
+            "insts=212 graph_nodes=616 graph_edges=824 quotient_nodes=284",
+            "insts=856 graph_nodes=2262 graph_edges=3052 quotient_nodes=1049",
+        ]
+    );
+}

@@ -1,0 +1,48 @@
+//! A dense visited set over `0..len` (one bit per state).
+//!
+//! The saturated graph's query loops (transducer walks, phase
+//! reachability) are hot enough that hashing tuple states dominates; a
+//! bitset makes membership a shift and a mask. Callers encode their state
+//! tuples into a dense index themselves.
+
+/// A fixed-capacity bitset with insert-returns-fresh semantics.
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for indices `0..len`.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`; returns true if it was absent.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let absent = self.words[w] & b == 0;
+        self.words[w] |= b;
+        absent
+    }
+
+    /// True if `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_freshness() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(129));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+    }
+}

@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher for the solver's internal tables.
+//!
+//! The data plane keys its interner and dedup maps by small integers and
+//! short tuples (`DtvId`, `(DtvId, Label)`, packed edge words). The standard
+//! library's default SipHash is DoS-resistant but costs tens of cycles per
+//! key, which is measurable in graph construction and saturation. This is
+//! the well-known multiply-rotate-xor scheme used by rustc ("FxHash"):
+//! one multiply per word, no finalization.
+//!
+//! These tables are process-internal (never fed adversarial keys across a
+//! trust boundary), so the lack of DoS resistance is acceptable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate-xor hasher; one multiply per written word.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 7), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(41, 287)], 41);
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut h = FxHasher::default();
+        h.write(b"0123456789abcdef!"); // 17 bytes: two chunks + remainder
+        let a = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(b"0123456789abcdef?");
+        assert_ne!(a, h2.finish());
+    }
+}

@@ -4,6 +4,14 @@
 //! table and referenced by a small copyable [`Symbol`]. Interning the same
 //! string twice yields the same symbol, so equality and hashing are O(1).
 //!
+//! The symbol carries the canonical `&'static str` itself, so every
+//! read-side operation — [`Symbol::as_str`], equality, hashing, and
+//! crucially [`Ord`] — is lock-free: only [`Symbol::intern`] touches the
+//! global table. (An earlier id-based representation took two interner
+//! read-locks and a table lookup per comparison, which made ordered
+//! collections of symbols — `BTreeSet<BaseVar>` and friends — a hot-path
+//! hazard.)
+//!
 //! ```
 //! use retypd_core::Symbol;
 //!
@@ -15,31 +23,24 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::OnceLock;
 
 use parking_lot::RwLock;
 
 /// An interned string.
 ///
-/// Symbols are cheap to copy and compare. Ordering is by string content (not
-/// interning order) so that data structures built from symbols iterate in a
-/// deterministic order regardless of interning history.
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Symbol(u32);
+/// Symbols are cheap to copy and compare: equality and hashing use the
+/// canonical pointer (interning guarantees one allocation per distinct
+/// string), and ordering is by string content (not interning order) so that
+/// data structures built from symbols iterate in a deterministic order
+/// regardless of interning history.
+#[derive(Clone, Copy)]
+pub struct Symbol(&'static str);
 
-struct Interner {
-    map: HashMap<&'static str, u32>,
-    strings: Vec<&'static str>,
-}
-
-fn interner() -> &'static RwLock<Interner> {
-    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
-    INTERNER.get_or_init(|| {
-        RwLock::new(Interner {
-            map: HashMap::new(),
-            strings: Vec::new(),
-        })
-    })
+fn interner() -> &'static RwLock<HashMap<&'static str, &'static str>> {
+    static INTERNER: OnceLock<RwLock<HashMap<&'static str, &'static str>>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 impl Symbol {
@@ -47,32 +48,39 @@ impl Symbol {
     pub fn intern(s: &str) -> Symbol {
         {
             let guard = interner().read();
-            if let Some(&id) = guard.map.get(s) {
-                return Symbol(id);
+            if let Some(&canon) = guard.get(s) {
+                return Symbol(canon);
             }
         }
         let mut guard = interner().write();
-        if let Some(&id) = guard.map.get(s) {
-            return Symbol(id);
+        if let Some(&canon) = guard.get(s) {
+            return Symbol(canon);
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        let id = guard.strings.len() as u32;
-        guard.strings.push(leaked);
-        guard.map.insert(leaked, id);
-        Symbol(id)
+        guard.insert(leaked, leaked);
+        Symbol(leaked)
     }
 
-    /// Returns the interned string.
+    /// Returns the interned string (no lock: the symbol carries it).
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[self.0 as usize]
-    }
-
-    /// Returns the raw index of this symbol in the interner.
-    ///
-    /// Only meaningful within a single process run; use [`Symbol::as_str`]
-    /// for anything persistent.
-    pub fn index(self) -> u32 {
         self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning canonicalizes: content equality ⟺ pointer equality.
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Symbol {}
+
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash the canonical address, not the content: O(1) and consistent
+        // with the pointer-based `Eq`.
+        (self.0.as_ptr() as usize).hash(state);
     }
 }
 
@@ -84,23 +92,23 @@ impl PartialOrd for Symbol {
 
 impl Ord for Symbol {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        if self.0 == other.0 {
+        if std::ptr::eq(self.0, other.0) {
             std::cmp::Ordering::Equal
         } else {
-            self.as_str().cmp(other.as_str())
+            self.0.cmp(other.0)
         }
     }
 }
 
 impl fmt::Debug for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}", self.as_str())
+        write!(f, "{:?}", self.0)
     }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
+        f.write_str(self.0)
     }
 }
 
@@ -131,6 +139,17 @@ mod tests {
         let z = Symbol::intern("zzz_order");
         let a = Symbol::intern("aaa_order");
         assert!(a < z);
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |s: Symbol| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(Symbol::intern("same")), h(Symbol::intern("same")));
     }
 
     #[test]

@@ -48,10 +48,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addsub;
+pub mod bitset;
 pub mod constraint;
 pub mod ctype;
 pub mod deduction;
 pub mod dtv;
+pub mod fxhash;
 pub mod graph;
 mod intern;
 pub mod label;

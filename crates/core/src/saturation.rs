@@ -26,105 +26,221 @@
 //! derive its dashed `x.store⊕ → y.load⊕` edge. This cross-variance form is
 //! validated against the naive Figure 3 oracle by the proptests in this
 //! module.
+//!
+//! # Data plane
+//!
+//! The fixpoint runs entirely over dense integer indices, with no per-visit
+//! allocations in the worklist inner loop:
+//!
+//! * Push labels are interned into small ids; an `R(q)` entry is one `u64`
+//!   packing `(label id, source node)`, and `R(q)` itself is a sorted,
+//!   deduplicated `Vec<u64>`.
+//! * Rule 2 is an in-place merge of two sorted lists (count the missing
+//!   elements, grow the destination once, merge backwards) — no temporary
+//!   sets, no rehashing.
+//! * Rule 3 indexes directly into the graph's pop-edge CSR partition; the
+//!   matching `R` entries are found by binary search on the packed label
+//!   prefix. New ε edges land in the graph's append-only delta lane, so no
+//!   adjacency snapshot is taken.
+//! * Rule 4 swaps `.load`/`.store` label ids through a reused scratch
+//!   buffer.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
-use crate::graph::{ConstraintGraph, EdgeKind, NodeId};
+use crate::graph::{ConstraintGraph, NodeId};
 use crate::label::Label;
 use crate::variance::Variance;
 
+/// Packs a reaching-set entry `(label, source)` into one sortable word.
+fn pack(label_id: u32, z: NodeId) -> u64 {
+    ((label_id as u64) << 32) | z.0 as u64
+}
+
+fn entry_label(e: u64) -> u32 {
+    (e >> 32) as u32
+}
+
+fn entry_node(e: u64) -> NodeId {
+    NodeId(e as u32)
+}
+
+/// Merges sorted `src` into sorted `dst` in place; returns true if `dst`
+/// gained elements. Linear two-pointer count, then one backward merge pass —
+/// the only allocation is the destination's own growth.
+fn merge_into(dst: &mut Vec<u64>, src: &[u64]) -> bool {
+    let mut i = 0;
+    let mut missing = 0;
+    for &s in src {
+        while i < dst.len() && dst[i] < s {
+            i += 1;
+        }
+        if i >= dst.len() || dst[i] != s {
+            missing += 1;
+        }
+    }
+    if missing == 0 {
+        return false;
+    }
+    let old = dst.len();
+    dst.resize(old + missing, 0);
+    let mut a = old as isize - 1;
+    let mut b = src.len() as isize - 1;
+    let mut w = dst.len() as isize - 1;
+    while b >= 0 {
+        if a >= 0 && dst[a as usize] > src[b as usize] {
+            dst[w as usize] = dst[a as usize];
+            a -= 1;
+        } else if a >= 0 && dst[a as usize] == src[b as usize] {
+            dst[w as usize] = dst[a as usize];
+            a -= 1;
+            b -= 1;
+        } else {
+            dst[w as usize] = src[b as usize];
+            b -= 1;
+        }
+        w -= 1;
+    }
+    true
+}
+
+/// Merges `R(src)` into `R(dst)` (distinct indices) via a split borrow.
+fn merge_between(reaching: &mut [Vec<u64>], src: usize, dst: usize) -> bool {
+    debug_assert_ne!(src, dst);
+    if src < dst {
+        let (a, b) = reaching.split_at_mut(dst);
+        merge_into(&mut b[0], &a[src])
+    } else {
+        let (a, b) = reaching.split_at_mut(src);
+        merge_into(&mut a[dst], &b[0])
+    }
+}
+
 /// Saturates the graph in place. Returns the number of ε edges added.
 pub fn saturate(g: &mut ConstraintGraph) -> usize {
-    let mut reaching: Vec<HashSet<(Label, NodeId)>> = vec![HashSet::new(); g.node_count()];
-    let mut dirty: VecDeque<NodeId> = VecDeque::new();
-    let mut queued: Vec<bool> = vec![false; g.node_count()];
+    let n_nodes = g.node_count();
+
+    // Intern the labels that can appear in reaching sets: push-edge labels,
+    // plus .load/.store so the S-POINTER swap is always expressible.
+    let mut label_ids: HashMap<Label, u32> = HashMap::new();
+    let intern = |l: Label, label_ids: &mut HashMap<Label, u32>| -> u32 {
+        let next = label_ids.len() as u32;
+        *label_ids.entry(l).or_insert(next)
+    };
+    let load_id = intern(Label::Load, &mut label_ids);
+    let store_id = intern(Label::Store, &mut label_ids);
+    for n in g.nodes() {
+        for &(l, _) in g.push_out(n) {
+            intern(l, &mut label_ids);
+        }
+    }
+    // Pre-resolve every pop edge's label id once (the pop partition is
+    // immutable); `NO_LABEL` marks labels never pushed anywhere.
+    const NO_LABEL: u32 = u32::MAX;
+    let pop_lids: Vec<u32> = g
+        .pop_edges()
+        .iter()
+        .map(|&(l, _)| label_ids.get(&l).copied().unwrap_or(NO_LABEL))
+        .collect();
+
+    let mut reaching: Vec<Vec<u64>> = vec![Vec::new(); n_nodes];
+    let mut dirty: VecDeque<u32> = VecDeque::new();
+    let mut queued: Vec<bool> = vec![false; n_nodes];
+    let mut scratch: Vec<u64> = Vec::new();
     let mut added = 0usize;
 
-    let enqueue = |n: NodeId, dirty: &mut VecDeque<NodeId>, queued: &mut Vec<bool>| {
-        if !queued[n.0 as usize] {
-            queued[n.0 as usize] = true;
-            dirty.push_back(n);
-        }
-    };
+    macro_rules! enqueue {
+        ($n:expr) => {{
+            let idx = $n.0 as usize;
+            if !queued[idx] {
+                queued[idx] = true;
+                dirty.push_back($n.0);
+            }
+        }};
+    }
 
     // Seed: push edges.
     for n in g.nodes() {
-        for e in g.edges_out(n) {
-            if let EdgeKind::Push(l) = e.kind {
-                if reaching[e.to.0 as usize].insert((l, n)) {
-                    enqueue(e.to, &mut dirty, &mut queued);
-                }
-            }
+        for &(l, to) in g.push_out(n) {
+            reaching[to.0 as usize].push(pack(label_ids[&l], n));
+        }
+    }
+    for n in g.nodes() {
+        let r = &mut reaching[n.0 as usize];
+        if !r.is_empty() {
+            r.sort_unstable();
+            r.dedup();
+            enqueue!(n);
         }
     }
 
-    // Worklist: process nodes whose R set changed; re-run propagation,
-    // shortcut and lazy rules from them. New ε edges may require
-    // re-propagating from their sources.
+    // Worklist: process nodes whose R set changed; re-run the lazy,
+    // shortcut, and propagation rules from them. New ε edges re-enqueue
+    // their sources so R flows across them.
     while let Some(n) = dirty.pop_front() {
+        let n = NodeId(n);
         queued[n.0 as usize] = false;
 
         // Lazy S-POINTER at contravariant nodes: swap the pending label and
         // flip to the covariant twin.
         if n.variance() == Variance::Contravariant {
-            let twin = n.mirror();
-            let swapped: Vec<(Label, NodeId)> = reaching[n.0 as usize]
-                .iter()
-                .filter_map(|&(l, z)| match l {
-                    Label::Store => Some((Label::Load, z)),
-                    Label::Load => Some((Label::Store, z)),
-                    _ => None,
-                })
-                .collect();
-            let mut twin_changed = false;
-            for entry in swapped {
-                if reaching[twin.0 as usize].insert(entry) {
-                    twin_changed = true;
-                }
+            scratch.clear();
+            for &e in &reaching[n.0 as usize] {
+                let lid = entry_label(e);
+                let swapped = if lid == load_id {
+                    store_id
+                } else if lid == store_id {
+                    load_id
+                } else {
+                    continue;
+                };
+                scratch.push(pack(swapped, entry_node(e)));
             }
-            if twin_changed {
-                enqueue(twin, &mut dirty, &mut queued);
+            if !scratch.is_empty() {
+                scratch.sort_unstable();
+                let twin = n.mirror();
+                if merge_into(&mut reaching[twin.0 as usize], &scratch) {
+                    enqueue!(twin);
+                }
             }
         }
 
-        // Snapshot outgoing edges (we mutate the graph below).
-        let edges: Vec<_> = g.edges_out(n).to_vec();
-        for e in edges {
-            match e.kind {
-                EdgeKind::Eps => {
-                    // Propagate R along ε.
-                    let from: Vec<_> = reaching[n.0 as usize].iter().copied().collect();
-                    let tgt = &mut reaching[e.to.0 as usize];
-                    let mut changed = false;
-                    for entry in from {
-                        if tgt.insert(entry) {
-                            changed = true;
-                        }
-                    }
-                    if changed {
-                        enqueue(e.to, &mut dirty, &mut queued);
-                    }
+        // Shortcut rule, indexed directly into the pop partition: for a
+        // pop-ℓ edge n → y and (ℓ, z) ∈ R(n), add z --ε--> y. The matching
+        // entries are one binary search away (R is sorted by label prefix).
+        for pi in g.pop_range(n) {
+            let lid = pop_lids[pi];
+            if lid == NO_LABEL {
+                continue;
+            }
+            let y = g.pop_edges()[pi].1;
+            let r = &reaching[n.0 as usize];
+            let lo = r.partition_point(|&e| e < pack(lid, NodeId(0)));
+            let hi = r.partition_point(|&e| e <= pack(lid, NodeId(u32::MAX)));
+            for k in lo..hi {
+                let z = entry_node(reaching[n.0 as usize][k]);
+                let (new_fwd, new_mirror) = g.add_eps_pair(z, y);
+                if new_fwd {
+                    added += 1;
+                    enqueue!(z);
                 }
-                EdgeKind::Pop(l) => {
-                    // Shortcut rule.
-                    let sources: Vec<NodeId> = reaching[n.0 as usize]
-                        .iter()
-                        .filter(|&&(ll, _)| ll == l)
-                        .map(|&(_, z)| z)
-                        .collect();
-                    for z in sources {
-                        if g.add_edge(z, e.to, EdgeKind::Eps) {
-                            added += 1;
-                            enqueue(z, &mut dirty, &mut queued);
-                        }
-                        // Mirror edge (Lemma D.7 symmetry).
-                        if g.add_edge(e.to.mirror(), z.mirror(), EdgeKind::Eps) {
-                            added += 1;
-                            enqueue(e.to.mirror(), &mut dirty, &mut queued);
-                        }
-                    }
+                if new_mirror {
+                    added += 1;
+                    enqueue!(y.mirror());
                 }
-                EdgeKind::Push(_) => {}
+            }
+        }
+
+        // Propagate R along ε (base lane + any delta edges the shortcut
+        // rule just appended — the delta lane is append-only, so indexed
+        // access is stable and no snapshot is needed).
+        let n_eps = g.eps_out_len(n);
+        for i in 0..n_eps {
+            let to = g.eps_out_nth(n, i);
+            if to == n {
+                continue;
+            }
+            if merge_between(&mut reaching, n.0 as usize, to.0 as usize) {
+                enqueue!(to);
             }
         }
     }
@@ -134,6 +250,7 @@ pub fn saturate(g: &mut ConstraintGraph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::EdgeKind;
     use crate::parse::{parse_constraint_set, parse_derived_var};
     use crate::transducer::accepts;
 
@@ -148,6 +265,19 @@ mod tests {
         let g = saturated(src);
         let c = crate::parse::parse_constraint(query).unwrap();
         accepts(&g, &c.lhs, &c.rhs)
+    }
+
+    #[test]
+    fn merge_into_unions_sorted_lists() {
+        let mut dst = vec![1u64, 4, 9];
+        assert!(merge_into(&mut dst, &[0, 4, 5, 12]));
+        assert_eq!(dst, vec![0, 1, 4, 5, 9, 12]);
+        assert!(!merge_into(&mut dst, &[4, 9]));
+        assert_eq!(dst, vec![0, 1, 4, 5, 9, 12]);
+        let mut empty: Vec<u64> = Vec::new();
+        assert!(merge_into(&mut empty, &[7]));
+        assert_eq!(empty, vec![7]);
+        assert!(!merge_into(&mut empty, &[]));
     }
 
     #[test]
@@ -186,10 +316,7 @@ mod tests {
         let yl = g
             .node(&parse_derived_var("y.load").unwrap(), Variance::Covariant)
             .unwrap();
-        assert!(g
-            .edges_out(xs)
-            .iter()
-            .any(|e| e.kind == EdgeKind::Eps && e.to == yl));
+        assert!(g.eps_out(xs).any(|to| to == yl));
     }
 
     #[test]
@@ -242,12 +369,8 @@ mod tests {
         for n in g.nodes() {
             for e in g.edges_out(n) {
                 if e.kind == EdgeKind::Eps {
-                    let has_mirror = g
-                        .edges_out(e.to.mirror())
-                        .iter()
-                        .any(|m| m.kind == EdgeKind::Eps && m.to == n.mirror());
                     assert!(
-                        has_mirror,
+                        g.has_eps(e.to.mirror(), n.mirror()),
                         "missing mirror of ({:?}, {:?})",
                         g.dtv(n),
                         g.dtv(e.to)

@@ -17,10 +17,11 @@
 //! from a class, and [`crate::sketch`] decorates those states with lattice
 //! marks.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::constraint::ConstraintSet;
 use crate::dtv::{BaseVar, DerivedVar};
+use crate::fxhash::FxHashMap;
 use crate::label::Label;
 
 /// An equivalence class of the shape quotient.
@@ -28,12 +29,23 @@ use crate::label::Label;
 pub struct ClassId(pub u32);
 
 /// The shape quotient of a constraint set (Algorithm E.1's `G/∼`).
+///
+/// Like [`crate::graph::ConstraintGraph`], nodes are interned structurally:
+/// a node is a base variable or a `(parent node, label)` child, so lookups
+/// walk one small hash per label instead of hashing whole derived-variable
+/// paths. (Node ids here are pre-quotient; classes come from the union-find
+/// overlay.)
 #[derive(Clone, Debug)]
 pub struct ShapeQuotient {
     parent: Vec<u32>,
     /// Edge maps per node; only the representative's map is authoritative.
     edges: Vec<BTreeMap<Label, u32>>,
-    node_of: HashMap<DerivedVar, u32>,
+    /// The derived variable of each (pre-quotient) node.
+    dtvs: Vec<DerivedVar>,
+    /// Structural interner roots: base variable → node.
+    base_nodes: FxHashMap<BaseVar, u32>,
+    /// Structural interner steps: `(parent node, label)` → child node.
+    child_nodes: FxHashMap<(u32, Label), u32>,
 }
 
 impl ShapeQuotient {
@@ -42,16 +54,23 @@ impl ShapeQuotient {
         let mut q = ShapeQuotient {
             parent: Vec::new(),
             edges: Vec::new(),
-            node_of: HashMap::new(),
+            dtvs: Vec::new(),
+            base_nodes: FxHashMap::default(),
+            child_nodes: FxHashMap::default(),
         };
-        for dv in cs.mentioned_vars() {
-            q.ensure(&dv);
-        }
         let mut pending: VecDeque<(u32, u32)> = VecDeque::new();
         for c in cs.subtypes() {
             let a = q.ensure(&c.lhs);
             let b = q.ensure(&c.rhs);
             pending.push_back((a, b));
+        }
+        for v in cs.var_decls() {
+            q.ensure(v);
+        }
+        for a in cs.addsubs() {
+            q.ensure(&a.x);
+            q.ensure(&a.y);
+            q.ensure(&a.z);
         }
         while let Some((a, b)) = pending.pop_front() {
             q.union(a, b, &mut pending);
@@ -76,25 +95,56 @@ impl ShapeQuotient {
     }
 
     fn ensure(&mut self, dv: &DerivedVar) -> u32 {
-        if let Some(&n) = self.node_of.get(dv) {
+        let mut n = self.ensure_base(dv.base());
+        for &l in dv.path() {
+            n = self.ensure_child(n, l);
+        }
+        n
+    }
+
+    fn ensure_base(&mut self, base: BaseVar) -> u32 {
+        if let Some(&n) = self.base_nodes.get(&base) {
             return n;
         }
-        let parent_node = dv.parent().map(|p| self.ensure(&p));
+        let n = self.new_node(DerivedVar::new(base));
+        self.base_nodes.insert(base, n);
+        n
+    }
+
+    fn ensure_child(&mut self, p: u32, l: Label) -> u32 {
+        if let Some(&n) = self.child_nodes.get(&(p, l)) {
+            return n;
+        }
+        let dv = self.dtvs[p as usize].clone().push(l);
+        let n = self.new_node(dv);
+        self.child_nodes.insert((p, l), n);
+        let pr = self.find(p);
+        // A merged class may already carry an ℓ-edge; keep the existing
+        // target and remember that `n` aliases it.
+        if let Some(&t) = self.edges[pr as usize].get(&l) {
+            self.parent[n as usize] = self.find(t);
+        } else {
+            self.edges[pr as usize].insert(l, n);
+        }
+        n
+    }
+
+    fn new_node(&mut self, dv: DerivedVar) -> u32 {
         let n = self.parent.len() as u32;
         self.parent.push(n);
         self.edges.push(BTreeMap::new());
-        self.node_of.insert(dv.clone(), n);
-        if let (Some(p), Some(l)) = (parent_node, dv.last_label()) {
-            let pr = self.find(p);
-            // A merged class may already carry an ℓ-edge; keep the existing
-            // target and remember that `n` aliases it.
-            if let Some(&t) = self.edges[pr as usize].get(&l) {
-                self.parent[n as usize] = self.find(t);
-            } else {
-                self.edges[pr as usize].insert(l, n);
-            }
-        }
+        self.dtvs.push(dv);
         n
+    }
+
+    /// The (pre-quotient) node of a materialized derived variable, found by
+    /// walking the structural interner.
+    fn node_of_ro(&self, dv: &DerivedVar) -> Option<u32> {
+        let mut n = *self.base_nodes.get(&dv.base())?;
+        for &l in dv.path() {
+            n = *self.child_nodes.get(&(n, l))?;
+        }
+        Some(n)
     }
 
     fn find(&mut self, mut x: u32) -> u32 {
@@ -154,13 +204,13 @@ impl ShapeQuotient {
 
     /// The class of a materialized derived variable, if any.
     pub fn class_of(&self, dv: &DerivedVar) -> Option<ClassId> {
-        self.node_of.get(dv).map(|&n| ClassId(self.find_ro(n)))
+        self.node_of_ro(dv).map(|n| ClassId(self.find_ro(n)))
     }
 
     /// Walks the label word from `base`'s class, returning the class
     /// reached — this accepts exactly the capability language of `base`.
     pub fn walk(&self, base: BaseVar, word: &[Label]) -> Option<ClassId> {
-        let mut cur = self.class_of(&DerivedVar::new(base))?;
+        let mut cur = ClassId(self.find_ro(*self.base_nodes.get(&base)?));
         for &l in word {
             cur = self.step(cur, l)?;
         }
@@ -204,10 +254,9 @@ impl ShapeQuotient {
     /// All materialized derived variables in a class.
     pub fn members(&self, c: ClassId) -> Vec<DerivedVar> {
         let r = self.find_ro(c.0);
-        self.node_of
-            .iter()
-            .filter(|(_, &n)| self.find_ro(n) == r)
-            .map(|(d, _)| d.clone())
+        (0..self.parent.len())
+            .filter(|&n| self.find_ro(n as u32) == r)
+            .map(|n| self.dtvs[n].clone())
             .collect()
     }
 

@@ -18,12 +18,13 @@
 //! invariant that a pop-phase state `(d,⊕)` reached from entry `X` with pop
 //! word `u` witnesses `X.u ⊑ d` (and dually for `⊖`).
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::constraint::ConstraintSet;
 use crate::dtv::{BaseVar, DerivedVar};
-use crate::graph::{ConstraintGraph, EdgeKind, NodeId};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::graph::{ConstraintGraph, DtvId, EdgeKind, NodeId};
 use crate::intern::Symbol;
 use crate::lattice::Lattice;
 use crate::saturation::saturate;
@@ -43,6 +44,33 @@ fn fresh_var() -> BaseVar {
 enum Phase {
     Pop,
     Push,
+}
+
+/// Dense set over `(node, phase)` pairs — a [`crate::bitset::BitSet`] with
+/// the phase folded into the low index bit.
+struct PhaseSet {
+    bits: crate::bitset::BitSet,
+}
+
+impl PhaseSet {
+    fn new(node_count: usize) -> PhaseSet {
+        PhaseSet {
+            bits: crate::bitset::BitSet::new(node_count * 2),
+        }
+    }
+
+    fn idx(n: NodeId, p: Phase) -> usize {
+        (n.0 as usize) * 2 + (p == Phase::Push) as usize
+    }
+
+    /// Inserts; returns true if newly added.
+    fn insert(&mut self, n: NodeId, p: Phase) -> bool {
+        self.bits.insert(Self::idx(n, p))
+    }
+
+    fn contains(&self, n: NodeId, p: Phase) -> bool {
+        self.bits.contains(Self::idx(n, p))
+    }
 }
 
 /// Options controlling scheme extraction.
@@ -174,8 +202,10 @@ impl<'l> SchemeBuilder<'l> {
         // Backward phase-aware reachability.
         let bwd = backward_states(g, &endpoints, &is_real);
 
-        // Collect live edges.
-        let mut live_edges: BTreeSet<(NodeId, NodeId, EdgeKind)> = BTreeSet::new();
+        // Collect live edges. Iteration is node-major over the CSR
+        // partitions, so the order (and with it the fresh-variable
+        // numbering) is deterministic without a sorted set.
+        let mut live_edges: Vec<(NodeId, NodeId, EdgeKind)> = Vec::new();
         for n in g.nodes() {
             if !is_real(n) {
                 continue;
@@ -184,10 +214,11 @@ impl<'l> SchemeBuilder<'l> {
                 if !is_real(e.to) {
                     continue;
                 }
-                for (ps, pt) in phase_transitions(e.kind) {
-                    if fwd.contains(&(n, ps)) && bwd.contains(&(e.to, pt)) {
-                        live_edges.insert((n, e.to, e.kind));
-                    }
+                let live = phase_transitions(e.kind)
+                    .iter()
+                    .any(|&(ps, pt)| fwd.contains(n, ps) && bwd.contains(e.to, pt));
+                if live {
+                    live_edges.push((n, e.to, e.kind));
                 }
             }
         }
@@ -197,17 +228,19 @@ impl<'l> SchemeBuilder<'l> {
         // separately from the shape quotient — see after the edge loop.
         let _ = &self.options;
 
-        // Emit constraints.
-        let mut names: HashMap<DerivedVar, BaseVar> = HashMap::new();
+        // Emit constraints. Synthesized names are keyed by the graph's
+        // interned dtv ids — no derived-variable cloning or path hashing.
+        let mut names: FxHashMap<DtvId, BaseVar> = FxHashMap::default();
         let mut existentials: BTreeSet<Symbol> = BTreeSet::new();
-        let var_of = |d: &DerivedVar,
-                          names: &mut HashMap<DerivedVar, BaseVar>,
+        let var_of = |n: NodeId,
+                          names: &mut FxHashMap<DtvId, BaseVar>,
                           existentials: &mut BTreeSet<Symbol>|
          -> DerivedVar {
+            let d = g.dtv(n);
             if is_endpoint(d.base()) {
                 return d.clone();
             }
-            let base = *names.entry(d.clone()).or_insert_with(fresh_var);
+            let base = *names.entry(n.dtv_id()).or_insert_with(fresh_var);
             existentials.insert(base.name());
             DerivedVar::new(base)
         };
@@ -223,21 +256,20 @@ impl<'l> SchemeBuilder<'l> {
             out.add_sub(l, r);
         };
 
-        for (s, t, kind) in &live_edges {
-            let ds = g.dtv(*s).clone();
-            let dt = g.dtv(*t).clone();
+        for &(s, t, kind) in &live_edges {
             // Capabilities of interesting variables must survive even when
             // the chain-edge constraint below would be a skipped reflexive
             // (var(x).ℓ ⊑ var(x.ℓ) with both literal): declare them.
             if let EdgeKind::Pop(_) = kind {
+                let dt = g.dtv(t);
                 if is_endpoint(dt.base()) && !dt.base().is_const() {
                     out.add_var_decl(dt.clone());
                 }
             }
             match kind {
                 EdgeKind::Eps => {
-                    let vs = var_of(&ds, &mut names, &mut existentials);
-                    let vt = var_of(&dt, &mut names, &mut existentials);
+                    let vs = var_of(s, &mut names, &mut existentials);
+                    let vt = var_of(t, &mut names, &mut existentials);
                     match s.variance() {
                         Variance::Covariant => add(vs, vt, &mut out),
                         Variance::Contravariant => add(vt, vs, &mut out),
@@ -245,8 +277,8 @@ impl<'l> SchemeBuilder<'l> {
                 }
                 EdgeKind::Pop(l) => {
                     // s = (x, v), t = (x.ℓ, v·⟨ℓ⟩).
-                    let vx = var_of(&ds, &mut names, &mut existentials).push(*l);
-                    let vxl = var_of(&dt, &mut names, &mut existentials);
+                    let vx = var_of(s, &mut names, &mut existentials).push(l);
+                    let vxl = var_of(t, &mut names, &mut existentials);
                     match t.variance() {
                         Variance::Covariant => add(vx, vxl, &mut out),
                         Variance::Contravariant => add(vxl, vx, &mut out),
@@ -254,8 +286,8 @@ impl<'l> SchemeBuilder<'l> {
                 }
                 EdgeKind::Push(l) => {
                     // s = (x.ℓ, v), t = (x, v·⟨ℓ⟩).
-                    let vxl = var_of(&ds, &mut names, &mut existentials);
-                    let vx = var_of(&dt, &mut names, &mut existentials).push(*l);
+                    let vxl = var_of(s, &mut names, &mut existentials);
+                    let vx = var_of(t, &mut names, &mut existentials).push(l);
                     match s.variance() {
                         Variance::Covariant => add(vxl, vx, &mut out),
                         Variance::Contravariant => add(vx, vxl, &mut out),
@@ -272,8 +304,8 @@ impl<'l> SchemeBuilder<'l> {
         // grafts them onto the interesting variable. The fresh variables
         // carry no lattice constants, so no bounds can leak through them.
         if self.options.keep_capabilities {
-            let mut class_var: HashMap<crate::shapes::ClassId, BaseVar> = HashMap::new();
-            let mut emitted: HashSet<crate::shapes::ClassId> = HashSet::new();
+            let mut class_var: FxHashMap<crate::shapes::ClassId, BaseVar> = FxHashMap::default();
+            let mut emitted: FxHashSet<crate::shapes::ClassId> = FxHashSet::default();
             for base in interesting {
                 if base.is_const() {
                     continue;
@@ -319,22 +351,22 @@ fn forward_states(
     g: &ConstraintGraph,
     entries: &[NodeId],
     is_real: &dyn Fn(NodeId) -> bool,
-) -> HashSet<(NodeId, Phase)> {
-    let mut seen: HashSet<(NodeId, Phase)> = HashSet::new();
-    let mut queue: VecDeque<(NodeId, Phase)> = VecDeque::new();
+) -> PhaseSet {
+    let mut seen = PhaseSet::new(g.node_count());
+    let mut stack: Vec<(NodeId, Phase)> = Vec::new();
     for &n in entries {
-        if seen.insert((n, Phase::Pop)) {
-            queue.push_back((n, Phase::Pop));
+        if seen.insert(n, Phase::Pop) {
+            stack.push((n, Phase::Pop));
         }
     }
-    while let Some((n, p)) = queue.pop_front() {
+    while let Some((n, p)) = stack.pop() {
         for e in g.edges_out(n) {
             if !is_real(e.to) {
                 continue;
             }
             for (ps, pt) in phase_transitions(e.kind) {
-                if ps == p && seen.insert((e.to, pt)) {
-                    queue.push_back((e.to, pt));
+                if ps == p && seen.insert(e.to, pt) {
+                    stack.push((e.to, pt));
                 }
             }
         }
@@ -346,26 +378,26 @@ fn backward_states(
     g: &ConstraintGraph,
     exits: &[NodeId],
     is_real: &dyn Fn(NodeId) -> bool,
-) -> HashSet<(NodeId, Phase)> {
+) -> PhaseSet {
     let rev = g.reverse_adjacency();
-    let mut seen: HashSet<(NodeId, Phase)> = HashSet::new();
-    let mut queue: VecDeque<(NodeId, Phase)> = VecDeque::new();
+    let mut seen = PhaseSet::new(g.node_count());
+    let mut stack: Vec<(NodeId, Phase)> = Vec::new();
     for &n in exits {
         for p in [Phase::Pop, Phase::Push] {
-            if seen.insert((n, p)) {
-                queue.push_back((n, p));
+            if seen.insert(n, p) {
+                stack.push((n, p));
             }
         }
     }
-    while let Some((n, p)) = queue.pop_front() {
+    while let Some((n, p)) = stack.pop() {
         for e in &rev[n.0 as usize] {
             // e.to is the forward-source.
             if !is_real(e.to) {
                 continue;
             }
             for (ps, pt) in phase_transitions(e.kind) {
-                if pt == p && seen.insert((e.to, ps)) {
-                    queue.push_back((e.to, ps));
+                if pt == p && seen.insert(e.to, ps) {
+                    stack.push((e.to, ps));
                 }
             }
         }

@@ -19,10 +19,11 @@
 //! graph (Algorithm F.2's `SOLVE`): at each node, lower bounds are joined
 //! into the mark and upper bounds are met into it.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use crate::dtv::{BaseVar, DerivedVar};
+use crate::fxhash::FxHashMap;
 use crate::graph::ConstraintGraph;
 use crate::label::Label;
 use crate::lattice::{Lattice, LatticeElem};
@@ -148,7 +149,7 @@ impl Sketch {
         let root_class = quotient.walk(base, &[])?;
         // BFS over (class, variance), tracking a shortest representative
         // word per state for the bound queries.
-        let mut index: HashMap<(ClassId, Variance), SketchState> = HashMap::new();
+        let mut index: FxHashMap<(ClassId, Variance), SketchState> = FxHashMap::default();
         let mut nodes: Vec<Node> = Vec::new();
         let mut reps: Vec<Vec<Label>> = Vec::new();
         let mut queue: VecDeque<(ClassId, Variance)> = VecDeque::new();
@@ -248,7 +249,7 @@ impl Sketch {
 
     fn combine(&self, other: &Sketch, lattice: &Lattice, is_meet: bool) -> Sketch {
         type PState = (Option<SketchState>, Option<SketchState>, Variance);
-        let mut index: HashMap<PState, SketchState> = HashMap::new();
+        let mut index: FxHashMap<PState, SketchState> = FxHashMap::default();
         let mut nodes: Vec<Node> = Vec::new();
         let mut queue: VecDeque<PState> = VecDeque::new();
         let start = (Some(self.root), Some(other.root), Variance::Covariant);
@@ -334,7 +335,7 @@ impl Sketch {
     /// and `νY(w) ≤ νX(w)` at contravariant `w`.
     pub fn leq(&self, other: &Sketch, lattice: &Lattice) -> bool {
         // Walk the product over other's language.
-        let mut seen: HashMap<(SketchState, SketchState, Variance), ()> = HashMap::new();
+        let mut seen: FxHashMap<(SketchState, SketchState, Variance), ()> = FxHashMap::default();
         let mut queue: VecDeque<(SketchState, SketchState, Variance)> = VecDeque::new();
         queue.push_back((self.root, other.root, Variance::Covariant));
         seen.insert((self.root, other.root, Variance::Covariant), ());

@@ -16,7 +16,9 @@
 //! constraint checks `κ₁ <: κ₂`): violations are *reported*, never fatal,
 //! which is what lets Retypd survive type-unsafe idioms (§2.6).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::fxhash::FxHashMap;
 
 use crate::addsub::apply_addsubs;
 use crate::constraint::ConstraintSet;
@@ -151,7 +153,7 @@ impl<'l> Solver<'l> {
         let mut stats = SolverStats::default();
 
         // ---- Pass 1: INFERPROCTYPES (callees first). ----
-        let scc_of: HashMap<usize, usize> = sccs
+        let scc_of: FxHashMap<usize, usize> = sccs
             .iter()
             .enumerate()
             .flat_map(|(i, scc)| scc.iter().map(move |&p| (p, i)))
@@ -286,7 +288,7 @@ impl<'l> Solver<'l> {
         &self,
         program: &Program,
         scc: &[usize],
-        scc_of: &HashMap<usize, usize>,
+        scc_of: &FxHashMap<usize, usize>,
         schemes: &BTreeMap<Symbol, TypeScheme>,
     ) -> ConstraintSet {
         let mut combined = ConstraintSet::new();

@@ -6,10 +6,11 @@
 //! first pops exactly `u` (interleaved with ε steps) and then pushes exactly
 //! `v` (Appendix D.4's "shadowing" discipline: all pops precede all pushes).
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::BTreeSet;
 
+use crate::bitset::BitSet;
 use crate::dtv::DerivedVar;
-use crate::graph::{ConstraintGraph, EdgeKind, NodeId};
+use crate::graph::{ConstraintGraph, NodeId};
 use crate::lattice::{Lattice, LatticeElem};
 use crate::variance::Variance;
 
@@ -62,35 +63,36 @@ fn accepts_trimmed(g: &ConstraintGraph, lhs: &DerivedVar, rhs: &DerivedVar, k: u
         None => return false,
     };
 
-    let mut seen: HashSet<(NodeId, usize, usize)> = HashSet::new();
-    let mut queue: VecDeque<(NodeId, usize, usize)> = VecDeque::new();
-    queue.push_back((entry, 0, 0));
-    seen.insert((entry, 0, 0));
-    while let Some((n, i, j)) = queue.pop_front() {
+    // States are (node, pops done, pushes done); the pops-then-pushes
+    // discipline bounds both counters, so the whole space packs into a
+    // dense bitset with no hashing.
+    let iw = u.len() + 1;
+    let jw = v.len() + 1;
+    let encode = |n: NodeId, i: usize, j: usize| (n.0 as usize * iw + i) * jw + j;
+    let mut seen = BitSet::new(g.node_count() * iw * jw);
+    let mut stack: Vec<(NodeId, usize, usize)> = Vec::with_capacity(64);
+    seen.insert(encode(entry, 0, 0));
+    stack.push((entry, 0, 0));
+    while let Some((n, i, j)) = stack.pop() {
         if n == exit && i == u.len() && j == v.len() {
             return true;
         }
-        for e in g.edges_out(n) {
-            let next = match e.kind {
-                EdgeKind::Eps => Some((e.to, i, j)),
-                EdgeKind::Pop(l) => {
-                    if j == 0 && i < u.len() && u[i] == l {
-                        Some((e.to, i + 1, j))
-                    } else {
-                        None
-                    }
+        for to in g.eps_out(n) {
+            if seen.insert(encode(to, i, j)) {
+                stack.push((to, i, j));
+            }
+        }
+        if j == 0 && i < u.len() {
+            for &(l, to) in g.pop_out(n) {
+                if l == u[i] && seen.insert(encode(to, i + 1, j)) {
+                    stack.push((to, i + 1, j));
                 }
-                EdgeKind::Push(l) => {
-                    if i == u.len() && j < v.len() && v[v.len() - 1 - j] == l {
-                        Some((e.to, i, j + 1))
-                    } else {
-                        None
-                    }
-                }
-            };
-            if let Some(cfg) = next {
-                if seen.insert(cfg) {
-                    queue.push_back(cfg);
+            }
+        }
+        if i == u.len() && j < v.len() {
+            for &(l, to) in g.push_out(n) {
+                if l == v[v.len() - 1 - j] && seen.insert(encode(to, i, j + 1)) {
+                    stack.push((to, i, j + 1));
                 }
             }
         }
@@ -221,16 +223,15 @@ pub fn scalar_violations(g: &ConstraintGraph, lattice: &Lattice) -> Vec<(crate::
 }
 
 fn eps_reachable(g: &ConstraintGraph, from: NodeId) -> Vec<NodeId> {
-    let mut seen = HashSet::new();
-    let mut queue = VecDeque::new();
-    seen.insert(from);
-    queue.push_back(from);
+    let mut seen = BitSet::new(g.node_count());
+    let mut stack = vec![from];
+    seen.insert(from.0 as usize);
     let mut out = Vec::new();
-    while let Some(n) = queue.pop_front() {
-        for e in g.edges_out(n) {
-            if e.kind == EdgeKind::Eps && seen.insert(e.to) {
-                queue.push_back(e.to);
-                out.push(e.to);
+    while let Some(n) = stack.pop() {
+        for to in g.eps_out(n) {
+            if seen.insert(to.0 as usize) {
+                stack.push(to);
+                out.push(to);
             }
         }
     }
