@@ -16,10 +16,12 @@
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
-use retypd_bench::{chain_constraints, figure2_constraints, sketch_for};
+use retypd_bench::{chain_constraints, figure2_constraints, sketch_for, wide_bounds_constraints};
 use retypd_core::graph::ConstraintGraph;
 use retypd_core::saturation::saturate;
+use retypd_core::solver::SolverStats;
 use retypd_core::{Lattice, SchemeBuilder, Solver};
+use retypd_driver::{AnalysisDriver, DriverConfig};
 use retypd_minic::codegen::compile;
 use retypd_minic::genprog::{GenConfig, ProgramGenerator};
 
@@ -35,9 +37,11 @@ struct Record {
 
 /// Times `body` adaptively and records the mean wall-clock per iteration,
 /// taking the best of three measurement passes to damp scheduler noise.
-fn bench<O>(records: &mut Vec<Record>, name: &str, mut body: impl FnMut() -> O) {
+/// Returns the warm-up invocation's output (workloads are deterministic, so
+/// callers can harvest e.g. solver stats without an extra run).
+fn bench<O>(records: &mut Vec<Record>, name: &str, mut body: impl FnMut() -> O) -> O {
     let warm_start = Instant::now();
-    std::hint::black_box(body());
+    let warm_out = std::hint::black_box(body());
     let once = warm_start.elapsed().max(Duration::from_nanos(1));
     let iters =
         (TARGET_MEASURE.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
@@ -56,6 +60,7 @@ fn bench<O>(records: &mut Vec<Record>, name: &str, mut body: impl FnMut() -> O) 
         ns_per_iter: best,
         iters,
     });
+    warm_out
 }
 
 fn main() {
@@ -97,7 +102,8 @@ fn main() {
         builder.infer("f", &fig2)
     });
 
-    // --- pipeline ---
+    // --- pipeline (+ per-size stats samples and driver runs) ---
+    let mut stats_records: Vec<(String, SolverStats)> = Vec::new();
     let sizes: &[usize] = if small { &[10] } else { &[10, 40, 120] };
     for &functions in sizes {
         let module = ProgramGenerator::new(GenConfig {
@@ -108,11 +114,26 @@ fn main() {
         .generate();
         let (mir, _) = compile(&module).unwrap();
         let program = retypd_congen::generate(&mir);
-        bench(
-            &mut records,
-            &format!("pipeline/{}", mir.instruction_count()),
-            || Solver::new(&lattice).infer(&program),
-        );
+        let insts = mir.instruction_count();
+        let solved = bench(&mut records, &format!("pipeline/{insts}"), || {
+            Solver::new(&lattice).infer(&program)
+        });
+        stats_records.push((format!("pipeline/{insts}"), solved.stats));
+        // Driver runs: `cold` builds a fresh driver per iteration (full
+        // solve plus fingerprint overhead); `warm` reuses one driver, so
+        // after the first iteration every SCC is a cache hit — the serving
+        // path for re-submitted modules.
+        bench(&mut records, &format!("driver/pipeline_{insts}_cold"), || {
+            AnalysisDriver::with_config(&lattice, DriverConfig { workers: 1 }).solve(&program)
+        });
+        let warm_driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 1 });
+        bench(&mut records, &format!("driver/pipeline_{insts}_warm"), || {
+            warm_driver.solve(&program)
+        });
+        stats_records.push((
+            format!("driver/pipeline_{insts}_warm"),
+            warm_driver.solve(&program).stats,
+        ));
     }
 
     // --- sketches ---
@@ -127,6 +148,26 @@ fn main() {
     bench(&mut records, "sketches/sketch_meet", || a.meet(&b2, &lattice));
     bench(&mut records, "sketches/sketch_join", || a.join(&b2, &lattice));
     bench(&mut records, "sketches/sketch_leq", || a.leq(&b2, &lattice));
+    // Bound-query workload: many states × many constants, saturated once;
+    // each iteration re-infers the sketch (marks + intervals).
+    let wide = wide_bounds_constraints();
+    let mut wide_g = ConstraintGraph::build(&wide);
+    saturate(&mut wide_g);
+    let wide_q = retypd_core::ShapeQuotient::build(&wide);
+    let wide_consts: Vec<retypd_core::BaseVar> = wide
+        .base_vars()
+        .into_iter()
+        .filter(|b| b.is_const())
+        .collect();
+    bench(&mut records, "sketches/sketch_infer_wide", || {
+        retypd_core::Sketch::infer(
+            retypd_core::BaseVar::var("f"),
+            &wide_g,
+            &wide_q,
+            &lattice,
+            &wide_consts,
+        )
+    });
 
     // --- emit JSON (hand-rolled: the vendored serde shim has no serializer) ---
     let mut json = String::from("{\n  \"benches\": [\n");
@@ -137,6 +178,23 @@ fn main() {
             r.ns_per_iter,
             r.iters,
             if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"stats\": [\n");
+    for (i, (name, s)) in stats_records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"graph_nodes\": {}, \"graph_edges\": {}, \
+             \"quotient_nodes\": {}, \"sketch_states\": {}, \"constraints\": {}, \
+             \"solve_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+            s.graph_nodes,
+            s.graph_edges,
+            s.quotient_nodes,
+            s.sketch_states,
+            s.constraints,
+            s.solve_ns,
+            s.cache_hits,
+            s.cache_misses,
+            if i + 1 == stats_records.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

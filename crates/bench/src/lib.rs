@@ -59,6 +59,25 @@ pub fn chain_constraints(n: usize) -> ConstraintSet {
     cs
 }
 
+/// A constant-heavy recursive-struct constraint set: many sketch states ×
+/// many type constants, the workload dominated by `Sketch::infer`'s bound
+/// queries (the batched-sweep target; see `sketches/sketch_infer_wide` in
+/// the committed `BENCH_*.json` trajectories).
+pub fn wide_bounds_constraints() -> ConstraintSet {
+    let mut src = String::from("f.in_stack0 <= t; t.load.σ32@0 <= t;\n");
+    let consts = [
+        "int", "uint", "int32", "uint32", "int16", "uint16", "int8", "uint8",
+        "#FileDescriptor", "#SuccessZ", "#SignalNumber", "pid_t", "bool_t",
+        "time_t", "size_t", "uintptr_t", "char", "float", "double",
+    ];
+    for (i, k) in consts.iter().enumerate() {
+        src.push_str(&format!("t.load.σ32@{} <= {k};\n", 4 * (i + 1)));
+        src.push_str(&format!("{k} <= f.out_eax;\n"));
+        src.push_str(&format!("g{i} <= t.load.σ32@{};\n", 4 * (i + 1)));
+    }
+    parse_constraint_set(&src).expect("wide bounds constraints parse")
+}
+
 /// Infers `f`'s sketch from a textual constraint set (the `sketches`
 /// bench fixture builder).
 pub fn sketch_for(src: &str, lattice: &Lattice) -> Sketch {

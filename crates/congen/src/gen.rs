@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use retypd_core::fxhash::FxHashMap;
 use retypd_core::{
     AddSubConstraint, AddSubKind, BaseVar, CallTarget, Callsite, ConstraintSet, DerivedVar,
     Label, Loc, Procedure, Symbol,
@@ -46,12 +47,20 @@ pub fn generate_with_externals(
         analyses.push((cfg, frame, rd));
         summaries.push(summary);
     }
-    // Phase 2: constraint emission.
+    // Phase 2: constraint emission. The register-name table is interned
+    // once for the whole generation (each `FuncGen` used to rescan
+    // `Reg::ALL` per formal and per call argument), and procedures go
+    // through `add_proc` so the program's name → index map is populated for
+    // downstream by-name lookups.
+    let regs: FxHashMap<Symbol, Reg> = Reg::ALL
+        .iter()
+        .map(|&r| (Symbol::intern(r.name()), r))
+        .collect();
     let mut program = retypd_core::Program::new();
     for (idx, f) in mir.funcs.iter().enumerate() {
         let (_, frame, rd) = &analyses[idx];
-        let gen = FuncGen::new(f, frame, rd, &summaries, externals, mir);
-        program.procs.push(gen.run(&summaries[idx]));
+        let gen = FuncGen::new(f, frame, rd, &summaries, externals, mir, &regs);
+        program.add_proc(gen.run(&summaries[idx]));
     }
     for (name, model) in externals {
         program.externals.insert(*name, model.scheme.clone());
@@ -111,6 +120,8 @@ struct FuncGen<'a> {
     summaries: &'a [FuncSummary],
     externals: &'a BTreeMap<Symbol, ExternalModel>,
     mir: &'a MirProgram,
+    /// Interned register-name table (built once per generation).
+    regs: &'a FxHashMap<Symbol, Reg>,
     cs: ConstraintSet,
     callsites: Vec<Callsite>,
     /// Slots whose address is taken: typed flow-insensitively.
@@ -133,6 +144,7 @@ impl<'a> FuncGen<'a> {
         summaries: &'a [FuncSummary],
         externals: &'a BTreeMap<Symbol, ExternalModel>,
         mir: &'a MirProgram,
+        regs: &'a FxHashMap<Symbol, Reg>,
     ) -> FuncGen<'a> {
         FuncGen {
             f,
@@ -141,6 +153,7 @@ impl<'a> FuncGen<'a> {
             summaries,
             externals,
             mir,
+            regs,
             cs: ConstraintSet::new(),
             callsites: Vec::new(),
             escaped: BTreeSet::new(),
@@ -158,8 +171,8 @@ impl<'a> FuncGen<'a> {
                     self.formal_slots.insert(*k as i32 + 4, *loc);
                 }
                 Loc::Reg(r) => {
-                    if let Some(reg) = Reg::ALL.iter().find(|x| x.name() == r.as_str()) {
-                        self.formal_regs.insert(*reg, *loc);
+                    if let Some(&reg) = self.regs.get(r) {
+                        self.formal_regs.insert(reg, *loc);
                     }
                 }
             }
@@ -496,8 +509,8 @@ impl<'a> FuncGen<'a> {
                     self.cs.add_sub(rv, formal);
                 }
                 Loc::Reg(r) => {
-                    if let Some(reg) = Reg::ALL.iter().find(|x| x.name() == r.as_str()) {
-                        let rv = self.read(i, Location::Reg(*reg));
+                    if let Some(&reg) = self.regs.get(r) {
+                        let rv = self.read(i, Location::Reg(reg));
                         self.cs.add_sub(rv, formal);
                     }
                 }

@@ -78,5 +78,30 @@ pub use scheme::TypeScheme;
 pub use shapes::ShapeQuotient;
 pub use simplify::SchemeBuilder;
 pub use sketch::Sketch;
-pub use solver::{CallTarget, Callsite, Procedure, Program, Solver, SolverResult};
+pub use solver::{
+    callsite_actuals, CallTarget, Callsite, Condensation, ProcResult, Procedure, Program,
+    SccRefinement, SccSchemes, Solver, SolverResult, SolverStats,
+};
 pub use variance::Variance;
+
+// The analysis data types are shared across worker threads by
+// `retypd-driver`'s SCC-wave scheduler. Guarantee at compile time that the
+// types crossing that boundary are `Send + Sync` (in particular `Symbol`,
+// which carries a `&'static str` into a process-wide interner, and
+// `Lattice`, whose tables are read concurrently by every worker).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Symbol>();
+    assert_send_sync::<Lattice>();
+    assert_send_sync::<LatticeElem>();
+    assert_send_sync::<TypeScheme>();
+    assert_send_sync::<Sketch>();
+    assert_send_sync::<ConstraintSet>();
+    assert_send_sync::<DerivedVar>();
+    assert_send_sync::<Program>();
+    assert_send_sync::<Procedure>();
+    assert_send_sync::<SolverResult>();
+    assert_send_sync::<Condensation>();
+    assert_send_sync::<SccSchemes>();
+    assert_send_sync::<SccRefinement>();
+};

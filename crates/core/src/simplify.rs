@@ -19,7 +19,6 @@
 //! word `u` witnesses `X.u ⊑ d` (and dually for `⊖`).
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::constraint::ConstraintSet;
 use crate::dtv::{BaseVar, DerivedVar};
@@ -32,11 +31,28 @@ use crate::scheme::TypeScheme;
 use crate::shapes::ShapeQuotient;
 use crate::variance::Variance;
 
-static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+/// Per-extraction fresh-variable source. Numbering restarts at `τ0` for
+/// every extraction (in the deterministic edge-iteration order), so a
+/// scheme's rendered form is a *canonical* function of its input constraint
+/// set — independent of process history and of how many schemes other
+/// threads are extracting concurrently. That canonicity is what lets the
+/// parallel driver produce bit-identical schemes for any worker count and
+/// lets its cache key schemes by content fingerprint. Collisions between
+/// schemes are harmless: existentials only ever meet other constraint sets
+/// through `TypeScheme::instantiate`, which `@tag`-renames them per
+/// callsite.
+struct FreshVars(u64);
 
-fn fresh_var() -> BaseVar {
-    let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
-    BaseVar::var(&format!("τ{n}"))
+impl FreshVars {
+    fn new() -> FreshVars {
+        FreshVars(0)
+    }
+
+    fn next(&mut self) -> BaseVar {
+        let n = self.0;
+        self.0 += 1;
+        BaseVar::var(&format!("τ{n}"))
+    }
 }
 
 /// Phase of the pops-then-pushes discipline (Appendix D.4).
@@ -230,9 +246,11 @@ impl<'l> SchemeBuilder<'l> {
 
         // Emit constraints. Synthesized names are keyed by the graph's
         // interned dtv ids — no derived-variable cloning or path hashing.
+        let mut fresh = FreshVars::new();
         let mut names: FxHashMap<DtvId, BaseVar> = FxHashMap::default();
         let mut existentials: BTreeSet<Symbol> = BTreeSet::new();
         let var_of = |n: NodeId,
+                          fresh: &mut FreshVars,
                           names: &mut FxHashMap<DtvId, BaseVar>,
                           existentials: &mut BTreeSet<Symbol>|
          -> DerivedVar {
@@ -240,7 +258,7 @@ impl<'l> SchemeBuilder<'l> {
             if is_endpoint(d.base()) {
                 return d.clone();
             }
-            let base = *names.entry(n.dtv_id()).or_insert_with(fresh_var);
+            let base = *names.entry(n.dtv_id()).or_insert_with(|| fresh.next());
             existentials.insert(base.name());
             DerivedVar::new(base)
         };
@@ -268,8 +286,8 @@ impl<'l> SchemeBuilder<'l> {
             }
             match kind {
                 EdgeKind::Eps => {
-                    let vs = var_of(s, &mut names, &mut existentials);
-                    let vt = var_of(t, &mut names, &mut existentials);
+                    let vs = var_of(s, &mut fresh, &mut names, &mut existentials);
+                    let vt = var_of(t, &mut fresh, &mut names, &mut existentials);
                     match s.variance() {
                         Variance::Covariant => add(vs, vt, &mut out),
                         Variance::Contravariant => add(vt, vs, &mut out),
@@ -277,8 +295,8 @@ impl<'l> SchemeBuilder<'l> {
                 }
                 EdgeKind::Pop(l) => {
                     // s = (x, v), t = (x.ℓ, v·⟨ℓ⟩).
-                    let vx = var_of(s, &mut names, &mut existentials).push(l);
-                    let vxl = var_of(t, &mut names, &mut existentials);
+                    let vx = var_of(s, &mut fresh, &mut names, &mut existentials).push(l);
+                    let vxl = var_of(t, &mut fresh, &mut names, &mut existentials);
                     match t.variance() {
                         Variance::Covariant => add(vx, vxl, &mut out),
                         Variance::Contravariant => add(vxl, vx, &mut out),
@@ -286,8 +304,8 @@ impl<'l> SchemeBuilder<'l> {
                 }
                 EdgeKind::Push(l) => {
                     // s = (x.ℓ, v), t = (x, v·⟨ℓ⟩).
-                    let vxl = var_of(s, &mut names, &mut existentials);
-                    let vx = var_of(t, &mut names, &mut existentials).push(l);
+                    let vxl = var_of(s, &mut fresh, &mut names, &mut existentials);
+                    let vx = var_of(t, &mut fresh, &mut names, &mut existentials).push(l);
                     match s.variance() {
                         Variance::Covariant => add(vxl, vx, &mut out),
                         Variance::Contravariant => add(vx, vxl, &mut out),
@@ -313,7 +331,7 @@ impl<'l> SchemeBuilder<'l> {
                 let Some(root) = quotient.walk(*base, &[]) else {
                     continue;
                 };
-                let root_var = *class_var.entry(root).or_insert_with(fresh_var);
+                let root_var = *class_var.entry(root).or_insert_with(|| fresh.next());
                 existentials.insert(root_var.name());
                 out.add_sub(DerivedVar::new(*base), DerivedVar::new(root_var));
                 let mut stack = vec![root];
@@ -321,10 +339,10 @@ impl<'l> SchemeBuilder<'l> {
                     if !emitted.insert(c) {
                         continue;
                     }
-                    let cv = *class_var.entry(c).or_insert_with(fresh_var);
+                    let cv = *class_var.entry(c).or_insert_with(|| fresh.next());
                     existentials.insert(cv.name());
                     for (l, t) in quotient.successors(c) {
-                        let tv = *class_var.entry(t).or_insert_with(fresh_var);
+                        let tv = *class_var.entry(t).or_insert_with(|| fresh.next());
                         existentials.insert(tv.name());
                         out.add_sub(
                             DerivedVar::new(cv).push(l),

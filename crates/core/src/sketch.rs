@@ -22,13 +22,14 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+use crate::bitset::BitSet;
 use crate::dtv::{BaseVar, DerivedVar};
-use crate::fxhash::FxHashMap;
-use crate::graph::ConstraintGraph;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::graph::{ConstraintGraph, NodeId};
+use crate::intern::Symbol;
 use crate::label::Label;
 use crate::lattice::{Lattice, LatticeElem};
 use crate::shapes::{ClassId, ShapeQuotient};
-use crate::transducer::accepts;
 use crate::variance::Variance;
 
 /// State index within a [`Sketch`].
@@ -147,11 +148,13 @@ impl Sketch {
         consts: &[BaseVar],
     ) -> Option<Sketch> {
         let root_class = quotient.walk(base, &[])?;
-        // BFS over (class, variance), tracking a shortest representative
-        // word per state for the bound queries.
+        // BFS over (class, variance). The first-discovery tree — each
+        // state's (parent, label) — is the trie of shortest representative
+        // words the batched bound sweep walks below.
         let mut index: FxHashMap<(ClassId, Variance), SketchState> = FxHashMap::default();
         let mut nodes: Vec<Node> = Vec::new();
-        let mut reps: Vec<Vec<Label>> = Vec::new();
+        let mut state_variance: Vec<Variance> = Vec::new();
+        let mut tree_children: Vec<Vec<(Label, SketchState)>> = Vec::new();
         let mut queue: VecDeque<(ClassId, Variance)> = VecDeque::new();
         index.insert((root_class, Variance::Covariant), 0);
         nodes.push(Node {
@@ -160,11 +163,11 @@ impl Sketch {
             upper: lattice.top(),
             edges: BTreeMap::new(),
         });
-        reps.push(Vec::new());
+        state_variance.push(Variance::Covariant);
+        tree_children.push(Vec::new());
         queue.push_back((root_class, Variance::Covariant));
         while let Some((c, v)) = queue.pop_front() {
             let sid = index[&(c, v)];
-            let rep = reps[sid as usize].clone();
             for (l, tc) in quotient.successors(c) {
                 let tv = v * l.variance();
                 let entry = (tc, tv);
@@ -179,9 +182,9 @@ impl Sketch {
                             upper: lattice.top(),
                             edges: BTreeMap::new(),
                         });
-                        let mut w = rep.clone();
-                        w.push(l);
-                        reps.push(w);
+                        state_variance.push(tv);
+                        tree_children.push(Vec::new());
+                        tree_children[sid as usize].push((l, t));
                         queue.push_back(entry);
                         t
                     }
@@ -189,30 +192,18 @@ impl Sketch {
                 nodes[sid as usize].edges.insert(l, tid);
             }
         }
+        // One batched reachability sweep computes every state's constant
+        // bounds at once (was: two `accepts` pushdown walks per state per
+        // type constant).
+        let bounds = solve_bounds(g, base, lattice, consts, &tree_children, &state_variance);
         // Solve the marks. Display policy per Figure 5: a covariant node
         // (output-like) shows the join of its lower bounds — everything
         // that flows into it; a contravariant node (input-like) shows the
         // meet of its upper bounds — everything demanded of it. The other
         // bound is used as a fallback when the primary one is degenerate.
         for (i, node) in nodes.iter_mut().enumerate() {
-            let word = &reps[i];
-            let variance = crate::word_variance(word);
-            let dv = DerivedVar::with_path(base, word.clone());
-            let mut lower = lattice.bottom();
-            let mut upper = lattice.top();
-            for &k in consts {
-                let kd = DerivedVar::new(k);
-                let ke = match lattice.element_sym(k.name()) {
-                    Some(e) => e,
-                    None => continue,
-                };
-                if accepts(g, &kd, &dv) {
-                    lower = lattice.join(lower, ke);
-                }
-                if accepts(g, &dv, &kd) {
-                    upper = lattice.meet(upper, ke);
-                }
-            }
+            let variance = state_variance[i];
+            let (lower, upper) = bounds[i];
             let conflicted =
                 lower != lattice.bottom() && upper != lattice.top() && !lattice.leq(lower, upper);
             let mark = if conflicted {
@@ -384,6 +375,135 @@ impl Sketch {
     }
 }
 
+/// Computes every sketch state's constant-bound interval `[⋁ lowers, ⋀
+/// uppers]` in one batch — the Appendix D.4 queries "which derived type
+/// variables are bound above/below by which type constants", asked for all
+/// representative words at once.
+///
+/// The per-state pushdown query `κ ⊑ base.w` (resp. `base.w ⊑ κ`) runs from
+/// the constant's covariant entry node and pushes `w` back-to-front (resp.
+/// pops `w` front-to-back) interleaved with ε steps, entering/leaving at the
+/// `base` node of `w`'s variance. Instead of re-walking the graph per
+/// (state, constant) pair, we take the product of the graph with the trie of
+/// representative words (`tree_children`):
+///
+/// * **uppers** — forward sweep from `(base, V)`: ε edges keep the trie
+///   state, a pop edge labeled `ℓ` advances to the trie child along `ℓ`.
+///   Reaching a constant's covariant node at trie state `s` witnesses
+///   `base.w_s ⊑ κ`.
+/// * **lowers** — the same sweep on the *reversed* graph (reversed ε and
+///   push edges): undoing the pushes of `κ ⇝ base.w_s` consumes `w_s`
+///   front-to-back, i.e. exactly a root-to-`s` trie walk. Reaching the
+///   constant's covariant node witnesses `κ ⊑ base.w_s`.
+///
+/// Both sweeps run once per entry variance `V`; a state's bounds are
+/// recorded only by the sweep matching its full-word variance (the entry
+/// node of its per-state query). The result is bit-identical to the former
+/// per-constant `accepts` walks (see the `bounds_match_accepts_oracle`
+/// test) at the cost of four product traversals total.
+fn solve_bounds(
+    g: &ConstraintGraph,
+    base: BaseVar,
+    lattice: &Lattice,
+    consts: &[BaseVar],
+    tree_children: &[Vec<(Label, SketchState)>],
+    state_variance: &[Variance],
+) -> Vec<(LatticeElem, LatticeElem)> {
+    let n_states = state_variance.len();
+    let mut lowers = vec![lattice.bottom(); n_states];
+    let mut uppers = vec![lattice.top(); n_states];
+    // Covariant entry nodes of the lattice-resolvable constants the caller
+    // asked about (constants outside Λ contribute no bounds, as before).
+    let allowed: FxHashSet<Symbol> = consts.iter().map(|b| b.name()).collect();
+    let mut const_elem: FxHashMap<u32, LatticeElem> = FxHashMap::default();
+    for n in g.nodes() {
+        if n.variance() != Variance::Covariant {
+            continue;
+        }
+        let d = g.dtv(n);
+        if d.is_empty() && d.base().is_const() && allowed.contains(&d.base().name()) {
+            if let Some(e) = lattice.element_sym(d.base().name()) {
+                const_elem.insert(n.0, e);
+            }
+        }
+    }
+    if const_elem.is_empty() {
+        return lowers.into_iter().zip(uppers).collect();
+    }
+    // Reversed ε / push adjacency for the lower-bound sweeps.
+    let nc = g.node_count();
+    let mut rev_eps: Vec<Vec<NodeId>> = vec![Vec::new(); nc];
+    let mut rev_push: Vec<Vec<(Label, NodeId)>> = vec![Vec::new(); nc];
+    for n in g.nodes() {
+        for to in g.eps_out(n) {
+            rev_eps[to.0 as usize].push(n);
+        }
+        for &(l, to) in g.push_out(n) {
+            rev_push[to.0 as usize].push((l, n));
+        }
+    }
+    let enc = |n: NodeId, s: SketchState| n.0 as usize * n_states + s as usize;
+    let child_of = |s: SketchState, l: Label| {
+        tree_children[s as usize]
+            .iter()
+            .find(|&&(cl, _)| cl == l)
+            .map(|&(_, c)| c)
+    };
+    for v in [Variance::Covariant, Variance::Contravariant] {
+        let entry = match g.node(&DerivedVar::new(base), v) {
+            Some(n) => n,
+            None => continue,
+        };
+        // Upper bounds: forward product sweep popping representative words.
+        let mut seen = BitSet::new(nc * n_states);
+        let mut stack: Vec<(NodeId, SketchState)> = vec![(entry, 0)];
+        seen.insert(enc(entry, 0));
+        while let Some((n, s)) = stack.pop() {
+            if state_variance[s as usize] == v {
+                if let Some(&e) = const_elem.get(&n.0) {
+                    uppers[s as usize] = lattice.meet(uppers[s as usize], e);
+                }
+            }
+            for to in g.eps_out(n) {
+                if seen.insert(enc(to, s)) {
+                    stack.push((to, s));
+                }
+            }
+            for &(l, to) in g.pop_out(n) {
+                if let Some(c) = child_of(s, l) {
+                    if seen.insert(enc(to, c)) {
+                        stack.push((to, c));
+                    }
+                }
+            }
+        }
+        // Lower bounds: the same sweep over the reversed graph.
+        let mut seen = BitSet::new(nc * n_states);
+        let mut stack: Vec<(NodeId, SketchState)> = vec![(entry, 0)];
+        seen.insert(enc(entry, 0));
+        while let Some((n, s)) = stack.pop() {
+            if state_variance[s as usize] == v {
+                if let Some(&e) = const_elem.get(&n.0) {
+                    lowers[s as usize] = lattice.join(lowers[s as usize], e);
+                }
+            }
+            for &m in &rev_eps[n.0 as usize] {
+                if seen.insert(enc(m, s)) {
+                    stack.push((m, s));
+                }
+            }
+            for &(l, m) in &rev_push[n.0 as usize] {
+                if let Some(c) = child_of(s, l) {
+                    if seen.insert(enc(m, c)) {
+                        stack.push((m, c));
+                    }
+                }
+            }
+        }
+    }
+    lowers.into_iter().zip(uppers).collect()
+}
+
 impl fmt::Display for Sketch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, n) in self.nodes.iter().enumerate() {
@@ -492,6 +612,83 @@ mod tests {
         assert!(a.join(&b, &lat).equivalent(&b.join(&a, &lat), &lat));
         assert!(a.meet(&a.join(&c, &lat), &lat).equivalent(&a, &lat));
         assert!(a.join(&a.meet(&c, &lat), &lat).equivalent(&a, &lat));
+    }
+
+    #[test]
+    fn bounds_match_accepts_oracle() {
+        // Replicates the pre-batching bound computation — two `accepts`
+        // pushdown walks per (state, constant) over the BFS representative
+        // words — and checks the swept intervals are bit-identical.
+        use crate::transducer::accepts;
+        let sources = [
+            "f.in_stack0 <= t; t.load.σ32@0 <= t; t.load.σ32@4 <= #FileDescriptor; int <= f.out_eax",
+            "f.in_stack0 <= p; p.load.σ32@0 <= int; int32 <= p.store.σ32@0",
+            "f.in_stack0 <= x; x <= int32; x <= #FileDescriptor; #SuccessZ <= x",
+            "f.out_eax <= y; int32 <= y; y <= float32",
+            "a <= f.in_stack0; f.in_stack0.store.σ32@0 <= b; int <= a; b <= uint",
+            "int <= p.store.σ32@0; p.load.σ32@0 <= f.out_eax; f.in_stack0 <= p",
+        ];
+        let lattice = Lattice::c_types();
+        for src in sources {
+            let cs = parse_constraint_set(src).unwrap();
+            let mut g = ConstraintGraph::build(&cs);
+            saturate(&mut g);
+            let quotient = ShapeQuotient::build(&cs);
+            let consts: Vec<BaseVar> = cs
+                .base_vars()
+                .into_iter()
+                .filter(|b| b.is_const())
+                .collect();
+            let base = BaseVar::var("f");
+            let sk =
+                Sketch::infer(base, &g, &quotient, &lattice, &consts).expect("f has a class");
+            // Re-run the state BFS to recover the representative words.
+            let root_class = quotient.walk(base, &[]).unwrap();
+            let mut index: FxHashMap<(ClassId, Variance), u32> = FxHashMap::default();
+            let mut reps: Vec<Vec<Label>> = vec![Vec::new()];
+            let mut queue: VecDeque<(ClassId, Variance)> = VecDeque::new();
+            index.insert((root_class, Variance::Covariant), 0);
+            queue.push_back((root_class, Variance::Covariant));
+            while let Some((c, v)) = queue.pop_front() {
+                let sid = index[&(c, v)];
+                let rep = reps[sid as usize].clone();
+                for (l, tc) in quotient.successors(c) {
+                    let tv = v * l.variance();
+                    if !index.contains_key(&(tc, tv)) {
+                        index.insert((tc, tv), reps.len() as u32);
+                        let mut w = rep.clone();
+                        w.push(l);
+                        reps.push(w);
+                        queue.push_back((tc, tv));
+                    }
+                }
+            }
+            assert_eq!(reps.len(), sk.len(), "state count, src={src}");
+            for word in &reps {
+                let dv = DerivedVar::with_path(base, word.clone());
+                let mut lower = lattice.bottom();
+                let mut upper = lattice.top();
+                for &k in &consts {
+                    let kd = DerivedVar::new(k);
+                    let ke = match lattice.element_sym(k.name()) {
+                        Some(e) => e,
+                        None => continue,
+                    };
+                    if accepts(&g, &kd, &dv) {
+                        lower = lattice.join(lower, ke);
+                    }
+                    if accepts(&g, &dv, &kd) {
+                        upper = lattice.meet(upper, ke);
+                    }
+                }
+                let sid = sk.walk(word).expect("rep word in language");
+                assert_eq!(
+                    sk.interval(sid),
+                    (lower, upper),
+                    "src = {src}, word = {word:?}"
+                );
+            }
+        }
     }
 
     #[test]

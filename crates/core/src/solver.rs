@@ -15,8 +15,15 @@
 //! Consistency checking is deferred (§3: satisfiability reduces to scalar
 //! constraint checks `κ₁ <: κ₂`): violations are *reported*, never fatal,
 //! which is what lets Retypd survive type-unsafe idioms (§2.6).
+//!
+//! Both passes are exposed as reusable per-SCC steps — [`Solver::solve_scc`]
+//! and [`Solver::refine_scc`] — operating on immutable snapshots of the
+//! cross-SCC state, so external drivers (e.g. `retypd-driver`) can schedule
+//! independent SCCs concurrently and merge the outputs deterministically.
+//! [`Solver::infer`] itself is a thin sequential composition of the two.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 use crate::fxhash::FxHashMap;
 
@@ -76,6 +83,9 @@ pub struct Program {
     pub externals: BTreeMap<Symbol, TypeScheme>,
     /// Global variables: never renamed during instantiation.
     pub globals: BTreeSet<BaseVar>,
+    /// Name → index map maintained by [`Program::add_proc`] so by-name
+    /// lookups need not rescan `procs` linearly.
+    index: FxHashMap<Symbol, usize>,
 }
 
 impl Program {
@@ -84,10 +94,26 @@ impl Program {
         Program::default()
     }
 
-    /// Adds a procedure, returning its index.
+    /// Adds a procedure, returning its index. Keeps the name → index map in
+    /// sync; code that pushes onto `procs` directly should go through here
+    /// instead if it wants [`Program::proc_index`] to see the procedure.
     pub fn add_proc(&mut self, p: Procedure) -> usize {
+        let idx = self.procs.len();
+        self.index.insert(p.name, idx);
         self.procs.push(p);
-        self.procs.len() - 1
+        idx
+    }
+
+    /// O(1) lookup of a procedure's index by name (procedures added via
+    /// [`Program::add_proc`]; on a miss falls back to a linear scan so
+    /// directly-pushed procedures still resolve).
+    pub fn proc_index(&self, name: Symbol) -> Option<usize> {
+        if let Some(&i) = self.index.get(&name) {
+            if self.procs.get(i).is_some_and(|p| p.name == name) {
+                return Some(i);
+            }
+        }
+        self.procs.iter().position(|p| p.name == name)
     }
 }
 
@@ -103,7 +129,9 @@ pub struct ProcResult {
     pub general_sketch: Option<Sketch>,
 }
 
-/// Aggregate size statistics, used by the evaluation's memory model.
+/// Aggregate size statistics, used by the evaluation's memory model, plus
+/// timing and cache counters so driver runs are comparable to plain
+/// [`Solver::infer`] runs in the committed `BENCH_*.json` trajectories.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SolverStats {
     /// Total constraint-graph nodes across SCC solves.
@@ -116,6 +144,30 @@ pub struct SolverStats {
     pub sketch_states: usize,
     /// Total constraints processed.
     pub constraints: usize,
+    /// Wall-clock nanoseconds of the solve that produced this result.
+    pub solve_ns: u64,
+    /// SCC solves answered from a scheme cache (0 for the plain solver;
+    /// filled in by `retypd-driver`).
+    pub cache_hits: u64,
+    /// SCC solves that missed the scheme cache (0 for the plain solver).
+    pub cache_misses: u64,
+}
+
+impl SolverStats {
+    /// Accumulates another stats record into this one (counting fields sum;
+    /// `solve_ns` sums too, which is correct for per-SCC deltas that carry
+    /// zero and lets callers overwrite with a measured wall-clock at the
+    /// end).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.graph_nodes += other.graph_nodes;
+        self.graph_edges += other.graph_edges;
+        self.quotient_nodes += other.quotient_nodes;
+        self.sketch_states += other.sketch_states;
+        self.constraints += other.constraints;
+        self.solve_ns += other.solve_ns;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
 }
 
 /// Result of whole-program inference.
@@ -130,6 +182,158 @@ pub struct SolverResult {
     pub stats: SolverStats,
 }
 
+/// Pass-1 output for one SCC: the inferred scheme per member procedure plus
+/// the size of the combined constraint set that was simplified.
+#[derive(Clone, Debug)]
+pub struct SccSchemes {
+    /// `(procedure name, inferred scheme)`, in SCC member order.
+    pub schemes: Vec<(Symbol, TypeScheme)>,
+    /// Number of combined constraints processed for this SCC.
+    pub constraints: usize,
+}
+
+/// Pass-2 output for one SCC: every sketch the SCC's processing inserted
+/// (procedure sketches and callsite-actual sketches), ready to be merged
+/// into the global maps in SCC order.
+#[derive(Clone, Debug)]
+pub struct SccRefinement {
+    /// Solved sketches: procedure variables (refined) and tagged callsite
+    /// actuals, exactly the keys the sequential pass would have inserted.
+    pub sketches: BTreeMap<BaseVar, Sketch>,
+    /// Most general (pre-`REFINEPARAMETERS`) sketches per procedure.
+    pub general: Vec<(Symbol, Sketch)>,
+    /// Scalar violations found in this SCC's saturated graph.
+    pub inconsistencies: Vec<(Symbol, Symbol)>,
+    /// Size-statistics delta contributed by this SCC.
+    pub stats: SolverStats,
+}
+
+/// The call-graph condensation: SCCs in reverse topological order plus the
+/// cross-SCC dependency edges (Algorithm F.1/F.2's processing structure),
+/// exposed so external drivers can schedule independent SCCs concurrently.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// SCCs in reverse topological order (callees before callers): the
+    /// pass-1 processing order.
+    pub sccs: Vec<Vec<usize>>,
+    /// Procedure index → index into `sccs`.
+    pub scc_of: Vec<usize>,
+    /// `deps[i]`: the SCCs of `sccs[i]`'s cross-SCC internal callees. Every
+    /// dependency index is `< i` (reverse topological order), so pass 1 may
+    /// run SCC `i` once all of `deps[i]` finished, and pass 2 (callers
+    /// first) may run `i` once every SCC that depends on `i` finished.
+    pub deps: Vec<BTreeSet<usize>>,
+}
+
+impl Condensation {
+    /// Computes the condensation of a program's call graph.
+    pub fn compute(program: &Program) -> Condensation {
+        let sccs = tarjan_sccs(program);
+        let mut scc_of = vec![0usize; program.procs.len()];
+        for (i, scc) in sccs.iter().enumerate() {
+            for &p in scc {
+                scc_of[p] = i;
+            }
+        }
+        let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); sccs.len()];
+        for (i, scc) in sccs.iter().enumerate() {
+            for &p in scc {
+                for cs in &program.procs[p].callsites {
+                    if let CallTarget::Internal(q) = cs.callee {
+                        let j = scc_of[q];
+                        if j != i {
+                            deps[i].insert(j);
+                        }
+                    }
+                }
+            }
+        }
+        Condensation { sccs, scc_of, deps }
+    }
+
+    /// Groups SCCs into dependency waves for pass 1 (callees first): wave
+    /// `k` contains every SCC whose dependencies all lie in waves `< k`, so
+    /// the members of one wave are mutually independent and can be solved
+    /// concurrently.
+    pub fn waves(&self) -> Vec<Vec<usize>> {
+        let mut level = vec![0usize; self.sccs.len()];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for i in 0..self.sccs.len() {
+            let l = self
+                .deps[i]
+                .iter()
+                .map(|&d| level[d] + 1)
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            if out.len() <= l {
+                out.resize(l + 1, Vec::new());
+            }
+            out[l].push(i);
+        }
+        out
+    }
+
+    /// Dependency waves for pass 2 (callers first): wave `k` contains every
+    /// SCC all of whose *dependents* lie in waves `< k`.
+    ///
+    /// Note the concatenated waves do **not** enumerate SCCs in the exact
+    /// `sccs.iter().rev()` order (an isolated SCC surfaces in wave 0
+    /// regardless of its index). Merging wave outputs is nevertheless
+    /// equivalent to the sequential merge because distinct SCCs write
+    /// disjoint result keys — procedure names are unique per program and
+    /// callsite tags are unique per callsite — and every *read* an SCC
+    /// performs is of keys written by its dependents, which prior waves
+    /// have fully merged. Within a wave, descending SCC order additionally
+    /// matches the sequential tie-break should a degenerate program ever
+    /// produce colliding keys inside one wave.
+    pub fn refine_waves(&self) -> Vec<Vec<usize>> {
+        // rdeps[j] = SCCs that call into j (all have index > j).
+        let mut rdeps: Vec<Vec<usize>> = vec![Vec::new(); self.sccs.len()];
+        for (i, ds) in self.deps.iter().enumerate() {
+            for &d in ds {
+                rdeps[d].push(i);
+            }
+        }
+        let mut level = vec![0usize; self.sccs.len()];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for i in (0..self.sccs.len()).rev() {
+            let l = rdeps[i].iter().map(|&r| level[r] + 1).max().unwrap_or(0);
+            level[i] = l;
+            if out.len() <= l {
+                out.resize(l + 1, Vec::new());
+            }
+            out[l].push(i);
+        }
+        // Within a wave, keep descending SCC order (the sequential rev()
+        // order) so deterministic merges match the sequential solver.
+        for w in &mut out {
+            w.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        out
+    }
+}
+
+/// Builds the callsite-actuals index: callee name → tagged variables used
+/// for that callee at every callsite in the program (`REFINEPARAMETERS`'s
+/// uses-of-a-procedure relation).
+pub fn callsite_actuals(program: &Program) -> BTreeMap<Symbol, Vec<BaseVar>> {
+    let mut actuals: BTreeMap<Symbol, Vec<BaseVar>> = BTreeMap::new();
+    for proc in &program.procs {
+        for cs in &proc.callsites {
+            let callee_name = match cs.callee {
+                CallTarget::Internal(i) => program.procs[i].name,
+                CallTarget::External(n) => n,
+            };
+            actuals
+                .entry(callee_name)
+                .or_default()
+                .push(BaseVar::var(&format!("{callee_name}@{}", cs.tag)));
+        }
+    }
+    actuals
+}
+
 /// The whole-program solver.
 #[derive(Clone, Debug)]
 pub struct Solver<'l> {
@@ -142,119 +346,43 @@ impl<'l> Solver<'l> {
         Solver { lattice }
     }
 
-    /// Runs the two-pass pipeline on a program.
+    /// The lattice this solver marks sketches with.
+    pub fn lattice(&self) -> &'l Lattice {
+        self.lattice
+    }
+
+    /// Runs the two-pass pipeline on a program: sequential composition of
+    /// [`Solver::solve_scc`] over the condensation in reverse topological
+    /// order, then [`Solver::refine_scc`] in topological order.
     pub fn infer(&self, program: &Program) -> SolverResult {
-        let sccs = tarjan_sccs(program);
+        let start = Instant::now();
+        let cond = Condensation::compute(program);
         let mut schemes: BTreeMap<Symbol, TypeScheme> = BTreeMap::new();
         for (name, scheme) in &program.externals {
             schemes.insert(*name, scheme.clone());
         }
-        let builder = SchemeBuilder::new(self.lattice);
         let mut stats = SolverStats::default();
 
         // ---- Pass 1: INFERPROCTYPES (callees first). ----
-        let scc_of: FxHashMap<usize, usize> = sccs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, scc)| scc.iter().map(move |&p| (p, i)))
-            .collect();
-        for scc in &sccs {
-            let combined = crate::addsub::augment_with_addsubs(
-                &self.scc_constraints(program, scc, &scc_of, &schemes),
-                self.lattice,
-            );
-            stats.constraints += combined.len();
-            for &p in scc {
-                let proc = &program.procs[p];
-                let mut interesting: BTreeSet<BaseVar> = program.globals.clone();
-                interesting.insert(BaseVar::Var(proc.name));
-                let scheme = builder.infer_with_interesting(
-                    BaseVar::Var(proc.name),
-                    &interesting,
-                    &combined,
-                );
-                schemes.insert(proc.name, scheme);
+        for scc in &cond.sccs {
+            let out = self.solve_scc(program, scc, &cond.scc_of, &schemes);
+            stats.constraints += out.constraints;
+            for (name, scheme) in out.schemes {
+                schemes.insert(name, scheme);
             }
         }
 
         // ---- Pass 2: INFERTYPES (callers first). ----
+        let actuals = callsite_actuals(program);
         let mut sketches: BTreeMap<BaseVar, Sketch> = BTreeMap::new();
         let mut general: BTreeMap<Symbol, Sketch> = BTreeMap::new();
-        // Actual-sketch index: callee name → tagged variables at callsites.
-        let mut actuals: BTreeMap<Symbol, Vec<BaseVar>> = BTreeMap::new();
-        for proc in &program.procs {
-            for cs in &proc.callsites {
-                let callee_name = match cs.callee {
-                    CallTarget::Internal(i) => program.procs[i].name,
-                    CallTarget::External(n) => n,
-                };
-                actuals
-                    .entry(callee_name)
-                    .or_default()
-                    .push(BaseVar::var(&format!("{callee_name}@{}", cs.tag)));
-            }
-        }
         let mut inconsistencies = Vec::new();
-        for scc in sccs.iter().rev() {
-            let combined = crate::addsub::augment_with_addsubs(
-                &self.scc_constraints(program, scc, &scc_of, &schemes),
-                self.lattice,
-            );
-            let mut g = ConstraintGraph::build(&combined);
-            saturate(&mut g);
-            let mut quotient = ShapeQuotient::build(&combined);
-            apply_addsubs(&combined, &mut quotient, self.lattice);
-            stats.graph_nodes += g.node_count();
-            stats.graph_edges += g.edge_count();
-            stats.quotient_nodes += quotient.node_count();
-            let consts: Vec<BaseVar> = combined
-                .base_vars()
-                .into_iter()
-                .filter(|b| b.is_const())
-                .collect();
-            inconsistencies.extend(crate::transducer::scalar_violations(&g, self.lattice));
-            for &p in scc {
-                let proc = &program.procs[p];
-                let pv = BaseVar::Var(proc.name);
-                let own = Sketch::infer(pv, &g, &quotient, self.lattice, &consts);
-                if let Some(own) = own {
-                    stats.sketch_states += own.len();
-                    general.insert(proc.name, own.clone());
-                    // REFINEPARAMETERS: meet with the join of actual
-                    // sketches recorded at processed callsites.
-                    let mut refined = own;
-                    if let Some(tags) = actuals.get(&proc.name) {
-                        let mut use_join: Option<Sketch> = None;
-                        for a in tags {
-                            if let Some(s) = sketches.get(a) {
-                                use_join = Some(match use_join {
-                                    None => s.clone(),
-                                    Some(u) => u.join(s, self.lattice),
-                                });
-                            }
-                        }
-                        if let Some(u) = use_join {
-                            refined = refined.meet(&u, self.lattice);
-                        }
-                    }
-                    sketches.insert(pv, refined);
-                }
-                // Record sketches for this procedure's callsite actuals so
-                // lower SCCs can specialize against them.
-                for csite in &proc.callsites {
-                    let callee_name = match csite.callee {
-                        CallTarget::Internal(i) => program.procs[i].name,
-                        CallTarget::External(n) => n,
-                    };
-                    let tagged = BaseVar::var(&format!("{callee_name}@{}", csite.tag));
-                    if let Some(s) =
-                        Sketch::infer(tagged, &g, &quotient, self.lattice, &consts)
-                    {
-                        stats.sketch_states += s.len();
-                        sketches.insert(tagged, s);
-                    }
-                }
-            }
+        for scc in cond.sccs.iter().rev() {
+            let r = self.refine_scc(program, scc, &cond.scc_of, &schemes, &actuals, &sketches);
+            stats.merge(&r.stats);
+            inconsistencies.extend(r.inconsistencies);
+            general.extend(r.general);
+            sketches.extend(r.sketches);
         }
 
         let mut procs = BTreeMap::new();
@@ -274,8 +402,128 @@ impl<'l> Solver<'l> {
         }
         inconsistencies.sort();
         inconsistencies.dedup();
+        stats.solve_ns = start.elapsed().as_nanos() as u64;
         SolverResult {
             procs,
+            inconsistencies,
+            stats,
+        }
+    }
+
+    /// Pass-1 step (`INFERPROCTYPES`, Algorithm F.1) for one SCC: combines
+    /// the members' constraints with instantiated callee schemes and
+    /// simplifies a type scheme per member. Reads only the `schemes`
+    /// snapshot (which must contain every cross-SCC callee), so independent
+    /// SCCs may run concurrently against the same snapshot.
+    pub fn solve_scc(
+        &self,
+        program: &Program,
+        scc: &[usize],
+        scc_of: &[usize],
+        schemes: &BTreeMap<Symbol, TypeScheme>,
+    ) -> SccSchemes {
+        let builder = SchemeBuilder::new(self.lattice);
+        let combined = crate::addsub::augment_with_addsubs(
+            &self.scc_constraints(program, scc, scc_of, schemes),
+            self.lattice,
+        );
+        let mut out = Vec::with_capacity(scc.len());
+        for &p in scc {
+            let proc = &program.procs[p];
+            let mut interesting: BTreeSet<BaseVar> = program.globals.clone();
+            interesting.insert(BaseVar::Var(proc.name));
+            let scheme =
+                builder.infer_with_interesting(BaseVar::Var(proc.name), &interesting, &combined);
+            out.push((proc.name, scheme));
+        }
+        SccSchemes {
+            schemes: out,
+            constraints: combined.len(),
+        }
+    }
+
+    /// Pass-2 step (`INFERTYPES` + `REFINEPARAMETERS`, Algorithms F.2/F.3)
+    /// for one SCC: re-solves the combined constraints into sketches and
+    /// specializes each member by the join of the actual sketches recorded
+    /// at its callsites.
+    ///
+    /// `sketches` is a read-only snapshot of the sketches produced by
+    /// already-processed (caller-side) SCCs; insertions made while
+    /// processing this SCC are layered on top (intra-SCC callsites observe
+    /// them, exactly as in the sequential pass) and returned in
+    /// [`SccRefinement::sketches`] for the caller to merge.
+    pub fn refine_scc(
+        &self,
+        program: &Program,
+        scc: &[usize],
+        scc_of: &[usize],
+        schemes: &BTreeMap<Symbol, TypeScheme>,
+        actuals: &BTreeMap<Symbol, Vec<BaseVar>>,
+        sketches: &BTreeMap<BaseVar, Sketch>,
+    ) -> SccRefinement {
+        let mut stats = SolverStats::default();
+        let combined = crate::addsub::augment_with_addsubs(
+            &self.scc_constraints(program, scc, scc_of, schemes),
+            self.lattice,
+        );
+        let mut g = ConstraintGraph::build(&combined);
+        saturate(&mut g);
+        let mut quotient = ShapeQuotient::build(&combined);
+        apply_addsubs(&combined, &mut quotient, self.lattice);
+        stats.graph_nodes += g.node_count();
+        stats.graph_edges += g.edge_count();
+        stats.quotient_nodes += quotient.node_count();
+        let consts: Vec<BaseVar> = combined
+            .base_vars()
+            .into_iter()
+            .filter(|b| b.is_const())
+            .collect();
+        let inconsistencies = crate::transducer::scalar_violations(&g, self.lattice);
+        let mut overlay: BTreeMap<BaseVar, Sketch> = BTreeMap::new();
+        let mut general = Vec::new();
+        for &p in scc {
+            let proc = &program.procs[p];
+            let pv = BaseVar::Var(proc.name);
+            let own = Sketch::infer(pv, &g, &quotient, self.lattice, &consts);
+            if let Some(own) = own {
+                stats.sketch_states += own.len();
+                general.push((proc.name, own.clone()));
+                // REFINEPARAMETERS: meet with the join of actual sketches
+                // recorded at processed callsites.
+                let mut refined = own;
+                if let Some(tags) = actuals.get(&proc.name) {
+                    let mut use_join: Option<Sketch> = None;
+                    for a in tags {
+                        if let Some(s) = overlay.get(a).or_else(|| sketches.get(a)) {
+                            use_join = Some(match use_join {
+                                None => s.clone(),
+                                Some(u) => u.join(s, self.lattice),
+                            });
+                        }
+                    }
+                    if let Some(u) = use_join {
+                        refined = refined.meet(&u, self.lattice);
+                    }
+                }
+                overlay.insert(pv, refined);
+            }
+            // Record sketches for this procedure's callsite actuals so
+            // lower SCCs can specialize against them.
+            for csite in &proc.callsites {
+                let callee_name = match csite.callee {
+                    CallTarget::Internal(i) => program.procs[i].name,
+                    CallTarget::External(n) => n,
+                };
+                let tagged = BaseVar::var(&format!("{callee_name}@{}", csite.tag));
+                if let Some(s) = Sketch::infer(tagged, &g, &quotient, self.lattice, &consts) {
+                    stats.sketch_states += s.len();
+                    overlay.insert(tagged, s);
+                }
+            }
+        }
+        SccRefinement {
+            sketches: overlay,
+            general,
             inconsistencies,
             stats,
         }
@@ -284,21 +532,21 @@ impl<'l> Solver<'l> {
     /// Combines the constraint sets of an SCC: bodies plus instantiated
     /// schemes for cross-SCC callees, plus monomorphic links for intra-SCC
     /// calls.
-    fn scc_constraints(
+    pub fn scc_constraints(
         &self,
         program: &Program,
         scc: &[usize],
-        scc_of: &FxHashMap<usize, usize>,
+        scc_of: &[usize],
         schemes: &BTreeMap<Symbol, TypeScheme>,
     ) -> ConstraintSet {
         let mut combined = ConstraintSet::new();
-        let my_scc = scc_of[&scc[0]];
+        let my_scc = scc_of[scc[0]];
         for &p in scc {
             let proc = &program.procs[p];
             combined.extend(&proc.constraints);
             for csite in &proc.callsites {
                 match csite.callee {
-                    CallTarget::Internal(i) if scc_of.get(&i) == Some(&my_scc) => {
+                    CallTarget::Internal(i) if scc_of[i] == my_scc => {
                         // Monomorphic within the SCC: the tagged variable is
                         // the callee itself.
                         let callee = program.procs[i].name;
@@ -404,6 +652,19 @@ mod tests {
             constraints: parse_constraint_set(cs).unwrap(),
             callsites,
         }
+    }
+
+    #[test]
+    fn add_proc_maintains_name_index() {
+        let mut prog = Program::new();
+        let a = prog.add_proc(proc("alpha", "", vec![]));
+        let b = prog.add_proc(proc("beta", "", vec![]));
+        assert_eq!(prog.proc_index(Symbol::intern("alpha")), Some(a));
+        assert_eq!(prog.proc_index(Symbol::intern("beta")), Some(b));
+        assert_eq!(prog.proc_index(Symbol::intern("gamma")), None);
+        // Direct pushes bypass the map; the linear fallback still resolves.
+        prog.procs.push(proc("gamma", "", vec![]));
+        assert_eq!(prog.proc_index(Symbol::intern("gamma")), Some(2));
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Batch-analysis demo: generates a corpus of related modules (a shared
+//! library linked into every member, plus per-member code — the shape of
+//! Figure 10's binary clusters), analyzes it with the parallel SCC-wave
+//! driver at 1 worker and at N workers, verifies the results are
+//! bit-identical, and prints throughput and cache statistics.
+//!
+//! ```text
+//! cargo run --release -p retypd-driver --bin driver_demo
+//! cargo run --release -p retypd-driver --bin driver_demo -- --small
+//! cargo run --release -p retypd-driver --bin driver_demo -- --workers 8 --out driver-demo.json
+//! ```
+//!
+//! The last module of the corpus is a verbatim re-submission of the first,
+//! so a correct cache shows a 100% fingerprint hit for it (asserted below
+//! for the sequential batch, where hit accounting is deterministic).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use retypd_core::{Condensation, Lattice, Solver, SolverResult};
+use retypd_driver::{AnalysisDriver, DriverConfig, ModuleJob, ModuleReport};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
+
+fn render(result: &SolverResult) -> String {
+    let mut out = String::new();
+    for (name, pr) in &result.procs {
+        let _ = writeln!(out, "{name}: {}", pr.scheme);
+        let _ = writeln!(out, "  {:?}", pr.sketch);
+        let _ = writeln!(out, "  {:?}", pr.general_sketch);
+    }
+    let _ = writeln!(out, "{:?}", result.inconsistencies);
+    out
+}
+
+fn total_sketch_states(reports: &[ModuleReport]) -> usize {
+    reports.iter().map(|r| r.result.stats.sketch_states).sum()
+}
+
+fn main() {
+    let mut small = false;
+    let mut workers: Option<usize> = None;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--workers" => {
+                let arg = args.next();
+                match arg.as_deref().map(str::parse) {
+                    Some(Ok(n)) if n >= 1 => workers = Some(n),
+                    _ => {
+                        eprintln!(
+                            "--workers expects a positive integer, got {:?}",
+                            arg.unwrap_or_default()
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => out_path = args.next(),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: driver_demo [--small] [--workers N] [--out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Default: all cores, at least 4 (the corpus-level parallelism target);
+    // an explicit --workers value is honored verbatim.
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(4)
+    });
+
+    // --- Corpus: a cluster of modules sharing a library, plus a verbatim
+    // re-submission of the first member. ---
+    let spec = if small {
+        ClusterSpec {
+            name: "corpus".into(),
+            members: 4,
+            shared_functions: 8,
+            member_functions: 3,
+            seed: 4242,
+        }
+    } else {
+        ClusterSpec {
+            name: "corpus".into(),
+            members: 8,
+            shared_functions: 22,
+            member_functions: 8,
+            seed: 4242,
+        }
+    };
+    let modules = ProgramGenerator::generate_cluster(&spec);
+    let mut jobs: Vec<ModuleJob> = modules
+        .iter()
+        .map(|(name, module)| {
+            let (mir, _) = compile(module).expect("generated module compiles");
+            ModuleJob {
+                name: name.clone(),
+                program: retypd_congen::generate(&mir),
+            }
+        })
+        .collect();
+    let resubmit = ModuleJob {
+        name: format!("{}+resubmit", jobs[0].name),
+        program: jobs[0].program.clone(),
+    };
+    jobs.push(resubmit);
+
+    let procs: usize = jobs.iter().map(|j| j.program.procs.len()).sum();
+    let constraints: usize = jobs
+        .iter()
+        .flat_map(|j| j.program.procs.iter())
+        .map(|p| p.constraints.len())
+        .sum();
+    let largest = jobs
+        .iter()
+        .max_by_key(|j| j.program.procs.len())
+        .expect("corpus nonempty");
+    let cond = Condensation::compute(&largest.program);
+    let waves = cond.waves();
+    let max_width = waves.iter().map(Vec::len).max().unwrap_or(0);
+    eprintln!(
+        "corpus: {} modules, {procs} procedures, {constraints} body constraints",
+        jobs.len()
+    );
+    eprintln!(
+        "largest module {:?}: {} SCCs in {} waves (max wave width {max_width})",
+        largest.name,
+        cond.sccs.len(),
+        waves.len()
+    );
+
+    let lattice = Lattice::c_types();
+
+    // --- Sequential reference for the first module. ---
+    let reference = Solver::new(&lattice).infer(&jobs[0].program);
+
+    // --- 1 worker, fresh cache. ---
+    let d1 = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 1 });
+    let start = Instant::now();
+    let r1 = d1.solve_batch(&jobs);
+    let wall1 = start.elapsed();
+    let c1 = d1.cache_stats();
+
+    // --- N workers, fresh cache. ---
+    let dn = AnalysisDriver::with_config(&lattice, DriverConfig { workers });
+    let start = Instant::now();
+    let rn = dn.solve_batch(&jobs);
+    let walln = start.elapsed();
+    let cn = dn.cache_stats();
+
+    // --- Verify: parallel output is bit-identical to 1-worker output and
+    // to the sequential solver. ---
+    assert_eq!(
+        render(&r1[0].result),
+        render(&reference),
+        "driver (1 worker) diverged from sequential Solver::infer"
+    );
+    for (a, b) in r1.iter().zip(&rn) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            render(&a.result),
+            render(&b.result),
+            "module {} differs between 1 and {workers} workers",
+            a.name
+        );
+    }
+    assert_eq!(total_sketch_states(&r1), total_sketch_states(&rn));
+    // The re-submitted module must be a 100% fingerprint hit in the
+    // sequential batch (deterministic accounting).
+    let resub = r1.last().expect("resubmitted module");
+    assert_eq!(
+        resub.result.stats.cache_misses, 0,
+        "re-submitted module was not a pure cache hit"
+    );
+    assert!(resub.result.stats.cache_hits > 0);
+
+    let speedup = wall1.as_secs_f64() / walln.as_secs_f64().max(1e-9);
+    let hit_rate = |h: u64, m: u64| {
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    };
+    let per_sec = |d: Duration| constraints as f64 / d.as_secs_f64().max(1e-9);
+    eprintln!("results: bit-identical across 1 and {workers} workers ✓, sequential parity ✓");
+    eprintln!(
+        "wall clock: {:>10.3?} at 1 worker | {:>10.3?} at {workers} workers | speedup {speedup:.2}x",
+        wall1, walln
+    );
+    eprintln!(
+        "throughput: {:.0} constraints/s at 1 worker | {:.0} constraints/s at {workers} workers",
+        per_sec(wall1),
+        per_sec(walln)
+    );
+    eprintln!(
+        "cache (1 worker): {} hits / {} misses ({:.0}% hit rate; re-submitted module: {} hits, 0 misses)",
+        c1.hits,
+        c1.misses,
+        100.0 * hit_rate(c1.hits, c1.misses),
+        resub.result.stats.cache_hits
+    );
+    eprintln!(
+        "cache ({workers} workers): {} hits / {} misses ({:.0}% hit rate)",
+        cn.hits,
+        cn.misses,
+        100.0 * hit_rate(cn.hits, cn.misses)
+    );
+
+    // --- Stats JSON (hand-rolled; the vendored serde shim has no
+    // serializer). ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"modules\": {},", jobs.len());
+    let _ = writeln!(json, "  \"procedures\": {procs},");
+    let _ = writeln!(json, "  \"constraints\": {constraints},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"wall_ns_1_worker\": {},", wall1.as_nanos());
+    let _ = writeln!(json, "  \"wall_ns_n_workers\": {},", walln.as_nanos());
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"cache_1_worker\": {{\"hits\": {}, \"misses\": {}}},",
+        c1.hits, c1.misses
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache_n_workers\": {{\"hits\": {}, \"misses\": {}}},",
+        cn.hits, cn.misses
+    );
+    let _ = writeln!(
+        json,
+        "  \"largest_module\": {{\"sccs\": {}, \"waves\": {}, \"max_wave_width\": {max_width}}},",
+        cond.sccs.len(),
+        waves.len()
+    );
+    json.push_str("  \"per_module\": [\n");
+    for (i, r) in r1.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"solve_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            r.name,
+            r.result.stats.solve_ns,
+            r.result.stats.cache_hits,
+            r.result.stats.cache_misses,
+            if i + 1 == r1.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write demo stats JSON");
+            eprintln!("wrote {p}");
+        }
+        None => {
+            std::io::stdout().write_all(json.as_bytes()).expect("stdout");
+        }
+    }
+}

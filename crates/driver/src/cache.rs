@@ -1,0 +1,110 @@
+//! The persistent scheme cache.
+//!
+//! Entries are keyed by the content fingerprints of [`crate::fingerprint`]
+//! and persist for the lifetime of an [`crate::AnalysisDriver`], across
+//! `solve`/`solve_batch` calls — that is the incremental-re-analysis story:
+//! a batch whose modules share procedures (real corpora are full of
+//! near-duplicates) re-solves only the dirtied SCCs, and a re-submitted
+//! identical module is a 100% fingerprint hit that touches the solver not
+//! at all.
+//!
+//! The cache stores *exact* solver outputs (schemes with their fingerprints
+//! for pass 1, full [`SccRefinement`]s for pass 2), so hits are
+//! bit-identical to a fresh solve and cannot perturb determinism. Values
+//! are held behind `Arc` so concurrent wave workers share them without
+//! copying under the lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use retypd_core::fxhash::FxHashMap;
+use retypd_core::{SccRefinement, Symbol, TypeScheme};
+
+/// Cached pass-1 output of one SCC.
+#[derive(Clone, Debug)]
+pub struct CachedSchemes {
+    /// `(procedure, scheme, scheme fingerprint)` per SCC member, in member
+    /// order. The fingerprint rides along so dependent SCCs can extend
+    /// their own keys without re-rendering the scheme.
+    pub schemes: Vec<(Symbol, TypeScheme, u64)>,
+    /// Combined-constraint count (for [`retypd_core::SolverStats`] parity
+    /// with the sequential solver).
+    pub constraints: usize,
+}
+
+/// Aggregate cache counters (cumulative over the cache's lifetime).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a solve.
+    pub misses: u64,
+    /// Pass-1 entries currently stored.
+    pub scheme_entries: usize,
+    /// Pass-2 entries currently stored.
+    pub refine_entries: usize,
+}
+
+/// A concurrent, persistent scheme + refinement cache.
+#[derive(Debug, Default)]
+pub struct SchemeCache {
+    schemes: Mutex<FxHashMap<u64, Arc<CachedSchemes>>>,
+    refines: Mutex<FxHashMap<u64, Arc<SccRefinement>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SchemeCache {
+    /// An empty cache.
+    pub fn new() -> SchemeCache {
+        SchemeCache::default()
+    }
+
+    /// Looks up a pass-1 entry, counting the hit or miss.
+    pub fn lookup_schemes(&self, fp: u64) -> Option<Arc<CachedSchemes>> {
+        let got = self.schemes.lock().expect("cache lock").get(&fp).cloned();
+        self.count(got.is_some());
+        got
+    }
+
+    /// Stores a pass-1 entry.
+    pub fn insert_schemes(&self, fp: u64, entry: Arc<CachedSchemes>) {
+        self.schemes.lock().expect("cache lock").insert(fp, entry);
+    }
+
+    /// Looks up a pass-2 entry, counting the hit or miss.
+    pub fn lookup_refine(&self, fp: u64) -> Option<Arc<SccRefinement>> {
+        let got = self.refines.lock().expect("cache lock").get(&fp).cloned();
+        self.count(got.is_some());
+        got
+    }
+
+    /// Stores a pass-2 entry.
+    pub fn insert_refine(&self, fp: u64, entry: Arc<SccRefinement>) {
+        self.refines.lock().expect("cache lock").insert(fp, entry);
+    }
+
+    fn count(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cumulative counters and current sizes.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            scheme_entries: self.schemes.lock().expect("cache lock").len(),
+            refine_entries: self.refines.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        self.schemes.lock().expect("cache lock").clear();
+        self.refines.lock().expect("cache lock").clear();
+    }
+}

@@ -1,0 +1,190 @@
+//! Stable 64-bit fingerprints of analysis inputs.
+//!
+//! The scheme cache is keyed by content, not identity: an SCC's fingerprint
+//! covers everything its solve reads — the members' canonicalized
+//! constraint sets, the callsite structure, the program's globals, and the
+//! *fingerprints of the callee schemes* that get instantiated into the
+//! combined set. Two modules that share a procedure (the near-duplicate
+//! members of a real binary corpus, or a re-submitted module) therefore
+//! produce colliding keys exactly when the solver would produce identical
+//! output.
+//!
+//! Hashes are FNV-1a over rendered canonical text (`ConstraintSet` and
+//! `TypeScheme` display deterministically from `BTreeSet` storage, and
+//! `Sketch`'s `Debug` form is determined by its construction order), so
+//! fingerprints are stable across runs and processes for a fixed lattice —
+//! deliberately *not* `DefaultHasher`, whose keys are randomized, and not
+//! `Symbol`'s pointer-based `Hash`, which varies with interning history.
+
+use std::collections::BTreeMap;
+
+use retypd_core::{Program, Sketch, Symbol, TypeScheme};
+use retypd_core::dtv::BaseVar;
+use retypd_core::solver::CallTarget;
+
+/// FNV-1a, 64-bit: small, dependency-free, and stable across platforms.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher, seeded with a domain tag so different fingerprint
+    /// kinds never collide structurally.
+    pub fn new(domain: &str) -> Fnv64 {
+        let mut h = Fnv64(Self::OFFSET);
+        h.write(domain.as_bytes());
+        h
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a string with a length prefix (prevents concatenation
+    /// ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Absorbs a little-endian `u64`.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of a type scheme (canonical rendered form).
+pub fn scheme_fp(s: &TypeScheme) -> u64 {
+    let mut h = Fnv64::new("scheme");
+    h.write_str(&s.to_string());
+    h.finish()
+}
+
+/// Fingerprint of a sketch: structure, marks, and bound intervals. The
+/// `Debug` rendering is canonical because sketch construction is
+/// deterministic and `Symbol`s print their content.
+pub fn sketch_fp(s: &Sketch) -> u64 {
+    let mut h = Fnv64::new("sketch");
+    h.write_str(&format!("{s:?}"));
+    h.finish()
+}
+
+/// Pass-1 fingerprint of an SCC: everything [`retypd_core::Solver::solve_scc`]
+/// reads. `scheme_fps` must contain the fingerprint of every already-solved
+/// scheme by name (externals included) — exactly the names the combined
+/// constraint set instantiates.
+pub fn scc_fingerprint(
+    program: &Program,
+    scc: &[usize],
+    scc_of: &[usize],
+    scheme_fps: &BTreeMap<Symbol, u64>,
+) -> u64 {
+    let mut h = Fnv64::new("scc-schemes");
+    for g in &program.globals {
+        h.write_str(g.name().as_str());
+    }
+    let my_scc = scc_of[scc[0]];
+    h.write_u64(scc.len() as u64);
+    for &p in scc {
+        let proc = &program.procs[p];
+        h.write_str(proc.name.as_str());
+        h.write_str(&proc.constraints.to_string());
+        h.write_u64(proc.callsites.len() as u64);
+        for cs in &proc.callsites {
+            h.write_str(&cs.tag);
+            match cs.callee {
+                CallTarget::Internal(i) if scc_of[i] == my_scc => {
+                    h.write_str("mono");
+                    h.write_str(program.procs[i].name.as_str());
+                }
+                CallTarget::Internal(i) => {
+                    let name = program.procs[i].name;
+                    h.write_str("internal");
+                    h.write_str(name.as_str());
+                    h.write_u64(scheme_fps.get(&name).copied().unwrap_or(0));
+                }
+                CallTarget::External(n) => {
+                    h.write_str("external");
+                    h.write_str(n.as_str());
+                    h.write_u64(scheme_fps.get(&n).copied().unwrap_or(0));
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Pass-2 fingerprint of an SCC: the pass-1 fingerprint (which covers the
+/// combined constraint set, since schemes are final after pass 1) extended
+/// with the refinement inputs — each member's callsite-actual variables and
+/// the fingerprints of the actual sketches visible in the caller-produced
+/// snapshot.
+pub fn refine_fingerprint(
+    scc_fp: u64,
+    program: &Program,
+    scc: &[usize],
+    actuals: &BTreeMap<Symbol, Vec<BaseVar>>,
+    sketches: &BTreeMap<BaseVar, Sketch>,
+) -> u64 {
+    let mut h = Fnv64::new("scc-refine");
+    h.write_u64(scc_fp);
+    for &p in scc {
+        let proc = &program.procs[p];
+        h.write_str(proc.name.as_str());
+        if let Some(tags) = actuals.get(&proc.name) {
+            h.write_u64(tags.len() as u64);
+            for a in tags {
+                h.write_str(a.name().as_str());
+                match sketches.get(a) {
+                    Some(s) => {
+                        h.write_u64(1);
+                        h.write_u64(sketch_fp(s));
+                    }
+                    None => h.write_u64(0),
+                }
+            }
+        } else {
+            h.write_u64(0);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_order_sensitive() {
+        let mut a = Fnv64::new("t");
+        a.write_str("x");
+        a.write_str("y");
+        let mut b = Fnv64::new("t");
+        b.write_str("x");
+        b.write_str("y");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new("t");
+        c.write_str("y");
+        c.write_str("x");
+        assert_ne!(a.finish(), c.finish());
+        // Length prefixing: ("ab","c") ≠ ("a","bc").
+        let mut d = Fnv64::new("t");
+        d.write_str("ab");
+        d.write_str("c");
+        let mut e = Fnv64::new("t");
+        e.write_str("a");
+        e.write_str("bc");
+        assert_ne!(d.finish(), e.finish());
+    }
+}

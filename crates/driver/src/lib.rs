@@ -1,0 +1,378 @@
+//! # retypd-driver
+//!
+//! Whole-program and multi-module orchestration for the Retypd
+//! reproduction: a parallel SCC-wave analysis driver with a persistent
+//! scheme cache and a batch API.
+//!
+//! The paper's pipeline is explicitly organized around the call-graph
+//! condensation: `INFERPROCTYPES` (Algorithm F.1) visits SCCs callees
+//! first, `INFERTYPES` (Algorithm F.2) re-visits them callers first, and
+//! `REFINEPARAMETERS` (Algorithm F.3) specializes each procedure by the
+//! actual sketches observed at its callsites. Those per-SCC steps are pure
+//! functions of (a) the SCC's combined constraint set and (b) the
+//! cross-SCC state produced by already-processed SCCs — which is exactly
+//! the shape a scheduler wants:
+//!
+//! * **Waves** ([`retypd_core::Condensation::waves`] /
+//!   [`retypd_core::Condensation::refine_waves`]): SCCs whose dependencies
+//!   are all satisfied form a wave and are dispatched to a `std::thread`
+//!   worker pool. Outputs are merged *in the sequential solver's order*
+//!   ([`scheduler::run_indexed`] returns results task-indexed), so the
+//!   parallel result is bit-identical to [`retypd_core::Solver::infer`] —
+//!   the determinism tests pin this for 1 vs N workers.
+//! * **Persistent scheme cache** ([`cache::SchemeCache`]): each SCC is
+//!   fingerprinted by the canonicalized constraint sets of its members,
+//!   its callsite structure, and its callee-scheme fingerprints
+//!   ([`fingerprint`]). The cache persists across `solve`/`solve_batch`
+//!   calls on one driver, so batches containing near-duplicate modules
+//!   (shared library members, re-submitted binaries) re-solve only the
+//!   dirtied SCCs.
+//! * **Batch API** ([`AnalysisDriver::solve_batch`]): multiple modules are
+//!   distributed across the same worker pool (each solved with its own
+//!   wave schedule), sharing the cache.
+//!
+//! The driver assumes procedure names are unique within a program (as the
+//! constraint generator guarantees); the cache additionally assumes one
+//! lattice per driver, which the constructor enforces by construction.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod scheduler;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use retypd_core::dtv::BaseVar;
+use retypd_core::sketch::Sketch;
+use retypd_core::{
+    callsite_actuals, Condensation, Lattice, ProcResult, Program, SccRefinement, Solver,
+    SolverResult, SolverStats, Symbol, TypeScheme,
+};
+
+pub use cache::{CacheStats, CachedSchemes, SchemeCache};
+
+/// Driver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Worker threads for wave dispatch and batch distribution. `1` makes
+    /// the driver fully sequential (still cache-enabled).
+    pub workers: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> DriverConfig {
+        DriverConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// One module of a batch: a named constraint program.
+#[derive(Clone, Debug)]
+pub struct ModuleJob {
+    /// Module name (reporting only).
+    pub name: String,
+    /// The module's constraint program.
+    pub program: Program,
+}
+
+/// Per-module batch output.
+#[derive(Clone, Debug)]
+pub struct ModuleReport {
+    /// Module name.
+    pub name: String,
+    /// The inference result; `result.stats` carries this module's
+    /// `solve_ns` and cache hit/miss counters.
+    pub result: SolverResult,
+    /// Wall-clock time of this module's solve.
+    pub wall: Duration,
+}
+
+/// The analysis driver: owns scheduling and caching around
+/// [`retypd_core::Solver`].
+pub struct AnalysisDriver<'l> {
+    lattice: &'l Lattice,
+    config: DriverConfig,
+    cache: SchemeCache,
+}
+
+impl<'l> AnalysisDriver<'l> {
+    /// A driver with the default configuration (all available cores).
+    pub fn new(lattice: &'l Lattice) -> AnalysisDriver<'l> {
+        AnalysisDriver::with_config(lattice, DriverConfig::default())
+    }
+
+    /// A driver with an explicit configuration.
+    pub fn with_config(lattice: &'l Lattice, config: DriverConfig) -> AnalysisDriver<'l> {
+        AnalysisDriver {
+            lattice,
+            config,
+            cache: SchemeCache::new(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
+    /// Cumulative cache counters (across every solve this driver ran).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Solves one program with the configured worker count.
+    pub fn solve(&self, program: &Program) -> SolverResult {
+        self.solve_with_workers(program, self.workers())
+    }
+
+    /// Solves a batch of modules. Modules are independent, so they are
+    /// distributed across the worker pool (each module's own wave schedule
+    /// then runs on the thread it landed on); all of them share this
+    /// driver's persistent cache, which is where the incremental win on
+    /// near-duplicate corpora comes from. Reports come back in job order.
+    pub fn solve_batch(&self, jobs: &[ModuleJob]) -> Vec<ModuleReport> {
+        let workers = self.workers();
+        // With spare workers and few modules, parallelize inside each
+        // module's wave schedule instead of across modules.
+        let inner = if jobs.len() >= workers { 1 } else { workers };
+        scheduler::run_indexed(jobs.len(), workers, |i| {
+            let start = Instant::now();
+            let result = self.solve_with_workers(&jobs[i].program, inner);
+            ModuleReport {
+                name: jobs[i].name.clone(),
+                result,
+                wall: start.elapsed(),
+            }
+        })
+    }
+
+    /// The wave-scheduled two-pass solve (see crate docs). `workers = 1`
+    /// degenerates to the sequential order; any worker count produces
+    /// bit-identical results because wave outputs are merged in the
+    /// sequential solver's SCC order.
+    pub fn solve_with_workers(&self, program: &Program, workers: usize) -> SolverResult {
+        let start = Instant::now();
+        let solver = Solver::new(self.lattice);
+        let cond = Condensation::compute(program);
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+
+        // Cross-SCC state, updated between waves only.
+        let mut schemes: BTreeMap<Symbol, TypeScheme> = BTreeMap::new();
+        let mut scheme_fps: BTreeMap<Symbol, u64> = BTreeMap::new();
+        for (name, scheme) in &program.externals {
+            schemes.insert(*name, scheme.clone());
+            scheme_fps.insert(*name, fingerprint::scheme_fp(scheme));
+        }
+        let mut stats = SolverStats::default();
+        let mut scc_fps: Vec<u64> = vec![0; cond.sccs.len()];
+
+        // ---- Pass 1: INFERPROCTYPES, one wave of independent SCCs at a
+        // time (callees first). ----
+        for wave in cond.waves() {
+            let outputs = scheduler::run_indexed(wave.len(), workers, |k| {
+                let i = wave[k];
+                let scc = &cond.sccs[i];
+                let fp = fingerprint::scc_fingerprint(program, scc, &cond.scc_of, &scheme_fps);
+                let entry = match self.cache.lookup_schemes(fp) {
+                    Some(cached) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        cached
+                    }
+                    None => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                        let out = solver.solve_scc(program, scc, &cond.scc_of, &schemes);
+                        let entry = Arc::new(CachedSchemes {
+                            schemes: out
+                                .schemes
+                                .into_iter()
+                                .map(|(n, s)| {
+                                    let fp = fingerprint::scheme_fp(&s);
+                                    (n, s, fp)
+                                })
+                                .collect(),
+                            constraints: out.constraints,
+                        });
+                        self.cache.insert_schemes(fp, entry.clone());
+                        entry
+                    }
+                };
+                (fp, entry)
+            });
+            // Deterministic merge: waves are emitted in ascending SCC order,
+            // matching the sequential pass-1 loop.
+            for (k, (fp, entry)) in outputs.into_iter().enumerate() {
+                scc_fps[wave[k]] = fp;
+                stats.constraints += entry.constraints;
+                for (name, scheme, sfp) in &entry.schemes {
+                    schemes.insert(*name, scheme.clone());
+                    scheme_fps.insert(*name, *sfp);
+                }
+            }
+        }
+
+        // ---- Pass 2: INFERTYPES + REFINEPARAMETERS, wave-scheduled over
+        // the reversed condensation (callers first). ----
+        let actuals = callsite_actuals(program);
+        let mut sketches: BTreeMap<BaseVar, Sketch> = BTreeMap::new();
+        let mut general: BTreeMap<Symbol, Sketch> = BTreeMap::new();
+        let mut inconsistencies: Vec<(Symbol, Symbol)> = Vec::new();
+        for wave in cond.refine_waves() {
+            let outputs = scheduler::run_indexed(wave.len(), workers, |k| {
+                let i = wave[k];
+                let scc = &cond.sccs[i];
+                let fp2 = fingerprint::refine_fingerprint(
+                    scc_fps[i],
+                    program,
+                    scc,
+                    &actuals,
+                    &sketches,
+                );
+                match self.cache.lookup_refine(fp2) {
+                    Some(cached) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        cached
+                    }
+                    None => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                        let r = Arc::new(solver.refine_scc(
+                            program,
+                            scc,
+                            &cond.scc_of,
+                            &schemes,
+                            &actuals,
+                            &sketches,
+                        ));
+                        self.cache.insert_refine(fp2, r.clone());
+                        r
+                    }
+                }
+            });
+            // Merging per wave is equivalent to the sequential merge:
+            // distinct SCCs write disjoint keys (unique procedure names and
+            // callsite tags), and reads only target keys that earlier
+            // (dependent) waves fully merged — see
+            // `Condensation::refine_waves`.
+            for r in &outputs {
+                let r: &SccRefinement = r;
+                stats.merge(&r.stats);
+                inconsistencies.extend(r.inconsistencies.iter().cloned());
+                general.extend(r.general.iter().cloned());
+                for (k, v) in &r.sketches {
+                    sketches.insert(k.clone(), v.clone());
+                }
+            }
+        }
+
+        // ---- Deterministic reduction into the result shape. ----
+        let mut procs = BTreeMap::new();
+        for proc in &program.procs {
+            let pv = BaseVar::Var(proc.name);
+            procs.insert(
+                proc.name,
+                ProcResult {
+                    scheme: schemes
+                        .get(&proc.name)
+                        .cloned()
+                        .unwrap_or_else(|| TypeScheme::empty(pv)),
+                    sketch: sketches.get(&pv).cloned(),
+                    general_sketch: general.get(&proc.name).cloned(),
+                },
+            );
+        }
+        inconsistencies.sort();
+        inconsistencies.dedup();
+        stats.solve_ns = start.elapsed().as_nanos() as u64;
+        stats.cache_hits = hits.load(Ordering::Relaxed);
+        stats.cache_misses = misses.load(Ordering::Relaxed);
+        SolverResult {
+            procs,
+            inconsistencies,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retypd_core::solver::{CallTarget, Callsite, Procedure};
+
+    fn proc(name: &str, cs: &str, callsites: Vec<Callsite>) -> Procedure {
+        Procedure {
+            name: Symbol::intern(name),
+            constraints: retypd_core::parse::parse_constraint_set(cs).unwrap(),
+            callsites,
+        }
+    }
+
+    fn sample_program() -> Program {
+        let mut prog = Program::new();
+        prog.add_proc(proc(
+            "main",
+            "main.in_stack0 <= x; x <= leaf@c1.in_stack0",
+            vec![Callsite {
+                callee: CallTarget::Internal(1),
+                tag: "c1".into(),
+            }],
+        ));
+        prog.add_proc(proc(
+            "leaf",
+            "leaf.in_stack0 <= t; t.load.σ32@0 <= int; int <= leaf.out_eax",
+            vec![],
+        ));
+        prog.add_proc(proc("iso", "iso.out_eax <= int32", vec![]));
+        prog
+    }
+
+    fn render(r: &SolverResult) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, pr) in &r.procs {
+            let _ = writeln!(out, "{name}: {}", pr.scheme);
+            let _ = writeln!(out, "  sketch: {:?}", pr.sketch);
+            let _ = writeln!(out, "  general: {:?}", pr.general_sketch);
+        }
+        let _ = writeln!(out, "{:?}", r.inconsistencies);
+        out
+    }
+
+    #[test]
+    fn driver_matches_sequential_solver() {
+        let lattice = Lattice::c_types();
+        let prog = sample_program();
+        let seq = Solver::new(&lattice).infer(&prog);
+        for workers in [1, 4] {
+            let driver =
+                AnalysisDriver::with_config(&lattice, DriverConfig { workers });
+            let got = driver.solve(&prog);
+            assert_eq!(render(&got), render(&seq), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn resubmission_is_all_hits() {
+        let lattice = Lattice::c_types();
+        let prog = sample_program();
+        let driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 2 });
+        let first = driver.solve(&prog);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert!(first.stats.cache_misses > 0);
+        let second = driver.solve(&prog);
+        assert_eq!(second.stats.cache_misses, 0, "re-submitted module must be a 100% hit");
+        assert_eq!(
+            second.stats.cache_hits,
+            first.stats.cache_misses,
+            "every SCC answered from cache"
+        );
+        assert_eq!(render(&first), render(&second));
+    }
+}

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use retypd_baselines::{infer_tie, infer_unification};
 use retypd_core::solver::SolverStats;
 use retypd_core::{Lattice, Solver};
+use retypd_driver::AnalysisDriver;
 use retypd_minic::ast::Module;
 use retypd_minic::codegen::compile;
 
@@ -38,19 +39,21 @@ pub struct BenchResult {
     pub stats: SolverStats,
 }
 
-/// Compiles and evaluates one module with all three tools.
-///
-/// # Panics
-///
-/// Panics if the module fails to compile — generated benchmark modules are
-/// well-typed by construction.
-pub fn evaluate_module(name: &str, module: &Module, lattice: &Lattice) -> BenchResult {
+/// The shared evaluation body, parameterized by how the Retypd side is
+/// solved (sequential solver or parallel driver) so the two entry points
+/// cannot drift apart.
+fn evaluate_with(
+    name: &str,
+    module: &Module,
+    lattice: &Lattice,
+    solve: impl FnOnce(&retypd_core::Program) -> retypd_core::SolverResult,
+) -> BenchResult {
     let (mir, truth) = compile(module).expect("benchmark module compiles");
     let instructions = mir.instruction_count();
     let program = retypd_congen::generate(&mir);
 
     let start = Instant::now();
-    let solved = Solver::new(lattice).infer(&program);
+    let solved = solve(&program);
     let retypd_time = start.elapsed();
     let stats = solved.stats;
     let retypd_inferred = convert_result(&solved, lattice);
@@ -71,15 +74,60 @@ pub fn evaluate_module(name: &str, module: &Module, lattice: &Lattice) -> BenchR
     }
 }
 
-/// Runs only the Retypd pipeline, timed (for the scaling figures).
-pub fn time_retypd(module: &Module, lattice: &Lattice) -> (usize, Duration, SolverStats) {
+/// Runs only the Retypd pipeline, timed, with the given solve function.
+fn time_with(
+    module: &Module,
+    solve: impl FnOnce(&retypd_core::Program) -> retypd_core::SolverResult,
+) -> (usize, Duration, SolverStats) {
     let (mir, _) = compile(module).expect("benchmark module compiles");
     let instructions = mir.instruction_count();
     let program = retypd_congen::generate(&mir);
     let start = Instant::now();
-    let solved = Solver::new(lattice).infer(&program);
+    let solved = solve(&program);
     let t = start.elapsed();
     (instructions, t, solved.stats)
+}
+
+/// Compiles and evaluates one module with all three tools.
+///
+/// # Panics
+///
+/// Panics if the module fails to compile — generated benchmark modules are
+/// well-typed by construction.
+pub fn evaluate_module(name: &str, module: &Module, lattice: &Lattice) -> BenchResult {
+    evaluate_with(name, module, lattice, |p| Solver::new(lattice).infer(p))
+}
+
+/// Runs only the Retypd pipeline, timed (for the scaling figures).
+pub fn time_retypd(module: &Module, lattice: &Lattice) -> (usize, Duration, SolverStats) {
+    time_with(module, |p| Solver::new(lattice).infer(p))
+}
+
+/// Runs the Retypd pipeline through the parallel SCC-wave driver instead of
+/// the sequential solver. The returned stats carry the driver's
+/// `solve_ns`/`cache_hits`/`cache_misses` counters, making driver runs
+/// directly comparable to sequential entries in the committed
+/// `BENCH_*.json` trajectories; the schemes themselves are bit-identical by
+/// the driver's determinism guarantee. The driver's cache persists across
+/// calls, so repeated evaluation of related modules exercises the
+/// incremental path.
+pub fn time_retypd_driver(
+    module: &Module,
+    driver: &AnalysisDriver<'_>,
+) -> (usize, Duration, SolverStats) {
+    time_with(module, |p| driver.solve(p))
+}
+
+/// Compiles and evaluates one module with all three tools, solving the
+/// Retypd side through the parallel driver (scores must match
+/// [`evaluate_module`]; timing/cache counters come from the driver).
+pub fn evaluate_module_driver(
+    name: &str,
+    module: &Module,
+    lattice: &Lattice,
+    driver: &AnalysisDriver<'_>,
+) -> BenchResult {
+    evaluate_with(name, module, lattice, |p| driver.solve(p))
 }
 
 /// The estimated resident bytes of the solver structures (memory model for
@@ -124,6 +172,31 @@ mod tests {
             r.scores.retypd.distance,
             r.scores.unification.distance
         );
+    }
+
+    #[test]
+    fn driver_harness_matches_sequential_scores() {
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 17,
+            functions: 8,
+            ..GenConfig::default()
+        })
+        .generate();
+        let lattice = Lattice::c_types();
+        let seq = evaluate_module("gen17", &module, &lattice);
+        let driver = AnalysisDriver::new(&lattice);
+        let par = evaluate_module_driver("gen17", &module, &lattice, &driver);
+        assert_eq!(par.scores.retypd.distance, seq.scores.retypd.distance);
+        assert_eq!(
+            par.scores.retypd.conservativeness,
+            seq.scores.retypd.conservativeness
+        );
+        assert_eq!(par.stats.sketch_states, seq.stats.sketch_states);
+        assert!(par.stats.solve_ns > 0 && seq.stats.solve_ns > 0);
+        // Second evaluation of the same module is answered from the cache.
+        let again = evaluate_module_driver("gen17", &module, &lattice, &driver);
+        assert_eq!(again.stats.cache_misses, 0);
+        assert!(again.stats.cache_hits > 0);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`congen`] — abstract interpretation generating type constraints.
 //! * [`minic`] — mini-C compiler and benchmark generator.
 //! * [`baselines`] — unification-based and TIE-style baselines.
+//! * [`driver`] — parallel SCC-wave analysis driver with a persistent
+//!   scheme cache and batch API.
 //! * [`eval`] — metrics and experiment harness.
 
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@
 pub use retypd_baselines as baselines;
 pub use retypd_congen as congen;
 pub use retypd_core as core;
+pub use retypd_driver as driver;
 pub use retypd_eval as eval;
 pub use retypd_minic as minic;
 pub use retypd_mir as mir;
