@@ -124,9 +124,9 @@ fn main() {
         // after the first iteration every SCC is a cache hit — the serving
         // path for re-submitted modules.
         bench(&mut records, &format!("driver/pipeline_{insts}_cold"), || {
-            AnalysisDriver::with_config(&lattice, DriverConfig { workers: 1 }).solve(&program)
+            AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1)).solve(&program)
         });
-        let warm_driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 1 });
+        let warm_driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1));
         bench(&mut records, &format!("driver/pipeline_{insts}_warm"), || {
             warm_driver.solve(&program)
         });
@@ -168,6 +168,49 @@ fn main() {
             &wide_consts,
         )
     });
+
+    // --- serve (wire protocol + loopback service round trips) ---
+    {
+        use retypd_driver::ModuleJob;
+        use retypd_serve::wire::{Request, WireModule};
+        use retypd_serve::{start, Client, ServeConfig};
+
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 7,
+            functions: 10,
+            ..GenConfig::default()
+        })
+        .generate();
+        let (mir, _) = compile(&module).unwrap();
+        let job = ModuleJob {
+            name: "bench".into(),
+            program: retypd_congen::generate(&mir),
+        };
+        bench(&mut records, "serve/wire_encode_module", || {
+            Request::SolveModule(WireModule::from_job(&job)).encode()
+        });
+        let payload = Request::SolveModule(WireModule::from_job(&job)).encode();
+        bench(&mut records, "serve/wire_decode_module", || {
+            Request::decode(&payload).expect("payload decodes")
+        });
+        // Full socket round trip against a loopback shard. The warm-up
+        // request primes the shard cache, so the measured iterations are
+        // the serving path for re-submitted modules (fingerprint hit, no
+        // solver work) — socket + JSON + cache-lookup latency.
+        let handle = start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .expect("loopback server");
+        let mut client = Client::connect(handle.addr()).expect("loopback client");
+        client.solve_module(&job).expect("cold prime");
+        bench(&mut records, "serve/loopback_solve_warm", || {
+            client.solve_module(&job).expect("warm solve")
+        });
+        drop(client);
+        handle.shutdown();
+    }
 
     // --- emit JSON (hand-rolled: the vendored serde shim has no serializer) ---
     let mut json = String::from("{\n  \"benches\": [\n");

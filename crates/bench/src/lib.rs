@@ -121,12 +121,12 @@ pub const SINGLES: &[SingleSpec] = &[
 /// The clusters of Figure 10, scaled down.
 pub fn clusters() -> Vec<ClusterSpec> {
     vec![
-        ClusterSpec { name: "freeglut-demos".into(), members: 3, shared_functions: 4, member_functions: 3, seed: 201 },
-        ClusterSpec { name: "coreutils".into(), members: 12, shared_functions: 16, member_functions: 4, seed: 202 },
-        ClusterSpec { name: "vpx-d".into(), members: 4, shared_functions: 30, member_functions: 8, seed: 203 },
-        ClusterSpec { name: "vpx-e".into(), members: 4, shared_functions: 40, member_functions: 10, seed: 204 },
-        ClusterSpec { name: "sphinx2".into(), members: 4, shared_functions: 44, member_functions: 10, seed: 205 },
-        ClusterSpec { name: "putty".into(), members: 4, shared_functions: 48, member_functions: 12, seed: 206 },
+        ClusterSpec { name: "freeglut-demos".into(), members: 3, shared_functions: 4, member_functions: 3, seed: 201, call_depth: 0 },
+        ClusterSpec { name: "coreutils".into(), members: 12, shared_functions: 16, member_functions: 4, seed: 202, call_depth: 0 },
+        ClusterSpec { name: "vpx-d".into(), members: 4, shared_functions: 30, member_functions: 8, seed: 203, call_depth: 0 },
+        ClusterSpec { name: "vpx-e".into(), members: 4, shared_functions: 40, member_functions: 10, seed: 204, call_depth: 0 },
+        ClusterSpec { name: "sphinx2".into(), members: 4, shared_functions: 44, member_functions: 10, seed: 205, call_depth: 0 },
+        ClusterSpec { name: "putty".into(), members: 4, shared_functions: 48, member_functions: 12, seed: 206, call_depth: 0 },
     ]
 }
 

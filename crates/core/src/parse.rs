@@ -150,15 +150,75 @@ pub fn parse_constraint(s: &str) -> Result<SubtypeConstraint, ParseError> {
     Err(ParseError::new("missing ⊑ / <= / <:", s))
 }
 
+/// Parses an additive constraint in its canonical display form,
+/// `Add(x, y; z)` or `Sub(x, y; z)` (`z = x ± y`, Appendix A.6).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the shape is malformed or any operand fails
+/// to parse as a derived variable.
+pub fn parse_addsub(s: &str) -> Result<crate::AddSubConstraint, ParseError> {
+    use crate::constraint::{AddSubConstraint, AddSubKind};
+    let s = s.trim();
+    let (kind, rest) = if let Some(r) = s.strip_prefix("Add(") {
+        (AddSubKind::Add, r)
+    } else if let Some(r) = s.strip_prefix("Sub(") {
+        (AddSubKind::Sub, r)
+    } else {
+        return Err(ParseError::new("expected Add(…) or Sub(…)", s));
+    };
+    let body = rest
+        .strip_suffix(')')
+        .ok_or_else(|| ParseError::new("missing closing )", s))?;
+    let (operands, result) = body
+        .split_once(';')
+        .ok_or_else(|| ParseError::new("missing `;` before result operand", s))?;
+    let (x, y) = operands
+        .split_once(',')
+        .ok_or_else(|| ParseError::new("missing `,` between operands", s))?;
+    Ok(AddSubConstraint {
+        kind,
+        x: parse_derived_var(x)?,
+        y: parse_derived_var(y)?,
+        z: parse_derived_var(result)?,
+    })
+}
+
+/// Splits one physical line into statements at top-level semicolons —
+/// semicolons inside parentheses (the `Add(x, y; z)` display form) do not
+/// separate statements.
+fn split_statements(line: &str) -> impl Iterator<Item = &str> {
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut out = Vec::new();
+    for (i, c) in line.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ';' if depth == 0 => {
+                out.push(&line[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&line[start..]);
+    out.into_iter()
+}
+
 /// Parses a whole constraint set, one constraint per line or semicolon-
-/// separated. Blank lines and `//` comments are skipped.
+/// separated (semicolons inside parentheses do not split). Blank lines and
+/// `//` comments are skipped. Accepts everything [`crate::ConstraintSet`]'s
+/// `Display` emits — subtype constraints, `VAR` declarations, and
+/// `Add`/`Sub` additive constraints — so rendered sets round-trip, which is
+/// what the wire protocol and the content fingerprints rely on.
 ///
 /// # Errors
 ///
 /// Returns the first [`ParseError`] encountered.
 pub fn parse_constraint_set(s: &str) -> Result<crate::ConstraintSet, ParseError> {
     let mut out = crate::ConstraintSet::new();
-    for raw in s.split(|c| c == '\n' || c == ';') {
+    for raw in s.lines().flat_map(split_statements) {
         let line = match raw.split_once("//") {
             Some((code, _)) => code.trim(),
             None => raw.trim(),
@@ -168,6 +228,8 @@ pub fn parse_constraint_set(s: &str) -> Result<crate::ConstraintSet, ParseError>
         }
         if let Some(v) = line.strip_prefix("VAR ") {
             out.add_var_decl(parse_derived_var(v)?);
+        } else if line.starts_with("Add(") || line.starts_with("Sub(") {
+            out.add_addsub(parse_addsub(line)?);
         } else {
             let c = parse_constraint(line)?;
             out.add_sub(c.lhs, c.rhs);
@@ -216,6 +278,44 @@ mod tests {
             assert_eq!(c.lhs.to_string(), "a");
             assert_eq!(c.rhs.to_string(), "b");
         }
+    }
+
+    #[test]
+    fn addsub_round_trips_display() {
+        use crate::constraint::AddSubKind;
+        for s in ["Add(a, b; c)", "Sub(p.load.σ32@0, one; q)"] {
+            let c = parse_addsub(s).unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+        assert_eq!(parse_addsub("Add(a, b; c)").unwrap().kind, AddSubKind::Add);
+        assert!(parse_addsub("Mul(a, b; c)").is_err());
+        assert!(parse_addsub("Add(a, b, c)").is_err());
+    }
+
+    #[test]
+    fn constraint_set_display_round_trips() {
+        use crate::constraint::{AddSubConstraint, AddSubKind};
+        let mut cs = crate::ConstraintSet::new();
+        cs.add_sub_str("f.in_stack0", "t");
+        cs.add_sub_str("t.load.σ32@4", "int");
+        cs.add_var_decl(parse_derived_var("q.load").unwrap());
+        cs.add_addsub(AddSubConstraint {
+            kind: AddSubKind::Add,
+            x: parse_derived_var("a").unwrap(),
+            y: parse_derived_var("b").unwrap(),
+            z: parse_derived_var("c").unwrap(),
+        });
+        cs.add_addsub(AddSubConstraint {
+            kind: AddSubKind::Sub,
+            x: parse_derived_var("c").unwrap(),
+            y: parse_derived_var("b").unwrap(),
+            z: parse_derived_var("d").unwrap(),
+        });
+        let reparsed = parse_constraint_set(&cs.to_string()).unwrap();
+        assert_eq!(reparsed, cs);
+        // Semicolon-joined single-line form round-trips too.
+        let one_line = cs.to_string().replace('\n', ";");
+        assert_eq!(parse_constraint_set(&one_line).unwrap(), cs);
     }
 
     #[test]

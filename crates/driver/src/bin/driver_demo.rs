@@ -86,6 +86,7 @@ fn main() {
             shared_functions: 8,
             member_functions: 3,
             seed: 4242,
+            call_depth: 6,
         }
     } else {
         ClusterSpec {
@@ -94,6 +95,7 @@ fn main() {
             shared_functions: 22,
             member_functions: 8,
             seed: 4242,
+            call_depth: 6,
         }
     };
     let modules = ProgramGenerator::generate_cluster(&spec);
@@ -119,22 +121,37 @@ fn main() {
         .flat_map(|j| j.program.procs.iter())
         .map(|p| p.constraints.len())
         .sum();
-    let largest = jobs
+    // Wave-shape instrumentation per module: the corpus is generated with a
+    // call-depth knob (`ClusterSpec::call_depth`), so every member's
+    // condensation must be at least that deep — shallow 2-wave corpora
+    // cannot exercise wave pipelining.
+    let wave_shapes: Vec<(String, usize, usize, usize)> = jobs
         .iter()
-        .max_by_key(|j| j.program.procs.len())
-        .expect("corpus nonempty");
-    let cond = Condensation::compute(&largest.program);
-    let waves = cond.waves();
-    let max_width = waves.iter().map(Vec::len).max().unwrap_or(0);
+        .map(|j| {
+            let cond = Condensation::compute(&j.program);
+            let waves = cond.waves();
+            let max_width = waves.iter().map(Vec::len).max().unwrap_or(0);
+            (j.name.clone(), cond.sccs.len(), waves.len(), max_width)
+        })
+        .collect();
+    let min_waves = wave_shapes.iter().map(|w| w.2).min().unwrap_or(0);
+    assert!(
+        min_waves >= spec.call_depth,
+        "deep corpus must condense to ≥{} waves per module, got {min_waves}",
+        spec.call_depth
+    );
+    let (lname, lsccs, lwaves, lwidth) = wave_shapes
+        .iter()
+        .max_by_key(|w| w.1)
+        .expect("corpus nonempty")
+        .clone();
     eprintln!(
         "corpus: {} modules, {procs} procedures, {constraints} body constraints",
         jobs.len()
     );
     eprintln!(
-        "largest module {:?}: {} SCCs in {} waves (max wave width {max_width})",
-        largest.name,
-        cond.sccs.len(),
-        waves.len()
+        "largest module {lname:?}: {lsccs} SCCs in {lwaves} waves (max wave width {lwidth}); \
+         min waves across corpus {min_waves}"
     );
 
     let lattice = Lattice::c_types();
@@ -143,14 +160,14 @@ fn main() {
     let reference = Solver::new(&lattice).infer(&jobs[0].program);
 
     // --- 1 worker, fresh cache. ---
-    let d1 = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 1 });
+    let d1 = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1));
     let start = Instant::now();
     let r1 = d1.solve_batch(&jobs);
     let wall1 = start.elapsed();
     let c1 = d1.cache_stats();
 
     // --- N workers, fresh cache. ---
-    let dn = AnalysisDriver::with_config(&lattice, DriverConfig { workers });
+    let dn = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(workers));
     let start = Instant::now();
     let rn = dn.solve_batch(&jobs);
     let walln = start.elapsed();
@@ -237,15 +254,16 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"largest_module\": {{\"sccs\": {}, \"waves\": {}, \"max_wave_width\": {max_width}}},",
-        cond.sccs.len(),
-        waves.len()
+        "  \"largest_module\": {{\"sccs\": {lsccs}, \"waves\": {lwaves}, \"max_wave_width\": {lwidth}}},"
     );
+    let _ = writeln!(json, "  \"min_waves\": {min_waves},");
     json.push_str("  \"per_module\": [\n");
     for (i, r) in r1.iter().enumerate() {
+        let (_, sccs, waves, width) = &wave_shapes[i];
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"solve_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            "    {{\"name\": \"{}\", \"solve_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"sccs\": {sccs}, \"waves\": {waves}, \"max_wave_width\": {width}}}{}",
             r.name,
             r.result.stats.solve_ns,
             r.result.stats.cache_hits,

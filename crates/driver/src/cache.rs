@@ -13,6 +13,17 @@
 //! bit-identical to a fresh solve and cannot perturb determinism. Values
 //! are held behind `Arc` so concurrent wave workers share them without
 //! copying under the lock.
+//!
+//! ## Bounding
+//!
+//! A driver resident in a long-running service sees an unbounded stream of
+//! distinct modules, so each of the two maps can be given a capacity
+//! ([`SchemeCache::with_capacity`], wired from
+//! [`crate::DriverConfig::cache_capacity`]). When a map exceeds its
+//! capacity the *least-recently-hit* entry is evicted (insertion counts as
+//! a hit). Eviction only ever costs a re-solve on a later miss — cached
+//! values are pure functions of their fingerprint, so correctness is
+//! unaffected, which the eviction tests pin.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -39,30 +50,124 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that required a solve.
     pub misses: u64,
+    /// Entries evicted to stay within the configured capacity.
+    pub evictions: u64,
     /// Pass-1 entries currently stored.
     pub scheme_entries: usize,
     /// Pass-2 entries currently stored.
     pub refine_entries: usize,
 }
 
+/// A bounded map with least-recently-hit eviction: every `get`/`insert`
+/// stamps the entry with a monotone tick; exceeding `capacity` evicts the
+/// entry with the smallest stamp. `capacity: None` never evicts.
+#[derive(Debug)]
+struct LruMap<V> {
+    capacity: Option<usize>,
+    tick: u64,
+    /// fingerprint → (value, last-hit tick).
+    map: FxHashMap<u64, (V, u64)>,
+    /// last-hit tick → fingerprint (ticks are unique, so this is a total
+    /// recency order; `BTreeMap` gives O(log n) oldest-first eviction).
+    order: std::collections::BTreeMap<u64, u64>,
+    evictions: u64,
+}
+
+impl<V> LruMap<V> {
+    fn new(capacity: Option<usize>) -> LruMap<V> {
+        LruMap {
+            capacity,
+            tick: 0,
+            map: FxHashMap::default(),
+            order: std::collections::BTreeMap::new(),
+            evictions: 0,
+        }
+    }
+
+    fn touch(tick: &mut u64) -> u64 {
+        *tick += 1;
+        *tick
+    }
+
+    fn get(&mut self, fp: u64) -> Option<&V> {
+        let now = Self::touch(&mut self.tick);
+        match self.map.get_mut(&fp) {
+            Some((_, stamp)) => {
+                self.order.remove(stamp);
+                *stamp = now;
+                self.order.insert(now, fp);
+                self.map.get(&fp).map(|(v, _)| v)
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, fp: u64, value: V) {
+        let now = Self::touch(&mut self.tick);
+        if let Some((_, stamp)) = self.map.insert(fp, (value, now)) {
+            self.order.remove(&stamp);
+        }
+        self.order.insert(now, fp);
+        if let Some(cap) = self.capacity {
+            while self.map.len() > cap.max(1) {
+                let (&oldest, &victim) = self
+                    .order
+                    .iter()
+                    .next()
+                    .expect("order tracks every map entry");
+                self.order.remove(&oldest);
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
 /// A concurrent, persistent scheme + refinement cache.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SchemeCache {
-    schemes: Mutex<FxHashMap<u64, Arc<CachedSchemes>>>,
-    refines: Mutex<FxHashMap<u64, Arc<SccRefinement>>>,
+    schemes: Mutex<LruMap<Arc<CachedSchemes>>>,
+    refines: Mutex<LruMap<Arc<SccRefinement>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
+impl Default for SchemeCache {
+    fn default() -> SchemeCache {
+        SchemeCache::new()
+    }
+}
+
 impl SchemeCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> SchemeCache {
-        SchemeCache::default()
+        SchemeCache::with_capacity(None)
+    }
+
+    /// An empty cache holding at most `capacity` entries *per pass* (pass-1
+    /// schemes and pass-2 refinements are bounded independently, since one
+    /// entry of each exists per live SCC). `None` means unbounded.
+    pub fn with_capacity(capacity: Option<usize>) -> SchemeCache {
+        SchemeCache {
+            schemes: Mutex::new(LruMap::new(capacity)),
+            refines: Mutex::new(LruMap::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// Looks up a pass-1 entry, counting the hit or miss.
     pub fn lookup_schemes(&self, fp: u64) -> Option<Arc<CachedSchemes>> {
-        let got = self.schemes.lock().expect("cache lock").get(&fp).cloned();
+        let got = self.schemes.lock().expect("cache lock").get(fp).cloned();
         self.count(got.is_some());
         got
     }
@@ -74,7 +179,7 @@ impl SchemeCache {
 
     /// Looks up a pass-2 entry, counting the hit or miss.
     pub fn lookup_refine(&self, fp: u64) -> Option<Arc<SccRefinement>> {
-        let got = self.refines.lock().expect("cache lock").get(&fp).cloned();
+        let got = self.refines.lock().expect("cache lock").get(fp).cloned();
         self.count(got.is_some());
         got
     }
@@ -94,11 +199,14 @@ impl SchemeCache {
 
     /// Cumulative counters and current sizes.
     pub fn stats(&self) -> CacheStats {
+        let schemes = self.schemes.lock().expect("cache lock");
+        let refines = self.refines.lock().expect("cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            scheme_entries: self.schemes.lock().expect("cache lock").len(),
-            refine_entries: self.refines.lock().expect("cache lock").len(),
+            evictions: schemes.evictions + refines.evictions,
+            scheme_entries: schemes.len(),
+            refine_entries: refines.len(),
         }
     }
 
@@ -106,5 +214,59 @@ impl SchemeCache {
     pub fn clear(&self) {
         self.schemes.lock().expect("cache lock").clear();
         self.refines.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod lru_tests {
+    use super::LruMap;
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut m: LruMap<usize> = LruMap::new(None);
+        for i in 0..1000u64 {
+            m.insert(i, i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.evictions, 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_hit() {
+        let mut m: LruMap<&str> = LruMap::new(Some(2));
+        m.insert(1, "a");
+        m.insert(2, "b");
+        // Hit 1 so 2 becomes the coldest entry.
+        assert_eq!(m.get(1), Some(&"a"));
+        m.insert(3, "c");
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.get(2), None, "2 was least recently hit");
+        assert_eq!(m.get(1), Some(&"a"));
+        assert_eq!(m.get(3), Some(&"c"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_growth() {
+        let mut m: LruMap<&str> = LruMap::new(Some(2));
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.insert(1, "a2"); // refresh, not growth
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.evictions, 0);
+        m.insert(3, "c"); // evicts 2, the coldest
+        assert_eq!(m.get(2), None);
+        assert_eq!(m.get(1), Some(&"a2"));
+    }
+
+    #[test]
+    fn capacity_zero_keeps_one_entry() {
+        // A degenerate capacity still admits the most recent entry so a
+        // solve's own insert remains visible within that solve.
+        let mut m: LruMap<&str> = LruMap::new(Some(0));
+        m.insert(1, "a");
+        assert_eq!(m.len(), 1);
+        m.insert(2, "b");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(2), Some(&"b"));
     }
 }

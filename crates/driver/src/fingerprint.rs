@@ -80,6 +80,45 @@ pub fn sketch_fp(s: &Sketch) -> u64 {
     h.finish()
 }
 
+/// Content fingerprint of a whole program: globals, externals (name and
+/// scheme), and every procedure's name, canonical constraint text, and
+/// callsite structure, in program order. Two programs fingerprint equal
+/// exactly when the solver would see identical input, which is what
+/// `retypd-serve` relies on to route re-submitted modules onto the shard
+/// whose cache already holds their SCCs.
+pub fn program_fp(program: &Program) -> u64 {
+    let mut h = Fnv64::new("program");
+    h.write_u64(program.globals.len() as u64);
+    for g in &program.globals {
+        h.write_str(g.name().as_str());
+    }
+    h.write_u64(program.externals.len() as u64);
+    for (name, scheme) in &program.externals {
+        h.write_str(name.as_str());
+        h.write_u64(scheme_fp(scheme));
+    }
+    h.write_u64(program.procs.len() as u64);
+    for proc in &program.procs {
+        h.write_str(proc.name.as_str());
+        h.write_str(&proc.constraints.to_string());
+        h.write_u64(proc.callsites.len() as u64);
+        for cs in &proc.callsites {
+            h.write_str(&cs.tag);
+            match cs.callee {
+                CallTarget::Internal(i) => {
+                    h.write_str("internal");
+                    h.write_str(program.procs[i].name.as_str());
+                }
+                CallTarget::External(n) => {
+                    h.write_str("external");
+                    h.write_str(n.as_str());
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
 /// Pass-1 fingerprint of an SCC: everything [`retypd_core::Solver::solve_scc`]
 /// reads. `scheme_fps` must contain the fingerprint of every already-solved
 /// scheme by name (externals included) — exactly the names the combined

@@ -62,6 +62,22 @@ pub struct DriverConfig {
     /// Worker threads for wave dispatch and batch distribution. `1` makes
     /// the driver fully sequential (still cache-enabled).
     pub workers: usize,
+    /// Maximum entries retained per cache pass (pass-1 schemes and pass-2
+    /// refinements are bounded independently); the least-recently-hit entry
+    /// is evicted beyond it. `None` (the default) never evicts — right for
+    /// one-shot batch runs, wrong for a resident service, which is why
+    /// `retypd-serve` always sets a bound.
+    pub cache_capacity: Option<usize>,
+}
+
+impl DriverConfig {
+    /// The default configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> DriverConfig {
+        DriverConfig {
+            workers,
+            ..DriverConfig::default()
+        }
+    }
 }
 
 impl Default for DriverConfig {
@@ -70,6 +86,7 @@ impl Default for DriverConfig {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            cache_capacity: None,
         }
     }
 }
@@ -81,6 +98,16 @@ pub struct ModuleJob {
     pub name: String,
     /// The module's constraint program.
     pub program: Program,
+}
+
+impl ModuleJob {
+    /// Stable content fingerprint of the module's program (the name is
+    /// deliberately excluded: a renamed re-submission of the same binary is
+    /// the same content). `retypd-serve` routes modules to shards by this
+    /// value, so identical modules always land on the same warm cache.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint::program_fp(&self.program)
+    }
 }
 
 /// Per-module batch output.
@@ -95,10 +122,27 @@ pub struct ModuleReport {
     pub wall: Duration,
 }
 
+/// How a driver holds its lattice: borrowed from the caller (the classic
+/// in-process shape) or owned (the `'static`, `Send`-able shape a shard
+/// thread needs to carry the driver across a `std::thread::spawn`).
+enum LatticeHandle<'l> {
+    Borrowed(&'l Lattice),
+    Owned(Arc<Lattice>),
+}
+
+impl LatticeHandle<'_> {
+    fn get(&self) -> &Lattice {
+        match self {
+            LatticeHandle::Borrowed(l) => l,
+            LatticeHandle::Owned(l) => l,
+        }
+    }
+}
+
 /// The analysis driver: owns scheduling and caching around
 /// [`retypd_core::Solver`].
 pub struct AnalysisDriver<'l> {
-    lattice: &'l Lattice,
+    lattice: LatticeHandle<'l>,
     config: DriverConfig,
     cache: SchemeCache,
 }
@@ -112,10 +156,27 @@ impl<'l> AnalysisDriver<'l> {
     /// A driver with an explicit configuration.
     pub fn with_config(lattice: &'l Lattice, config: DriverConfig) -> AnalysisDriver<'l> {
         AnalysisDriver {
-            lattice,
+            lattice: LatticeHandle::Borrowed(lattice),
             config,
-            cache: SchemeCache::new(),
+            cache: SchemeCache::with_capacity(config.cache_capacity),
         }
+    }
+
+    /// A driver that owns its lattice, giving it a `'static` lifetime so it
+    /// can move into a long-lived shard thread (`retypd-serve`'s shard pool
+    /// builds one of these per shard). Results are identical to a borrowed
+    /// construction with an equal lattice.
+    pub fn owned(lattice: Lattice, config: DriverConfig) -> AnalysisDriver<'static> {
+        AnalysisDriver {
+            lattice: LatticeHandle::Owned(Arc::new(lattice)),
+            config,
+            cache: SchemeCache::with_capacity(config.cache_capacity),
+        }
+    }
+
+    /// The lattice this driver solves against.
+    pub fn lattice(&self) -> &Lattice {
+        self.lattice.get()
     }
 
     /// The configured worker count.
@@ -160,7 +221,7 @@ impl<'l> AnalysisDriver<'l> {
     /// sequential solver's SCC order.
     pub fn solve_with_workers(&self, program: &Program, workers: usize) -> SolverResult {
         let start = Instant::now();
-        let solver = Solver::new(self.lattice);
+        let solver = Solver::new(self.lattice());
         let cond = Condensation::compute(program);
         let hits = AtomicU64::new(0);
         let misses = AtomicU64::new(0);
@@ -301,6 +362,18 @@ impl<'l> AnalysisDriver<'l> {
     }
 }
 
+// An owned driver moves whole into a shard thread and its batch API is
+// called behind `&self` from connection handlers, so the `'static` shape
+// must be `Send + Sync`; guarantee it at compile time (the serve crate
+// depends on this, like the core types' own assertions).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnalysisDriver<'static>>();
+    assert_send_sync::<ModuleJob>();
+    assert_send_sync::<ModuleReport>();
+    assert_send_sync::<SchemeCache>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,7 +425,7 @@ mod tests {
         let seq = Solver::new(&lattice).infer(&prog);
         for workers in [1, 4] {
             let driver =
-                AnalysisDriver::with_config(&lattice, DriverConfig { workers });
+                AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(workers));
             let got = driver.solve(&prog);
             assert_eq!(render(&got), render(&seq), "workers = {workers}");
         }
@@ -362,7 +435,7 @@ mod tests {
     fn resubmission_is_all_hits() {
         let lattice = Lattice::c_types();
         let prog = sample_program();
-        let driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 2 });
+        let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(2));
         let first = driver.solve(&prog);
         assert_eq!(first.stats.cache_hits, 0);
         assert!(first.stats.cache_misses > 0);

@@ -1,0 +1,146 @@
+//! Bounded-cache behavior: a driver with a small `cache_capacity` must
+//! evict least-recently-hit entries instead of growing without bound (the
+//! resident-service requirement), and modules whose entries were evicted
+//! must re-solve to bit-identical results on their next submission.
+
+use std::fmt::Write as _;
+
+use retypd_core::{Lattice, SolverResult};
+use retypd_driver::{AnalysisDriver, DriverConfig, ModuleJob};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{GenConfig, ProgramGenerator};
+
+fn generated_job(seed: u64, functions: usize) -> ModuleJob {
+    let module = ProgramGenerator::new(GenConfig {
+        seed,
+        functions,
+        structs: 3,
+        ..GenConfig::default()
+    })
+    .generate();
+    let (mir, _) = compile(&module).expect("generated module compiles");
+    ModuleJob {
+        name: format!("m{seed}"),
+        program: retypd_congen::generate(&mir),
+    }
+}
+
+fn render(result: &SolverResult) -> String {
+    let mut out = String::new();
+    for (name, pr) in &result.procs {
+        let _ = writeln!(out, "{name}: {}", pr.scheme);
+        let _ = writeln!(out, "  sketch: {:?}", pr.sketch);
+        let _ = writeln!(out, "  general: {:?}", pr.general_sketch);
+    }
+    let _ = writeln!(out, "{:?}", result.inconsistencies);
+    out
+}
+
+#[test]
+fn bounded_cache_evicts_and_stays_correct() {
+    let lattice = Lattice::c_types();
+    let jobs: Vec<ModuleJob> = [(31u64, 10usize), (32, 12), (33, 14)]
+        .iter()
+        .map(|&(seed, fns)| generated_job(seed, fns))
+        .collect();
+
+    // Reference results from an unbounded driver.
+    let unbounded = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1));
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|j| render(&unbounded.solve(&j.program)))
+        .collect();
+
+    // A capacity far below one module's SCC count forces eviction churn on
+    // every solve.
+    let bounded = AnalysisDriver::with_config(
+        &lattice,
+        DriverConfig {
+            workers: 1,
+            cache_capacity: Some(4),
+        },
+    );
+    for round in 0..3 {
+        for (j, want) in jobs.iter().zip(&reference) {
+            let got = bounded.solve(&j.program);
+            assert_eq!(
+                render(&got),
+                *want,
+                "round {round}, module {}: bounded cache changed the result",
+                j.name
+            );
+        }
+    }
+    let stats = bounded.cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "capacity 4 over three large modules must evict"
+    );
+    assert!(
+        stats.scheme_entries <= 4 && stats.refine_entries <= 4,
+        "cache exceeded its capacity: {stats:?}"
+    );
+}
+
+#[test]
+fn eviction_costs_misses_not_correctness() {
+    // One module whose SCC count exceeds the capacity: a re-submission can
+    // not be a 100% hit (entries were evicted), but must still be correct.
+    let lattice = Lattice::c_types();
+    let job = generated_job(37, 16);
+    let sccs = retypd_core::Condensation::compute(&job.program).sccs.len();
+    assert!(sccs > 3, "fixture must have more SCCs than the capacity");
+
+    let driver = AnalysisDriver::with_config(
+        &lattice,
+        DriverConfig {
+            workers: 1,
+            cache_capacity: Some(3),
+        },
+    );
+    let first = driver.solve(&job.program);
+    let second = driver.solve(&job.program);
+    assert_eq!(render(&first), render(&second));
+    assert!(
+        second.stats.cache_misses > 0,
+        "with evictions the re-submission must re-solve something"
+    );
+    assert!(driver.cache_stats().evictions > 0);
+
+    // Control: the same module under an unbounded cache is a pure hit.
+    let unbounded = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1));
+    unbounded.solve(&job.program);
+    let warm = unbounded.solve(&job.program);
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert_eq!(render(&warm), render(&first));
+}
+
+#[test]
+fn hot_entries_survive_cold_churn() {
+    // Re-submitting module A between B/C solves keeps A's entries hot; with
+    // a capacity that can hold A plus churn, A stays a near-pure hit.
+    let lattice = Lattice::c_types();
+    let hot = generated_job(41, 6);
+    let cold: Vec<ModuleJob> = [(42u64, 6usize), (43, 6)]
+        .iter()
+        .map(|&(s, f)| generated_job(s, f))
+        .collect();
+    let hot_sccs = retypd_core::Condensation::compute(&hot.program).sccs.len();
+
+    let driver = AnalysisDriver::with_config(
+        &lattice,
+        DriverConfig {
+            workers: 1,
+            cache_capacity: Some(2 * hot_sccs),
+        },
+    );
+    driver.solve(&hot.program);
+    for c in &cold {
+        driver.solve(&c.program);
+        let warm = driver.solve(&hot.program);
+        assert_eq!(
+            warm.stats.cache_misses, 0,
+            "hot module evicted despite being most recently hit"
+        );
+    }
+}

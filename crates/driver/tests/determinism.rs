@@ -49,7 +49,7 @@ fn workers_do_not_change_results_on_bench_generators() {
         let seq = Solver::new(&lattice).infer(&program);
         let seq_render = render(&seq);
         for workers in [1usize, 2, 4, 8] {
-            let driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers });
+            let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(workers));
             let got = driver.solve(&program);
             assert_eq!(
                 render(&got),
@@ -73,7 +73,7 @@ fn workers_do_not_change_results_on_bench_generators() {
 fn resubmitted_module_is_pure_fingerprint_hit() {
     let lattice = Lattice::c_types();
     let program = generated_program(5, 16);
-    let driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 2 });
+    let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(2));
     let first = driver.solve(&program);
     assert_eq!(first.stats.cache_hits, 0, "cold cache cannot hit");
     assert!(first.stats.cache_misses > 0);
@@ -101,6 +101,7 @@ fn batch_shares_scheme_work_across_cluster_members() {
         shared_functions: 6,
         member_functions: 3,
         seed: 99,
+        call_depth: 0,
     };
     let jobs: Vec<ModuleJob> = ProgramGenerator::generate_cluster(&spec)
         .iter()
@@ -113,7 +114,7 @@ fn batch_shares_scheme_work_across_cluster_members() {
         })
         .collect();
     // Sequential batch: deterministic hit accounting.
-    let driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 1 });
+    let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1));
     let reports = driver.solve_batch(&jobs);
     assert_eq!(reports[0].result.stats.cache_hits, 0);
     for r in &reports[1..] {
@@ -124,7 +125,7 @@ fn batch_shares_scheme_work_across_cluster_members() {
         );
     }
     // A parallel batch produces the same per-module results.
-    let par = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 4 });
+    let par = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(4));
     let preports = par.solve_batch(&jobs);
     for (a, b) in reports.iter().zip(&preports) {
         assert_eq!(a.name, b.name);
@@ -142,7 +143,7 @@ fn solve_batch_reports_in_job_order() {
             program: generated_program(seed, fns),
         })
         .collect();
-    let driver = AnalysisDriver::with_config(&lattice, DriverConfig { workers: 3 });
+    let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(3));
     let reports = driver.solve_batch(&jobs);
     let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
     assert_eq!(names, vec!["m21", "m22", "m23", "m24"]);

@@ -37,6 +37,13 @@ pub struct GenConfig {
     pub fastcall_percent: u32,
     /// Probability (0–100) of a type-unsafe cast inside a function.
     pub cast_percent: u32,
+    /// Depth of an appended call chain (`deep_0 ← deep_1 ← … `): each link
+    /// calls the previous, so the call-graph condensation gains at least
+    /// this many waves. `0` (the default) appends nothing, leaving historic
+    /// generation byte-identical. The organically generated call DAG is
+    /// shallow (~2 waves), so this is the knob that makes wave pipelining
+    /// in the parallel driver actually matter.
+    pub call_depth: usize,
 }
 
 impl Default for GenConfig {
@@ -48,6 +55,7 @@ impl Default for GenConfig {
             const_percent: 60,
             fastcall_percent: 10,
             cast_percent: 5,
+            call_depth: 0,
         }
     }
 }
@@ -66,6 +74,10 @@ pub struct ClusterSpec {
     pub member_functions: usize,
     /// Base seed.
     pub seed: u64,
+    /// Call-chain depth appended to the *shared* module (see
+    /// [`GenConfig::call_depth`]); every member inherits the chain, so each
+    /// member's condensation has at least this many waves.
+    pub call_depth: usize,
 }
 
 /// The deterministic program generator.
@@ -119,7 +131,47 @@ impl ProgramGenerator {
             };
             module.funcs.push(f);
         }
+        self.append_call_chain(&mut module);
         module
+    }
+
+    /// Appends the `call_depth`-deep chain `deep_0 ← deep_1 ← …` (each link
+    /// calls its predecessor), forcing the condensation's wave count to at
+    /// least the chain length. A no-op at depth 0 so default-configured
+    /// generation is unchanged.
+    fn append_call_chain(&mut self, module: &mut Module) {
+        for k in 0..self.config.call_depth {
+            let body = if k == 0 {
+                vec![Stmt::Return(Some(Expr::Bin(
+                    BinKind::Add,
+                    Box::new(Expr::Var("a".into())),
+                    Box::new(Expr::Int(1)),
+                )))]
+            } else {
+                vec![
+                    Stmt::Decl(
+                        "t".into(),
+                        SrcType::Int,
+                        Expr::Call(
+                            format!("deep_{}", k - 1),
+                            vec![Expr::Bin(
+                                BinKind::Add,
+                                Box::new(Expr::Var("a".into())),
+                                Box::new(Expr::Int(k as i64)),
+                            )],
+                        ),
+                    ),
+                    Stmt::Return(Some(Expr::Var("t".into()))),
+                ]
+            };
+            module.funcs.push(FuncDef {
+                name: format!("deep_{k}"),
+                params: vec![("a".into(), SrcType::Int)],
+                ret: SrcType::Int,
+                body,
+                fastcall: false,
+            });
+        }
     }
 
     /// Allocates two *different* struct types and releases both through the
@@ -185,6 +237,7 @@ impl ProgramGenerator {
         let mut shared_gen = ProgramGenerator::new(GenConfig {
             seed: spec.seed,
             functions: spec.shared_functions,
+            call_depth: spec.call_depth,
             ..GenConfig::default()
         });
         let shared = shared_gen.generate();
@@ -605,6 +658,7 @@ fn remap_expr(e: &mut Expr, offset: usize, member: usize) {
                 || name.starts_with("get_")
                 || name.starts_with("set_")
                 || name.starts_with("fduser_")
+                || name.starts_with("deep_")
                 || name.starts_with("make_S")
             {
                 // make_SN refers to struct indices: remap those too.
@@ -663,6 +717,7 @@ mod tests {
             shared_functions: 6,
             member_functions: 4,
             seed: 42,
+            call_depth: 0,
         };
         let members = ProgramGenerator::generate_cluster(&spec);
         assert_eq!(members.len(), 3);
@@ -682,6 +737,45 @@ mod tests {
         // And every member compiles.
         for (name, m) in &members {
             compile(m).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn call_depth_appends_a_chain() {
+        let base = ProgramGenerator::new(GenConfig::default()).generate();
+        let deep = ProgramGenerator::new(GenConfig {
+            call_depth: 6,
+            ..GenConfig::default()
+        })
+        .generate();
+        // Depth 0 leaves generation byte-identical; the chain is purely
+        // appended on top of it.
+        assert_eq!(&deep.funcs[..base.funcs.len()], &base.funcs[..]);
+        assert_eq!(deep.funcs.len(), base.funcs.len() + 6);
+        for k in 0..6 {
+            assert!(deep.func_by_name(&format!("deep_{k}")).is_some());
+        }
+        compile(&deep).expect("deep module compiles");
+    }
+
+    #[test]
+    fn cluster_depth_rides_the_shared_module() {
+        let spec = ClusterSpec {
+            name: "deep".into(),
+            members: 2,
+            shared_functions: 6,
+            member_functions: 3,
+            seed: 42,
+            call_depth: 6,
+        };
+        for (name, m) in ProgramGenerator::generate_cluster(&spec) {
+            for k in 0..6 {
+                assert!(
+                    m.func_by_name(&format!("deep_{k}")).is_some(),
+                    "{name} lost chain link {k}"
+                );
+            }
+            compile(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

@@ -1,0 +1,336 @@
+//! The load generator: replays a generated corpus against a server and
+//! reports latency, throughput, and cache behavior as JSON.
+//!
+//! ```text
+//! # Self-hosted (spawns an in-process server):
+//! cargo run --release -p retypd-serve --bin loadgen -- --small --out serve-load.json
+//! # Against an external server (CI starts `serve` in the background):
+//! cargo run --release -p retypd-serve --bin loadgen -- --small --addr 127.0.0.1:7411
+//! ```
+//!
+//! Two passes over the same corpus — cold, then warm — at a target
+//! concurrency (one connection per worker thread). The warm pass must be a
+//! shard-cache re-hit: the run *asserts* that the warm hit rate is ≥ 90%,
+//! that warm p50 latency is strictly below cold p50, and that every report
+//! from both passes is bit-identical (canonical text) to a sequential
+//! in-process `Solver::infer` of the same module — so a routing bug, a
+//! cache bug, or a wire round-trip bug fails the run rather than skewing
+//! the numbers.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use retypd_core::{Lattice, Solver};
+use retypd_driver::ModuleJob;
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
+use retypd_serve::wire::WireReport;
+use retypd_serve::{start, Client, ServeConfig};
+
+struct PassOutcome {
+    latencies_ns: Vec<u64>,
+    wall: Duration,
+    hits: u64,
+    misses: u64,
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+/// Replays every job once across `concurrency` clients (one connection
+/// each, work distributed by an atomic cursor), collecting per-request
+/// latency and verifying each report against the sequential reference.
+fn run_pass(
+    addr: std::net::SocketAddr,
+    jobs: &[ModuleJob],
+    references: &[String],
+    concurrency: usize,
+    shard_counters: impl Fn() -> (u64, u64),
+) -> PassOutcome {
+    let cursor = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let (hits0, misses0) = shard_counters();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency.max(1) {
+            scope.spawn(|| {
+                let mut client = Client::connect_retry(addr, Duration::from_secs(10))
+                    .expect("connect to server");
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let req_start = Instant::now();
+                    let report: WireReport =
+                        client.solve_module(&jobs[i]).expect("solve request");
+                    let lat = req_start.elapsed().as_nanos() as u64;
+                    assert_eq!(
+                        report.canonical_text(),
+                        references[i],
+                        "module {} diverged from sequential Solver::infer",
+                        jobs[i].name
+                    );
+                    latencies.lock().expect("latency vec").push(lat);
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let (hits1, misses1) = shard_counters();
+    let mut latencies_ns = latencies.into_inner().expect("latency vec");
+    latencies_ns.sort_unstable();
+    PassOutcome {
+        latencies_ns,
+        wall,
+        hits: hits1 - hits0,
+        misses: misses1 - misses0,
+    }
+}
+
+fn pass_json(name: &str, p: &PassOutcome, requests: usize) -> String {
+    let hit_rate = if p.hits + p.misses == 0 {
+        0.0
+    } else {
+        p.hits as f64 / (p.hits + p.misses) as f64
+    };
+    format!(
+        "  \"{name}\": {{\"requests\": {requests}, \"wall_ns\": {}, \
+         \"throughput_rps\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.3}}}",
+        p.wall.as_nanos(),
+        requests as f64 / p.wall.as_secs_f64().max(1e-9),
+        percentile(&p.latencies_ns, 50),
+        percentile(&p.latencies_ns, 95),
+        p.latencies_ns.last().copied().unwrap_or(0),
+        p.hits,
+        p.misses,
+        hit_rate,
+    )
+}
+
+fn main() {
+    let mut small = false;
+    let mut addr_arg: Option<String> = None;
+    let mut shards = 2usize;
+    let mut concurrency = 4usize;
+    let mut out_path: Option<String> = None;
+    let mut shutdown_server = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--small" => small = true,
+            "--addr" => addr_arg = args.next(),
+            "--shutdown" => shutdown_server = true,
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards expects a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--concurrency" => {
+                concurrency = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--concurrency expects a positive integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--out" => out_path = args.next(),
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: loadgen [--small] [--addr HOST:PORT] \
+                     [--shards N] [--concurrency N] [--out FILE] [--shutdown]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // --- Corpus: the same deep cluster shape as `driver_demo` (shared
+    // library + per-member code + a 6-deep call chain). ---
+    let spec = if small {
+        ClusterSpec {
+            name: "load".into(),
+            members: 4,
+            shared_functions: 8,
+            member_functions: 3,
+            seed: 7171,
+            call_depth: 6,
+        }
+    } else {
+        ClusterSpec {
+            name: "load".into(),
+            members: 8,
+            shared_functions: 20,
+            member_functions: 8,
+            seed: 7171,
+            call_depth: 6,
+        }
+    };
+    let jobs: Vec<ModuleJob> = ProgramGenerator::generate_cluster(&spec)
+        .iter()
+        .map(|(name, module)| {
+            let (mir, _) = compile(module).expect("generated module compiles");
+            ModuleJob {
+                name: name.clone(),
+                program: retypd_congen::generate(&mir),
+            }
+        })
+        .collect();
+
+    // --- Sequential in-process reference for every module. ---
+    let lattice = Lattice::c_types();
+    let references: Vec<String> = jobs
+        .iter()
+        .map(|j| {
+            WireReport::from_result(&j.name, &Solver::new(&lattice).infer(&j.program))
+                .canonical_text()
+        })
+        .collect();
+
+    // --- Target server: external (`--addr`) or spawned in-process. ---
+    let spawned = if addr_arg.is_none() {
+        Some(
+            start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                shards,
+                ..ServeConfig::default()
+            })
+            .expect("spawn in-process server"),
+        )
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&spawned, &addr_arg) {
+        (Some(handle), _) => handle.addr(),
+        (None, Some(a)) => {
+            use std::net::ToSocketAddrs as _;
+            a.to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .unwrap_or_else(|| {
+                    eprintln!("--addr {a} does not resolve");
+                    std::process::exit(2);
+                })
+        }
+        (None, None) => unreachable!(),
+    };
+
+    let shard_counters = || {
+        let mut client =
+            Client::connect_retry(addr, Duration::from_secs(10)).expect("connect for stats");
+        let stats = client.stats().expect("stats request");
+        let hits: u64 = stats.shards.iter().map(|s| s.cache.hits).sum();
+        let misses: u64 = stats.shards.iter().map(|s| s.cache.misses).sum();
+        (hits, misses)
+    };
+
+    eprintln!(
+        "corpus: {} modules, target {addr}, concurrency {concurrency}",
+        jobs.len()
+    );
+    let cold = run_pass(addr, &jobs, &references, concurrency, shard_counters);
+    eprintln!(
+        "cold: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
+        Duration::from_nanos(percentile(&cold.latencies_ns, 50)),
+        Duration::from_nanos(percentile(&cold.latencies_ns, 95)),
+        cold.hits,
+        cold.misses
+    );
+    let warm = run_pass(addr, &jobs, &references, concurrency, shard_counters);
+    eprintln!(
+        "warm: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
+        Duration::from_nanos(percentile(&warm.latencies_ns, 50)),
+        Duration::from_nanos(percentile(&warm.latencies_ns, 95)),
+        warm.hits,
+        warm.misses
+    );
+
+    // --- Acceptance assertions (see module docs). ---
+    let warm_hit_rate = warm.hits as f64 / ((warm.hits + warm.misses) as f64).max(1.0);
+    assert!(
+        warm_hit_rate >= 0.9,
+        "warm pass must re-hit its shard caches: hit rate {warm_hit_rate:.3}"
+    );
+    let (cold_p50, warm_p50) = (
+        percentile(&cold.latencies_ns, 50),
+        percentile(&warm.latencies_ns, 50),
+    );
+    assert!(
+        warm_p50 < cold_p50,
+        "warm p50 ({warm_p50} ns) must beat cold p50 ({cold_p50} ns)"
+    );
+    eprintln!(
+        "verified: all reports bit-identical to sequential Solver::infer ✓, \
+         warm hit rate {:.0}% ✓, warm p50 {:.2}x faster ✓",
+        100.0 * warm_hit_rate,
+        cold_p50 as f64 / warm_p50.max(1) as f64
+    );
+
+    // --- Final per-shard stats + JSON report. ---
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10)).expect("connect");
+    let stats = client.stats().expect("stats");
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"modules\": {}, \"concurrency\": {concurrency},\n",
+        jobs.len()
+    ));
+    json.push_str(&pass_json("cold", &cold, jobs.len()));
+    json.push_str(",\n");
+    json.push_str(&pass_json("warm", &warm, jobs.len()));
+    json.push_str(",\n  \"shards\": [\n");
+    for (i, s) in stats.shards.iter().enumerate() {
+        let rate = if s.cache.hits + s.cache.misses == 0 {
+            0.0
+        } else {
+            s.cache.hits as f64 / (s.cache.hits + s.cache.misses) as f64
+        };
+        json.push_str(&format!(
+            "    {{\"shard\": {}, \"jobs\": {}, \"hits\": {}, \"misses\": {}, \
+             \"evictions\": {}, \"hit_rate\": {rate:.3}}}{}\n",
+            s.shard,
+            s.jobs,
+            s.cache.hits,
+            s.cache.misses,
+            s.cache.evictions,
+            if i + 1 == stats.shards.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"accepted\": {}, \"rejected\": {}, \"verified\": true\n}}\n",
+        stats.accepted, stats.rejected
+    ));
+
+    if shutdown_server {
+        // Drain the external server too (CI runs it as a background
+        // process and waits for a clean exit).
+        client.shutdown().expect("server drains");
+    }
+    if let Some(handle) = spawned {
+        handle.shutdown();
+    }
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write loadgen JSON");
+            eprintln!("wrote {p}");
+        }
+        None => {
+            std::io::stdout().write_all(json.as_bytes()).expect("stdout");
+        }
+    }
+}

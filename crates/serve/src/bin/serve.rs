@@ -1,0 +1,79 @@
+//! The `retypd-serve` server binary.
+//!
+//! ```text
+//! cargo run --release -p retypd-serve --bin serve -- --addr 127.0.0.1:7411 \
+//!     --shards 4 --workers 1 --queue-depth 256 --cache-capacity 4096
+//! ```
+//!
+//! Prints `listening on <addr>` to stderr once the socket is bound, then
+//! blocks until a `shutdown` wire message drains it (CI starts this in the
+//! background and runs `loadgen` against it).
+
+use retypd_serve::{start, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--shards N] [--workers N] \
+         [--queue-depth N] [--cache-capacity N|unbounded]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    match args.next().as_deref().map(str::parse) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("{flag} expects a non-negative integer");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7411".into(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => config.addr = args.next().unwrap_or_else(|| usage()),
+            "--shards" => config.shards = parse_num(&mut args, "--shards").max(1),
+            "--workers" => {
+                config.workers_per_shard = parse_num(&mut args, "--workers").max(1)
+            }
+            "--queue-depth" => config.queue_depth = parse_num(&mut args, "--queue-depth"),
+            "--cache-capacity" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                config.cache_capacity = if v == "unbounded" {
+                    None
+                } else {
+                    match v.parse() {
+                        Ok(n) => Some(n),
+                        Err(_) => usage(),
+                    }
+                };
+            }
+            _ => usage(),
+        }
+    }
+    match start(config.clone()) {
+        Ok(handle) => {
+            eprintln!(
+                "retypd-serve listening on {} ({} shards, {} workers/shard, queue depth {}, \
+                 cache capacity {:?})",
+                handle.addr(),
+                config.shards,
+                config.workers_per_shard,
+                config.queue_depth,
+                config.cache_capacity
+            );
+            handle.join();
+            eprintln!("retypd-serve drained, exiting");
+        }
+        Err(e) => {
+            eprintln!("failed to bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The client library: a thin, blocking wrapper over the wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues requests serially
+//! (the protocol is request/response). Concurrency comes from owning
+//! several clients — the `loadgen` binary drives one per worker thread.
+
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use retypd_driver::ModuleJob;
+
+use crate::wire::{self, Request, Response, WireModule, WireReport, WireStats};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or protocol trouble.
+    Wire(wire::WireError),
+    /// The server refused the request at admission control.
+    Overloaded {
+        /// Jobs in flight at the server when it refused.
+        queued: usize,
+        /// The server's admission limit.
+        limit: usize,
+    },
+    /// The server is draining.
+    ShuttingDown,
+    /// The server reported a request error.
+    Server(String),
+    /// The server answered with a response kind the call did not expect.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Overloaded { queued, limit } => {
+                write!(f, "server overloaded ({queued}/{limit} jobs in flight)")
+            }
+            ClientError::ShuttingDown => write!(f, "server is shutting down"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<wire::WireError> for ClientError {
+    fn from(e: wire::WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Wire(wire::WireError::Io(e))
+    }
+}
+
+/// A blocking connection to a `retypd-serve` server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address does not resolve or the connection is refused.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for racing a server
+    /// that is still binding its socket (the CI load test starts the
+    /// server as a background process).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error once the deadline passes.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        wire::write_frame(&mut self.stream, &req.encode())?;
+        let payload = wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Unexpected("server closed the connection".into()))?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    fn expect_solved(resp: Response) -> Result<Vec<WireReport>, ClientError> {
+        match resp {
+            Response::Solved(reports) => Ok(reports),
+            Response::Overloaded { queued, limit } => {
+                Err(ClientError::Overloaded { queued, limit })
+            }
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            Response::Stats(_) => Err(ClientError::Unexpected("stats".into())),
+        }
+    }
+
+    /// Solves one module.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Overloaded`] when admission control refuses the job;
+    /// other variants for protocol or server failures.
+    pub fn solve_module(&mut self, job: &ModuleJob) -> Result<WireReport, ClientError> {
+        let resp = self.roundtrip(&Request::SolveModule(WireModule::from_job(job)))?;
+        let mut reports = Self::expect_solved(resp)?;
+        if reports.len() != 1 {
+            return Err(ClientError::Unexpected(format!(
+                "{} reports for one module",
+                reports.len()
+            )));
+        }
+        Ok(reports.remove(0))
+    }
+
+    /// Solves a batch; reports come back in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Overloaded`] when the whole batch exceeds the
+    /// admission budget (admission is all-or-nothing); other variants for
+    /// protocol or server failures.
+    pub fn solve_batch(&mut self, jobs: &[ModuleJob]) -> Result<Vec<WireReport>, ClientError> {
+        let modules = jobs.iter().map(WireModule::from_job).collect();
+        let resp = self.roundtrip(&Request::SolveBatch(modules))?;
+        let reports = Self::expect_solved(resp)?;
+        if reports.len() != jobs.len() {
+            return Err(ClientError::Unexpected(format!(
+                "{} reports for {} modules",
+                reports.len(),
+                jobs.len()
+            )));
+        }
+        Ok(reports)
+    }
+
+    /// Fetches server statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on protocol or server errors.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// Fails on protocol errors (a `shutting_down` reply is success).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! # retypd-serve
+//!
+//! A sharded network analysis service over the Retypd driver: the layer
+//! that turns the single-process [`retypd_driver::AnalysisDriver`] into
+//! something a fleet can talk to.
+//!
+//! * [`wire`] — a length-prefixed JSON protocol (`solve_module`,
+//!   `solve_batch`, `stats`, `shutdown`; `solved` / `overloaded` /
+//!   `shutting_down` replies). Programs travel as canonical constraint
+//!   text, which round-trips exactly through [`retypd_core::parse`], so
+//!   server-side solves are bit-identical to in-process ones.
+//! * [`server`] — an acceptor plus N shard threads, each owning a
+//!   long-lived driver with a bounded persistent cache. Modules route by
+//!   content fingerprint, so a re-submitted module always finds its warm
+//!   cache. Admission control refuses work past a queue-depth limit with
+//!   `overloaded` instead of stacking latency; shutdown drains gracefully.
+//! * [`client`] — a blocking client used by the tests and by the
+//!   [`loadgen`](../loadgen/index.html) binary, which replays a generated
+//!   corpus at a target concurrency and reports p50/p95 latency,
+//!   throughput, and per-shard cache hit rates as JSON.
+//! * [`json`] — the dependency-free JSON model backing the protocol (the
+//!   offline vendor set has no `serde_json`; the wire structs still carry
+//!   serde derives so the real serde can slot in later).
+//!
+//! The networking is deliberately `std`-only (`TcpListener` + threads):
+//! the vendored dependency set has no async runtime, and the analysis
+//! itself is CPU-bound thread-pool work — the socket layer just needs to
+//! feed it without blocking admission.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use wire::{Request, Response, WireModule, WireReport, WireStats};
+
+#[cfg(test)]
+mod tests {
+    use retypd_core::parse::parse_constraint_set;
+    use retypd_core::solver::{CallTarget, Callsite, Procedure};
+    use retypd_core::{Program, Symbol};
+    use retypd_driver::ModuleJob;
+
+    use crate::wire::{Request, Response, WireModule, WireReport};
+
+    fn sample_job() -> ModuleJob {
+        let mut prog = Program::new();
+        prog.add_proc(Procedure {
+            name: Symbol::intern("main"),
+            constraints: parse_constraint_set(
+                "main.in_stack0 <= x; x <= leaf@c1.in_stack0; Add(x, one; y)",
+            )
+            .unwrap(),
+            callsites: vec![Callsite {
+                callee: CallTarget::Internal(1),
+                tag: "c1".into(),
+            }],
+        });
+        prog.add_proc(Procedure {
+            name: Symbol::intern("leaf"),
+            constraints: parse_constraint_set(
+                "leaf.in_stack0 <= t; t.load.σ32@0 <= int; VAR t.load",
+            )
+            .unwrap(),
+            callsites: vec![Callsite {
+                callee: CallTarget::External(Symbol::intern("malloc")),
+                tag: "x1".into(),
+            }],
+        });
+        prog.externals.insert(
+            Symbol::intern("malloc"),
+            retypd_core::TypeScheme::new(
+                retypd_core::BaseVar::var("malloc"),
+                ["τ"].into_iter().map(Symbol::intern).collect(),
+                parse_constraint_set("malloc.in_stack0 <= size_t").unwrap(),
+            ),
+        );
+        prog.globals.insert(retypd_core::BaseVar::var("gbuf"));
+        ModuleJob {
+            name: "sample".into(),
+            program: prog,
+        }
+    }
+
+    #[test]
+    fn module_round_trips_through_the_wire_form() {
+        let job = sample_job();
+        let wire = WireModule::from_job(&job);
+        let back = wire.to_job().expect("wire module reconstructs");
+        assert_eq!(back.name, job.name);
+        assert_eq!(back.fingerprint(), job.fingerprint(), "content-identical");
+        // Spot-check structure, not just the fingerprint.
+        assert_eq!(back.program.procs.len(), 2);
+        assert_eq!(
+            back.program.procs[0].constraints,
+            job.program.procs[0].constraints
+        );
+        assert_eq!(back.program.externals.len(), 1);
+        assert_eq!(back.program.globals, job.program.globals);
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        let job = sample_job();
+        for req in [
+            Request::SolveModule(WireModule::from_job(&job)),
+            Request::SolveBatch(vec![WireModule::from_job(&job); 3]),
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let bytes = req.encode();
+            let back = Request::decode(&bytes).expect("request decodes");
+            assert_eq!(back.encode(), bytes, "deterministic re-encode");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_frames() {
+        let lattice = retypd_core::Lattice::c_types();
+        let job = sample_job();
+        let result = retypd_core::Solver::new(&lattice).infer(&job.program);
+        let report = WireReport::from_result(&job.name, &result);
+        for resp in [
+            Response::Solved(vec![report.clone()]),
+            Response::Overloaded {
+                queued: 9,
+                limit: 8,
+            },
+            Response::ShuttingDown,
+            Response::Error("boom".into()),
+        ] {
+            let bytes = resp.encode();
+            let back = Response::decode(&bytes).expect("response decodes");
+            assert_eq!(back.encode(), bytes, "deterministic re-encode");
+        }
+        // The canonical text survives the wire byte-for-byte.
+        let bytes = Response::Solved(vec![report.clone()]).encode();
+        let Response::Solved(reports) = Response::decode(&bytes).unwrap() else {
+            panic!("expected solved");
+        };
+        assert_eq!(reports[0].canonical_text(), report.canonical_text());
+        assert_eq!(reports[0].stats.constraints, result.stats.constraints);
+    }
+
+    #[test]
+    fn framing_rejects_oversized_and_truncated() {
+        use crate::wire::{read_frame, write_frame};
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{}").unwrap();
+        assert_eq!(read_frame(&mut &buf[..]).unwrap().as_deref(), Some(&b"{}"[..]));
+        // Clean EOF between frames.
+        assert_eq!(read_frame(&mut &[][..]).unwrap(), None);
+        // EOF inside a frame is an error.
+        let truncated = &buf[..buf.len() - 1];
+        assert!(read_frame(&mut &truncated[..]).is_err());
+        // An announced length over the cap is refused without allocating.
+        let huge = (u32::MAX).to_be_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! The sharded analysis server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            accept()              bounded admission            shard threads
+//!  client ──▶ acceptor ──▶ conn handler ──▶ [queued < limit?] ──▶ shard 0: AnalysisDriver + cache
+//!  client ──▶            ──▶ conn handler ──▶        │         ──▶ shard 1: AnalysisDriver + cache
+//!                                            reject: Overloaded    …  (route: fingerprint % shards)
+//! ```
+//!
+//! * **One driver per shard.** Each shard thread owns a long-lived
+//!   [`AnalysisDriver`] (owned lattice, bounded cache) for its whole life.
+//!   Modules are routed by [`ModuleJob::fingerprint`]` % shards`, so a
+//!   re-submitted module always lands on the shard whose cache already
+//!   holds its SCCs — the warm path is a pure fingerprint hit.
+//! * **Admission control.** A global in-flight job counter guards the
+//!   queues: a request whose batch would push the count past
+//!   [`ServeConfig::queue_depth`] is refused with `overloaded` *before*
+//!   anything is enqueued (no partial admission), so an overloaded server
+//!   answers immediately instead of stacking work.
+//! * **Graceful drain.** `shutdown` (wire message or
+//!   [`ServerHandle::shutdown`]) stops admissions, lets every queued job
+//!   finish, and joins the shard threads; in-flight responses are
+//!   delivered.
+//!
+//! Determinism: shard routing is content-addressed and each module solves
+//! on exactly one driver, so results are bit-identical to in-process
+//! [`AnalysisDriver::solve_batch`] — pinned by `tests/serve_determinism.rs`.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use retypd_core::Lattice;
+use retypd_driver::{AnalysisDriver, CacheStats, DriverConfig, ModuleJob, ModuleReport};
+
+use crate::wire::{
+    self, Request, Response, WireModule, WireReport, WireShardStats, WireStats,
+};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Number of shards (each owns one driver and one cache).
+    pub shards: usize,
+    /// Worker threads inside each shard's wave scheduler.
+    pub workers_per_shard: usize,
+    /// Admission limit: maximum modules admitted but not yet finished.
+    pub queue_depth: usize,
+    /// Per-shard driver cache capacity (see
+    /// [`DriverConfig::cache_capacity`]); a resident service must bound its
+    /// caches, so unlike the driver default this is `Some` out of the box.
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 2,
+            workers_per_shard: 1,
+            queue_depth: 256,
+            cache_capacity: Some(4096),
+        }
+    }
+}
+
+/// A solve job routed to a shard.
+struct ShardJob {
+    /// Position in the originating batch (responses preserve order).
+    index: usize,
+    job: ModuleJob,
+    fingerprint: u64,
+    reply: mpsc::Sender<(usize, WireReport)>,
+}
+
+/// One shard's handle: its queue sender and published statistics.
+struct Shard {
+    /// `None` once draining has begun (new sends fail fast).
+    tx: Mutex<Option<mpsc::Sender<ShardJob>>>,
+    /// Snapshot refreshed by the shard thread after every job.
+    stats: Mutex<WireShardStats>,
+}
+
+struct Shared {
+    shards: Vec<Shard>,
+    queue_depth: usize,
+    /// Modules admitted and not yet finished (shards decrement).
+    queued: AtomicUsize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    draining: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// Admits `n` jobs atomically, or reports the current queue depth.
+    fn admit(&self, n: usize) -> Result<(), usize> {
+        let mut cur = self.queued.load(Ordering::Relaxed);
+        loop {
+            if self.draining.load(Ordering::Relaxed) {
+                return Err(cur);
+            }
+            if cur + n > self.queue_depth {
+                return Err(cur);
+            }
+            match self.queued.compare_exchange(
+                cur,
+                cur + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        // Hang up the shard queues: shards finish what is buffered, then
+        // their `for` loops end.
+        for shard in &self.shards {
+            shard.tx.lock().expect("shard tx lock").take();
+        }
+        // Nudge the acceptor out of `accept()`. A bind to 0.0.0.0/[::] is
+        // not a connectable destination everywhere, so aim the nudge at
+        // loopback on the same port; residual failure (e.g. ephemeral-port
+        // exhaustion) leaves the acceptor parked until the next real
+        // connection, which also observes `draining` and lets it exit.
+        let mut nudge = self.local_addr;
+        if nudge.ip().is_unspecified() {
+            nudge.set_ip(match nudge.ip() {
+                std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&nudge, std::time::Duration::from_secs(1));
+    }
+
+    fn stats(&self) -> WireStats {
+        WireStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            queue_limit: self.queue_depth,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| *s.stats.lock().expect("shard stats lock"))
+                .collect(),
+        }
+    }
+}
+
+/// A running server: its bound address and lifecycle control.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Begins a graceful drain and waits for queued work and every server
+    /// thread to finish.
+    pub fn shutdown(mut self) {
+        self.shared.begin_drain();
+        self.join_threads();
+    }
+
+    /// Blocks until the server drains (a `shutdown` wire message, or
+    /// [`ServerHandle::shutdown`] from another handle-owning thread).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for t in self.shard_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts a server.
+///
+/// # Errors
+///
+/// Fails if the listen address cannot be bound.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let shards = config.shards.max(1);
+
+    let mut shard_handles = Vec::new();
+    let mut shard_threads = Vec::new();
+    let mut receivers = Vec::new();
+    for shard_id in 0..shards {
+        let (tx, rx) = mpsc::channel::<ShardJob>();
+        shard_handles.push(Shard {
+            tx: Mutex::new(Some(tx)),
+            stats: Mutex::new(WireShardStats {
+                shard: shard_id,
+                jobs: 0,
+                cache: CacheStats::default(),
+            }),
+        });
+        receivers.push(rx);
+    }
+
+    let shared = Arc::new(Shared {
+        shards: shard_handles,
+        queue_depth: config.queue_depth,
+        queued: AtomicUsize::new(0),
+        accepted: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+        local_addr,
+    });
+
+    for (shard_id, rx) in receivers.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let driver_config = DriverConfig {
+            workers: config.workers_per_shard.max(1),
+            cache_capacity: config.cache_capacity,
+        };
+        shard_threads.push(
+            std::thread::Builder::new()
+                .name(format!("retypd-shard-{shard_id}"))
+                .spawn(move || shard_main(shard_id, rx, driver_config, shared))
+                .expect("spawn shard thread"),
+        );
+    }
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("retypd-acceptor".into())
+            .spawn(move || acceptor_main(listener, shared))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        shared,
+        acceptor: Some(acceptor),
+        shard_threads,
+    })
+}
+
+fn shard_main(
+    shard_id: usize,
+    rx: mpsc::Receiver<ShardJob>,
+    driver_config: DriverConfig,
+    shared: Arc<Shared>,
+) {
+    // The driver outlives every request: its cache *is* the shard's state.
+    let driver = AnalysisDriver::owned(Lattice::c_types(), driver_config);
+    let mut jobs_done = 0u64;
+    for msg in rx {
+        let start = Instant::now();
+        let result = driver.solve(&msg.job.program);
+        let report = ModuleReport {
+            name: msg.job.name.clone(),
+            result,
+            wall: start.elapsed(),
+        };
+        jobs_done += 1;
+        *shared.shards[shard_id].stats.lock().expect("shard stats lock") = WireShardStats {
+            shard: shard_id,
+            jobs: jobs_done,
+            cache: driver.cache_stats(),
+        };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        // A dropped reply receiver just means the client went away.
+        let _ = msg.reply.send((
+            msg.index,
+            WireReport::from_report(&report, msg.fingerprint, shard_id),
+        ));
+    }
+}
+
+fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Frames are small request/response pairs; Nagle + delayed ACK
+        // would add ~40ms to every warm hit.
+        stream.set_nodelay(true).ok();
+        let shared = Arc::clone(&shared);
+        // Connection handlers are detached: they exit on client disconnect,
+        // and during a drain every new request is refused, so none of them
+        // can hold work back.
+        let _ = std::thread::Builder::new()
+            .name("retypd-conn".into())
+            .spawn(move || handle_conn(stream, shared));
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // clean EOF or broken socket
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => respond(req, &shared),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        if wire::write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(req: Request, shared: &Shared) -> Response {
+    match req {
+        Request::SolveModule(m) => solve(std::slice::from_ref(&m), shared),
+        Request::SolveBatch(ms) => solve(&ms, shared),
+        Request::Stats => Response::Stats(shared.stats()),
+        Request::Shutdown => {
+            shared.begin_drain();
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn solve(modules: &[WireModule], shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::Relaxed) {
+        return Response::ShuttingDown;
+    }
+    if modules.is_empty() {
+        return Response::Solved(Vec::new());
+    }
+    // Reconstruct jobs *before* admission so a malformed request costs no
+    // queue budget.
+    let jobs = match modules
+        .iter()
+        .map(WireModule::to_job)
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(jobs) => jobs,
+        Err(e) => return Response::Error(e.to_string()),
+    };
+    // All-or-nothing admission.
+    if let Err(queued) = shared.admit(jobs.len()) {
+        if shared.draining.load(Ordering::Relaxed) {
+            // A drain refusal is not overload pressure: report the drain
+            // and leave the `rejected` counter (documented as overload
+            // rejections) alone.
+            return Response::ShuttingDown;
+        }
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        return Response::Overloaded {
+            queued,
+            limit: shared.queue_depth,
+        };
+    }
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+
+    let n = jobs.len();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut dispatched = 0usize;
+    for (index, job) in jobs.into_iter().enumerate() {
+        let fingerprint = job.fingerprint();
+        let shard = (fingerprint % shared.shards.len() as u64) as usize;
+        let sent = {
+            let guard = shared.shards[shard].tx.lock().expect("shard tx lock");
+            match guard.as_ref() {
+                Some(tx) => tx
+                    .send(ShardJob {
+                        index,
+                        job,
+                        fingerprint,
+                        reply: reply_tx.clone(),
+                    })
+                    .is_ok(),
+                None => false,
+            }
+        };
+        if sent {
+            dispatched += 1;
+        } else {
+            // Drain raced us between `admit` and dispatch: release the
+            // budget for this job ourselves.
+            shared.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    drop(reply_tx);
+
+    let mut reports: Vec<Option<WireReport>> = (0..n).map(|_| None).collect();
+    for (index, report) in reply_rx {
+        reports[index] = Some(report);
+    }
+    if dispatched < n || reports.iter().any(Option::is_none) {
+        return Response::ShuttingDown;
+    }
+    Response::Solved(reports.into_iter().map(Option::unwrap).collect())
+}

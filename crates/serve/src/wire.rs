@@ -1,0 +1,856 @@
+//! The length-prefixed JSON wire protocol.
+//!
+//! ## Framing
+//!
+//! Every message is one frame: a 4-byte big-endian payload length followed
+//! by that many bytes of UTF-8 JSON. Frames are capped at
+//! [`MAX_FRAME_BYTES`] so a corrupt peer cannot induce an unbounded
+//! allocation.
+//!
+//! ## Messages
+//!
+//! Requests (`kind` discriminator): `solve_module`, `solve_batch`,
+//! `stats`, `shutdown`. Responses: `solved`, `stats`, `overloaded`,
+//! `shutting_down`, `error`. Programs travel as their canonical constraint
+//! text (the same rendering the driver fingerprints), which
+//! `retypd_core::parse` round-trips exactly — including `VAR` declarations
+//! and `Add`/`Sub` additive constraints — so the server-side reconstruction
+//! is solver-identical to the client's in-process program. The protocol
+//! fixes the lattice to [`retypd_core::Lattice::c_types`] (a future
+//! version can carry a lattice descriptor).
+//!
+//! Reports carry schemes and sketches in their canonical rendered form plus
+//! the full [`SolverStats`]; [`WireReport::canonical_text`] is the
+//! timing-free projection the determinism tests and `loadgen` compare
+//! byte-for-byte against in-process and sequential solves.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io::{Read, Write};
+
+use retypd_core::parse::{parse_constraint_set, parse_derived_var};
+use retypd_core::solver::{CallTarget, Callsite, Procedure};
+use retypd_core::{Program, SolverResult, SolverStats, Symbol, TypeScheme};
+use retypd_driver::{CacheStats, ModuleJob, ModuleReport};
+use serde::{Deserialize, Serialize};
+
+use crate::json::Json;
+
+/// Hard cap on one frame's payload (64 MiB): far above any real module,
+/// far below an allocation that could hurt.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A protocol error: framing, JSON, or message-shape trouble.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The payload was not valid JSON or not a valid message.
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn proto(msg: impl Into<String>) -> WireError {
+    WireError::Protocol(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Fails on socket errors or an oversized payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(proto(format!("frame of {} bytes exceeds cap", payload.len())));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); EOF inside a frame is an error.
+///
+/// # Errors
+///
+/// Fails on socket errors, truncated frames, or an oversized length prefix.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(proto(format!("peer announced {len}-byte frame, over cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn encode_msg(j: &Json) -> Vec<u8> {
+    j.encode().into_bytes()
+}
+
+fn decode_msg(payload: &[u8]) -> Result<Json, WireError> {
+    let text = std::str::from_utf8(payload).map_err(|_| proto("frame is not UTF-8"))?;
+    Json::parse(text).map_err(|e| proto(format!("bad JSON: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Wire data shapes
+
+/// A module on the wire: a named program in canonical constraint text.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireModule {
+    /// Module name (reporting only; excluded from routing fingerprints).
+    pub name: String,
+    /// Procedures in program order.
+    pub procs: Vec<WireProc>,
+    /// External-function schemes.
+    pub externals: Vec<WireScheme>,
+    /// Global variables (never renamed during instantiation).
+    pub globals: Vec<String>,
+}
+
+/// One procedure on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireProc {
+    /// Procedure name.
+    pub name: String,
+    /// Canonical constraint text (`ConstraintSet` display form).
+    pub constraints: String,
+    /// Callsites in body order.
+    pub callsites: Vec<WireCallsite>,
+}
+
+/// One callsite on the wire. Internal callees are referenced by *name*
+/// (indices are an in-memory detail).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireCallsite {
+    /// True if the callee is an external function.
+    pub external: bool,
+    /// Callee name.
+    pub callee: String,
+    /// Instantiation tag.
+    pub tag: String,
+}
+
+/// A type scheme on the wire (`TypeScheme` decomposed into its
+/// constructor arguments, so reconstruction is exact).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireScheme {
+    /// The name this scheme is registered under.
+    pub name: String,
+    /// The scheme's subject variable.
+    pub subject: String,
+    /// Quantified internal variable names.
+    pub existentials: Vec<String>,
+    /// Canonical constraint text.
+    pub constraints: String,
+}
+
+/// Per-procedure inference output on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireProcResult {
+    /// Procedure name.
+    pub name: String,
+    /// The inferred scheme, canonically rendered.
+    pub scheme: String,
+    /// The refined sketch (canonical `Debug` form), if any.
+    pub sketch: Option<String>,
+    /// The most-general sketch, if any.
+    pub general: Option<String>,
+}
+
+/// One module's inference report on the wire.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireReport {
+    /// Module name (as submitted).
+    pub name: String,
+    /// The module's content fingerprint (shard routing key).
+    pub fingerprint: u64,
+    /// The shard that solved it.
+    pub shard: usize,
+    /// Per-procedure results, in name order.
+    pub procs: Vec<WireProcResult>,
+    /// Scalar consistency violations.
+    pub inconsistencies: Vec<(String, String)>,
+    /// Solver statistics (includes `solve_ns` and cache counters).
+    pub stats: SolverStats,
+    /// Wall-clock nanoseconds the shard spent on this module.
+    pub wall_ns: u64,
+}
+
+/// A shard's published statistics.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WireShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Modules this shard has solved.
+    pub jobs: u64,
+    /// The shard driver's cumulative cache counters.
+    pub cache: CacheStats,
+}
+
+/// The server-wide statistics reply.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Requests admitted past admission control.
+    pub accepted: u64,
+    /// Requests rejected as `overloaded`.
+    pub rejected: u64,
+    /// Jobs currently admitted but not finished.
+    pub queued: usize,
+    /// The admission limit.
+    pub queue_limit: usize,
+    /// Per-shard statistics.
+    pub shards: Vec<WireShardStats>,
+}
+
+/// A request message.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Solve one module.
+    SolveModule(WireModule),
+    /// Solve a batch of modules; the response preserves order.
+    SolveBatch(Vec<WireModule>),
+    /// Fetch server statistics.
+    Stats,
+    /// Begin a graceful drain: queued work finishes, new work is refused.
+    Shutdown,
+}
+
+/// A response message.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Reports for a solve request, in submission order.
+    Solved(Vec<WireReport>),
+    /// Server statistics.
+    Stats(WireStats),
+    /// The request was refused by admission control.
+    Overloaded {
+        /// Jobs in flight when the request was refused.
+        queued: usize,
+        /// The admission limit.
+        limit: usize,
+    },
+    /// The server is draining and takes no new work.
+    ShuttingDown,
+    /// The request could not be processed.
+    Error(String),
+}
+
+// ---------------------------------------------------------------------------
+// Program <-> wire conversion
+
+impl WireModule {
+    /// Renders a [`ModuleJob`] into its wire form.
+    pub fn from_job(job: &ModuleJob) -> WireModule {
+        let program = &job.program;
+        WireModule {
+            name: job.name.clone(),
+            procs: program
+                .procs
+                .iter()
+                .map(|p| WireProc {
+                    name: p.name.as_str().to_owned(),
+                    constraints: p.constraints.to_string(),
+                    callsites: p
+                        .callsites
+                        .iter()
+                        .map(|cs| match cs.callee {
+                            CallTarget::Internal(i) => WireCallsite {
+                                external: false,
+                                callee: program.procs[i].name.as_str().to_owned(),
+                                tag: cs.tag.clone(),
+                            },
+                            CallTarget::External(n) => WireCallsite {
+                                external: true,
+                                callee: n.as_str().to_owned(),
+                                tag: cs.tag.clone(),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+            externals: program
+                .externals
+                .iter()
+                .map(|(name, scheme)| WireScheme {
+                    name: name.as_str().to_owned(),
+                    subject: scheme.subject().name().as_str().to_owned(),
+                    existentials: scheme
+                        .existentials()
+                        .iter()
+                        .map(|e| e.as_str().to_owned())
+                        .collect(),
+                    constraints: scheme.constraints().to_string(),
+                })
+                .collect(),
+            globals: program.globals.iter().map(|g| g.to_string()).collect(),
+        }
+    }
+
+    /// Reconstructs the [`ModuleJob`] this wire form describes. The result
+    /// is solver-identical to the job that produced it: constraint text,
+    /// `VAR` declarations, and additive constraints all round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unparsable constraint text or a callsite referencing an
+    /// unknown procedure.
+    pub fn to_job(&self) -> Result<ModuleJob, WireError> {
+        let mut program = Program::new();
+        // Procedure indices are positional, so resolve names first.
+        let index_of: BTreeMap<&str, usize> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.as_str(), i))
+            .collect();
+        for p in &self.procs {
+            let constraints = parse_constraint_set(&p.constraints)
+                .map_err(|e| proto(format!("procedure {}: {e}", p.name)))?;
+            let callsites = p
+                .callsites
+                .iter()
+                .map(|cs| {
+                    let callee = if cs.external {
+                        CallTarget::External(Symbol::intern(&cs.callee))
+                    } else {
+                        CallTarget::Internal(*index_of.get(cs.callee.as_str()).ok_or_else(
+                            || proto(format!("{}: unknown callee {}", p.name, cs.callee)),
+                        )?)
+                    };
+                    Ok(Callsite {
+                        callee,
+                        tag: cs.tag.clone(),
+                    })
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            program.add_proc(Procedure {
+                name: Symbol::intern(&p.name),
+                constraints,
+                callsites,
+            });
+        }
+        for e in &self.externals {
+            let subject_dv = parse_derived_var(&e.subject)
+                .map_err(|err| proto(format!("external {}: {err}", e.name)))?;
+            if !subject_dv.path().is_empty() {
+                return Err(proto(format!("external {}: subject has labels", e.name)));
+            }
+            let constraints = parse_constraint_set(&e.constraints)
+                .map_err(|err| proto(format!("external {}: {err}", e.name)))?;
+            let existentials: BTreeSet<Symbol> =
+                e.existentials.iter().map(|x| Symbol::intern(x)).collect();
+            program.externals.insert(
+                Symbol::intern(&e.name),
+                TypeScheme::new(subject_dv.base(), existentials, constraints),
+            );
+        }
+        for g in &self.globals {
+            let dv = parse_derived_var(g).map_err(|e| proto(format!("global {g}: {e}")))?;
+            if !dv.path().is_empty() {
+                return Err(proto(format!("global {g} has labels")));
+            }
+            program.globals.insert(dv.base());
+        }
+        Ok(ModuleJob {
+            name: self.name.clone(),
+            program,
+        })
+    }
+}
+
+impl WireReport {
+    /// Builds a report from a driver [`ModuleReport`].
+    pub fn from_report(report: &ModuleReport, fingerprint: u64, shard: usize) -> WireReport {
+        let mut w = WireReport::from_result(&report.name, &report.result);
+        w.fingerprint = fingerprint;
+        w.shard = shard;
+        w.wall_ns = report.wall.as_nanos() as u64;
+        w
+    }
+
+    /// Builds a report from a bare [`SolverResult`] (fingerprint, shard,
+    /// and wall clock zeroed) — the shape used for in-process references in
+    /// the determinism tests and `loadgen`.
+    pub fn from_result(name: &str, result: &SolverResult) -> WireReport {
+        WireReport {
+            name: name.to_owned(),
+            fingerprint: 0,
+            shard: 0,
+            procs: result
+                .procs
+                .iter()
+                .map(|(pname, pr)| WireProcResult {
+                    name: pname.as_str().to_owned(),
+                    scheme: pr.scheme.to_string(),
+                    sketch: pr.sketch.as_ref().map(|s| format!("{s:?}")),
+                    general: pr.general_sketch.as_ref().map(|s| format!("{s:?}")),
+                })
+                .collect(),
+            inconsistencies: result
+                .inconsistencies
+                .iter()
+                .map(|(a, b)| (a.as_str().to_owned(), b.as_str().to_owned()))
+                .collect(),
+            stats: result.stats,
+            wall_ns: 0,
+        }
+    }
+
+    /// The timing-free canonical projection: schemes, sketches, and
+    /// inconsistencies. Two solves of the same module — over the wire, in
+    /// process, sequential — must produce byte-identical canonical text;
+    /// the determinism tests and the `loadgen` verifier compare exactly
+    /// this.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for p in &self.procs {
+            let _ = writeln!(out, "{}: {}", p.name, p.scheme);
+            let _ = writeln!(out, "  sketch: {:?}", p.sketch);
+            let _ = writeln!(out, "  general: {:?}", p.general);
+        }
+        let _ = writeln!(out, "{:?}", self.inconsistencies);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding/decoding
+
+impl WireModule {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            (
+                "procs".into(),
+                Json::Arr(
+                    self.procs
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&p.name)),
+                                ("constraints".into(), Json::str(&p.constraints)),
+                                (
+                                    "callsites".into(),
+                                    Json::Arr(
+                                        p.callsites
+                                            .iter()
+                                            .map(|cs| {
+                                                Json::Obj(vec![
+                                                    (
+                                                        "external".into(),
+                                                        Json::Bool(cs.external),
+                                                    ),
+                                                    ("callee".into(), Json::str(&cs.callee)),
+                                                    ("tag".into(), Json::str(&cs.tag)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "externals".into(),
+                Json::Arr(
+                    self.externals
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&e.name)),
+                                ("subject".into(), Json::str(&e.subject)),
+                                (
+                                    "existentials".into(),
+                                    Json::Arr(
+                                        e.existentials.iter().map(Json::str).collect(),
+                                    ),
+                                ),
+                                ("constraints".into(), Json::str(&e.constraints)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "globals".into(),
+                Json::Arr(self.globals.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<WireModule, WireError> {
+        Ok(WireModule {
+            name: str_field(j, "name")?,
+            procs: arr_field(j, "procs")?
+                .iter()
+                .map(|p| {
+                    Ok(WireProc {
+                        name: str_field(p, "name")?,
+                        constraints: str_field(p, "constraints")?,
+                        callsites: arr_field(p, "callsites")?
+                            .iter()
+                            .map(|cs| {
+                                Ok(WireCallsite {
+                                    external: bool_field(cs, "external")?,
+                                    callee: str_field(cs, "callee")?,
+                                    tag: str_field(cs, "tag")?,
+                                })
+                            })
+                            .collect::<Result<_, WireError>>()?,
+                    })
+                })
+                .collect::<Result<_, WireError>>()?,
+            externals: arr_field(j, "externals")?
+                .iter()
+                .map(|e| {
+                    Ok(WireScheme {
+                        name: str_field(e, "name")?,
+                        subject: str_field(e, "subject")?,
+                        existentials: str_arr_field(e, "existentials")?,
+                        constraints: str_field(e, "constraints")?,
+                    })
+                })
+                .collect::<Result<_, WireError>>()?,
+            globals: str_arr_field(j, "globals")?,
+        })
+    }
+}
+
+fn stats_to_json(s: &SolverStats) -> Json {
+    Json::Obj(vec![
+        ("graph_nodes".into(), Json::usize(s.graph_nodes)),
+        ("graph_edges".into(), Json::usize(s.graph_edges)),
+        ("quotient_nodes".into(), Json::usize(s.quotient_nodes)),
+        ("sketch_states".into(), Json::usize(s.sketch_states)),
+        ("constraints".into(), Json::usize(s.constraints)),
+        ("solve_ns".into(), Json::u64(s.solve_ns)),
+        ("cache_hits".into(), Json::u64(s.cache_hits)),
+        ("cache_misses".into(), Json::u64(s.cache_misses)),
+    ])
+}
+
+fn stats_from_json(j: &Json) -> Result<SolverStats, WireError> {
+    Ok(SolverStats {
+        graph_nodes: usize_field(j, "graph_nodes")?,
+        graph_edges: usize_field(j, "graph_edges")?,
+        quotient_nodes: usize_field(j, "quotient_nodes")?,
+        sketch_states: usize_field(j, "sketch_states")?,
+        constraints: usize_field(j, "constraints")?,
+        solve_ns: u64_field(j, "solve_ns")?,
+        cache_hits: u64_field(j, "cache_hits")?,
+        cache_misses: u64_field(j, "cache_misses")?,
+    })
+}
+
+impl WireReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("fingerprint".into(), Json::u64(self.fingerprint)),
+            ("shard".into(), Json::usize(self.shard)),
+            (
+                "procs".into(),
+                Json::Arr(
+                    self.procs
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&p.name)),
+                                ("scheme".into(), Json::str(&p.scheme)),
+                                (
+                                    "sketch".into(),
+                                    p.sketch.as_ref().map_or(Json::Null, Json::str),
+                                ),
+                                (
+                                    "general".into(),
+                                    p.general.as_ref().map_or(Json::Null, Json::str),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "inconsistencies".into(),
+                Json::Arr(
+                    self.inconsistencies
+                        .iter()
+                        .map(|(a, b)| Json::Arr(vec![Json::str(a), Json::str(b)]))
+                        .collect(),
+                ),
+            ),
+            ("stats".into(), stats_to_json(&self.stats)),
+            ("wall_ns".into(), Json::u64(self.wall_ns)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<WireReport, WireError> {
+        Ok(WireReport {
+            name: str_field(j, "name")?,
+            fingerprint: u64_field(j, "fingerprint")?,
+            shard: usize_field(j, "shard")?,
+            procs: arr_field(j, "procs")?
+                .iter()
+                .map(|p| {
+                    Ok(WireProcResult {
+                        name: str_field(p, "name")?,
+                        scheme: str_field(p, "scheme")?,
+                        sketch: opt_str_field(p, "sketch")?,
+                        general: opt_str_field(p, "general")?,
+                    })
+                })
+                .collect::<Result<_, WireError>>()?,
+            inconsistencies: arr_field(j, "inconsistencies")?
+                .iter()
+                .map(|pair| {
+                    let items = pair.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                        proto("inconsistency entries are 2-element arrays")
+                    })?;
+                    Ok((
+                        items[0]
+                            .as_str()
+                            .ok_or_else(|| proto("inconsistency members are strings"))?
+                            .to_owned(),
+                        items[1]
+                            .as_str()
+                            .ok_or_else(|| proto("inconsistency members are strings"))?
+                            .to_owned(),
+                    ))
+                })
+                .collect::<Result<_, WireError>>()?,
+            stats: stats_from_json(
+                j.get("stats").ok_or_else(|| proto("missing stats"))?,
+            )?,
+            wall_ns: u64_field(j, "wall_ns")?,
+        })
+    }
+}
+
+fn shard_stats_to_json(s: &WireShardStats) -> Json {
+    Json::Obj(vec![
+        ("shard".into(), Json::usize(s.shard)),
+        ("jobs".into(), Json::u64(s.jobs)),
+        ("hits".into(), Json::u64(s.cache.hits)),
+        ("misses".into(), Json::u64(s.cache.misses)),
+        ("evictions".into(), Json::u64(s.cache.evictions)),
+        ("scheme_entries".into(), Json::usize(s.cache.scheme_entries)),
+        ("refine_entries".into(), Json::usize(s.cache.refine_entries)),
+    ])
+}
+
+fn shard_stats_from_json(j: &Json) -> Result<WireShardStats, WireError> {
+    Ok(WireShardStats {
+        shard: usize_field(j, "shard")?,
+        jobs: u64_field(j, "jobs")?,
+        cache: CacheStats {
+            hits: u64_field(j, "hits")?,
+            misses: u64_field(j, "misses")?,
+            evictions: u64_field(j, "evictions")?,
+            scheme_entries: usize_field(j, "scheme_entries")?,
+            refine_entries: usize_field(j, "refine_entries")?,
+        },
+    })
+}
+
+impl Request {
+    /// Encodes this request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let j = match self {
+            Request::SolveModule(m) => Json::Obj(vec![
+                ("kind".into(), Json::str("solve_module")),
+                ("module".into(), m.to_json()),
+            ]),
+            Request::SolveBatch(ms) => Json::Obj(vec![
+                ("kind".into(), Json::str("solve_batch")),
+                (
+                    "modules".into(),
+                    Json::Arr(ms.iter().map(WireModule::to_json).collect()),
+                ),
+            ]),
+            Request::Stats => Json::Obj(vec![("kind".into(), Json::str("stats"))]),
+            Request::Shutdown => Json::Obj(vec![("kind".into(), Json::str("shutdown"))]),
+        };
+        encode_msg(&j)
+    }
+
+    /// Decodes a request from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or an unknown `kind`.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let j = decode_msg(payload)?;
+        match str_field(&j, "kind")?.as_str() {
+            "solve_module" => Ok(Request::SolveModule(WireModule::from_json(
+                j.get("module").ok_or_else(|| proto("missing module"))?,
+            )?)),
+            "solve_batch" => Ok(Request::SolveBatch(
+                arr_field(&j, "modules")?
+                    .iter()
+                    .map(WireModule::from_json)
+                    .collect::<Result<_, WireError>>()?,
+            )),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(proto(format!("unknown request kind {other:?}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes this response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let j = match self {
+            Response::Solved(reports) => Json::Obj(vec![
+                ("kind".into(), Json::str("solved")),
+                (
+                    "reports".into(),
+                    Json::Arr(reports.iter().map(WireReport::to_json).collect()),
+                ),
+            ]),
+            Response::Stats(s) => Json::Obj(vec![
+                ("kind".into(), Json::str("stats")),
+                ("accepted".into(), Json::u64(s.accepted)),
+                ("rejected".into(), Json::u64(s.rejected)),
+                ("queued".into(), Json::usize(s.queued)),
+                ("queue_limit".into(), Json::usize(s.queue_limit)),
+                (
+                    "shards".into(),
+                    Json::Arr(s.shards.iter().map(shard_stats_to_json).collect()),
+                ),
+            ]),
+            Response::Overloaded { queued, limit } => Json::Obj(vec![
+                ("kind".into(), Json::str("overloaded")),
+                ("queued".into(), Json::usize(*queued)),
+                ("limit".into(), Json::usize(*limit)),
+            ]),
+            Response::ShuttingDown => {
+                Json::Obj(vec![("kind".into(), Json::str("shutting_down"))])
+            }
+            Response::Error(m) => Json::Obj(vec![
+                ("kind".into(), Json::str("error")),
+                ("message".into(), Json::str(m)),
+            ]),
+        };
+        encode_msg(&j)
+    }
+
+    /// Decodes a response from a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or an unknown `kind`.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let j = decode_msg(payload)?;
+        match str_field(&j, "kind")?.as_str() {
+            "solved" => Ok(Response::Solved(
+                arr_field(&j, "reports")?
+                    .iter()
+                    .map(WireReport::from_json)
+                    .collect::<Result<_, WireError>>()?,
+            )),
+            "stats" => Ok(Response::Stats(WireStats {
+                accepted: u64_field(&j, "accepted")?,
+                rejected: u64_field(&j, "rejected")?,
+                queued: usize_field(&j, "queued")?,
+                queue_limit: usize_field(&j, "queue_limit")?,
+                shards: arr_field(&j, "shards")?
+                    .iter()
+                    .map(shard_stats_from_json)
+                    .collect::<Result<_, WireError>>()?,
+            })),
+            "overloaded" => Ok(Response::Overloaded {
+                queued: usize_field(&j, "queued")?,
+                limit: usize_field(&j, "limit")?,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error(str_field(&j, "message")?)),
+            other => Err(proto(format!("unknown response kind {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+
+fn str_field(j: &Json, key: &str) -> Result<String, WireError> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| proto(format!("missing string field {key:?}")))
+}
+
+fn opt_str_field(j: &Json, key: &str) -> Result<Option<String>, WireError> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(proto(format!("field {key:?} must be a string or null"))),
+    }
+}
+
+fn bool_field(j: &Json, key: &str) -> Result<bool, WireError> {
+    match j.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(proto(format!("missing bool field {key:?}"))),
+    }
+}
+
+fn u64_field(j: &Json, key: &str) -> Result<u64, WireError> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| proto(format!("missing u64 field {key:?}")))
+}
+
+fn usize_field(j: &Json, key: &str) -> Result<usize, WireError> {
+    j.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| proto(format!("missing usize field {key:?}")))
+}
+
+fn arr_field<'j>(j: &'j Json, key: &str) -> Result<&'j [Json], WireError> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| proto(format!("missing array field {key:?}")))
+}
+
+fn str_arr_field(j: &Json, key: &str) -> Result<Vec<String>, WireError> {
+    arr_field(j, key)?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| proto(format!("{key:?} members must be strings")))
+        })
+        .collect()
+}

@@ -1,0 +1,159 @@
+//! Live-socket determinism and admission-control tests: a real server on a
+//! loopback socket must produce byte-identical results to in-process
+//! `AnalysisDriver::solve_batch` (and the sequential solver) at 1 and N
+//! shards, refuse overload immediately instead of hanging, and drain
+//! gracefully on shutdown.
+
+use retypd_core::{Lattice, Solver};
+use retypd_driver::{AnalysisDriver, DriverConfig, ModuleJob};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
+use retypd_serve::wire::WireReport;
+use retypd_serve::{start, Client, ClientError, ServeConfig};
+
+fn corpus() -> Vec<ModuleJob> {
+    let spec = ClusterSpec {
+        name: "det".into(),
+        members: 3,
+        shared_functions: 6,
+        member_functions: 3,
+        seed: 515,
+        call_depth: 6,
+    };
+    let mut jobs: Vec<ModuleJob> = ProgramGenerator::generate_cluster(&spec)
+        .iter()
+        .map(|(name, module)| {
+            let (mir, _) = compile(module).expect("cluster member compiles");
+            ModuleJob {
+                name: name.clone(),
+                program: retypd_congen::generate(&mir),
+            }
+        })
+        .collect();
+    // A verbatim re-submission exercises the warm shard path.
+    let resubmit = ModuleJob {
+        name: format!("{}+resubmit", jobs[0].name),
+        program: jobs[0].program.clone(),
+    };
+    jobs.push(resubmit);
+    jobs
+}
+
+fn server(shards: usize, queue_depth: usize) -> retypd_serve::ServerHandle {
+    start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards,
+        workers_per_shard: 1,
+        queue_depth,
+        cache_capacity: Some(1024),
+    })
+    .expect("bind loopback server")
+}
+
+#[test]
+fn socket_results_match_in_process_and_sequential_at_1_and_n_shards() {
+    let jobs = corpus();
+    let lattice = Lattice::c_types();
+
+    // In-process references: the driver batch API and the plain solver.
+    let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(2));
+    let in_process: Vec<String> = driver
+        .solve_batch(&jobs)
+        .iter()
+        .map(|r| WireReport::from_result(&r.name, &r.result).canonical_text())
+        .collect();
+    for (job, want) in jobs.iter().zip(&in_process) {
+        let seq = Solver::new(&lattice).infer(&job.program);
+        assert_eq!(
+            WireReport::from_result(&job.name, &seq).canonical_text(),
+            *want,
+            "driver batch diverged from sequential solver on {}",
+            job.name
+        );
+    }
+
+    for shards in [1usize, 3] {
+        let handle = server(shards, 64);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let reports = client.solve_batch(&jobs).expect("batch solves");
+        assert_eq!(reports.len(), jobs.len());
+        for (report, (job, want)) in reports.iter().zip(jobs.iter().zip(&in_process)) {
+            assert_eq!(report.name, job.name, "order preserved");
+            assert_eq!(
+                report.canonical_text(),
+                *want,
+                "{} over the socket at {shards} shard(s) diverged",
+                job.name
+            );
+            assert!(report.shard < shards);
+        }
+        // Content routing: the re-submitted module repeats its original's
+        // fingerprint and shard, and solves as a pure cache hit.
+        let (first, resub) = (&reports[0], reports.last().unwrap());
+        assert_eq!(first.fingerprint, resub.fingerprint);
+        assert_eq!(first.shard, resub.shard, "same content, same shard");
+        assert_eq!(resub.stats.cache_misses, 0, "warm path must not re-solve");
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn repeat_submissions_are_warm_on_every_shard_count() {
+    let jobs = corpus();
+    for shards in [1usize, 2] {
+        let handle = server(shards, 64);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let cold = client.solve_batch(&jobs).expect("cold batch");
+        let warm = client.solve_batch(&jobs).expect("warm batch");
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.canonical_text(), w.canonical_text(), "{}", c.name);
+            assert_eq!(w.stats.cache_misses, 0, "{} warm re-solve", w.name);
+        }
+        let stats = client.stats().expect("stats");
+        let total_jobs: u64 = stats.shards.iter().map(|s| s.jobs).sum();
+        assert_eq!(total_jobs, 2 * jobs.len() as u64);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn overload_returns_overloaded_not_a_hang() {
+    let jobs = corpus();
+    // Admission limit below the batch size: the batch must be refused
+    // immediately and completely (no partial admission).
+    let handle = server(2, jobs.len() - 1);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    match client.solve_batch(&jobs) {
+        Err(ClientError::Overloaded { queued, limit }) => {
+            assert_eq!(limit, jobs.len() - 1);
+            assert!(queued <= limit);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // The refusal is accounted and the server still serves within-budget
+    // work on the same connection.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.queued, 0, "no partial admission leaked");
+    let report = client.solve_module(&jobs[0]).expect("single module fits");
+    assert_eq!(report.name, jobs[0].name);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_gracefully() {
+    let jobs = corpus();
+    let handle = server(2, 64);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    // Work submitted before the drain completes normally.
+    let reports = client.solve_batch(&jobs).expect("pre-drain batch");
+    assert_eq!(reports.len(), jobs.len());
+    client.shutdown().expect("shutdown acknowledged");
+    // Post-drain work is refused, not hung.
+    match client.solve_module(&jobs[0]) {
+        Err(ClientError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    // All server threads exit.
+    handle.join();
+}

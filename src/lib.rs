@@ -15,6 +15,8 @@
 //! * [`baselines`] — unification-based and TIE-style baselines.
 //! * [`driver`] — parallel SCC-wave analysis driver with a persistent
 //!   scheme cache and batch API.
+//! * [`serve`] — sharded network analysis service over the driver: wire
+//!   protocol, admission control, client library, load generator.
 //! * [`eval`] — metrics and experiment harness.
 
 #![warn(missing_docs)]
@@ -27,3 +29,4 @@ pub use retypd_driver as driver;
 pub use retypd_eval as eval;
 pub use retypd_minic as minic;
 pub use retypd_mir as mir;
+pub use retypd_serve as serve;

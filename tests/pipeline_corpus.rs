@@ -59,6 +59,7 @@ fn clusters_flow_through_pipeline() {
         shared_functions: 8,
         member_functions: 3,
         seed: 77,
+        call_depth: 0,
     };
     for (name, module) in ProgramGenerator::generate_cluster(&spec) {
         let r = evaluate_module(&name, &module, &lattice);
