@@ -119,7 +119,7 @@ fn pass_json(name: &str, p: &PassOutcome, requests: usize) -> String {
 fn main() {
     let mut small = false;
     let mut addr_arg: Option<String> = None;
-    let mut shards = 2usize;
+    let mut shards_arg: Option<usize> = None;
     let mut concurrency = 4usize;
     let mut out_path: Option<String> = None;
     let mut shutdown_server = false;
@@ -130,14 +130,15 @@ fn main() {
             "--addr" => addr_arg = args.next(),
             "--shutdown" => shutdown_server = true,
             "--shards" => {
-                shards = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .unwrap_or_else(|| {
-                        eprintln!("--shards expects a positive integer");
-                        std::process::exit(2);
-                    })
+                shards_arg = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--shards expects a positive integer");
+                            std::process::exit(2);
+                        }),
+                )
             }
             "--concurrency" => {
                 concurrency = args
@@ -158,6 +159,17 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    // `--shards` only shapes the in-process server; an external server
+    // keeps its own shard count, so combining the flags would silently
+    // misattribute the per-shard numbers in the report. Reject before the
+    // corpus generation and reference solves, which cost seconds.
+    if addr_arg.is_some() && shards_arg.is_some() {
+        eprintln!(
+            "--shards configures the in-process server and cannot be combined with \
+             --addr (the external server's own shard count applies)"
+        );
+        std::process::exit(2);
     }
 
     // --- Corpus: the same deep cluster shape as `driver_demo` (shared
@@ -204,14 +216,14 @@ fn main() {
 
     // --- Target server: external (`--addr`) or spawned in-process. ---
     let spawned = if addr_arg.is_none() {
-        Some(
-            start(ServeConfig {
-                addr: "127.0.0.1:0".into(),
-                shards,
-                ..ServeConfig::default()
-            })
-            .expect("spawn in-process server"),
-        )
+        let mut config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        };
+        if let Some(shards) = shards_arg {
+            config.shards = shards;
+        }
+        Some(start(config).expect("spawn in-process server"))
     } else {
         None
     };

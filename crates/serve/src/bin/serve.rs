@@ -42,7 +42,9 @@ fn main() {
             "--workers" => {
                 config.workers_per_shard = parse_num(&mut args, "--workers").max(1)
             }
-            "--queue-depth" => config.queue_depth = parse_num(&mut args, "--queue-depth"),
+            "--queue-depth" => {
+                config.queue_depth = parse_num(&mut args, "--queue-depth").max(1)
+            }
             "--cache-capacity" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 config.cache_capacity = if v == "unbounded" {
@@ -69,6 +71,13 @@ fn main() {
                 config.cache_capacity
             );
             handle.join();
+            // Delivery grace period: connection handlers are detached, so
+            // the `shutting_down` ack (and any final response frame) can
+            // still be in a socket send queue when the drain completes —
+            // exiting immediately can cut it off mid-frame. Peer-confirmed
+            // delivery needs connection tracking (a ROADMAP follow-up);
+            // until then a short dwell lets the kernel flush.
+            std::thread::sleep(std::time::Duration::from_millis(300));
             eprintln!("retypd-serve drained, exiting");
         }
         Err(e) => {

@@ -139,8 +139,11 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Overloaded`] when the whole batch exceeds the
-    /// admission budget (admission is all-or-nothing); other variants for
+    /// [`ClientError::Overloaded`] when other in-flight work leaves no
+    /// room in the admission budget (admission is all-or-nothing, so
+    /// retrying later can succeed); [`ClientError::Server`] when the batch
+    /// is bigger than the server's whole budget and could *never* be
+    /// admitted — split it instead of retrying; other variants for
     /// protocol or server failures.
     pub fn solve_batch(&mut self, jobs: &[ModuleJob]) -> Result<Vec<WireReport>, ClientError> {
         let modules = jobs.iter().map(WireModule::from_job).collect();
@@ -173,12 +176,21 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Fails on protocol errors (a `shutting_down` reply is success).
+    /// Fails on protocol errors or if the request cannot be sent. A
+    /// `shutting_down` reply is success — and so is the server hanging up
+    /// after the request went out: a draining server's process may exit
+    /// before the ack frame is fully delivered, and the hang-up itself is
+    /// evidence the drain is underway.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
-        match self.roundtrip(&Request::Shutdown)? {
-            Response::ShuttingDown => Ok(()),
-            Response::Error(m) => Err(ClientError::Server(m)),
-            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        wire::write_frame(&mut self.stream, &Request::Shutdown.encode())?;
+        match wire::read_frame(&mut self.stream) {
+            Ok(Some(payload)) => match Response::decode(&payload)? {
+                Response::ShuttingDown => Ok(()),
+                Response::Error(m) => Err(ClientError::Server(m)),
+                other => Err(ClientError::Unexpected(format!("{other:?}"))),
+            },
+            Ok(None) | Err(wire::WireError::Io(_)) => Ok(()),
+            Err(e) => Err(e.into()),
         }
     }
 }

@@ -18,6 +18,12 @@
 
 use std::fmt;
 
+/// Maximum container nesting the parser accepts. The parser is recursive,
+/// so without a bound a hostile peer could overflow the thread stack (and a
+/// stack overflow aborts the whole process) with a frame of repeated `[`
+/// bytes; 128 levels is far beyond anything the protocol emits.
+pub const MAX_DEPTH: usize = 128;
+
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -159,6 +165,7 @@ impl Json {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -206,6 +213,8 @@ impl std::error::Error for JsonError {}
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, checked against [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -254,11 +263,26 @@ impl<'a> Parser<'a> {
             Some(b't') => self.eat_lit("true", Json::Bool(true)),
             Some(b'f') => self.eat_lit("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Runs a container parser one nesting level deeper, refusing input
+    /// past [`MAX_DEPTH`] so recursion depth stays bounded.
+    fn nested(
+        &mut self,
+        f: fn(&mut Parser<'a>) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let v = f(self)?;
+        self.depth -= 1;
+        Ok(v)
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
@@ -476,6 +500,26 @@ mod tests {
         for bad in ["", "{", "[1,", "\"unterminated", "{\"a\" 1}", "tru", "01x", "1 2"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must fail");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // At the limit: parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // One past the limit: a clean error, not deeper recursion.
+        let deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // The attack shape: a huge run of unclosed containers must error
+        // (without the bound this overflows the stack and aborts).
+        for open in ["[", "{\"k\":[", "[[{\"a\":"] {
+            let bomb = open.repeat(200_000 / open.len());
+            assert!(Json::parse(&bomb).is_err(), "{open:?} bomb must fail");
+        }
+        // Depth resets between siblings: wide-but-shallow still parses.
+        let wide = format!("[{}1]", "[1],".repeat(1000));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -18,7 +18,14 @@
 //!   queues: a request whose batch would push the count past
 //!   [`ServeConfig::queue_depth`] is refused with `overloaded` *before*
 //!   anything is enqueued (no partial admission), so an overloaded server
-//!   answers immediately instead of stacking work.
+//!   answers immediately instead of stacking work. A batch larger than the
+//!   whole budget could never be admitted, so it gets a permanent `error`
+//!   naming the limit instead of an `overloaded` a retrying client would
+//!   chase forever.
+//! * **Panic isolation.** A solver panic is caught on the shard thread:
+//!   the job's admission slot is released, the client gets an `error`
+//!   response naming the module, and the shard rebuilds its driver (cold
+//!   cache) and keeps serving — one hostile module cannot kill a shard.
 //! * **Graceful drain.** `shutdown` (wire message or
 //!   [`ServerHandle::shutdown`]) stops admissions, lets every queued job
 //!   finish, and joins the shard threads; in-flight responses are
@@ -32,9 +39,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use retypd_core::Lattice;
+use retypd_core::{Lattice, SolverResult};
 use retypd_driver::{AnalysisDriver, CacheStats, DriverConfig, ModuleJob, ModuleReport};
 
 use crate::wire::{
@@ -51,6 +58,8 @@ pub struct ServeConfig {
     /// Worker threads inside each shard's wave scheduler.
     pub workers_per_shard: usize,
     /// Admission limit: maximum modules admitted but not yet finished.
+    /// Clamped to at least 1 (a depth of 0 would permanently reject all
+    /// work).
     pub queue_depth: usize,
     /// Per-shard driver cache capacity (see
     /// [`DriverConfig::cache_capacity`]); a resident service must bound its
@@ -76,7 +85,8 @@ struct ShardJob {
     index: usize,
     job: ModuleJob,
     fingerprint: u64,
-    reply: mpsc::Sender<(usize, WireReport)>,
+    /// `Err` carries a description of a solver panic on this module.
+    reply: mpsc::Sender<(usize, Result<WireReport, String>)>,
 }
 
 /// One shard's handle: its queue sender and published statistics.
@@ -196,12 +206,22 @@ impl ServerHandle {
     }
 }
 
+/// How a shard runs one job. Production is always
+/// [`AnalysisDriver::solve`]; tests inject a panicking hook to pin the
+/// shard's panic isolation end to end over a real socket.
+type SolveHook =
+    Arc<dyn Fn(&AnalysisDriver<'static>, &ModuleJob) -> SolverResult + Send + Sync>;
+
 /// Starts a server.
 ///
 /// # Errors
 ///
 /// Fails if the listen address cannot be bound.
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    start_with_hook(config, Arc::new(|driver, job| driver.solve(&job.program)))
+}
+
+fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let shards = config.shards.max(1);
@@ -224,7 +244,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
 
     let shared = Arc::new(Shared {
         shards: shard_handles,
-        queue_depth: config.queue_depth,
+        queue_depth: config.queue_depth.max(1),
         queued: AtomicUsize::new(0),
         accepted: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
@@ -234,6 +254,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
 
     for (shard_id, rx) in receivers.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
+        let hook = Arc::clone(&hook);
         let driver_config = DriverConfig {
             workers: config.workers_per_shard.max(1),
             cache_capacity: config.cache_capacity,
@@ -241,7 +262,7 @@ pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
         shard_threads.push(
             std::thread::Builder::new()
                 .name(format!("retypd-shard-{shard_id}"))
-                .spawn(move || shard_main(shard_id, rx, driver_config, shared))
+                .spawn(move || shard_main(shard_id, rx, driver_config, shared, hook))
                 .expect("spawn shard thread"),
         );
     }
@@ -266,19 +287,43 @@ fn shard_main(
     rx: mpsc::Receiver<ShardJob>,
     driver_config: DriverConfig,
     shared: Arc<Shared>,
+    hook: SolveHook,
 ) {
     // The driver outlives every request: its cache *is* the shard's state.
-    let driver = AnalysisDriver::owned(Lattice::c_types(), driver_config);
+    let mut driver = AnalysisDriver::owned(Lattice::c_types(), driver_config);
     let mut jobs_done = 0u64;
     for msg in rx {
         let start = Instant::now();
-        let result = driver.solve(&msg.job.program);
-        let report = ModuleReport {
-            name: msg.job.name.clone(),
-            result,
-            wall: start.elapsed(),
+        // A solver panic on one hostile/unusual module must not kill the
+        // shard: an unwinding shard thread would leak the job's admission
+        // slot and turn 1/N of the fingerprint space into a dead letter.
+        // Catch the panic, answer with an error, and rebuild the driver —
+        // its caches may hold state from the half-finished solve.
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            hook(&driver, &msg.job)
+        }));
+        let reply = match solved {
+            Ok(result) => {
+                let report = ModuleReport {
+                    name: msg.job.name.clone(),
+                    result,
+                    wall: start.elapsed(),
+                };
+                jobs_done += 1;
+                Ok(WireReport::from_report(&report, msg.fingerprint, shard_id))
+            }
+            Err(panic) => {
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                driver = AnalysisDriver::owned(Lattice::c_types(), driver_config);
+                Err(format!("solver panicked on module {:?}: {what}", msg.job.name))
+            }
         };
-        jobs_done += 1;
+        // After a panic the rebuilt driver reports a cold cache — accurate,
+        // since the old cache was discarded with it.
         *shared.shards[shard_id].stats.lock().expect("shard stats lock") = WireShardStats {
             shard: shard_id,
             jobs: jobs_done,
@@ -286,10 +331,7 @@ fn shard_main(
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         // A dropped reply receiver just means the client went away.
-        let _ = msg.reply.send((
-            msg.index,
-            WireReport::from_report(&report, msg.fingerprint, shard_id),
-        ));
+        let _ = msg.reply.send((msg.index, reply));
     }
 }
 
@@ -298,7 +340,16 @@ fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
         if shared.draining.load(Ordering::Relaxed) {
             return;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Persistent accept errors (e.g. EMFILE under fd
+                // exhaustion) would otherwise spin this loop at 100% CPU;
+                // back off briefly before retrying.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
         // Frames are small request/response pairs; Nagle + delayed ACK
         // would add ~40ms to every warm hit.
         stream.set_nodelay(true).ok();
@@ -316,7 +367,30 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
     loop {
         let payload = match wire::read_frame(&mut stream) {
             Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // clean EOF or broken socket
+            Ok(None) => return, // clean EOF between frames
+            Err(wire::WireError::Protocol(m)) => {
+                // A refused frame (e.g. announced length over the cap)
+                // leaves the stream in a known state — only the 4-byte
+                // prefix was consumed — so say why before hanging up
+                // instead of a bare connection reset.
+                let _ = wire::write_frame(&mut stream, &Response::Error(m).encode());
+                // The peer's refused payload is typically still arriving;
+                // closing with unread received data sends an RST that
+                // would destroy the reply in flight. Briefly shed the
+                // incoming bytes (bounded, so a firehosing peer cannot
+                // pin the thread) to let the error frame flush first.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                let deadline = Instant::now() + Duration::from_millis(250);
+                let mut sink = [0u8; 8192];
+                while Instant::now() < deadline {
+                    match std::io::Read::read(&mut stream, &mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+                return;
+            }
+            Err(_) => return, // broken socket
         };
         let response = match Request::decode(&payload) {
             Ok(req) => respond(req, &shared),
@@ -357,6 +431,17 @@ fn solve(modules: &[WireModule], shared: &Shared) -> Response {
         Ok(jobs) => jobs,
         Err(e) => return Response::Error(e.to_string()),
     };
+    // A batch bigger than the whole admission budget could never be
+    // admitted, even idle — that is a permanent error (retrying on
+    // `overloaded` would spin forever), so name the limit instead.
+    if jobs.len() > shared.queue_depth {
+        return Response::Error(format!(
+            "batch of {} modules can never fit the admission limit of {}; \
+             split it into smaller batches",
+            jobs.len(),
+            shared.queue_depth
+        ));
+    }
     // All-or-nothing admission.
     if let Err(queued) = shared.admit(jobs.len()) {
         if shared.draining.load(Ordering::Relaxed) {
@@ -404,11 +489,65 @@ fn solve(modules: &[WireModule], shared: &Shared) -> Response {
     drop(reply_tx);
 
     let mut reports: Vec<Option<WireReport>> = (0..n).map(|_| None).collect();
+    let mut failures: Vec<String> = Vec::new();
     for (index, report) in reply_rx {
-        reports[index] = Some(report);
+        match report {
+            Ok(r) => reports[index] = Some(r),
+            Err(e) => failures.push(e),
+        }
+    }
+    if !failures.is_empty() {
+        // One or more modules crashed the solver; the shard survived and
+        // the budget was released, so report the failure rather than a
+        // bogus drain.
+        return Response::Error(failures.join("; "));
     }
     if dispatched < n || reports.iter().any(Option::is_none) {
         return Response::ShuttingDown;
     }
     Response::Solved(reports.into_iter().map(Option::unwrap).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, ClientError};
+    use retypd_core::Program;
+
+    fn job(name: &str) -> ModuleJob {
+        ModuleJob {
+            name: name.into(),
+            program: Program::new(),
+        }
+    }
+
+    #[test]
+    fn solver_panic_is_isolated_to_an_error_response() {
+        // Inject a solver that panics on one module name: the real
+        // catch_unwind / slot-release / driver-rebuild path runs over a
+        // real socket.
+        let hook: SolveHook = Arc::new(|driver, job| {
+            assert!(!job.name.contains("boom"), "injected solver bug");
+            driver.solve(&job.program)
+        });
+        let handle = start_with_hook(ServeConfig::default(), hook).expect("bind");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        // The panicking module answers with an error naming it, not a
+        // dropped connection or a bogus shutting_down.
+        match client.solve_batch(&[job("ok_a"), job("boom"), job("ok_b")]) {
+            Err(ClientError::Server(m)) => {
+                assert!(m.contains("boom") && m.contains("panicked"), "{m}");
+            }
+            other => panic!("expected a server error, got {other:?}"),
+        }
+        // The admission budget is fully released (no leaked slots)...
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.queued, 0, "panic leaked an admission slot");
+        // ...and the shard that panicked keeps serving: routing is by
+        // program fingerprint and every test job shares the same (empty)
+        // program, so this lands on exactly the shard that just panicked.
+        let report = client.solve_module(&job("after")).expect("shard still serves");
+        assert_eq!(report.name, "after");
+        handle.shutdown();
+    }
 }

@@ -118,22 +118,78 @@ fn repeat_submissions_are_warm_on_every_shard_count() {
 
 #[test]
 fn overload_returns_overloaded_not_a_hang() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
     let jobs = corpus();
-    // Admission limit below the batch size: the batch must be refused
-    // immediately and completely (no partial admission).
+    let n = jobs.len();
+    // Admission budget equal to one batch: two batches cannot be in flight
+    // at once, so contention from a second client must surface as an
+    // immediate `Overloaded` (never a hang, never partial admission).
+    let handle = server(1, n);
+    let stop = Arc::new(AtomicBool::new(false));
+    let looper = {
+        let jobs = jobs.clone();
+        let addr = handle.addr();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("looper connects");
+            while !stop.load(Ordering::Relaxed) {
+                match c.solve_batch(&jobs) {
+                    Ok(_) | Err(ClientError::Overloaded { .. }) => {}
+                    other => panic!("looper expected Solved or Overloaded, got {other:?}"),
+                }
+            }
+        })
+    };
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut refusal = None;
+    while Instant::now() < deadline {
+        match client.solve_batch(&jobs) {
+            Err(ClientError::Overloaded { queued, limit }) => {
+                refusal = Some((queued, limit));
+                break;
+            }
+            Ok(reports) => assert_eq!(reports.len(), n),
+            other => panic!("expected Solved or Overloaded, got {other:?}"),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    looper.join().expect("looper thread");
+    let (queued, limit) = refusal.expect("contention never produced Overloaded");
+    assert_eq!(limit, n);
+    assert!(queued >= 1 && queued <= limit, "refused with {queued} in flight");
+    // The refusal is accounted and the server still serves once the
+    // contention is gone.
+    let stats = client.stats().expect("stats");
+    assert!(stats.rejected >= 1, "overload refusals are counted");
+    let report = client.solve_module(&jobs[0]).expect("single module fits");
+    assert_eq!(report.name, jobs[0].name);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_batch_is_a_permanent_error_not_overload() {
+    let jobs = corpus();
+    // A batch bigger than the whole admission budget can never be admitted:
+    // that must be a permanent error naming the limit (an `Overloaded`
+    // would send a retrying client into an infinite loop), and it must not
+    // be counted as overload pressure.
     let handle = server(2, jobs.len() - 1);
     let mut client = Client::connect(handle.addr()).expect("connect");
     match client.solve_batch(&jobs) {
-        Err(ClientError::Overloaded { queued, limit }) => {
-            assert_eq!(limit, jobs.len() - 1);
-            assert!(queued <= limit);
+        Err(ClientError::Server(m)) => {
+            assert!(
+                m.contains(&format!("admission limit of {}", jobs.len() - 1)),
+                "error names the limit: {m}"
+            );
         }
-        other => panic!("expected Overloaded, got {other:?}"),
+        other => panic!("expected a permanent server error, got {other:?}"),
     }
-    // The refusal is accounted and the server still serves within-budget
-    // work on the same connection.
     let stats = client.stats().expect("stats");
-    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.rejected, 0, "not an overload rejection");
     assert_eq!(stats.queued, 0, "no partial admission leaked");
     let report = client.solve_module(&jobs[0]).expect("single module fits");
     assert_eq!(report.name, jobs[0].name);
