@@ -172,6 +172,7 @@ fn main() {
     // --- serve (wire protocol + loopback service round trips) ---
     {
         use retypd_driver::ModuleJob;
+        use retypd_minic::genprog::{ClusterSpec, ProgramGenerator as ClusterGen};
         use retypd_serve::wire::{Request, WireModule};
         use retypd_serve::{start, Client, ServeConfig};
 
@@ -187,9 +188,9 @@ fn main() {
             program: retypd_congen::generate(&mir),
         };
         bench(&mut records, "serve/wire_encode_module", || {
-            Request::SolveModule(WireModule::from_job(&job)).encode()
+            Request::solve_module(WireModule::from_job(&job)).encode()
         });
-        let payload = Request::SolveModule(WireModule::from_job(&job)).encode();
+        let payload = Request::solve_module(WireModule::from_job(&job)).encode();
         bench(&mut records, "serve/wire_decode_module", || {
             Request::decode(&payload).expect("payload decodes")
         });
@@ -208,6 +209,71 @@ fn main() {
         bench(&mut records, "serve/loopback_solve_warm", || {
             client.solve_module(&job).expect("warm solve")
         });
+
+        // Streaming vs single-frame batches: the metric the streaming
+        // mode exists for is *time to first report* — with one shard the
+        // batch solves module by module, so the first `report` frame lands
+        // roughly batch_len× earlier than the whole-batch `solved` frame.
+        // Measured manually (the adaptive `bench` helper can only time a
+        // whole closure, and the stream must be drained between requests).
+        let spec = ClusterSpec {
+            name: "bstream".into(),
+            members: if small { 4 } else { 6 },
+            shared_functions: 6,
+            member_functions: 3,
+            seed: 2024,
+            call_depth: 4,
+        };
+        let batch: Vec<ModuleJob> = ClusterGen::generate_cluster(&spec)
+            .iter()
+            .map(|(name, m)| {
+                let (mir, _) = compile(m).expect("cluster member compiles");
+                ModuleJob {
+                    name: name.clone(),
+                    program: retypd_congen::generate(&mir),
+                }
+            })
+            .collect();
+        client.solve_batch(&batch).expect("warm the batch corpus");
+        let stream_iters = 30u64;
+        let mut first_ns = Vec::new();
+        let mut done_ns = Vec::new();
+        let mut batch_ns = Vec::new();
+        for _ in 0..stream_iters {
+            let t0 = Instant::now();
+            // The constructor returns once the first frame arrived.
+            let mut stream = client
+                .solve_batch_stream(&batch, None)
+                .expect("stream admitted");
+            first_ns.push(t0.elapsed().as_nanos() as u64);
+            while let Some(item) = stream.next() {
+                item.expect("streamed report");
+            }
+            assert!(stream.summary().is_some(), "terminal batch_done");
+            done_ns.push(t0.elapsed().as_nanos() as u64);
+
+            let t1 = Instant::now();
+            client.solve_batch(&batch).expect("single-frame batch");
+            batch_ns.push(t1.elapsed().as_nanos() as u64);
+        }
+        let median = |v: &mut Vec<u64>| {
+            v.sort_unstable();
+            v[v.len() / 2] as f64
+        };
+        for (name, v) in [
+            ("serve/stream_first_report", &mut first_ns),
+            ("serve/stream_batch_done", &mut done_ns),
+            ("serve/batch_solved_v1", &mut batch_ns),
+        ] {
+            let ns = median(v);
+            eprintln!("{name:<40} {ns:>14.0} ns/iter (n = {stream_iters})");
+            records.push(Record {
+                name: name.to_owned(),
+                ns_per_iter: ns,
+                iters: stream_iters,
+            });
+        }
+
         drop(client);
         handle.shutdown();
     }

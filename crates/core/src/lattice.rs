@@ -19,8 +19,22 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::str::FromStr;
 
 use crate::intern::Symbol;
+
+/// Characters that cannot appear in a lattice element or descriptor name:
+/// they delimit the canonical text form of [`LatticeDescriptor`].
+const RESERVED: &[char] = &['{', '}', ';', ',', '<', '='];
+
+fn validate_name(kind: &str, name: &str) -> Result<(), LatticeError> {
+    if name.is_empty()
+        || name.chars().any(|c| c.is_whitespace() || RESERVED.contains(&c))
+    {
+        return Err(LatticeError::InvalidName(format!("{kind} {name:?}")));
+    }
+    Ok(())
+}
 
 /// An element of a [`Lattice`], as a dense index.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -53,6 +67,11 @@ pub enum LatticeError {
     },
     /// A name was added twice.
     Duplicate(String),
+    /// A name contains whitespace or a character reserved by the
+    /// descriptor text form (`{ } ; , < =`), or is empty.
+    InvalidName(String),
+    /// A [`LatticeDescriptor`] text form could not be parsed.
+    Parse(String),
 }
 
 impl fmt::Display for LatticeError {
@@ -71,11 +90,244 @@ impl fmt::Display for LatticeError {
                 "no unique meet of {a:?} and {b:?}; maximal lower bounds: {candidates:?}"
             ),
             LatticeError::Duplicate(n) => write!(f, "duplicate lattice element {n:?}"),
+            LatticeError::InvalidName(n) => write!(
+                f,
+                "invalid lattice name {n}: names are non-empty and contain no \
+                 whitespace or reserved characters ({{ }} ; , < =)"
+            ),
+            LatticeError::Parse(m) => write!(f, "bad lattice descriptor: {m}"),
         }
     }
 }
 
 impl std::error::Error for LatticeError {}
+
+/// A lattice as *data*: a name, an ordered element list, and `lower ≤ upper`
+/// edges. This is the serializable request-side description of Λ — the wire
+/// protocol carries one of these (as canonical text), the driver builds and
+/// memoizes a [`Lattice`] from it, and cache keys incorporate its
+/// fingerprint so two lattices never share scheme-cache entries.
+///
+/// ## Canonical text form
+///
+/// ```text
+/// lattice <name> { <elem> <elem> … ; <lo> <= <hi>, <lo> <= <hi>, … }
+/// ```
+///
+/// `Display` emits this form and [`LatticeDescriptor::from_str`] parses it
+/// back; the round trip is the identity on the descriptor (element and edge
+/// order are preserved — element order determines the built lattice's dense
+/// indices, so a descriptor round trip rebuilds an index-identical lattice).
+/// Names may not be empty or contain whitespace or `{ } ; , < =`.
+///
+/// ## Fingerprint
+///
+/// [`LatticeDescriptor::fingerprint`] is a stable FNV-1a 64-bit hash of the
+/// element list and edge list (the name is deliberately excluded, like
+/// module names in job fingerprints: a renamed copy of the same lattice is
+/// the same lattice). Descriptors emitted by [`Lattice::descriptor`] are
+/// *canonical* — elements in index order, edges reduced to the covering
+/// relation and sorted — so every description that builds an
+/// order-identical lattice converges to one fingerprint:
+/// `d.build()?.fingerprint()` is the authoritative cache-key identity.
+///
+/// ```
+/// use retypd_core::{Lattice, LatticeDescriptor};
+///
+/// let d = Lattice::c_types().descriptor().clone();
+/// let back: LatticeDescriptor = d.to_string().parse().unwrap();
+/// assert_eq!(back, d);
+/// assert_eq!(back.build().unwrap().fingerprint(), Lattice::c_types().fingerprint());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LatticeDescriptor {
+    name: String,
+    elements: Vec<String>,
+    edges: Vec<(String, String)>,
+}
+
+impl LatticeDescriptor {
+    /// Builds a validated descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid or duplicate names, an empty element list, and edges
+    /// mentioning undeclared elements.
+    pub fn new(
+        name: impl Into<String>,
+        elements: Vec<String>,
+        edges: Vec<(String, String)>,
+    ) -> Result<LatticeDescriptor, LatticeError> {
+        let name = name.into();
+        validate_name("descriptor name", &name)?;
+        if elements.is_empty() {
+            return Err(LatticeError::Parse("a lattice needs at least one element".into()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in &elements {
+            validate_name("element", e)?;
+            if !seen.insert(e.as_str()) {
+                return Err(LatticeError::Duplicate(e.clone()));
+            }
+        }
+        for (lo, hi) in &edges {
+            for side in [lo, hi] {
+                if !seen.contains(side.as_str()) {
+                    return Err(LatticeError::UnknownElement(side.clone()));
+                }
+            }
+        }
+        Ok(LatticeDescriptor {
+            name,
+            elements,
+            edges,
+        })
+    }
+
+    /// The descriptor's name (documentation only; excluded from the
+    /// fingerprint).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Elements in declaration order (the built lattice's index order).
+    pub fn elements(&self) -> &[String] {
+        &self.elements
+    }
+
+    /// `lower ≤ upper` edges in declaration order.
+    pub fn edges(&self) -> &[(String, String)] {
+        &self.edges
+    }
+
+    /// Stable FNV-64 content fingerprint over elements and edges, in order
+    /// (name excluded). Stable across runs, processes, and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DescriptorFnv::new();
+        h.write_u64(self.elements.len() as u64);
+        for e in &self.elements {
+            h.write_str(e);
+        }
+        h.write_u64(self.edges.len() as u64);
+        for (lo, hi) in &self.edges {
+            h.write_str(lo);
+            h.write_str(hi);
+        }
+        h.finish()
+    }
+
+    /// A builder pre-populated with this descriptor's elements and edges.
+    pub fn to_builder(&self) -> LatticeBuilder {
+        let mut b = LatticeBuilder::named(&self.name);
+        for e in &self.elements {
+            b.add(e).expect("descriptor elements are distinct");
+        }
+        for (lo, hi) in &self.edges {
+            b.le(lo, hi).expect("descriptor edges reference declared elements");
+        }
+        b
+    }
+
+    /// Builds (and validates) the described lattice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the usual [`LatticeBuilder::build`] errors when the
+    /// described order is not a lattice.
+    pub fn build(&self) -> Result<Lattice, LatticeError> {
+        self.to_builder().build()
+    }
+
+    /// The descriptor of the built-in C-types lattice
+    /// ([`Lattice::c_types`]).
+    pub fn c_types() -> LatticeDescriptor {
+        Lattice::c_types().descriptor().clone()
+    }
+}
+
+impl fmt::Display for LatticeDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lattice {} {{ ", self.name)?;
+        for e in &self.elements {
+            write!(f, "{e} ")?;
+        }
+        write!(f, ";")?;
+        for (i, (lo, hi)) in self.edges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            write!(f, "{sep} {lo} <= {hi}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+impl FromStr for LatticeDescriptor {
+    type Err = LatticeError;
+
+    fn from_str(s: &str) -> Result<LatticeDescriptor, LatticeError> {
+        let bad = |m: &str| LatticeError::Parse(m.to_owned());
+        let s = s.trim();
+        let rest = s
+            .strip_prefix("lattice")
+            .ok_or_else(|| bad("expected leading `lattice` keyword"))?;
+        let open = rest.find('{').ok_or_else(|| bad("expected `{`"))?;
+        let name = rest[..open].trim().to_owned();
+        let body = rest[open + 1..]
+            .strip_suffix('}')
+            .ok_or_else(|| bad("expected closing `}`"))?;
+        let (elems_part, edges_part) = body
+            .split_once(';')
+            .ok_or_else(|| bad("expected `;` between elements and edges"))?;
+        if edges_part.contains(';') {
+            return Err(bad("more than one `;`"));
+        }
+        let elements: Vec<String> =
+            elems_part.split_whitespace().map(str::to_owned).collect();
+        let mut edges = Vec::new();
+        for chunk in edges_part.split(',') {
+            let chunk = chunk.trim();
+            if chunk.is_empty() {
+                continue;
+            }
+            let (lo, hi) = chunk
+                .split_once("<=")
+                .ok_or_else(|| bad("edges have the form `lower <= upper`"))?;
+            edges.push((lo.trim().to_owned(), hi.trim().to_owned()));
+        }
+        LatticeDescriptor::new(name, elements, edges)
+    }
+}
+
+/// FNV-1a 64 for descriptor fingerprints (the driver has its own copy for
+/// job fingerprints; both are the textbook constants, stable everywhere).
+struct DescriptorFnv(u64);
+
+impl DescriptorFnv {
+    fn new() -> DescriptorFnv {
+        let mut h = DescriptorFnv(0xcbf2_9ce4_8422_2325);
+        h.write("lattice-descriptor".as_bytes());
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Incrementally builds a [`Lattice`] from elements and `≤` edges.
 ///
@@ -85,15 +337,31 @@ impl std::error::Error for LatticeError {}
 /// error rather than silently mis-solving constraints later.
 #[derive(Clone, Default, Debug)]
 pub struct LatticeBuilder {
+    /// Descriptor name of the built lattice; empty means `"custom"`.
+    name: String,
     names: Vec<Symbol>,
     index: HashMap<Symbol, u16>,
     edges: Vec<(u16, u16)>, // (lower, upper)
 }
 
 impl LatticeBuilder {
-    /// Creates an empty builder.
+    /// Creates an empty builder (descriptor name `"custom"`).
     pub fn new() -> LatticeBuilder {
         LatticeBuilder::default()
+    }
+
+    /// Creates an empty builder whose built lattice will carry `name` in
+    /// its [`LatticeDescriptor`].
+    pub fn named(name: impl Into<String>) -> LatticeBuilder {
+        LatticeBuilder {
+            name: name.into(),
+            ..LatticeBuilder::default()
+        }
+    }
+
+    /// Sets the descriptor name of the built lattice.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
     }
 
     /// Adds an element; returns an error if the name already exists.
@@ -150,6 +418,17 @@ impl LatticeBuilder {
         let n = self.names.len();
         assert!(n > 0, "a lattice needs at least one element");
         assert!(n < u16::MAX as usize, "too many lattice elements");
+        // Every built lattice is expressible as a descriptor (a lattice is
+        // data now), so element names must fit the descriptor grammar.
+        let descr_name = if self.name.is_empty() {
+            "custom".to_owned()
+        } else {
+            self.name.clone()
+        };
+        validate_name("descriptor name", &descr_name)?;
+        for s in &self.names {
+            validate_name("element", s.as_str())?;
+        }
         // Reflexive-transitive closure of ≤ via simple propagation.
         let mut leq = vec![false; n * n];
         for i in 0..n {
@@ -240,7 +519,37 @@ impl LatticeBuilder {
             top = join[top as usize * n + i as usize];
             bottom = meet[bottom as usize * n + i as usize];
         }
+        // Canonical descriptor: elements in index order, edges reduced to
+        // the covering relation (i ⋖ j: i < j with nothing strictly
+        // between) in index order. Every builder that produces this order
+        // — whatever redundant edges it declared — converges to the same
+        // descriptor, and therefore the same fingerprint.
+        let mut covers = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j
+                    && leq[i * n + j]
+                    && !(0..n).any(|k| {
+                        k != i && k != j && leq[i * n + k] && leq[k * n + j]
+                    })
+                {
+                    covers.push((
+                        self.names[i].as_str().to_owned(),
+                        self.names[j].as_str().to_owned(),
+                    ));
+                }
+            }
+        }
+        let descriptor = LatticeDescriptor::new(
+            descr_name,
+            self.names.iter().map(|s| s.as_str().to_owned()).collect(),
+            covers,
+        )
+        .expect("validated names form a well-formed descriptor");
+        let fingerprint = descriptor.fingerprint();
         Ok(Lattice {
+            descriptor,
+            fingerprint,
             names: self.names,
             index: self.index,
             n,
@@ -256,6 +565,12 @@ impl LatticeBuilder {
 /// A validated finite lattice of atomic types and semantic tags.
 #[derive(Clone, Debug)]
 pub struct Lattice {
+    /// The canonical description this lattice was built to (elements in
+    /// index order, covering-relation edges).
+    descriptor: LatticeDescriptor,
+    /// `descriptor.fingerprint()`, precomputed — the lattice's cache-key
+    /// identity.
+    fingerprint: u64,
     names: Vec<Symbol>,
     index: HashMap<Symbol, u16>,
     n: usize,
@@ -267,6 +582,22 @@ pub struct Lattice {
 }
 
 impl Lattice {
+    /// The canonical [`LatticeDescriptor`] of this lattice: elements in
+    /// index order, edges reduced to the covering relation. Rebuilding from
+    /// it yields an index-identical lattice.
+    pub fn descriptor(&self) -> &LatticeDescriptor {
+        &self.descriptor
+    }
+
+    /// The stable content fingerprint of this lattice (its canonical
+    /// descriptor's [`LatticeDescriptor::fingerprint`]). Any two lattices
+    /// built to the same element order and partial order share it; the
+    /// driver mixes it into every scheme-cache key so distinct lattices
+    /// never share entries.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Looks up an element by name.
     pub fn element(&self, name: &str) -> Option<LatticeElem> {
         self.index.get(&Symbol::intern(name)).map(|&i| LatticeElem(i))
@@ -355,7 +686,7 @@ impl Lattice {
 
     /// The Figure 15 example lattice: `⊥ ⊑ url ⊑ str ⊑ ⊤`, `⊥ ⊑ num ⊑ ⊤`.
     pub fn paper_example() -> Lattice {
-        let mut b = LatticeBuilder::new();
+        let mut b = LatticeBuilder::named("paper");
         for e in ["⊤", "num", "str", "url", "⊥"] {
             b.add(e).expect("fresh element");
         }
@@ -370,7 +701,7 @@ impl Lattice {
     /// Returns a builder pre-populated with the default C-types lattice, so
     /// user code can extend it with domain tags before building (§2.8).
     pub fn c_types_builder() -> LatticeBuilder {
-        let mut b = LatticeBuilder::new();
+        let mut b = LatticeBuilder::named("c_types");
         b.ensure("⊤");
         // Width strata.
         for (reg, members) in [
@@ -541,6 +872,116 @@ mod tests {
         let mut b = LatticeBuilder::new();
         b.add("x").unwrap();
         assert!(matches!(b.add("x"), Err(LatticeError::Duplicate(_))));
+    }
+
+    #[test]
+    fn descriptor_round_trips_and_rebuilds_index_identical() {
+        for lat in [Lattice::c_types(), Lattice::paper_example()] {
+            let d = lat.descriptor().clone();
+            let text = d.to_string();
+            let back: LatticeDescriptor = text.parse().expect("canonical text parses");
+            assert_eq!(back, d, "display→parse is the identity");
+            assert_eq!(back.to_string(), text, "re-display is stable");
+            let rebuilt = back.build().expect("canonical descriptor builds");
+            assert_eq!(rebuilt.fingerprint(), lat.fingerprint());
+            assert_eq!(rebuilt.descriptor(), lat.descriptor());
+            // Index-identical: every element keeps its dense index, so
+            // results of a descriptor-built lattice are bit-identical to
+            // the compiled-in one.
+            for e in lat.elements() {
+                assert_eq!(rebuilt.name(e), lat.name(e));
+            }
+            assert_eq!(rebuilt.top(), lat.top());
+            assert_eq!(rebuilt.bottom(), lat.bottom());
+        }
+    }
+
+    #[test]
+    fn redundant_edges_converge_to_the_canonical_fingerprint() {
+        // a ≤ b ≤ c declared with the redundant transitive edge a ≤ c:
+        // the built lattice's canonical descriptor keeps only the covers.
+        let mut b = LatticeBuilder::named("redundant");
+        for e in ["c", "b", "a"] {
+            b.add(e).unwrap();
+        }
+        b.le("a", "b").unwrap();
+        b.le("b", "c").unwrap();
+        b.le("a", "c").unwrap();
+        let with_redundant = b.build().unwrap();
+
+        let mut b = LatticeBuilder::named("minimal");
+        for e in ["c", "b", "a"] {
+            b.add(e).unwrap();
+        }
+        b.le("a", "b").unwrap();
+        b.le("b", "c").unwrap();
+        let minimal = b.build().unwrap();
+
+        // Same element order + same order relation ⇒ same fingerprint,
+        // regardless of how the edges were declared or what the name is.
+        assert_eq!(with_redundant.fingerprint(), minimal.fingerprint());
+        assert_eq!(
+            with_redundant.descriptor().edges(),
+            minimal.descriptor().edges()
+        );
+    }
+
+    #[test]
+    fn descriptor_name_is_excluded_from_the_fingerprint() {
+        let a = LatticeDescriptor::new(
+            "one",
+            vec!["top".into(), "bot".into()],
+            vec![("bot".into(), "top".into())],
+        )
+        .unwrap();
+        let b = LatticeDescriptor::new(
+            "two",
+            vec!["top".into(), "bot".into()],
+            vec![("bot".into(), "top".into())],
+        )
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // …but element order matters (it fixes dense indices).
+        let c = LatticeDescriptor::new(
+            "one",
+            vec!["bot".into(), "top".into()],
+            vec![("bot".into(), "top".into())],
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn descriptor_rejects_malformed_input() {
+        assert!(matches!(
+            LatticeDescriptor::new("bad name", vec!["a".into()], vec![]),
+            Err(LatticeError::InvalidName(_))
+        ));
+        assert!(matches!(
+            LatticeDescriptor::new("n", vec!["a,b".into()], vec![]),
+            Err(LatticeError::InvalidName(_))
+        ));
+        assert!(matches!(
+            LatticeDescriptor::new("n", vec!["a".into(), "a".into()], vec![]),
+            Err(LatticeError::Duplicate(_))
+        ));
+        assert!(matches!(
+            LatticeDescriptor::new("n", vec!["a".into()], vec![("a".into(), "z".into())]),
+            Err(LatticeError::UnknownElement(_))
+        ));
+        for text in [
+            "latice x { a ; }",
+            "lattice x a ; }",
+            "lattice x { a }",
+            "lattice x { a ; b }",
+            "lattice x { a ; a < b }",
+            "lattice x { a ; } trailing",
+        ] {
+            assert!(
+                text.parse::<LatticeDescriptor>().is_err(),
+                "{text:?} must not parse"
+            );
+        }
     }
 
     #[test]

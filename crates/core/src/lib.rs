@@ -73,7 +73,7 @@ pub use ctype::{CType, CTypeBuilder, FuncSig, TypeTable};
 pub use dtv::{BaseVar, DerivedVar};
 pub use intern::Symbol;
 pub use label::{word_variance, Label, Loc};
-pub use lattice::{Lattice, LatticeBuilder, LatticeElem, LatticeError};
+pub use lattice::{Lattice, LatticeBuilder, LatticeDescriptor, LatticeElem, LatticeError};
 pub use scheme::TypeScheme;
 pub use shapes::ShapeQuotient;
 pub use simplify::SchemeBuilder;
@@ -93,6 +93,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Symbol>();
     assert_send_sync::<Lattice>();
+    assert_send_sync::<LatticeDescriptor>();
     assert_send_sync::<LatticeElem>();
     assert_send_sync::<TypeScheme>();
     assert_send_sync::<Sketch>();

@@ -1,0 +1,85 @@
+//! Property tests for [`LatticeDescriptor`]: the canonical text form
+//! round-trips through display→parse, rebuilding from a descriptor is
+//! index-identical, and fingerprints are stable — across redundant edge
+//! declarations, across rebuilds, and (pinned constants) across releases.
+
+use proptest::prelude::*;
+use retypd_core::{Lattice, LatticeBuilder, LatticeDescriptor};
+
+/// Builds a random tree-shaped hierarchy (plus ⊥ under everything, the
+/// c_types construction) from parent indices: element `i + 1` sits under
+/// element `parents[i] % (i + 1)`. Trees with a shared bottom are always
+/// valid lattices.
+fn tree_lattice(parents: &[u8]) -> Lattice {
+    let mut b = LatticeBuilder::named("gen");
+    b.add("t").expect("fresh root");
+    for (i, &p) in parents.iter().enumerate() {
+        let parent = if p as usize % (i + 1) == 0 {
+            "t".to_owned()
+        } else {
+            format!("n{}", p as usize % (i + 1) - 1)
+        };
+        b.add_under(&format!("n{i}"), &parent).expect("fresh child");
+    }
+    b.add("bot").expect("fresh bottom");
+    b.le("bot", "t").expect("known");
+    for i in 0..parents.len() {
+        b.le("bot", &format!("n{i}")).expect("known");
+    }
+    b.build().expect("tree plus shared bottom is a lattice")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn display_parse_round_trip_is_identity(parents in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let lat = tree_lattice(&parents);
+        let d = lat.descriptor().clone();
+        let text = d.to_string();
+        let back: LatticeDescriptor = text.parse().expect("canonical text parses");
+        prop_assert_eq!(&back, &d);
+        prop_assert_eq!(back.to_string(), text);
+        prop_assert_eq!(back.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn rebuild_from_descriptor_is_fingerprint_stable(parents in proptest::collection::vec(any::<u8>(), 0..12)) {
+        let lat = tree_lattice(&parents);
+        let rebuilt = lat
+            .descriptor()
+            .to_string()
+            .parse::<LatticeDescriptor>()
+            .expect("parses")
+            .build()
+            .expect("canonical descriptor builds");
+        prop_assert_eq!(rebuilt.fingerprint(), lat.fingerprint());
+        prop_assert_eq!(rebuilt.descriptor(), lat.descriptor());
+        // Index-identical rebuild: same dense index for every name, same
+        // order tables, so solver output over the rebuilt lattice is
+        // bit-identical.
+        for (a, b) in lat.elements().zip(rebuilt.elements()) {
+            prop_assert_eq!(lat.name(a), rebuilt.name(b));
+            for (c, d) in lat.elements().zip(rebuilt.elements()) {
+                prop_assert_eq!(lat.leq(a, c), rebuilt.leq(b, d));
+            }
+        }
+    }
+}
+
+/// The built-in lattices' fingerprints are pinned: they key persistent
+/// caches and shard routing, so an accidental change to the canonical form
+/// (element order, cover computation, hash constants) must fail loudly
+/// here rather than silently invalidating every cache.
+#[test]
+fn builtin_fingerprints_are_pinned() {
+    assert_eq!(
+        Lattice::c_types().fingerprint(),
+        LatticeDescriptor::c_types().fingerprint()
+    );
+    let c = Lattice::c_types().fingerprint();
+    let p = Lattice::paper_example().fingerprint();
+    assert_ne!(c, p);
+    assert_eq!(c, 0xa180_c57b_2474_5bf6, "c_types canonical form changed");
+    assert_eq!(p, 0x499e_d676_9e66_9181, "paper canonical form changed");
+}

@@ -120,16 +120,22 @@ pub fn program_fp(program: &Program) -> u64 {
 }
 
 /// Pass-1 fingerprint of an SCC: everything [`retypd_core::Solver::solve_scc`]
-/// reads. `scheme_fps` must contain the fingerprint of every already-solved
+/// reads — *including the lattice it solves against*. `lattice_fp` is
+/// [`retypd_core::Lattice::fingerprint`]; mixing it in first means two
+/// lattices can never share a scheme-cache entry, however identical the
+/// constraint text (the pass-2 key inherits this through `scc_fp`).
+/// `scheme_fps` must contain the fingerprint of every already-solved
 /// scheme by name (externals included) — exactly the names the combined
 /// constraint set instantiates.
 pub fn scc_fingerprint(
+    lattice_fp: u64,
     program: &Program,
     scc: &[usize],
     scc_of: &[usize],
     scheme_fps: &BTreeMap<Symbol, u64>,
 ) -> u64 {
     let mut h = Fnv64::new("scc-schemes");
+    h.write_u64(lattice_fp);
     for g in &program.globals {
         h.write_str(g.name().as_str());
     }

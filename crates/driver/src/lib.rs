@@ -27,13 +27,26 @@
 //!   calls on one driver, so batches containing near-duplicate modules
 //!   (shared library members, re-submitted binaries) re-solve only the
 //!   dirtied SCCs.
+//! * **Request/session API** (the primary entry point): a
+//!   [`SolveRequest`] names *which lattice* to solve against (the driver's
+//!   default, a serializable [`LatticeDescriptor`], or a pre-built shared
+//!   [`retypd_core::Lattice`]), the modules, and per-request options;
+//!   [`AnalysisDriver::session`] resolves it into an [`AnalysisSession`]
+//!   whose [`AnalysisSession::run_with`] *streams* each [`ModuleReport`]
+//!   to a sink the moment its module completes (completion order) while
+//!   still returning the job-ordered batch. [`AnalysisDriver::solve_batch`]
+//!   and [`AnalysisDriver::solve_stream`] are thin wrappers over a
+//!   default-lattice session.
 //! * **Batch API** ([`AnalysisDriver::solve_batch`]): multiple modules are
 //!   distributed across the same worker pool (each solved with its own
 //!   wave schedule), sharing the cache.
 //!
 //! The driver assumes procedure names are unique within a program (as the
-//! constraint generator guarantees); the cache additionally assumes one
-//! lattice per driver, which the constructor enforces by construction.
+//! constraint generator guarantees). One driver serves *any number of
+//! lattices*: every cache key mixes in the lattice's stable fingerprint
+//! ([`retypd_core::Lattice::fingerprint`]), so two lattices never share
+//! scheme-cache entries, and descriptor-built lattices are memoized per
+//! driver so repeated requests don't rebuild the order tables.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -44,14 +57,15 @@ pub mod scheduler;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use retypd_core::dtv::BaseVar;
+use retypd_core::fxhash::FxHashMap;
 use retypd_core::sketch::Sketch;
 use retypd_core::{
-    callsite_actuals, Condensation, Lattice, ProcResult, Program, SccRefinement, Solver,
-    SolverResult, SolverStats, Symbol, TypeScheme,
+    callsite_actuals, Condensation, Lattice, LatticeDescriptor, LatticeError, ProcResult,
+    Program, SccRefinement, Solver, SolverResult, SolverStats, Symbol, TypeScheme,
 };
 
 pub use cache::{CacheStats, CachedSchemes, SchemeCache};
@@ -115,11 +129,156 @@ impl ModuleJob {
 pub struct ModuleReport {
     /// Module name.
     pub name: String,
+    /// Fingerprint of the lattice this module was solved against
+    /// ([`retypd_core::Lattice::fingerprint`]) — the cache-segregation
+    /// evidence a streaming consumer can check per report.
+    pub lattice_fp: u64,
     /// The inference result; `result.stats` carries this module's
     /// `solve_ns` and cache hit/miss counters.
     pub result: SolverResult,
     /// Wall-clock time of this module's solve.
     pub wall: Duration,
+}
+
+/// Which lattice Λ a [`SolveRequest`] solves against.
+#[derive(Clone, Debug, Default)]
+pub enum LatticeSelector {
+    /// The driver's own lattice (the one it was constructed with).
+    #[default]
+    Default,
+    /// A lattice described as data; the driver builds and memoizes it.
+    /// This is what a wire request's `lattice` field resolves to.
+    Descriptor(LatticeDescriptor),
+    /// A pre-built lattice shared with the caller (no build cost, no memo
+    /// entry) — e.g. one the serving layer already validated and built.
+    Shared(Arc<Lattice>),
+}
+
+/// Per-request knobs of a [`SolveRequest`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveOptions {
+    /// Worker-thread override for this request; `None` uses the driver's
+    /// configured count.
+    pub workers: Option<usize>,
+}
+
+/// A typed analysis request: which lattice, which modules, which options.
+/// Resolve it with [`AnalysisDriver::session`].
+#[derive(Clone, Debug)]
+pub struct SolveRequest<'j> {
+    /// The lattice to solve against.
+    pub lattice: LatticeSelector,
+    /// The modules to solve, in submission order.
+    pub modules: &'j [ModuleJob],
+    /// Request options.
+    pub options: SolveOptions,
+}
+
+impl<'j> SolveRequest<'j> {
+    /// A default-lattice, default-options request over `modules`.
+    pub fn batch(modules: &'j [ModuleJob]) -> SolveRequest<'j> {
+        SolveRequest {
+            lattice: LatticeSelector::Default,
+            modules,
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Selects the lattice to solve against.
+    #[must_use]
+    pub fn with_lattice(mut self, lattice: LatticeSelector) -> SolveRequest<'j> {
+        self.lattice = lattice;
+        self
+    }
+
+    /// Overrides the worker count for this request.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> SolveRequest<'j> {
+        self.options.workers = Some(workers);
+        self
+    }
+}
+
+/// How a session holds its resolved lattice.
+enum SessionLattice<'d> {
+    Borrowed(&'d Lattice),
+    Owned(Arc<Lattice>),
+}
+
+/// A resolved [`SolveRequest`]: the lattice is built/validated, the worker
+/// count fixed. [`AnalysisSession::run_with`] delivers each module's
+/// [`ModuleReport`] to a sink the moment it completes — the streaming
+/// primitive under `retypd-serve`'s `solve_batch` streaming mode — and
+/// returns the full batch in job order; [`AnalysisSession::run`] is the
+/// collect-only form.
+pub struct AnalysisSession<'d, 'j> {
+    driver: &'d AnalysisDriver<'d>,
+    lattice: SessionLattice<'d>,
+    lattice_fp: u64,
+    modules: &'j [ModuleJob],
+    workers: usize,
+}
+
+impl AnalysisSession<'_, '_> {
+    /// The lattice this session solves against.
+    pub fn lattice(&self) -> &Lattice {
+        match &self.lattice {
+            SessionLattice::Borrowed(l) => l,
+            SessionLattice::Owned(l) => l,
+        }
+    }
+
+    /// The session lattice's stable fingerprint (mixed into every cache
+    /// key this session touches).
+    pub fn lattice_fingerprint(&self) -> u64 {
+        self.lattice_fp
+    }
+
+    /// The modules this session will solve.
+    pub fn modules(&self) -> &[ModuleJob] {
+        self.modules
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Solves the request, collecting reports in job order.
+    pub fn run(&self) -> Vec<ModuleReport> {
+        self.run_with(|_, _| {})
+    }
+
+    /// Solves the request, delivering `(index, report)` to `sink` on the
+    /// worker thread the moment each module completes (completion order —
+    /// use the index to reassemble submission order), and returns the
+    /// job-ordered reports. Modules are distributed across the worker
+    /// pool; with spare workers and few modules, parallelism moves inside
+    /// each module's wave schedule instead. All requests share the
+    /// driver's persistent cache, segregated by lattice fingerprint.
+    pub fn run_with(&self, sink: impl Fn(usize, &ModuleReport) + Sync) -> Vec<ModuleReport> {
+        let jobs = self.modules;
+        let workers = self.workers;
+        let inner = if jobs.len() >= workers { 1 } else { workers };
+        let lattice = self.lattice();
+        scheduler::run_indexed_observed(
+            jobs.len(),
+            workers,
+            |i| {
+                let start = Instant::now();
+                let result =
+                    self.driver
+                        .solve_program(lattice, self.lattice_fp, &jobs[i].program, inner);
+                ModuleReport {
+                    name: jobs[i].name.clone(),
+                    lattice_fp: self.lattice_fp,
+                    result,
+                    wall: start.elapsed(),
+                }
+            },
+            |i, report| sink(i, report),
+        )
+    }
 }
 
 /// How a driver holds its lattice: borrowed from the caller (the classic
@@ -145,6 +304,51 @@ pub struct AnalysisDriver<'l> {
     lattice: LatticeHandle<'l>,
     config: DriverConfig,
     cache: SchemeCache,
+    /// Descriptor-built lattices, memoized so a stream of requests naming
+    /// the same lattice builds it once.
+    lattices: LatticeMemo,
+}
+
+/// A bounded, thread-safe memo of descriptor-built lattices, keyed by
+/// descriptor fingerprint. Past its capacity the memo is cleared
+/// wholesale — rebuilding a lattice is cheap, an unbounded map under a
+/// hostile stream of distinct descriptors is not. Each driver keeps one;
+/// `retypd-serve` shares one server-wide across shards.
+#[derive(Debug, Default)]
+pub struct LatticeMemo {
+    map: Mutex<FxHashMap<u64, Arc<Lattice>>>,
+}
+
+/// Entries retained before a [`LatticeMemo`] clears itself.
+const LATTICE_MEMO_CAP: usize = 64;
+
+impl LatticeMemo {
+    /// An empty memo.
+    pub fn new() -> LatticeMemo {
+        LatticeMemo::default()
+    }
+
+    /// Returns the memoized lattice for `descriptor`, building (and
+    /// validating) it on first sight.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the descriptor does not describe a valid lattice.
+    pub fn get_or_build(
+        &self,
+        descriptor: &LatticeDescriptor,
+    ) -> Result<Arc<Lattice>, LatticeError> {
+        let key = descriptor.fingerprint();
+        if let Some(l) = self.map.lock().expect("lattice memo").get(&key) {
+            return Ok(Arc::clone(l));
+        }
+        let built = Arc::new(descriptor.build()?);
+        let mut memo = self.map.lock().expect("lattice memo");
+        if memo.len() >= LATTICE_MEMO_CAP {
+            memo.clear();
+        }
+        Ok(Arc::clone(memo.entry(key).or_insert(built)))
+    }
 }
 
 impl<'l> AnalysisDriver<'l> {
@@ -159,6 +363,7 @@ impl<'l> AnalysisDriver<'l> {
             lattice: LatticeHandle::Borrowed(lattice),
             config,
             cache: SchemeCache::with_capacity(config.cache_capacity),
+            lattices: LatticeMemo::new(),
         }
     }
 
@@ -171,6 +376,7 @@ impl<'l> AnalysisDriver<'l> {
             lattice: LatticeHandle::Owned(Arc::new(lattice)),
             config,
             cache: SchemeCache::with_capacity(config.cache_capacity),
+            lattices: LatticeMemo::new(),
         }
     }
 
@@ -189,39 +395,103 @@ impl<'l> AnalysisDriver<'l> {
         self.cache.stats()
     }
 
+    /// Resolves a [`SolveRequest`] into an [`AnalysisSession`]: the lattice
+    /// selector is validated and built (descriptor-built lattices are
+    /// memoized per driver), and the worker count fixed. This is the
+    /// primary entry point; `solve_batch`/`solve_stream` wrap it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a [`LatticeSelector::Descriptor`] does not describe a
+    /// valid lattice.
+    pub fn session<'d, 'j>(
+        &'d self,
+        request: SolveRequest<'j>,
+    ) -> Result<AnalysisSession<'d, 'j>, LatticeError> {
+        let (lattice, lattice_fp) = match request.lattice {
+            LatticeSelector::Default => {
+                let l = self.lattice();
+                (SessionLattice::Borrowed(l), l.fingerprint())
+            }
+            LatticeSelector::Shared(l) => {
+                let fp = l.fingerprint();
+                (SessionLattice::Owned(l), fp)
+            }
+            LatticeSelector::Descriptor(d) => {
+                let l = self.lattice_for(&d)?;
+                let fp = l.fingerprint();
+                (SessionLattice::Owned(l), fp)
+            }
+        };
+        Ok(AnalysisSession {
+            driver: self,
+            lattice,
+            lattice_fp,
+            modules: request.modules,
+            workers: request.options.workers.unwrap_or_else(|| self.workers()).max(1),
+        })
+    }
+
+    /// Builds (or returns the memoized) lattice for a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the descriptor does not describe a valid lattice.
+    pub fn lattice_for(&self, descriptor: &LatticeDescriptor) -> Result<Arc<Lattice>, LatticeError> {
+        self.lattices.get_or_build(descriptor)
+    }
+
     /// Solves one program with the configured worker count.
     pub fn solve(&self, program: &Program) -> SolverResult {
         self.solve_with_workers(program, self.workers())
     }
 
-    /// Solves a batch of modules. Modules are independent, so they are
-    /// distributed across the worker pool (each module's own wave schedule
-    /// then runs on the thread it landed on); all of them share this
-    /// driver's persistent cache, which is where the incremental win on
-    /// near-duplicate corpora comes from. Reports come back in job order.
+    /// Solves a batch of modules against the default lattice. Modules are
+    /// independent, so they are distributed across the worker pool (each
+    /// module's own wave schedule then runs on the thread it landed on);
+    /// all of them share this driver's persistent cache, which is where
+    /// the incremental win on near-duplicate corpora comes from. Reports
+    /// come back in job order. Thin wrapper over [`AnalysisDriver::session`].
     pub fn solve_batch(&self, jobs: &[ModuleJob]) -> Vec<ModuleReport> {
-        let workers = self.workers();
-        // With spare workers and few modules, parallelize inside each
-        // module's wave schedule instead of across modules.
-        let inner = if jobs.len() >= workers { 1 } else { workers };
-        scheduler::run_indexed(jobs.len(), workers, |i| {
-            let start = Instant::now();
-            let result = self.solve_with_workers(&jobs[i].program, inner);
-            ModuleReport {
-                name: jobs[i].name.clone(),
-                result,
-                wall: start.elapsed(),
-            }
-        })
+        self.session(SolveRequest::batch(jobs))
+            .expect("the default lattice is always valid")
+            .run()
     }
 
-    /// The wave-scheduled two-pass solve (see crate docs). `workers = 1`
-    /// degenerates to the sequential order; any worker count produces
-    /// bit-identical results because wave outputs are merged in the
-    /// sequential solver's SCC order.
+    /// [`AnalysisDriver::solve_batch`] with incremental delivery: `sink`
+    /// receives `(index, report)` the moment each module completes, in
+    /// completion order. Thin wrapper over [`AnalysisDriver::session`].
+    pub fn solve_stream(
+        &self,
+        jobs: &[ModuleJob],
+        sink: impl Fn(usize, &ModuleReport) + Sync,
+    ) -> Vec<ModuleReport> {
+        self.session(SolveRequest::batch(jobs))
+            .expect("the default lattice is always valid")
+            .run_with(sink)
+    }
+
+    /// The wave-scheduled two-pass solve over the *default* lattice.
+    /// `workers = 1` degenerates to the sequential order; any worker count
+    /// produces bit-identical results because wave outputs are merged in
+    /// the sequential solver's SCC order.
     pub fn solve_with_workers(&self, program: &Program, workers: usize) -> SolverResult {
+        let lattice = self.lattice();
+        self.solve_program(lattice, lattice.fingerprint(), program, workers)
+    }
+
+    /// The solve primitive every session and wrapper funnels into: one
+    /// program, an explicit lattice, and that lattice's fingerprint (mixed
+    /// into every cache key — see [`fingerprint::scc_fingerprint`]).
+    fn solve_program(
+        &self,
+        lattice: &Lattice,
+        lattice_fp: u64,
+        program: &Program,
+        workers: usize,
+    ) -> SolverResult {
         let start = Instant::now();
-        let solver = Solver::new(self.lattice());
+        let solver = Solver::new(lattice);
         let cond = Condensation::compute(program);
         let hits = AtomicU64::new(0);
         let misses = AtomicU64::new(0);
@@ -242,7 +512,13 @@ impl<'l> AnalysisDriver<'l> {
             let outputs = scheduler::run_indexed(wave.len(), workers, |k| {
                 let i = wave[k];
                 let scc = &cond.sccs[i];
-                let fp = fingerprint::scc_fingerprint(program, scc, &cond.scc_of, &scheme_fps);
+                let fp = fingerprint::scc_fingerprint(
+                    lattice_fp,
+                    program,
+                    scc,
+                    &cond.scc_of,
+                    &scheme_fps,
+                );
                 let entry = match self.cache.lookup_schemes(fp) {
                     Some(cached) => {
                         hits.fetch_add(1, Ordering::Relaxed);
@@ -372,6 +648,9 @@ const _: () = {
     assert_send_sync::<ModuleJob>();
     assert_send_sync::<ModuleReport>();
     assert_send_sync::<SchemeCache>();
+    assert_send_sync::<LatticeSelector>();
+    assert_send_sync::<SolveRequest<'static>>();
+    assert_send_sync::<AnalysisSession<'static, 'static>>();
 };
 
 #[cfg(test)]

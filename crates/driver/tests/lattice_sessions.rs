@@ -1,0 +1,184 @@
+//! Session-API integration tests: per-request lattices segregate the
+//! scheme cache (two lattices never share entries), descriptor-built
+//! lattices converge to the default lattice's cache when they describe the
+//! same lattice, and the streaming sink delivers exactly the batch result.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use retypd_core::{Lattice, LatticeBuilder, SolverResult};
+use retypd_driver::{
+    AnalysisDriver, DriverConfig, LatticeSelector, ModuleJob, SolveRequest,
+};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
+
+fn render(result: &SolverResult) -> String {
+    let mut out = String::new();
+    for (name, pr) in &result.procs {
+        let _ = writeln!(out, "{name}: {}", pr.scheme);
+        let _ = writeln!(out, "  sketch: {:?}", pr.sketch);
+        let _ = writeln!(out, "  general: {:?}", pr.general_sketch);
+    }
+    let _ = writeln!(out, "{:?}", result.inconsistencies);
+    out
+}
+
+fn sample_job() -> ModuleJob {
+    let mut prog = retypd_core::Program::new();
+    prog.add_proc(retypd_core::Procedure {
+        name: retypd_core::Symbol::intern("f"),
+        constraints: retypd_core::parse::parse_constraint_set(
+            "f.in_stack0 <= x; int <= f.out_eax; uint <= f.out_eax",
+        )
+        .expect("sample constraints parse"),
+        callsites: vec![],
+    });
+    ModuleJob {
+        name: "sample".into(),
+        program: prog,
+    }
+}
+
+/// A deliberately *different* lattice sharing c_types' constant names:
+/// `int` and `uint` sit directly under ⊤, so `join(int, uint) = ⊤` where
+/// c_types gives `integral32` — same module, different answers.
+fn flat_lattice() -> Lattice {
+    let mut b = LatticeBuilder::named("flat");
+    for e in ["⊤", "int", "uint", "⊥"] {
+        b.add(e).expect("fresh");
+    }
+    b.le("int", "⊤").expect("known");
+    b.le("uint", "⊤").expect("known");
+    b.le("⊥", "int").expect("known");
+    b.le("⊥", "uint").expect("known");
+    b.build().expect("flat is a lattice")
+}
+
+#[test]
+fn two_lattices_segregate_the_cache_and_answer_per_lattice() {
+    let c_types = Lattice::c_types();
+    let driver = AnalysisDriver::with_config(&c_types, DriverConfig::with_workers(1));
+    let jobs = [sample_job()];
+
+    // Cold solve under the default lattice.
+    let under_default = driver
+        .session(SolveRequest::batch(&jobs))
+        .expect("default resolves")
+        .run();
+    let s1 = driver.cache_stats();
+    assert_eq!(s1.hits, 0);
+    assert!(s1.misses > 0);
+
+    // The same module under a structurally different lattice carrying the
+    // same constant names: every lookup must MISS — cross-lattice hits
+    // would silently answer with the wrong lattice's schemes.
+    let flat = flat_lattice().descriptor().clone();
+    let under_flat = driver
+        .session(SolveRequest::batch(&jobs).with_lattice(LatticeSelector::Descriptor(flat.clone())))
+        .expect("flat descriptor builds")
+        .run();
+    let s2 = driver.cache_stats();
+    assert_eq!(s2.hits, 0, "cross-lattice lookups must never hit");
+    assert_eq!(s2.misses, 2 * s1.misses);
+    assert_eq!(
+        s2.scheme_entries,
+        2 * s1.scheme_entries,
+        "each lattice owns its own entries"
+    );
+
+    // And the answers really are per-lattice: join(int, uint) differs.
+    assert_ne!(
+        render(&under_default[0].result),
+        render(&under_flat[0].result),
+        "flat lattice must change the inferred bounds"
+    );
+    assert_ne!(under_default[0].lattice_fp, under_flat[0].lattice_fp);
+
+    // Re-submission under each lattice is a 100% hit *within* its lattice.
+    for selector in [
+        LatticeSelector::Default,
+        LatticeSelector::Descriptor(flat),
+    ] {
+        let warm = driver
+            .session(SolveRequest::batch(&jobs).with_lattice(selector))
+            .expect("resolves")
+            .run();
+        assert_eq!(warm[0].result.stats.cache_misses, 0, "warm per-lattice re-solve");
+        assert!(warm[0].result.stats.cache_hits > 0);
+    }
+}
+
+#[test]
+fn canonical_descriptor_of_the_default_lattice_shares_its_cache() {
+    let c_types = Lattice::c_types();
+    let driver = AnalysisDriver::with_config(&c_types, DriverConfig::with_workers(1));
+    let jobs = [sample_job()];
+    let cold = driver.solve_batch(&jobs);
+    assert!(cold[0].result.stats.cache_misses > 0);
+
+    // A request naming c_types *as data* (its canonical descriptor) builds
+    // a fingerprint-identical lattice, so it re-hits the default lattice's
+    // cache entries — descriptions of the same lattice converge.
+    let via_descriptor = driver
+        .session(
+            SolveRequest::batch(&jobs)
+                .with_lattice(LatticeSelector::Descriptor(c_types.descriptor().clone())),
+        )
+        .expect("canonical c_types descriptor builds")
+        .run();
+    assert_eq!(via_descriptor[0].result.stats.cache_misses, 0);
+    assert_eq!(render(&via_descriptor[0].result), render(&cold[0].result));
+    assert_eq!(via_descriptor[0].lattice_fp, cold[0].lattice_fp);
+}
+
+#[test]
+fn streaming_sink_matches_the_batch_bit_for_bit() {
+    let spec = ClusterSpec {
+        name: "stream".into(),
+        members: 3,
+        shared_functions: 5,
+        member_functions: 2,
+        seed: 99,
+        call_depth: 3,
+    };
+    let jobs: Vec<ModuleJob> = ProgramGenerator::generate_cluster(&spec)
+        .iter()
+        .map(|(name, module)| {
+            let (mir, _) = compile(module).expect("cluster member compiles");
+            ModuleJob {
+                name: name.clone(),
+                program: retypd_congen::generate(&mir),
+            }
+        })
+        .collect();
+    let lattice = Lattice::c_types();
+
+    let reference: Vec<String> = {
+        let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1));
+        driver
+            .solve_batch(&jobs)
+            .iter()
+            .map(|r| render(&r.result))
+            .collect()
+    };
+
+    for workers in [1usize, 4] {
+        let driver = AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(workers));
+        let streamed: Mutex<Vec<Option<String>>> = Mutex::new(vec![None; jobs.len()]);
+        let returned = driver.solve_stream(&jobs, |i, report| {
+            let prev = streamed.lock().expect("streamed")[i].replace(render(&report.result));
+            assert!(prev.is_none(), "module {i} streamed twice");
+        });
+        let streamed = streamed.into_inner().expect("streamed");
+        assert_eq!(returned.len(), jobs.len());
+        for (i, want) in reference.iter().enumerate() {
+            assert_eq!(
+                streamed[i].as_deref(),
+                Some(want.as_str()),
+                "streamed report {i} diverged at {workers} workers"
+            );
+            assert_eq!(&render(&returned[i].result), want, "returned report {i}");
+        }
+    }
+}

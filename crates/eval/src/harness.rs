@@ -5,8 +5,8 @@ use std::time::{Duration, Instant};
 
 use retypd_baselines::{infer_tie, infer_unification};
 use retypd_core::solver::SolverStats;
-use retypd_core::{Lattice, Solver};
-use retypd_driver::AnalysisDriver;
+use retypd_core::{Lattice, LatticeError, Solver};
+use retypd_driver::{AnalysisDriver, LatticeSelector, ModuleJob, SolveRequest};
 use retypd_minic::ast::Module;
 use retypd_minic::codegen::compile;
 
@@ -130,6 +130,44 @@ pub fn evaluate_module_driver(
     evaluate_with(name, module, lattice, |p| driver.solve(p))
 }
 
+/// Evaluates one module through the driver's request/session API against
+/// an arbitrary lattice — the evaluation-side mirror of the serving
+/// stack's per-request lattices. Scores are computed against the *session*
+/// lattice (distances and conservativeness are lattice-relative), and the
+/// solve shares the driver's cache, segregated by lattice fingerprint.
+///
+/// # Errors
+///
+/// Fails when a [`LatticeSelector::Descriptor`] does not describe a valid
+/// lattice.
+pub fn evaluate_module_in(
+    name: &str,
+    module: &Module,
+    driver: &AnalysisDriver<'_>,
+    lattice: LatticeSelector,
+) -> Result<BenchResult, LatticeError> {
+    // Resolve (and validate) the lattice once for scoring; the per-program
+    // solve below re-uses the driver's memo, so this costs one build at
+    // most.
+    let scoring_lattice = driver
+        .session(SolveRequest::batch(&[]).with_lattice(lattice.clone()))?
+        .lattice()
+        .clone();
+    Ok(evaluate_with(name, module, &scoring_lattice, |p| {
+        let jobs = [ModuleJob {
+            name: name.to_owned(),
+            program: p.clone(),
+        }];
+        driver
+            .session(SolveRequest::batch(&jobs).with_lattice(lattice))
+            .expect("selector validated above")
+            .run()
+            .pop()
+            .expect("one job in, one report out")
+            .result
+    }))
+}
+
 /// The estimated resident bytes of the solver structures (memory model for
 /// Figure 12): graph nodes/edges, quotient nodes and sketch states have
 /// known approximate footprints.
@@ -197,6 +235,42 @@ mod tests {
         let again = evaluate_module_driver("gen17", &module, &lattice, &driver);
         assert_eq!(again.stats.cache_misses, 0);
         assert!(again.stats.cache_hits > 0);
+    }
+
+    #[test]
+    fn session_harness_matches_driver_scores_and_segregates_lattices() {
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 17,
+            functions: 6,
+            ..GenConfig::default()
+        })
+        .generate();
+        let lattice = Lattice::c_types();
+        let driver = AnalysisDriver::new(&lattice);
+        let default_scores = evaluate_module_driver("gen17", &module, &lattice, &driver);
+        let via_session =
+            evaluate_module_in("gen17", &module, &driver, LatticeSelector::Default)
+                .expect("default resolves");
+        assert_eq!(
+            via_session.scores.retypd.distance,
+            default_scores.scores.retypd.distance
+        );
+        assert_eq!(
+            via_session.stats.sketch_states,
+            default_scores.stats.sketch_states
+        );
+        // Same evaluation under a described copy of c_types converges to
+        // the same cache (canonical fingerprints), so it is a pure hit.
+        let descr = lattice.descriptor().clone();
+        let warm = evaluate_module_in(
+            "gen17",
+            &module,
+            &driver,
+            LatticeSelector::Descriptor(descr),
+        )
+        .expect("canonical descriptor builds");
+        assert_eq!(warm.stats.cache_misses, 0);
+        assert!(warm.stats.cache_hits > 0);
     }
 
     #[test]

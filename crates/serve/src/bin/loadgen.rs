@@ -6,23 +6,37 @@
 //! cargo run --release -p retypd-serve --bin loadgen -- --small --out serve-load.json
 //! # Against an external server (CI starts `serve` in the background):
 //! cargo run --release -p retypd-serve --bin loadgen -- --small --addr 127.0.0.1:7411
+//! # Protocol v2: a non-default lattice descriptor on every request:
+//! cargo run --release -p retypd-serve --bin loadgen -- --small --lattice extended
+//! # Protocol v2: streaming batches, measuring time-to-first-report:
+//! cargo run --release -p retypd-serve --bin loadgen -- --small --stream
 //! ```
 //!
-//! Two passes over the same corpus — cold, then warm — at a target
-//! concurrency (one connection per worker thread). The warm pass must be a
-//! shard-cache re-hit: the run *asserts* that the warm hit rate is ≥ 90%,
-//! that warm p50 latency is strictly below cold p50, and that every report
-//! from both passes is bit-identical (canonical text) to a sequential
-//! in-process `Solver::infer` of the same module — so a routing bug, a
-//! cache bug, or a wire round-trip bug fails the run rather than skewing
-//! the numbers.
+//! Default mode: two passes over the same corpus — cold, then warm — at a
+//! target concurrency (one connection per worker thread). The warm pass
+//! must be a shard-cache re-hit: the run *asserts* that the warm hit rate
+//! is ≥ 90%, that warm p50 latency is strictly below cold p50, and that
+//! every report from both passes is bit-identical (canonical text) to a
+//! sequential in-process `Solver::infer` of the same module — so a routing
+//! bug, a cache bug, or a wire round-trip bug fails the run rather than
+//! skewing the numbers. With `--lattice extended` every request carries a
+//! non-default descriptor, references are solved under that lattice, and
+//! each report's `lattice_fp` is checked.
+//!
+//! Streaming mode (`--stream`): the whole corpus is submitted as one
+//! `solve_batch` per request, alternating streaming and single-frame
+//! replies; the run records p50/p95 time-to-first-report versus the v1
+//! whole-batch latency and *asserts* that streaming's p50 first report
+//! beats the single-frame batch's p50 completion (that earliness is the
+//! mode's reason to exist), with every streamed report verified against
+//! the sequential references.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use retypd_core::{Lattice, Solver};
+use retypd_core::{Lattice, LatticeDescriptor, Solver};
 use retypd_driver::ModuleJob;
 use retypd_minic::codegen::compile;
 use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
@@ -51,6 +65,8 @@ fn run_pass(
     addr: std::net::SocketAddr,
     jobs: &[ModuleJob],
     references: &[String],
+    lattice: Option<&LatticeDescriptor>,
+    expected_lattice_fp: u64,
     concurrency: usize,
     shard_counters: impl Fn() -> (u64, u64),
 ) -> PassOutcome {
@@ -69,13 +85,19 @@ fn run_pass(
                         break;
                     }
                     let req_start = Instant::now();
-                    let report: WireReport =
-                        client.solve_module(&jobs[i]).expect("solve request");
+                    let report: WireReport = client
+                        .solve_module_in(&jobs[i], lattice)
+                        .expect("solve request");
                     let lat = req_start.elapsed().as_nanos() as u64;
                     assert_eq!(
                         report.canonical_text(),
                         references[i],
                         "module {} diverged from sequential Solver::infer",
+                        jobs[i].name
+                    );
+                    assert_eq!(
+                        report.lattice_fp, expected_lattice_fp,
+                        "module {} solved against the wrong lattice",
                         jobs[i].name
                     );
                     latencies.lock().expect("latency vec").push(lat);
@@ -116,6 +138,127 @@ fn pass_json(name: &str, p: &PassOutcome, requests: usize) -> String {
     )
 }
 
+/// The non-default lattice `--lattice extended` submits: c_types plus one
+/// extra semantic tag. Conservative (no existing join/meet changes), so
+/// sequential references still verify — while every cache key and report
+/// fingerprint must differ from the default lattice's.
+fn extended_lattice() -> Lattice {
+    let mut b = Lattice::c_types_builder();
+    b.add_under("#LoadgenTag", "int").expect("fresh tag");
+    b.le("⊥", "#LoadgenTag").expect("known");
+    b.set_name("c_types_loadgen");
+    b.build().expect("extended c_types is a lattice")
+}
+
+/// Streaming mode: the whole corpus as one batch per request, alternating
+/// the v2 streaming reply with the v1 single-frame reply, measuring time
+/// to first report versus whole-batch completion. Every streamed report is
+/// verified against the sequential references; the p50 first report must
+/// beat the p50 single-frame batch — the earliness streaming exists for.
+fn run_stream_mode(
+    addr: std::net::SocketAddr,
+    jobs: &[ModuleJob],
+    references: &[String],
+    lattice: Option<&LatticeDescriptor>,
+    expected_lattice_fp: u64,
+    small: bool,
+) -> String {
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10)).expect("connect");
+    let iters = if small { 12 } else { 20 };
+    let mut first_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut done_ns: Vec<u64> = Vec::with_capacity(iters);
+    let mut batch_ns: Vec<u64> = Vec::with_capacity(iters);
+
+    // Iteration 0 is the cold pass (it warms the shard caches and is
+    // verified like every other); the latency comparison uses the warm
+    // iterations only, so cold-compile noise cannot flatter either mode.
+    for iter in 0..=iters {
+        let t0 = Instant::now();
+        let mut stream = client
+            .solve_batch_stream(jobs, lattice)
+            .expect("stream admitted");
+        // The constructor returns once the first `report` frame arrived.
+        let ttfr = t0.elapsed().as_nanos() as u64;
+        let mut seen = vec![false; jobs.len()];
+        while let Some(item) = stream.next() {
+            let (i, report) = item.expect("streamed report");
+            assert!(!std::mem::replace(&mut seen[i], true), "index {i} twice");
+            assert_eq!(
+                report.canonical_text(),
+                references[i],
+                "module {} diverged from sequential Solver::infer (streamed)",
+                jobs[i].name
+            );
+            assert_eq!(report.lattice_fp, expected_lattice_fp);
+        }
+        let summary = stream.summary().expect("terminal batch_done");
+        assert_eq!(summary.delivered, jobs.len());
+        assert!(summary.errors.is_empty(), "{:?}", summary.errors);
+        assert_eq!(summary.lattice_fp, expected_lattice_fp);
+        let total = t0.elapsed().as_nanos() as u64;
+
+        let t1 = Instant::now();
+        let reports = client.solve_batch_in(jobs, lattice).expect("v1 batch");
+        let v1_total = t1.elapsed().as_nanos() as u64;
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(
+                report.canonical_text(),
+                references[i],
+                "module {} diverged from sequential Solver::infer (single-frame)",
+                jobs[i].name
+            );
+        }
+        if iter > 0 {
+            first_ns.push(ttfr);
+            done_ns.push(total);
+            batch_ns.push(v1_total);
+        }
+    }
+    first_ns.sort_unstable();
+    done_ns.sort_unstable();
+    batch_ns.sort_unstable();
+
+    let (first_p50, batch_p50) = (percentile(&first_ns, 50), percentile(&batch_ns, 50));
+    assert!(
+        first_p50 < batch_p50,
+        "p50 time-to-first-report ({first_p50} ns) must beat the v1 whole-batch p50 \
+         ({batch_p50} ns)"
+    );
+    eprintln!(
+        "stream: first report p50 {:.3?} p95 {:.3?} | batch_done p50 {:.3?} | \
+         v1 whole batch p50 {:.3?} | first report {:.2}x earlier ✓ (all reports verified ✓)",
+        Duration::from_nanos(first_p50),
+        Duration::from_nanos(percentile(&first_ns, 95)),
+        Duration::from_nanos(percentile(&done_ns, 50)),
+        Duration::from_nanos(batch_p50),
+        batch_p50 as f64 / first_p50.max(1) as f64
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"mode\": \"stream\", \"modules\": {}, \"iterations\": {iters}, \
+         \"lattice_fp\": {expected_lattice_fp},\n",
+        jobs.len()
+    ));
+    json.push_str(&format!(
+        "  \"stream\": {{\"first_report_p50_ns\": {}, \"first_report_p95_ns\": {}, \
+         \"batch_done_p50_ns\": {}, \"batch_done_p95_ns\": {}}},\n",
+        first_p50,
+        percentile(&first_ns, 95),
+        percentile(&done_ns, 50),
+        percentile(&done_ns, 95),
+    ));
+    json.push_str(&format!(
+        "  \"single_frame\": {{\"p50_ns\": {batch_p50}, \"p95_ns\": {}}},\n",
+        percentile(&batch_ns, 95),
+    ));
+    json.push_str(&format!(
+        "  \"first_report_speedup\": {:.3}, \"verified\": true\n}}\n",
+        batch_p50 as f64 / first_p50.max(1) as f64
+    ));
+    json
+}
+
 fn main() {
     let mut small = false;
     let mut addr_arg: Option<String> = None;
@@ -123,12 +266,22 @@ fn main() {
     let mut concurrency = 4usize;
     let mut out_path: Option<String> = None;
     let mut shutdown_server = false;
+    let mut stream_mode = false;
+    let mut lattice_arg = "default".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--small" => small = true,
             "--addr" => addr_arg = args.next(),
             "--shutdown" => shutdown_server = true,
+            "--stream" => stream_mode = true,
+            "--lattice" => {
+                lattice_arg = args.next().unwrap_or_default();
+                if lattice_arg != "default" && lattice_arg != "extended" {
+                    eprintln!("--lattice expects `default` or `extended`");
+                    std::process::exit(2);
+                }
+            }
             "--shards" => {
                 shards_arg = Some(
                     args.next()
@@ -154,7 +307,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: loadgen [--small] [--addr HOST:PORT] \
-                     [--shards N] [--concurrency N] [--out FILE] [--shutdown]"
+                     [--shards N] [--concurrency N] [--out FILE] [--shutdown] [--stream] \
+                     [--lattice default|extended]"
                 );
                 std::process::exit(2);
             }
@@ -204,8 +358,17 @@ fn main() {
         })
         .collect();
 
-    // --- Sequential in-process reference for every module. ---
-    let lattice = Lattice::c_types();
+    // --- The lattice under test and the sequential in-process reference
+    // for every module (solved under that same lattice). ---
+    let (lattice, descriptor): (Lattice, Option<LatticeDescriptor>) =
+        if lattice_arg == "extended" {
+            let l = extended_lattice();
+            let d = l.descriptor().clone();
+            (l, Some(d))
+        } else {
+            (Lattice::c_types(), None)
+        };
+    let expected_lattice_fp = lattice.fingerprint();
     let references: Vec<String> = jobs
         .iter()
         .map(|j| {
@@ -252,85 +415,122 @@ fn main() {
     };
 
     eprintln!(
-        "corpus: {} modules, target {addr}, concurrency {concurrency}",
-        jobs.len()
-    );
-    let cold = run_pass(addr, &jobs, &references, concurrency, shard_counters);
-    eprintln!(
-        "cold: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
-        Duration::from_nanos(percentile(&cold.latencies_ns, 50)),
-        Duration::from_nanos(percentile(&cold.latencies_ns, 95)),
-        cold.hits,
-        cold.misses
-    );
-    let warm = run_pass(addr, &jobs, &references, concurrency, shard_counters);
-    eprintln!(
-        "warm: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
-        Duration::from_nanos(percentile(&warm.latencies_ns, 50)),
-        Duration::from_nanos(percentile(&warm.latencies_ns, 95)),
-        warm.hits,
-        warm.misses
+        "corpus: {} modules, target {addr}, concurrency {concurrency}, lattice {lattice_arg}, \
+         mode {}",
+        jobs.len(),
+        if stream_mode { "stream" } else { "per-module" }
     );
 
-    // --- Acceptance assertions (see module docs). ---
-    let warm_hit_rate = warm.hits as f64 / ((warm.hits + warm.misses) as f64).max(1.0);
-    assert!(
-        warm_hit_rate >= 0.9,
-        "warm pass must re-hit its shard caches: hit rate {warm_hit_rate:.3}"
-    );
-    let (cold_p50, warm_p50) = (
-        percentile(&cold.latencies_ns, 50),
-        percentile(&warm.latencies_ns, 50),
-    );
-    assert!(
-        warm_p50 < cold_p50,
-        "warm p50 ({warm_p50} ns) must beat cold p50 ({cold_p50} ns)"
-    );
-    eprintln!(
-        "verified: all reports bit-identical to sequential Solver::infer ✓, \
-         warm hit rate {:.0}% ✓, warm p50 {:.2}x faster ✓",
-        100.0 * warm_hit_rate,
-        cold_p50 as f64 / warm_p50.max(1) as f64
-    );
+    let json = if stream_mode {
+        run_stream_mode(
+            addr,
+            &jobs,
+            &references,
+            descriptor.as_ref(),
+            expected_lattice_fp,
+            small,
+        )
+    } else {
+        let cold = run_pass(
+            addr,
+            &jobs,
+            &references,
+            descriptor.as_ref(),
+            expected_lattice_fp,
+            concurrency,
+            &shard_counters,
+        );
+        eprintln!(
+            "cold: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
+            Duration::from_nanos(percentile(&cold.latencies_ns, 50)),
+            Duration::from_nanos(percentile(&cold.latencies_ns, 95)),
+            cold.hits,
+            cold.misses
+        );
+        let warm = run_pass(
+            addr,
+            &jobs,
+            &references,
+            descriptor.as_ref(),
+            expected_lattice_fp,
+            concurrency,
+            &shard_counters,
+        );
+        eprintln!(
+            "warm: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
+            Duration::from_nanos(percentile(&warm.latencies_ns, 50)),
+            Duration::from_nanos(percentile(&warm.latencies_ns, 95)),
+            warm.hits,
+            warm.misses
+        );
 
-    // --- Final per-shard stats + JSON report. ---
-    let mut client = Client::connect_retry(addr, Duration::from_secs(10)).expect("connect");
-    let stats = client.stats().expect("stats");
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"modules\": {}, \"concurrency\": {concurrency},\n",
-        jobs.len()
-    ));
-    json.push_str(&pass_json("cold", &cold, jobs.len()));
-    json.push_str(",\n");
-    json.push_str(&pass_json("warm", &warm, jobs.len()));
-    json.push_str(",\n  \"shards\": [\n");
-    for (i, s) in stats.shards.iter().enumerate() {
-        let rate = if s.cache.hits + s.cache.misses == 0 {
-            0.0
-        } else {
-            s.cache.hits as f64 / (s.cache.hits + s.cache.misses) as f64
-        };
+        // --- Acceptance assertions (see module docs). ---
+        let warm_hit_rate = warm.hits as f64 / ((warm.hits + warm.misses) as f64).max(1.0);
+        assert!(
+            warm_hit_rate >= 0.9,
+            "warm pass must re-hit its shard caches: hit rate {warm_hit_rate:.3}"
+        );
+        let (cold_p50, warm_p50) = (
+            percentile(&cold.latencies_ns, 50),
+            percentile(&warm.latencies_ns, 50),
+        );
+        assert!(
+            warm_p50 < cold_p50,
+            "warm p50 ({warm_p50} ns) must beat cold p50 ({cold_p50} ns)"
+        );
+        eprintln!(
+            "verified: all reports bit-identical to sequential Solver::infer ✓, \
+             warm hit rate {:.0}% ✓, warm p50 {:.2}x faster ✓",
+            100.0 * warm_hit_rate,
+            cold_p50 as f64 / warm_p50.max(1) as f64
+        );
+
+        // --- Final per-shard stats + JSON report. ---
+        let mut client =
+            Client::connect_retry(addr, Duration::from_secs(10)).expect("connect");
+        let stats = client.stats().expect("stats");
+        let mut json = String::from("{\n");
         json.push_str(&format!(
-            "    {{\"shard\": {}, \"jobs\": {}, \"hits\": {}, \"misses\": {}, \
-             \"evictions\": {}, \"hit_rate\": {rate:.3}}}{}\n",
-            s.shard,
-            s.jobs,
-            s.cache.hits,
-            s.cache.misses,
-            s.cache.evictions,
-            if i + 1 == stats.shards.len() { "" } else { "," }
+            "  \"modules\": {}, \"concurrency\": {concurrency}, \
+             \"lattice\": \"{lattice_arg}\", \"lattice_fp\": {expected_lattice_fp},\n",
+            jobs.len()
         ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"accepted\": {}, \"rejected\": {}, \"verified\": true\n}}\n",
-        stats.accepted, stats.rejected
-    ));
+        json.push_str(&pass_json("cold", &cold, jobs.len()));
+        json.push_str(",\n");
+        json.push_str(&pass_json("warm", &warm, jobs.len()));
+        json.push_str(",\n  \"shards\": [\n");
+        for (i, s) in stats.shards.iter().enumerate() {
+            let rate = if s.cache.hits + s.cache.misses == 0 {
+                0.0
+            } else {
+                s.cache.hits as f64 / (s.cache.hits + s.cache.misses) as f64
+            };
+            json.push_str(&format!(
+                "    {{\"shard\": {}, \"jobs\": {}, \"hits\": {}, \"misses\": {}, \
+                 \"evictions\": {}, \"hit_rate\": {rate:.3}}}{}\n",
+                s.shard,
+                s.jobs,
+                s.cache.hits,
+                s.cache.misses,
+                s.cache.evictions,
+                if i + 1 == stats.shards.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"accepted\": {}, \"rejected\": {}, \"verified\": true\n}}\n",
+            stats.accepted, stats.rejected
+        ));
+        json
+    };
 
     if shutdown_server {
         // Drain the external server too (CI runs it as a background
-        // process and waits for a clean exit).
+        // process and waits for a clean exit). The ack frame is required:
+        // the server joins its connection handlers on drain, so delivery
+        // is guaranteed, not racy.
+        let mut client =
+            Client::connect_retry(addr, Duration::from_secs(10)).expect("connect for shutdown");
         client.shutdown().expect("server drains");
     }
     if let Some(handle) = spawned {

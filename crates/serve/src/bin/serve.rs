@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p retypd-serve --bin serve -- --addr 127.0.0.1:7411 \
-//!     --shards 4 --workers 1 --queue-depth 256 --cache-capacity 4096
+//!     --shards 4 --workers 1 --queue-depth 256 --cache-capacity 4096 \
+//!     --read-timeout 30
 //! ```
 //!
 //! Prints `listening on <addr>` to stderr once the socket is bound, then
@@ -14,7 +15,7 @@ use retypd_serve::{start, ServeConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--shards N] [--workers N] \
-         [--queue-depth N] [--cache-capacity N|unbounded]"
+         [--queue-depth N] [--cache-capacity N|unbounded] [--read-timeout SECS|0]"
     );
     std::process::exit(2);
 }
@@ -56,6 +57,16 @@ fn main() {
                     }
                 };
             }
+            "--read-timeout" => {
+                // 0 disables the timeout (a connection may then idle
+                // forever between requests; drains still proceed).
+                let secs = parse_num(&mut args, "--read-timeout");
+                config.read_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs as u64))
+                };
+            }
             _ => usage(),
         }
     }
@@ -63,21 +74,18 @@ fn main() {
         Ok(handle) => {
             eprintln!(
                 "retypd-serve listening on {} ({} shards, {} workers/shard, queue depth {}, \
-                 cache capacity {:?})",
+                 cache capacity {:?}, read timeout {:?})",
                 handle.addr(),
                 config.shards,
                 config.workers_per_shard,
                 config.queue_depth,
-                config.cache_capacity
+                config.cache_capacity,
+                config.read_timeout
             );
+            // `join` returns only after the drain joined every connection
+            // handler, so the `shutting_down` ack and all final response
+            // frames are already handed to the kernel — no exit dwell.
             handle.join();
-            // Delivery grace period: connection handlers are detached, so
-            // the `shutting_down` ack (and any final response frame) can
-            // still be in a socket send queue when the drain completes —
-            // exiting immediately can cut it off mid-frame. Peer-confirmed
-            // delivery needs connection tracking (a ROADMAP follow-up);
-            // until then a short dwell lets the kernel flush.
-            std::thread::sleep(std::time::Duration::from_millis(300));
             eprintln!("retypd-serve drained, exiting");
         }
         Err(e) => {

@@ -3,14 +3,23 @@
 //! One [`Client`] owns one TCP connection and issues requests serially
 //! (the protocol is request/response). Concurrency comes from owning
 //! several clients — the `loadgen` binary drives one per worker thread.
+//!
+//! Protocol v2 surfaces: the `*_in` request variants carry a
+//! [`LatticeDescriptor`] (absent ⇒ the server's default `c_types`), and
+//! [`Client::solve_batch_stream`] returns a [`BatchStream`] iterator that
+//! yields each module's report as its frame arrives — first results land
+//! while the rest of the batch is still solving.
 
 use std::fmt;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
+use retypd_core::LatticeDescriptor;
 use retypd_driver::ModuleJob;
 
-use crate::wire::{self, Request, Response, WireModule, WireReport, WireStats};
+use crate::wire::{
+    self, Request, Response, WireBatchDone, WireModule, WireReport, WireStats,
+};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -28,6 +37,15 @@ pub enum ClientError {
     ShuttingDown,
     /// The server reported a request error.
     Server(String),
+    /// One module of a streaming batch failed (e.g. a solver panic); the
+    /// rest of the stream continues. Carries the module's submission
+    /// index so the caller can mark or retry exactly that slot.
+    Module {
+        /// The failed module's position in the submitted batch.
+        index: usize,
+        /// The server's description of the failure.
+        message: String,
+    },
     /// The server answered with a response kind the call did not expect.
     Unexpected(String),
 }
@@ -41,6 +59,9 @@ impl fmt::Display for ClientError {
             }
             ClientError::ShuttingDown => write!(f, "server is shutting down"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Module { index, message } => {
+                write!(f, "module {index} failed: {message}")
+            }
             ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
         }
     }
@@ -113,18 +134,37 @@ impl Client {
             }
             Response::ShuttingDown => Err(ClientError::ShuttingDown),
             Response::Error(m) => Err(ClientError::Server(m)),
-            Response::Stats(_) => Err(ClientError::Unexpected("stats".into())),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
 
-    /// Solves one module.
+    /// Solves one module against the server's default lattice.
     ///
     /// # Errors
     ///
     /// [`ClientError::Overloaded`] when admission control refuses the job;
     /// other variants for protocol or server failures.
     pub fn solve_module(&mut self, job: &ModuleJob) -> Result<WireReport, ClientError> {
-        let resp = self.roundtrip(&Request::SolveModule(WireModule::from_job(job)))?;
+        self.solve_module_in(job, None)
+    }
+
+    /// Solves one module against a described lattice (`None` = the
+    /// server's default `c_types`). The report's `lattice_fp` names the
+    /// lattice it was solved against.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::solve_module`], plus [`ClientError::Server`] for an
+    /// invalid lattice descriptor.
+    pub fn solve_module_in(
+        &mut self,
+        job: &ModuleJob,
+        lattice: Option<&LatticeDescriptor>,
+    ) -> Result<WireReport, ClientError> {
+        let resp = self.roundtrip(&Request::SolveModule {
+            module: WireModule::from_job(job),
+            lattice: lattice.cloned(),
+        })?;
         let mut reports = Self::expect_solved(resp)?;
         if reports.len() != 1 {
             return Err(ClientError::Unexpected(format!(
@@ -135,7 +175,8 @@ impl Client {
         Ok(reports.remove(0))
     }
 
-    /// Solves a batch; reports come back in submission order.
+    /// Solves a batch against the server's default lattice; reports come
+    /// back in submission order.
     ///
     /// # Errors
     ///
@@ -146,8 +187,27 @@ impl Client {
     /// admitted — split it instead of retrying; other variants for
     /// protocol or server failures.
     pub fn solve_batch(&mut self, jobs: &[ModuleJob]) -> Result<Vec<WireReport>, ClientError> {
+        self.solve_batch_in(jobs, None)
+    }
+
+    /// [`Client::solve_batch`] against a described lattice (`None` = the
+    /// server's default `c_types`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::solve_batch`], plus [`ClientError::Server`] for an
+    /// invalid lattice descriptor.
+    pub fn solve_batch_in(
+        &mut self,
+        jobs: &[ModuleJob],
+        lattice: Option<&LatticeDescriptor>,
+    ) -> Result<Vec<WireReport>, ClientError> {
         let modules = jobs.iter().map(WireModule::from_job).collect();
-        let resp = self.roundtrip(&Request::SolveBatch(modules))?;
+        let resp = self.roundtrip(&Request::SolveBatch {
+            modules,
+            lattice: lattice.cloned(),
+            stream: false,
+        })?;
         let reports = Self::expect_solved(resp)?;
         if reports.len() != jobs.len() {
             return Err(ClientError::Unexpected(format!(
@@ -157,6 +217,60 @@ impl Client {
             )));
         }
         Ok(reports)
+    }
+
+    /// Submits a streaming batch: the server answers with one `report`
+    /// frame per module *as it finishes* plus a terminal `batch_done`.
+    /// The returned [`BatchStream`] yields `(submission index, report)`
+    /// pairs in completion order; after it is exhausted,
+    /// [`BatchStream::summary`] holds the aggregate stats. The reassembled
+    /// set is bit-identical to [`Client::solve_batch`]'s reply.
+    ///
+    /// # Errors
+    ///
+    /// Pre-admission refusals surface here ([`ClientError::Overloaded`],
+    /// [`ClientError::ShuttingDown`], [`ClientError::Server`]); per-module
+    /// failures surface as `Err` items of the stream without ending it.
+    pub fn solve_batch_stream(
+        &mut self,
+        jobs: &[ModuleJob],
+        lattice: Option<&LatticeDescriptor>,
+    ) -> Result<BatchStream<'_>, ClientError> {
+        let modules = jobs.iter().map(WireModule::from_job).collect();
+        wire::write_frame(
+            &mut self.stream,
+            &Request::SolveBatch {
+                modules,
+                lattice: lattice.cloned(),
+                stream: true,
+            }
+            .encode(),
+        )?;
+        // Peek the first frame so admission refusals become plain errors
+        // instead of iterator items.
+        let first = Self::read_stream_frame(&mut self.stream)?;
+        let pending = match first {
+            Response::Report { .. } | Response::BatchDone(_) => first,
+            Response::Overloaded { queued, limit } => {
+                return Err(ClientError::Overloaded { queued, limit })
+            }
+            Response::ShuttingDown => return Err(ClientError::ShuttingDown),
+            Response::Error(m) => return Err(ClientError::Server(m)),
+            other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+        };
+        Ok(BatchStream {
+            client: self,
+            pending: Some(pending),
+            summary: None,
+            poisoned: false,
+        })
+    }
+
+    fn read_stream_frame(stream: &mut TcpStream) -> Result<Response, ClientError> {
+        let payload = wire::read_frame(stream)?.ok_or_else(|| {
+            ClientError::Unexpected("server closed the connection mid-stream".into())
+        })?;
+        Ok(Response::decode(&payload)?)
     }
 
     /// Fetches server statistics.
@@ -172,25 +286,89 @@ impl Client {
         }
     }
 
-    /// Asks the server to drain and stop.
+    /// Asks the server to drain and stop. Success requires the
+    /// `shutting_down` ack frame: the server joins its connection handlers
+    /// on drain, so the ack is always delivered before the process exits —
+    /// a hang-up here is a real failure, not an acceptable race.
     ///
     /// # Errors
     ///
-    /// Fails on protocol errors or if the request cannot be sent. A
-    /// `shutting_down` reply is success — and so is the server hanging up
-    /// after the request went out: a draining server's process may exit
-    /// before the ack frame is fully delivered, and the hang-up itself is
-    /// evidence the drain is underway.
+    /// Fails on protocol errors, a hang-up before the ack, or if the
+    /// request cannot be sent.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         wire::write_frame(&mut self.stream, &Request::Shutdown.encode())?;
-        match wire::read_frame(&mut self.stream) {
-            Ok(Some(payload)) => match Response::decode(&payload)? {
+        match wire::read_frame(&mut self.stream)? {
+            Some(payload) => match Response::decode(&payload)? {
                 Response::ShuttingDown => Ok(()),
                 Response::Error(m) => Err(ClientError::Server(m)),
                 other => Err(ClientError::Unexpected(format!("{other:?}"))),
             },
-            Ok(None) | Err(wire::WireError::Io(_)) => Ok(()),
-            Err(e) => Err(e.into()),
+            None => Err(ClientError::Unexpected(
+                "server hung up before acknowledging shutdown".into(),
+            )),
+        }
+    }
+}
+
+/// The streaming-batch iterator returned by [`Client::solve_batch_stream`].
+///
+/// Yields `Ok((submission index, report))` per finished module (completion
+/// order — reassemble by index) and `Err(ClientError::Module { .. })` for
+/// per-module failures (the stream continues). A wire-level failure
+/// poisons the stream: iteration ends and the connection should be
+/// dropped. Iterate with `while let Some(item) = stream.next()`, then read
+/// [`BatchStream::summary`].
+pub struct BatchStream<'c> {
+    client: &'c mut Client,
+    pending: Option<Response>,
+    summary: Option<WireBatchDone>,
+    poisoned: bool,
+}
+
+impl BatchStream<'_> {
+    /// The terminal `batch_done` stats; `Some` once the stream is
+    /// exhausted cleanly.
+    pub fn summary(&self) -> Option<&WireBatchDone> {
+        self.summary.as_ref()
+    }
+
+    /// True when the stream ended on a wire-level failure; the connection
+    /// is desynchronized and should be dropped.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+impl Iterator for BatchStream<'_> {
+    type Item = Result<(usize, WireReport), ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.summary.is_some() || self.poisoned {
+            return None;
+        }
+        let frame = match self.pending.take() {
+            Some(f) => f,
+            None => match Client::read_stream_frame(&mut self.client.stream) {
+                Ok(f) => f,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Some(Err(e));
+                }
+            },
+        };
+        match frame {
+            Response::Report { index, result } => Some(match result {
+                Ok(report) => Ok((index, *report)),
+                Err(message) => Err(ClientError::Module { index, message }),
+            }),
+            Response::BatchDone(done) => {
+                self.summary = Some(done);
+                None
+            }
+            other => {
+                self.poisoned = true;
+                Some(Err(ClientError::Unexpected(format!("{other:?}"))))
+            }
         }
     }
 }

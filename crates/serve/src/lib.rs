@@ -4,20 +4,28 @@
 //! that turns the single-process [`retypd_driver::AnalysisDriver`] into
 //! something a fleet can talk to.
 //!
-//! * [`wire`] — a length-prefixed JSON protocol (`solve_module`,
-//!   `solve_batch`, `stats`, `shutdown`; `solved` / `overloaded` /
-//!   `shutting_down` replies). Programs travel as canonical constraint
+//! * [`wire`] — a length-prefixed JSON protocol, version 2: a versioned
+//!   request envelope (`"v": 2`; absent ⇒ v1 compatibility), an optional
+//!   `lattice` descriptor per solve request (absent ⇒ `c_types`), and a
+//!   streaming `solve_batch` mode (`report` frame per module plus a
+//!   terminal `batch_done`). Programs travel as canonical constraint
 //!   text, which round-trips exactly through [`retypd_core::parse`], so
 //!   server-side solves are bit-identical to in-process ones.
 //! * [`server`] — an acceptor plus N shard threads, each owning a
-//!   long-lived driver with a bounded persistent cache. Modules route by
+//!   long-lived driver with a bounded persistent cache; shards solve
+//!   through the driver's request/session API, so per-request lattices
+//!   segregate cache entries by lattice fingerprint. Modules route by
 //!   content fingerprint, so a re-submitted module always finds its warm
 //!   cache. Admission control refuses work past a queue-depth limit with
-//!   `overloaded` instead of stacking latency; shutdown drains gracefully.
-//! * [`client`] — a blocking client used by the tests and by the
+//!   `overloaded` instead of stacking latency; connection handlers are
+//!   tracked and joined on drain (polled reads with a configurable
+//!   timeout), so shutdown delivers every final frame before exit.
+//! * [`client`] — a blocking client (plus the [`client::BatchStream`]
+//!   streaming iterator) used by the tests and by the
 //!   [`loadgen`](../loadgen/index.html) binary, which replays a generated
 //!   corpus at a target concurrency and reports p50/p95 latency,
-//!   throughput, and per-shard cache hit rates as JSON.
+//!   time-to-first-report, throughput, and per-shard cache hit rates as
+//!   JSON.
 //! * [`json`] — the dependency-free JSON model backing the protocol (the
 //!   offline vendor set has no `serde_json`; the wire structs still carry
 //!   serde derives so the real serde can slot in later).
@@ -35,9 +43,9 @@ pub mod json;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use client::{BatchStream, Client, ClientError};
 pub use server::{start, ServeConfig, ServerHandle};
-pub use wire::{Request, Response, WireModule, WireReport, WireStats};
+pub use wire::{Request, Response, WireBatchDone, WireModule, WireReport, WireStats};
 
 #[cfg(test)]
 mod tests {
@@ -107,9 +115,19 @@ mod tests {
     #[test]
     fn requests_round_trip_through_frames() {
         let job = sample_job();
+        let custom = retypd_core::Lattice::paper_example().descriptor().clone();
         for req in [
-            Request::SolveModule(WireModule::from_job(&job)),
-            Request::SolveBatch(vec![WireModule::from_job(&job); 3]),
+            Request::solve_module(WireModule::from_job(&job)),
+            Request::solve_batch(vec![WireModule::from_job(&job); 3]),
+            Request::SolveModule {
+                module: WireModule::from_job(&job),
+                lattice: Some(custom.clone()),
+            },
+            Request::SolveBatch {
+                modules: vec![WireModule::from_job(&job); 2],
+                lattice: Some(custom),
+                stream: true,
+            },
             Request::Stats,
             Request::Shutdown,
         ] {
@@ -120,6 +138,34 @@ mod tests {
     }
 
     #[test]
+    fn v1_requests_still_decode_and_future_versions_are_refused() {
+        // A v1 frame: no `v`, no `lattice`, no `stream` — the PR-4 wire
+        // shape must keep decoding to a default-lattice non-streaming
+        // request.
+        let v1 = br#"{"kind": "solve_batch", "modules": []}"#;
+        match Request::decode(v1).expect("v1 decodes") {
+            Request::SolveBatch {
+                modules,
+                lattice,
+                stream,
+            } => {
+                assert!(modules.is_empty());
+                assert!(lattice.is_none(), "absent lattice means the default");
+                assert!(!stream, "v1 batches are single-frame");
+            }
+            other => panic!("expected SolveBatch, got {other:?}"),
+        }
+        // An unknown future version is refused (its fields cannot be
+        // guessed), with the supported ceiling named.
+        let v9 = br#"{"v": 9, "kind": "stats"}"#;
+        let err = Request::decode(v9).expect_err("future version refused");
+        assert!(err.to_string().contains("version 9"), "{err}");
+        // A malformed lattice descriptor is a protocol error, not a panic.
+        let bad = br#"{"v": 2, "kind": "solve_batch", "lattice": "not a lattice", "modules": []}"#;
+        assert!(Request::decode(bad).is_err());
+    }
+
+    #[test]
     fn responses_round_trip_through_frames() {
         let lattice = retypd_core::Lattice::c_types();
         let job = sample_job();
@@ -127,6 +173,21 @@ mod tests {
         let report = WireReport::from_result(&job.name, &result);
         for resp in [
             Response::Solved(vec![report.clone()]),
+            Response::Report {
+                index: 3,
+                result: Ok(Box::new(report.clone())),
+            },
+            Response::Report {
+                index: 4,
+                result: Err("solver panicked".into()),
+            },
+            Response::BatchDone(crate::wire::WireBatchDone {
+                modules: 5,
+                delivered: 4,
+                errors: vec!["solver panicked".into()],
+                wall_ns: 123,
+                lattice_fp: 7,
+            }),
             Response::Overloaded {
                 queued: 9,
                 limit: 8,

@@ -26,10 +26,27 @@
 //!   the job's admission slot is released, the client gets an `error`
 //!   response naming the module, and the shard rebuilds its driver (cold
 //!   cache) and keeps serving — one hostile module cannot kill a shard.
+//! * **Per-request lattices (protocol v2).** A solve request may carry a
+//!   [`retypd_core::LatticeDescriptor`]; the server validates and builds
+//!   it once per connection request (memoized server-wide), shards solve
+//!   through the driver's session API with the shared lattice, and every
+//!   scheme-cache key mixes in the lattice fingerprint — two lattices
+//!   never share cache entries. Absent descriptor ⇒ `c_types`, exactly the
+//!   v1 behavior.
+//! * **Streaming batches.** `solve_batch` with `stream: true` writes one
+//!   `report` frame per module the moment its shard finishes it, plus a
+//!   terminal `batch_done` — time-to-first-report beats whole-batch
+//!   latency because modules stream while siblings still solve.
+//! * **Tracked connections.** Connection handlers are registered and
+//!   *joined* on drain: reads are polled (so an idle handler notices the
+//!   drain within a tick), every written frame reaches the kernel before
+//!   the process can exit, and a stalled or half-open client is bounded by
+//!   [`ServeConfig::read_timeout`] — it gets a protocol `error` reply when
+//!   possible instead of pinning a thread forever.
 //! * **Graceful drain.** `shutdown` (wire message or
 //!   [`ServerHandle::shutdown`]) stops admissions, lets every queued job
-//!   finish, and joins the shard threads; in-flight responses are
-//!   delivered.
+//!   finish, and joins the shard *and connection* threads; in-flight
+//!   responses are delivered before the listener goes away.
 //!
 //! Determinism: shard routing is content-addressed and each module solves
 //! on exactly one driver, so results are bit-identical to in-process
@@ -41,11 +58,15 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use retypd_core::{Lattice, SolverResult};
-use retypd_driver::{AnalysisDriver, CacheStats, DriverConfig, ModuleJob, ModuleReport};
+use retypd_core::fxhash::FxHashMap;
+use retypd_core::{Lattice, LatticeDescriptor, SolverResult};
+use retypd_driver::{
+    AnalysisDriver, CacheStats, DriverConfig, LatticeMemo, LatticeSelector, ModuleJob,
+    ModuleReport, SolveRequest,
+};
 
 use crate::wire::{
-    self, Request, Response, WireModule, WireReport, WireShardStats, WireStats,
+    self, Request, Response, WireBatchDone, WireModule, WireReport, WireShardStats, WireStats,
 };
 
 /// Server configuration.
@@ -65,6 +86,14 @@ pub struct ServeConfig {
     /// [`DriverConfig::cache_capacity`]); a resident service must bound its
     /// caches, so unlike the driver default this is `Some` out of the box.
     pub cache_capacity: Option<usize>,
+    /// How long a connection may sit idle (or stall mid-frame) before the
+    /// server replies with a protocol `error` and closes it; `None`
+    /// disables the timeout. A half-open client can otherwise pin a
+    /// connection thread forever. The same value (or 30 s when disabled)
+    /// also bounds blocking *writes*, so a client that stops reading its
+    /// streamed replies cannot wedge a handler — and therefore cannot
+    /// wedge the drain that joins it.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +104,7 @@ impl Default for ServeConfig {
             workers_per_shard: 1,
             queue_depth: 256,
             cache_capacity: Some(4096),
+            read_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -85,6 +115,10 @@ struct ShardJob {
     index: usize,
     job: ModuleJob,
     fingerprint: u64,
+    /// The lattice to solve against; `None` is the shard driver's default
+    /// (`c_types`). Pre-built and validated by the connection handler, so
+    /// the shard's session resolution is infallible.
+    lattice: Option<Arc<Lattice>>,
     /// `Err` carries a description of a solver panic on this module.
     reply: mpsc::Sender<(usize, Result<WireReport, String>)>,
 }
@@ -106,6 +140,36 @@ struct Shared {
     rejected: AtomicU64,
     draining: AtomicBool,
     local_addr: SocketAddr,
+    /// Per-connection read behavior (see [`ServeConfig::read_timeout`]).
+    read_timeout: Option<Duration>,
+    /// Live connection handlers, joined on drain so every final frame
+    /// reaches the kernel before the process exits. The acceptor inserts
+    /// `None` *before* spawning (so a handler that finishes instantly can
+    /// deregister without racing the insert) and fills in the handle
+    /// right after.
+    conns: Mutex<FxHashMap<u64, Option<JoinHandle<()>>>>,
+    next_conn: AtomicU64,
+    /// Descriptor-built lattices memoized server-wide (bounded; shared
+    /// across all shards and connections).
+    lattices: LatticeMemo,
+    /// `Lattice::c_types().fingerprint()` — what reports carry for
+    /// default-lattice (v1) requests.
+    default_lattice_fp: u64,
+}
+
+impl Shared {
+    /// Resolves an optional wire descriptor into a ready-to-share lattice,
+    /// or a client-visible error message. `None` means the default.
+    fn resolve_lattice(
+        &self,
+        descriptor: Option<&LatticeDescriptor>,
+    ) -> Result<Option<Arc<Lattice>>, String> {
+        let Some(d) = descriptor else { return Ok(None) };
+        self.lattices
+            .get_or_build(d)
+            .map(Some)
+            .map_err(|e| format!("bad lattice: {e}"))
+    }
 }
 
 impl Shared {
@@ -203,14 +267,52 @@ impl ServerHandle {
         for t in self.shard_threads.drain(..) {
             let _ = t.join();
         }
+        // With the acceptor gone no new connections can register; joining
+        // what remains guarantees every final response frame was handed to
+        // the kernel before this returns — the delivery contract that
+        // retired the exit dwell in the `serve` binary. Handlers notice
+        // the drain within one read-poll tick, so this is bounded.
+        let conns: Vec<JoinHandle<()>> = self
+            .shared
+            .conns
+            .lock()
+            .expect("connection registry")
+            .drain()
+            .filter_map(|(_, handle)| handle)
+            .collect();
+        for handle in conns {
+            let _ = handle.join();
+        }
     }
 }
 
-/// How a shard runs one job. Production is always
-/// [`AnalysisDriver::solve`]; tests inject a panicking hook to pin the
-/// shard's panic isolation end to end over a real socket.
-type SolveHook =
-    Arc<dyn Fn(&AnalysisDriver<'static>, &ModuleJob) -> SolverResult + Send + Sync>;
+/// How a shard runs one job. Production always goes through the driver's
+/// session API (default or shared lattice); tests inject a panicking hook
+/// to pin the shard's panic isolation end to end over a real socket.
+type SolveHook = Arc<
+    dyn Fn(&AnalysisDriver<'static>, &ModuleJob, Option<&Arc<Lattice>>) -> SolverResult
+        + Send
+        + Sync,
+>;
+
+/// The production solve: one-module session against the request lattice.
+fn session_solve(
+    driver: &AnalysisDriver<'static>,
+    job: &ModuleJob,
+    lattice: Option<&Arc<Lattice>>,
+) -> SolverResult {
+    let selector = match lattice {
+        None => LatticeSelector::Default,
+        Some(l) => LatticeSelector::Shared(Arc::clone(l)),
+    };
+    driver
+        .session(SolveRequest::batch(std::slice::from_ref(job)).with_lattice(selector))
+        .expect("pre-built lattices always resolve")
+        .run()
+        .pop()
+        .expect("one job in, one report out")
+        .result
+}
 
 /// Starts a server.
 ///
@@ -218,7 +320,7 @@ type SolveHook =
 ///
 /// Fails if the listen address cannot be bound.
 pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
-    start_with_hook(config, Arc::new(|driver, job| driver.solve(&job.program)))
+    start_with_hook(config, Arc::new(session_solve))
 }
 
 fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<ServerHandle> {
@@ -250,6 +352,11 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
         rejected: AtomicU64::new(0),
         draining: AtomicBool::new(false),
         local_addr,
+        read_timeout: config.read_timeout,
+        conns: Mutex::new(FxHashMap::default()),
+        next_conn: AtomicU64::new(0),
+        lattices: LatticeMemo::new(),
+        default_lattice_fp: Lattice::c_types().fingerprint(),
     });
 
     for (shard_id, rx) in receivers.into_iter().enumerate() {
@@ -300,12 +407,16 @@ fn shard_main(
         // Catch the panic, answer with an error, and rebuild the driver —
         // its caches may hold state from the half-finished solve.
         let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            hook(&driver, &msg.job)
+            hook(&driver, &msg.job, msg.lattice.as_ref())
         }));
         let reply = match solved {
             Ok(result) => {
                 let report = ModuleReport {
                     name: msg.job.name.clone(),
+                    lattice_fp: msg
+                        .lattice
+                        .as_ref()
+                        .map_or_else(|| driver.lattice().fingerprint(), |l| l.fingerprint()),
                     result,
                     wall: start.elapsed(),
                 };
@@ -353,27 +464,205 @@ fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
         // Frames are small request/response pairs; Nagle + delayed ACK
         // would add ~40ms to every warm hit.
         stream.set_nodelay(true).ok();
-        let shared = Arc::clone(&shared);
-        // Connection handlers are detached: they exit on client disconnect,
-        // and during a drain every new request is refused, so none of them
-        // can hold work back.
-        let _ = std::thread::Builder::new()
+        // Writes are always bounded: a client that stops reading its
+        // replies must not wedge a handler the drain will join.
+        stream
+            .set_write_timeout(Some(shared.read_timeout.unwrap_or(DEFAULT_WRITE_TIMEOUT)))
+            .ok();
+        // Track the handler so a drain can join it: every written frame
+        // reaches the kernel before the process exits. Register the id
+        // *before* spawning so a handler that finishes instantly (port
+        // scanner, health check) deregisters an existing entry instead of
+        // racing the insert and leaking a dead handle.
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared
+            .conns
+            .lock()
+            .expect("connection registry")
+            .insert(id, None);
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
             .name("retypd-conn".into())
-            .spawn(move || handle_conn(stream, shared));
+            .spawn(move || {
+                handle_conn(stream, &conn_shared);
+                // Deregister after the last write: if the drain's sweep
+                // already took this handle, the removal is a no-op and the
+                // join covers us; either way nothing runs after this line.
+                conn_shared
+                    .conns
+                    .lock()
+                    .expect("connection registry")
+                    .remove(&id);
+            });
+        let mut conns = shared.conns.lock().expect("connection registry");
+        match spawned {
+            // The handler may already have deregistered itself; only fill
+            // in the handle if the entry is still live (a missing entry
+            // means the thread is past its final write and exiting).
+            Ok(handle) => {
+                if let Some(slot) = conns.get_mut(&id) {
+                    *slot = Some(handle);
+                }
+            }
+            Err(_) => {
+                conns.remove(&id);
+            }
+        }
     }
 }
 
-fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
+/// One poll tick: how often a blocked read re-checks the drain flag and
+/// the configured read deadline. Bounds how long a drain waits on an idle
+/// connection.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Once a drain begins, a connection mid-frame (or mid-write) gets this
+/// long to finish before the handler gives up and closes — the backstop
+/// that keeps the drain join bounded even with `read_timeout` disabled.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Blocking writes are always bounded (a client that stops reading its
+/// replies must not wedge the handler the drain will join): the
+/// configured read timeout, or this when reads are unbounded.
+const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Outcome of a polled frame read.
+enum PolledRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF between frames.
+    Eof,
+    /// The server began draining while this connection sat idle (no frame
+    /// byte consumed): close without a reply — an unsolicited frame would
+    /// desynchronize a request/response client.
+    DrainIdle,
+    /// No byte arrived within the configured read timeout (idle or
+    /// stalled mid-frame): answer with a protocol error, then close.
+    TimedOut,
+    /// The peer announced a frame over [`wire::MAX_FRAME_BYTES`]: refuse
+    /// it politely (the stream is desynchronized afterwards).
+    Oversized(usize),
+    /// Truncated frame or socket error: just close.
+    Broken,
+}
+
+/// Reads one frame with a polling loop instead of a single blocking read:
+/// every [`READ_POLL`] tick it re-checks the drain flag (idle connections
+/// notice a drain promptly, which is what lets the server *join* its
+/// connection handlers) and the `read_timeout` deadline (a half-open or
+/// stalled client cannot pin the thread).
+fn read_frame_polled(
+    stream: &mut TcpStream,
+    read_timeout: Option<Duration>,
+    draining: &AtomicBool,
+) -> PolledRead {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return PolledRead::Broken;
+    }
+    let deadline = read_timeout.map(|t| Instant::now() + t);
+    let mut drain_deadline: Option<Instant> = None;
+    let mut len_buf = [0u8; 4];
+    let mut payload: Option<Vec<u8>> = None;
+    let mut filled = 0usize;
     loop {
-        let payload = match wire::read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // clean EOF between frames
-            Err(wire::WireError::Protocol(m)) => {
-                // A refused frame (e.g. announced length over the cap)
-                // leaves the stream in a known state — only the 4-byte
-                // prefix was consumed — so say why before hanging up
-                // instead of a bare connection reset.
-                let _ = wire::write_frame(&mut stream, &Response::Error(m).encode());
+        let read = match &mut payload {
+            None => std::io::Read::read(stream, &mut len_buf[filled..]),
+            Some(p) => {
+                let total = p.len();
+                std::io::Read::read(stream, &mut p[filled..total])
+            }
+        };
+        match read {
+            Ok(0) => {
+                // EOF: clean only between frames.
+                return if payload.is_none() && filled == 0 {
+                    PolledRead::Eof
+                } else {
+                    PolledRead::Broken
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                let total = payload.as_ref().map_or(4, Vec::len);
+                if filled < total {
+                    continue;
+                }
+                match payload.take() {
+                    None => {
+                        let len = u32::from_be_bytes(len_buf) as usize;
+                        if len > wire::MAX_FRAME_BYTES {
+                            return PolledRead::Oversized(len);
+                        }
+                        if len == 0 {
+                            return PolledRead::Frame(Vec::new());
+                        }
+                        payload = Some(vec![0u8; len]);
+                        filled = 0;
+                    }
+                    Some(p) => return PolledRead::Frame(p),
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Poll tick. Only an *idle* connection (no frame byte yet)
+                // may be closed promptly by a drain; a frame in flight is
+                // a request that still deserves its (polite) refusal —
+                // but only for [`DRAIN_GRACE`], so a client stalled
+                // mid-frame cannot hold the drain join hostage even when
+                // `read_timeout` is disabled.
+                if draining.load(Ordering::Relaxed) {
+                    if payload.is_none() && filled == 0 {
+                        return PolledRead::DrainIdle;
+                    }
+                    let cutoff =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                    if Instant::now() >= cutoff {
+                        return PolledRead::Broken;
+                    }
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return PolledRead::TimedOut;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return PolledRead::Broken,
+        }
+    }
+}
+
+fn handle_conn(stream: TcpStream, shared: &Shared) {
+    let mut stream = stream;
+    loop {
+        let payload = match read_frame_polled(&mut stream, shared.read_timeout, &shared.draining)
+        {
+            PolledRead::Frame(p) => p,
+            PolledRead::Eof | PolledRead::DrainIdle | PolledRead::Broken => return,
+            PolledRead::TimedOut => {
+                // The satellite contract: a stalled client gets told why
+                // before the close, when the socket still accepts writes.
+                let secs = shared.read_timeout.unwrap_or_default().as_secs();
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Response::Error(format!(
+                        "read timed out after {secs}s; closing connection"
+                    ))
+                    .encode(),
+                );
+                return;
+            }
+            PolledRead::Oversized(len) => {
+                // A refused frame leaves the stream in a known state —
+                // only the 4-byte prefix was consumed — so say why before
+                // hanging up instead of a bare connection reset.
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Response::Error(format!("peer announced {len}-byte frame, over cap"))
+                        .encode(),
+                );
                 // The peer's refused payload is typically still arriving;
                 // closing with unread received data sends an RST that
                 // would destroy the reply in flight. Briefly shed the
@@ -390,10 +679,22 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
                 }
                 return;
             }
-            Err(_) => return, // broken socket
         };
         let response = match Request::decode(&payload) {
-            Ok(req) => respond(req, &shared),
+            Ok(Request::SolveBatch {
+                modules,
+                lattice,
+                stream: true,
+            }) => {
+                // Streaming mode writes its own frames (one `report` per
+                // module plus `batch_done`); a pre-admission refusal falls
+                // through as a single ordinary response.
+                match solve_streaming(&mut stream, &modules, lattice.as_ref(), shared) {
+                    Ok(()) => continue,
+                    Err(refusal) => refusal,
+                }
+            }
+            Ok(req) => respond(req, shared),
             Err(e) => Response::Error(e.to_string()),
         };
         if wire::write_frame(&mut stream, &response.encode()).is_err() {
@@ -404,8 +705,14 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
 
 fn respond(req: Request, shared: &Shared) -> Response {
     match req {
-        Request::SolveModule(m) => solve(std::slice::from_ref(&m), shared),
-        Request::SolveBatch(ms) => solve(&ms, shared),
+        Request::SolveModule { module, lattice } => {
+            solve(std::slice::from_ref(&module), lattice.as_ref(), shared)
+        }
+        // `stream: true` is intercepted in `handle_conn`; a direct call
+        // (impossible from the socket path) degrades to a single frame.
+        Request::SolveBatch {
+            modules, lattice, ..
+        } => solve(&modules, lattice.as_ref(), shared),
         Request::Stats => Response::Stats(shared.stats()),
         Request::Shutdown => {
             shared.begin_drain();
@@ -414,51 +721,83 @@ fn respond(req: Request, shared: &Shared) -> Response {
     }
 }
 
-fn solve(modules: &[WireModule], shared: &Shared) -> Response {
+/// An admitted, shard-dispatched batch awaiting replies.
+struct Dispatched {
+    /// Batch size as submitted.
+    n: usize,
+    /// Jobs actually handed to a shard (a drain can race the dispatch).
+    dispatched: usize,
+    /// Per-module replies, in completion order.
+    reply_rx: mpsc::Receiver<(usize, Result<WireReport, String>)>,
+}
+
+/// Count-based admission shared by the single-frame and streaming paths:
+/// the oversized-batch permanent error, the all-or-nothing admit, and the
+/// accepted/rejected accounting. Callers have already checked the drain
+/// flag; `Err` carries the single refusal response to send.
+fn admit_batch(n: usize, shared: &Shared) -> Result<(), Response> {
+    // A batch bigger than the whole admission budget could never be
+    // admitted, even idle — that is a permanent error (retrying on
+    // `overloaded` would spin forever), so name the limit instead.
+    if n > shared.queue_depth {
+        return Err(Response::Error(format!(
+            "batch of {n} modules can never fit the admission limit of {}; \
+             split it into smaller batches",
+            shared.queue_depth
+        )));
+    }
+    if let Err(queued) = shared.admit(n) {
+        if shared.draining.load(Ordering::Relaxed) {
+            // A drain refusal is not overload pressure: report the drain
+            // and leave the `rejected` counter (documented as overload
+            // rejections) alone.
+            return Err(Response::ShuttingDown);
+        }
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        return Err(Response::Overloaded {
+            queued,
+            limit: shared.queue_depth,
+        });
+    }
+    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Whole-batch validation, admission, and shard dispatch for the
+/// single-frame reply path (the streaming path pipelines parse/dispatch
+/// itself but shares [`admit_batch`]). `Err` carries the single refusal
+/// response (`error` / `overloaded` / `shutting_down`) to send instead of
+/// any report.
+fn admit_and_dispatch(
+    modules: &[WireModule],
+    lattice: Option<&LatticeDescriptor>,
+    shared: &Shared,
+) -> Result<Dispatched, Response> {
     if shared.draining.load(Ordering::Relaxed) {
-        return Response::ShuttingDown;
+        return Err(Response::ShuttingDown);
     }
-    if modules.is_empty() {
-        return Response::Solved(Vec::new());
-    }
-    // Reconstruct jobs *before* admission so a malformed request costs no
-    // queue budget.
+    // Build the lattice and reconstruct jobs *before* admission so a
+    // malformed request costs no queue budget.
+    let lattice = shared.resolve_lattice(lattice).map_err(Response::Error)?;
     let jobs = match modules
         .iter()
         .map(WireModule::to_job)
         .collect::<Result<Vec<_>, _>>()
     {
         Ok(jobs) => jobs,
-        Err(e) => return Response::Error(e.to_string()),
+        Err(e) => return Err(Response::Error(e.to_string())),
     };
-    // A batch bigger than the whole admission budget could never be
-    // admitted, even idle — that is a permanent error (retrying on
-    // `overloaded` would spin forever), so name the limit instead.
-    if jobs.len() > shared.queue_depth {
-        return Response::Error(format!(
-            "batch of {} modules can never fit the admission limit of {}; \
-             split it into smaller batches",
-            jobs.len(),
-            shared.queue_depth
-        ));
-    }
-    // All-or-nothing admission.
-    if let Err(queued) = shared.admit(jobs.len()) {
-        if shared.draining.load(Ordering::Relaxed) {
-            // A drain refusal is not overload pressure: report the drain
-            // and leave the `rejected` counter (documented as overload
-            // rejections) alone.
-            return Response::ShuttingDown;
-        }
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
-        return Response::Overloaded {
-            queued,
-            limit: shared.queue_depth,
-        };
-    }
-    shared.accepted.fetch_add(1, Ordering::Relaxed);
-
     let n = jobs.len();
+    if n == 0 {
+        let (_, reply_rx) = mpsc::channel();
+        return Ok(Dispatched {
+            n,
+            dispatched: 0,
+            reply_rx,
+        });
+    }
+    admit_batch(n, shared)?;
+
     let (reply_tx, reply_rx) = mpsc::channel();
     let mut dispatched = 0usize;
     for (index, job) in jobs.into_iter().enumerate() {
@@ -472,6 +811,7 @@ fn solve(modules: &[WireModule], shared: &Shared) -> Response {
                         index,
                         job,
                         fingerprint,
+                        lattice: lattice.clone(),
                         reply: reply_tx.clone(),
                     })
                     .is_ok(),
@@ -486,11 +826,25 @@ fn solve(modules: &[WireModule], shared: &Shared) -> Response {
             shared.queued.fetch_sub(1, Ordering::Relaxed);
         }
     }
-    drop(reply_tx);
+    Ok(Dispatched {
+        n,
+        dispatched,
+        reply_rx,
+    })
+}
 
-    let mut reports: Vec<Option<WireReport>> = (0..n).map(|_| None).collect();
+fn solve(
+    modules: &[WireModule],
+    lattice: Option<&LatticeDescriptor>,
+    shared: &Shared,
+) -> Response {
+    let d = match admit_and_dispatch(modules, lattice, shared) {
+        Ok(d) => d,
+        Err(refusal) => return refusal,
+    };
+    let mut reports: Vec<Option<WireReport>> = (0..d.n).map(|_| None).collect();
     let mut failures: Vec<String> = Vec::new();
-    for (index, report) in reply_rx {
+    for (index, report) in d.reply_rx {
         match report {
             Ok(r) => reports[index] = Some(r),
             Err(e) => failures.push(e),
@@ -502,10 +856,142 @@ fn solve(modules: &[WireModule], shared: &Shared) -> Response {
         // bogus drain.
         return Response::Error(failures.join("; "));
     }
-    if dispatched < n || reports.iter().any(Option::is_none) {
+    if d.dispatched < d.n || reports.iter().any(Option::is_none) {
         return Response::ShuttingDown;
     }
     Response::Solved(reports.into_iter().map(Option::unwrap).collect())
+}
+
+/// The streaming reply path: one `report` frame per module the moment its
+/// shard finishes it (completion order, index-tagged), then a terminal
+/// `batch_done` with aggregate stats. A pre-admission refusal is returned
+/// as `Err` for the caller to send as the single reply frame.
+///
+/// Unlike the single-frame path, modules are *pipelined*: admission needs
+/// only the batch count, so each module is parsed and dispatched
+/// individually, with completed replies flushed between dispatches — the
+/// first module is solving (and its report streaming back) while later
+/// modules are still being parsed. A module that fails to parse becomes a
+/// per-module error frame (its admission slot released) instead of
+/// failing the whole batch.
+fn solve_streaming(
+    stream: &mut TcpStream,
+    modules: &[WireModule],
+    lattice: Option<&LatticeDescriptor>,
+    shared: &Shared,
+) -> Result<(), Response> {
+    let start = Instant::now();
+    if shared.draining.load(Ordering::Relaxed) {
+        return Err(Response::ShuttingDown);
+    }
+    let lattice = shared.resolve_lattice(lattice).map_err(Response::Error)?;
+    let lattice_fp = lattice
+        .as_ref()
+        .map_or(shared.default_lattice_fp, |l| l.fingerprint());
+    let n = modules.len();
+    let mut delivered = 0usize;
+    let mut errors: Vec<String> = Vec::new();
+
+    if n > 0 {
+        // All-or-nothing admission, by count alone — parsing happens
+        // inside the pipeline below.
+        admit_batch(n, shared)?;
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut write_ok = true;
+        let mut write_report = |index: usize,
+                                result: Result<WireReport, String>,
+                                delivered: &mut usize,
+                                errors: &mut Vec<String>,
+                                write_ok: &mut bool| {
+            match &result {
+                Ok(_) => *delivered += 1,
+                Err(e) => errors.push(e.clone()),
+            }
+            if *write_ok {
+                let frame = Response::Report {
+                    index,
+                    result: result.map(Box::new),
+                };
+                if wire::write_frame(stream, &frame.encode()).is_err() {
+                    *write_ok = false;
+                }
+            }
+        };
+        for (index, module) in modules.iter().enumerate() {
+            match module.to_job() {
+                Ok(job) => {
+                    let fingerprint = job.fingerprint();
+                    let shard = (fingerprint % shared.shards.len() as u64) as usize;
+                    let sent = {
+                        let guard = shared.shards[shard].tx.lock().expect("shard tx lock");
+                        match guard.as_ref() {
+                            Some(tx) => tx
+                                .send(ShardJob {
+                                    index,
+                                    job,
+                                    fingerprint,
+                                    lattice: lattice.clone(),
+                                    reply: reply_tx.clone(),
+                                })
+                                .is_ok(),
+                            None => false,
+                        }
+                    };
+                    if !sent {
+                        // Drain raced us between `admit` and dispatch:
+                        // release the budget and report it per module.
+                        shared.queued.fetch_sub(1, Ordering::Relaxed);
+                        write_report(
+                            index,
+                            Err(format!(
+                                "module {:?} not dispatched: server is draining",
+                                module.name
+                            )),
+                            &mut delivered,
+                            &mut errors,
+                            &mut write_ok,
+                        );
+                    }
+                }
+                Err(e) => {
+                    // A malformed module costs its slot only for the time
+                    // it took to fail parsing.
+                    shared.queued.fetch_sub(1, Ordering::Relaxed);
+                    write_report(
+                        index,
+                        Err(e.to_string()),
+                        &mut delivered,
+                        &mut errors,
+                        &mut write_ok,
+                    );
+                }
+            }
+            // Flush whatever already finished so the first report is on
+            // the wire while later modules still parse and dispatch.
+            while let Ok((index, result)) = reply_rx.try_recv() {
+                write_report(index, result, &mut delivered, &mut errors, &mut write_ok);
+            }
+        }
+        drop(reply_tx);
+        for (index, result) in reply_rx {
+            write_report(index, result, &mut delivered, &mut errors, &mut write_ok);
+        }
+        if !write_ok {
+            // Client went away mid-stream; replies were still drained so
+            // every shard send completed and no slot leaked.
+            return Ok(());
+        }
+    }
+    let done = Response::BatchDone(WireBatchDone {
+        modules: n,
+        delivered,
+        errors,
+        wall_ns: start.elapsed().as_nanos() as u64,
+        lattice_fp,
+    });
+    let _ = wire::write_frame(stream, &done.encode());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -526,9 +1012,9 @@ mod tests {
         // Inject a solver that panics on one module name: the real
         // catch_unwind / slot-release / driver-rebuild path runs over a
         // real socket.
-        let hook: SolveHook = Arc::new(|driver, job| {
+        let hook: SolveHook = Arc::new(|driver, job, lattice| {
             assert!(!job.name.contains("boom"), "injected solver bug");
-            driver.solve(&job.program)
+            session_solve(driver, job, lattice)
         });
         let handle = start_with_hook(ServeConfig::default(), hook).expect("bind");
         let mut client = Client::connect(handle.addr()).expect("connect");

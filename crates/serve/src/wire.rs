@@ -7,17 +7,36 @@
 //! [`MAX_FRAME_BYTES`] so a corrupt peer cannot induce an unbounded
 //! allocation.
 //!
-//! ## Messages
+//! ## Messages (protocol v2)
 //!
 //! Requests (`kind` discriminator): `solve_module`, `solve_batch`,
-//! `stats`, `shutdown`. Responses: `solved`, `stats`, `overloaded`,
-//! `shutting_down`, `error`. Programs travel as their canonical constraint
-//! text (the same rendering the driver fingerprints), which
-//! `retypd_core::parse` round-trips exactly — including `VAR` declarations
-//! and `Add`/`Sub` additive constraints — so the server-side reconstruction
-//! is solver-identical to the client's in-process program. The protocol
-//! fixes the lattice to [`retypd_core::Lattice::c_types`] (a future
-//! version can carry a lattice descriptor).
+//! `stats`, `shutdown`. Responses: `solved`, `report`, `batch_done`,
+//! `stats`, `overloaded`, `shutting_down`, `error`. Programs travel as
+//! their canonical constraint text (the same rendering the driver
+//! fingerprints), which `retypd_core::parse` round-trips exactly —
+//! including `VAR` declarations and `Add`/`Sub` additive constraints — so
+//! the server-side reconstruction is solver-identical to the client's
+//! in-process program.
+//!
+//! **Versioned envelope.** Every request carries `"v": 2`; a request with
+//! no `v` field is a v1 request and keeps decoding exactly as before. A
+//! `v` greater than [`PROTOCOL_VERSION`] is refused with an `error` reply
+//! (the server cannot guess future fields' meaning).
+//!
+//! **Lattice descriptor.** Solve requests may carry a `lattice` field:
+//! the canonical text of a [`retypd_core::LatticeDescriptor`]. Absent ⇒
+//! [`retypd_core::Lattice::c_types`], preserving v1 behavior byte for
+//! byte. The server builds (and memoizes) the described lattice and every
+//! scheme-cache key mixes in its fingerprint, so two lattices never share
+//! cache entries; each report names the lattice it was solved against in
+//! `lattice_fp`.
+//!
+//! **Streaming batches.** `solve_batch` with `"stream": true` answers with
+//! one `report` frame per module *as it finishes* (completion order, each
+//! tagged with its submission `index`) and a terminal `batch_done` frame
+//! carrying aggregate stats; the reassembled set is bit-identical to the
+//! single-frame `solved` reply. Pre-admission refusals (`overloaded`,
+//! `shutting_down`, `error`) still arrive as a single frame.
 //!
 //! Reports carry schemes and sketches in their canonical rendered form plus
 //! the full [`SolverStats`]; [`WireReport::canonical_text`] is the
@@ -30,7 +49,7 @@ use std::io::{Read, Write};
 
 use retypd_core::parse::{parse_constraint_set, parse_derived_var};
 use retypd_core::solver::{CallTarget, Callsite, Procedure};
-use retypd_core::{Program, SolverResult, SolverStats, Symbol, TypeScheme};
+use retypd_core::{LatticeDescriptor, Program, SolverResult, SolverStats, Symbol, TypeScheme};
 use retypd_driver::{CacheStats, ModuleJob, ModuleReport};
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +58,10 @@ use crate::json::Json;
 /// Hard cap on one frame's payload (64 MiB): far above any real module,
 /// far below an allocation that could hurt.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// The protocol version this build speaks. Requests without a `v` field
+/// are treated as version 1; versions above this are refused.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// A protocol error: framing, JSON, or message-shape trouble.
 #[derive(Debug)]
@@ -192,6 +215,10 @@ pub struct WireReport {
     pub name: String,
     /// The module's content fingerprint (shard routing key).
     pub fingerprint: u64,
+    /// Fingerprint of the lattice this module was solved against
+    /// ([`retypd_core::Lattice::fingerprint`]); `Lattice::c_types()`'s
+    /// fingerprint for v1 requests.
+    pub lattice_fp: u64,
     /// The shard that solved it.
     pub shard: usize,
     /// Per-procedure results, in name order.
@@ -230,17 +257,66 @@ pub struct WireStats {
     pub shards: Vec<WireShardStats>,
 }
 
+/// Aggregate statistics closing a streaming batch (`batch_done`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireBatchDone {
+    /// Modules in the batch as submitted.
+    pub modules: usize,
+    /// `report` frames delivered with a result (excludes per-module
+    /// errors).
+    pub delivered: usize,
+    /// Per-module failures (solver panics, drain races) in arrival order.
+    pub errors: Vec<String>,
+    /// Server-side wall clock from admission to the last report.
+    pub wall_ns: u64,
+    /// Fingerprint of the lattice the batch was solved against.
+    pub lattice_fp: u64,
+}
+
 /// A request message.
 #[derive(Clone, Debug)]
 pub enum Request {
-    /// Solve one module.
-    SolveModule(WireModule),
+    /// Solve one module, optionally against a described lattice.
+    SolveModule {
+        /// The module to solve.
+        module: WireModule,
+        /// The lattice to solve against; `None` means `c_types`.
+        lattice: Option<LatticeDescriptor>,
+    },
     /// Solve a batch of modules; the response preserves order.
-    SolveBatch(Vec<WireModule>),
+    SolveBatch {
+        /// The modules to solve, in submission order.
+        modules: Vec<WireModule>,
+        /// The lattice to solve against; `None` means `c_types`.
+        lattice: Option<LatticeDescriptor>,
+        /// `true` answers with one `report` frame per module as it
+        /// finishes plus a terminal `batch_done`, instead of a single
+        /// `solved` frame.
+        stream: bool,
+    },
     /// Fetch server statistics.
     Stats,
     /// Begin a graceful drain: queued work finishes, new work is refused.
     Shutdown,
+}
+
+impl Request {
+    /// A v1-shaped single-module request (default lattice).
+    pub fn solve_module(module: WireModule) -> Request {
+        Request::SolveModule {
+            module,
+            lattice: None,
+        }
+    }
+
+    /// A v1-shaped batch request (default lattice, single `solved` reply).
+    pub fn solve_batch(modules: Vec<WireModule>) -> Request {
+        Request::SolveBatch {
+            modules,
+            lattice: None,
+            stream: false,
+        }
+    }
 }
 
 /// A response message.
@@ -248,6 +324,17 @@ pub enum Request {
 pub enum Response {
     /// Reports for a solve request, in submission order.
     Solved(Vec<WireReport>),
+    /// One module's result in a streaming batch, tagged with its
+    /// submission index. `Err` carries a per-module failure (e.g. a solver
+    /// panic) without aborting the rest of the stream.
+    Report {
+        /// The module's position in the submitted batch.
+        index: usize,
+        /// The module's report, or why it has none.
+        result: Result<Box<WireReport>, String>,
+    },
+    /// Terminal frame of a streaming batch.
+    BatchDone(WireBatchDone),
     /// Server statistics.
     Stats(WireStats),
     /// The request was refused by admission control.
@@ -391,18 +478,20 @@ impl WireReport {
     pub fn from_report(report: &ModuleReport, fingerprint: u64, shard: usize) -> WireReport {
         let mut w = WireReport::from_result(&report.name, &report.result);
         w.fingerprint = fingerprint;
+        w.lattice_fp = report.lattice_fp;
         w.shard = shard;
         w.wall_ns = report.wall.as_nanos() as u64;
         w
     }
 
-    /// Builds a report from a bare [`SolverResult`] (fingerprint, shard,
+    /// Builds a report from a bare [`SolverResult`] (fingerprints, shard,
     /// and wall clock zeroed) — the shape used for in-process references in
     /// the determinism tests and `loadgen`.
     pub fn from_result(name: &str, result: &SolverResult) -> WireReport {
         WireReport {
             name: name.to_owned(),
             fingerprint: 0,
+            lattice_fp: 0,
             shard: 0,
             procs: result
                 .procs
@@ -578,6 +667,7 @@ impl WireReport {
         Json::Obj(vec![
             ("name".into(), Json::str(&self.name)),
             ("fingerprint".into(), Json::u64(self.fingerprint)),
+            ("lattice_fp".into(), Json::u64(self.lattice_fp)),
             ("shard".into(), Json::usize(self.shard)),
             (
                 "procs".into(),
@@ -619,6 +709,10 @@ impl WireReport {
         Ok(WireReport {
             name: str_field(j, "name")?,
             fingerprint: u64_field(j, "fingerprint")?,
+            // v2 field: a v1 server's reports lack it — default to the
+            // documented zeroed value rather than refusing an otherwise
+            // usable report (requests got the same one-version tolerance).
+            lattice_fp: j.get("lattice_fp").and_then(Json::as_u64).unwrap_or(0),
             shard: usize_field(j, "shard")?,
             procs: arr_field(j, "procs")?
                 .iter()
@@ -684,43 +778,99 @@ fn shard_stats_from_json(j: &Json) -> Result<WireShardStats, WireError> {
 }
 
 impl Request {
-    /// Encodes this request into a frame payload.
+    /// Encodes this request into a frame payload (a v2 envelope; the
+    /// `lattice` and `stream` fields are omitted at their defaults, so a
+    /// default-lattice request differs from v1 only by the `v` field).
     pub fn encode(&self) -> Vec<u8> {
+        let envelope = |kind: &str| {
+            vec![
+                ("v".into(), Json::u64(PROTOCOL_VERSION)),
+                ("kind".into(), Json::str(kind)),
+            ]
+        };
+        let push_lattice = |fields: &mut Vec<(String, Json)>, l: &Option<LatticeDescriptor>| {
+            if let Some(d) = l {
+                fields.push(("lattice".into(), Json::str(&d.to_string())));
+            }
+        };
         let j = match self {
-            Request::SolveModule(m) => Json::Obj(vec![
-                ("kind".into(), Json::str("solve_module")),
-                ("module".into(), m.to_json()),
-            ]),
-            Request::SolveBatch(ms) => Json::Obj(vec![
-                ("kind".into(), Json::str("solve_batch")),
-                (
+            Request::SolveModule { module, lattice } => {
+                let mut fields = envelope("solve_module");
+                push_lattice(&mut fields, lattice);
+                fields.push(("module".into(), module.to_json()));
+                Json::Obj(fields)
+            }
+            Request::SolveBatch {
+                modules,
+                lattice,
+                stream,
+            } => {
+                let mut fields = envelope("solve_batch");
+                push_lattice(&mut fields, lattice);
+                if *stream {
+                    fields.push(("stream".into(), Json::Bool(true)));
+                }
+                fields.push((
                     "modules".into(),
-                    Json::Arr(ms.iter().map(WireModule::to_json).collect()),
-                ),
-            ]),
-            Request::Stats => Json::Obj(vec![("kind".into(), Json::str("stats"))]),
-            Request::Shutdown => Json::Obj(vec![("kind".into(), Json::str("shutdown"))]),
+                    Json::Arr(modules.iter().map(WireModule::to_json).collect()),
+                ));
+                Json::Obj(fields)
+            }
+            Request::Stats => Json::Obj(envelope("stats")),
+            Request::Shutdown => Json::Obj(envelope("shutdown")),
         };
         encode_msg(&j)
     }
 
-    /// Decodes a request from a frame payload.
+    /// Decodes a request from a frame payload. A payload without a `v`
+    /// field is a v1 request (no lattice, no streaming) and decodes to the
+    /// same values it always did.
     ///
     /// # Errors
     ///
-    /// Fails on malformed JSON or an unknown `kind`.
+    /// Fails on malformed JSON, an unknown `kind`, a protocol version
+    /// above [`PROTOCOL_VERSION`], or an unparsable lattice descriptor.
     pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
         let j = decode_msg(payload)?;
+        let version = match j.get("v") {
+            None => 1,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| proto("field \"v\" must be a number"))?,
+        };
+        if version > PROTOCOL_VERSION {
+            return Err(proto(format!(
+                "protocol version {version} not supported (this server speaks ≤ {PROTOCOL_VERSION})"
+            )));
+        }
+        let lattice = match j.get("lattice") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(text)) => Some(
+                text.parse::<LatticeDescriptor>()
+                    .map_err(|e| proto(format!("bad lattice descriptor: {e}")))?,
+            ),
+            Some(_) => return Err(proto("field \"lattice\" must be a string")),
+        };
+        let stream = match j.get("stream") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(proto("field \"stream\" must be a bool")),
+        };
         match str_field(&j, "kind")?.as_str() {
-            "solve_module" => Ok(Request::SolveModule(WireModule::from_json(
-                j.get("module").ok_or_else(|| proto("missing module"))?,
-            )?)),
-            "solve_batch" => Ok(Request::SolveBatch(
-                arr_field(&j, "modules")?
+            "solve_module" => Ok(Request::SolveModule {
+                module: WireModule::from_json(
+                    j.get("module").ok_or_else(|| proto("missing module"))?,
+                )?,
+                lattice,
+            }),
+            "solve_batch" => Ok(Request::SolveBatch {
+                modules: arr_field(&j, "modules")?
                     .iter()
                     .map(WireModule::from_json)
                     .collect::<Result<_, WireError>>()?,
-            )),
+                lattice,
+                stream,
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(proto(format!("unknown request kind {other:?}"))),
@@ -738,6 +888,28 @@ impl Response {
                     "reports".into(),
                     Json::Arr(reports.iter().map(WireReport::to_json).collect()),
                 ),
+            ]),
+            Response::Report { index, result } => {
+                let mut fields = vec![
+                    ("kind".into(), Json::str("report")),
+                    ("index".into(), Json::usize(*index)),
+                ];
+                match result {
+                    Ok(r) => fields.push(("report".into(), r.to_json())),
+                    Err(m) => fields.push(("error".into(), Json::str(m))),
+                }
+                Json::Obj(fields)
+            }
+            Response::BatchDone(d) => Json::Obj(vec![
+                ("kind".into(), Json::str("batch_done")),
+                ("modules".into(), Json::usize(d.modules)),
+                ("delivered".into(), Json::usize(d.delivered)),
+                (
+                    "errors".into(),
+                    Json::Arr(d.errors.iter().map(Json::str).collect()),
+                ),
+                ("wall_ns".into(), Json::u64(d.wall_ns)),
+                ("lattice_fp".into(), Json::u64(d.lattice_fp)),
             ]),
             Response::Stats(s) => Json::Obj(vec![
                 ("kind".into(), Json::str("stats")),
@@ -780,6 +952,23 @@ impl Response {
                     .map(WireReport::from_json)
                     .collect::<Result<_, WireError>>()?,
             )),
+            "report" => {
+                let index = usize_field(&j, "index")?;
+                let result = match j.get("report") {
+                    Some(r) => Ok(Box::new(WireReport::from_json(r)?)),
+                    None => Err(str_field(&j, "error").map_err(|_| {
+                        proto("report frames carry either a report or an error")
+                    })?),
+                };
+                Ok(Response::Report { index, result })
+            }
+            "batch_done" => Ok(Response::BatchDone(WireBatchDone {
+                modules: usize_field(&j, "modules")?,
+                delivered: usize_field(&j, "delivered")?,
+                errors: str_arr_field(&j, "errors")?,
+                wall_ns: u64_field(&j, "wall_ns")?,
+                lattice_fp: u64_field(&j, "lattice_fp")?,
+            })),
             "stats" => Ok(Response::Stats(WireStats {
                 accepted: u64_field(&j, "accepted")?,
                 rejected: u64_field(&j, "rejected")?,

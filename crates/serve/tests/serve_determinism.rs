@@ -1,10 +1,12 @@
 //! Live-socket determinism and admission-control tests: a real server on a
 //! loopback socket must produce byte-identical results to in-process
 //! `AnalysisDriver::solve_batch` (and the sequential solver) at 1 and N
-//! shards, refuse overload immediately instead of hanging, and drain
-//! gracefully on shutdown.
+//! shards — in both the single-frame and streaming batch modes — refuse
+//! overload immediately instead of hanging, segregate caches per lattice,
+//! bound stalled connections with a read timeout, and drain gracefully on
+//! shutdown with the final frames delivered.
 
-use retypd_core::{Lattice, Solver};
+use retypd_core::{Lattice, LatticeDescriptor, Solver};
 use retypd_driver::{AnalysisDriver, DriverConfig, ModuleJob};
 use retypd_minic::codegen::compile;
 use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
@@ -46,6 +48,7 @@ fn server(shards: usize, queue_depth: usize) -> retypd_serve::ServerHandle {
         workers_per_shard: 1,
         queue_depth,
         cache_capacity: Some(1024),
+        ..ServeConfig::default()
     })
     .expect("bind loopback server")
 }
@@ -95,6 +98,194 @@ fn socket_results_match_in_process_and_sequential_at_1_and_n_shards() {
         assert_eq!(resub.stats.cache_misses, 0, "warm path must not re-solve");
         handle.shutdown();
     }
+}
+
+#[test]
+fn streaming_batch_is_bit_identical_to_v1_and_sequential() {
+    let jobs = corpus();
+    let lattice = Lattice::c_types();
+    let sequential: Vec<String> = jobs
+        .iter()
+        .map(|j| {
+            WireReport::from_result(&j.name, &Solver::new(&lattice).infer(&j.program))
+                .canonical_text()
+        })
+        .collect();
+
+    for shards in [1usize, 3] {
+        let handle = server(shards, 64);
+
+        // v1 single-frame reference over the same live socket.
+        let mut v1_client = Client::connect(handle.addr()).expect("connect v1");
+        let v1: Vec<WireReport> = v1_client.solve_batch(&jobs).expect("v1 batch");
+
+        // Streaming: one report frame per module plus batch_done.
+        let mut client = Client::connect(handle.addr()).expect("connect stream");
+        let mut stream = client
+            .solve_batch_stream(&jobs, None)
+            .expect("stream admitted");
+        let mut by_index: Vec<Option<WireReport>> = vec![None; jobs.len()];
+        while let Some(item) = stream.next() {
+            let (index, report) = item.expect("no per-module failures");
+            assert!(
+                by_index[index].replace(report).is_none(),
+                "index {index} reported twice"
+            );
+        }
+        let summary = stream.summary().expect("terminal batch_done").clone();
+        assert_eq!(summary.modules, jobs.len());
+        assert_eq!(summary.delivered, jobs.len());
+        assert!(summary.errors.is_empty(), "{:?}", summary.errors);
+        assert_eq!(summary.lattice_fp, lattice.fingerprint());
+
+        // The reassembled set is bit-identical to v1 and to the
+        // sequential solver, module for module.
+        for (i, slot) in by_index.iter().enumerate() {
+            let streamed = slot.as_ref().expect("every module reported");
+            assert_eq!(streamed.name, jobs[i].name, "order tag preserved");
+            assert_eq!(
+                streamed.canonical_text(),
+                v1[i].canonical_text(),
+                "{} streamed vs v1 at {shards} shard(s)",
+                jobs[i].name
+            );
+            assert_eq!(
+                streamed.canonical_text(),
+                sequential[i],
+                "{} streamed vs sequential at {shards} shard(s)",
+                jobs[i].name
+            );
+            assert_eq!(streamed.lattice_fp, lattice.fingerprint());
+        }
+        // The same connection stays usable for further requests after a
+        // completed stream.
+        let again = client.solve_module(&jobs[0]).expect("post-stream request");
+        assert_eq!(again.canonical_text(), sequential[0]);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn custom_lattice_solves_end_to_end_with_segregated_cache() {
+    let jobs = corpus();
+    // An extended c_types: one extra tag under `int`. Every constant the
+    // generated corpus mentions still exists and no existing join/meet
+    // changes (a new leaf in a tree perturbs nothing above it), so the
+    // canonical results must match c_types — while the fingerprint, and
+    // therefore every cache key, must differ.
+    let custom: LatticeDescriptor = {
+        let mut b = Lattice::c_types_builder();
+        b.add_under("#ServeTestTag", "int").expect("fresh tag");
+        // The stock builder wired ⊥ under everything *before* the new tag
+        // existed; close the lattice again.
+        b.le("⊥", "#ServeTestTag").expect("known");
+        b.set_name("c_types_ext");
+        b.build().expect("extended c_types is a lattice").descriptor().clone()
+    };
+    let custom_fp = custom.build().expect("builds").fingerprint();
+    let default_fp = Lattice::c_types().fingerprint();
+    assert_ne!(custom_fp, default_fp);
+
+    let handle = server(2, 64);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Warm the default lattice.
+    let d1 = client.solve_module(&jobs[0]).expect("default cold");
+    assert_eq!(d1.lattice_fp, default_fp);
+    assert!(d1.stats.cache_misses > 0);
+    let d2 = client.solve_module(&jobs[0]).expect("default warm");
+    assert_eq!(d2.stats.cache_misses, 0, "default re-solve must be warm");
+
+    // The same module under the custom lattice must MISS (no cross-lattice
+    // hits), then warm within its own lattice.
+    let c1 = client
+        .solve_module_in(&jobs[0], Some(&custom))
+        .expect("custom cold");
+    assert_eq!(c1.lattice_fp, custom_fp);
+    assert!(
+        c1.stats.cache_misses > 0,
+        "custom lattice must not hit the default lattice's entries"
+    );
+    let c2 = client
+        .solve_module_in(&jobs[0], Some(&custom))
+        .expect("custom warm");
+    assert_eq!(c2.stats.cache_misses, 0, "custom re-solve must be warm");
+    assert_eq!(c1.canonical_text(), c2.canonical_text());
+    // Conservative extension: same canonical answer as the default.
+    assert_eq!(c1.canonical_text(), d1.canonical_text());
+
+    // Streaming with a custom lattice carries its fingerprint end to end.
+    let mut stream = client
+        .solve_batch_stream(&jobs[..2], Some(&custom))
+        .expect("custom stream admitted");
+    while let Some(item) = stream.next() {
+        let (_, report) = item.expect("no failures");
+        assert_eq!(report.lattice_fp, custom_fp);
+    }
+    assert_eq!(
+        stream.summary().expect("batch_done").lattice_fp,
+        custom_fp
+    );
+
+    // A malformed descriptor is a client-visible error, not a hang.
+    let bogus = "lattice broken { a ; b <= a }".parse::<LatticeDescriptor>();
+    assert!(bogus.is_err(), "unknown element rejected at parse time");
+    match client.solve_module_in(
+        &jobs[0],
+        Some(&"lattice d { x y ; }".parse::<LatticeDescriptor>().expect("parses")),
+    ) {
+        // x and y are incomparable with no bounds: not a lattice.
+        Err(ClientError::Server(m)) => assert!(m.contains("bad lattice"), "{m}"),
+        other => panic!("expected a server error for a non-lattice, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_connections_time_out_with_a_protocol_error() {
+    use std::io::Write as _;
+
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 1,
+        read_timeout: Some(std::time::Duration::from_millis(300)),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+
+    // Idle connection: no bytes at all.
+    let mut idle = std::net::TcpStream::connect(handle.addr()).expect("connect idle");
+    let reply = retypd_serve::wire::read_frame(&mut idle)
+        .expect("error frame delivered")
+        .expect("frame, not EOF");
+    match retypd_serve::Response::decode(&reply).expect("decodes") {
+        retypd_serve::Response::Error(m) => assert!(m.contains("timed out"), "{m}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    assert!(
+        retypd_serve::wire::read_frame(&mut idle)
+            .map(|f| f.is_none())
+            .unwrap_or(true),
+        "connection closed after the timeout error"
+    );
+
+    // Stalled mid-frame: half a length prefix, then nothing.
+    let mut stalled = std::net::TcpStream::connect(handle.addr()).expect("connect stalled");
+    stalled.write_all(&[0, 0]).expect("partial prefix");
+    let reply = retypd_serve::wire::read_frame(&mut stalled)
+        .expect("error frame delivered")
+        .expect("frame, not EOF");
+    match retypd_serve::Response::decode(&reply).expect("decodes") {
+        retypd_serve::Response::Error(m) => assert!(m.contains("timed out"), "{m}"),
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+
+    // A healthy client on the same server is unaffected.
+    let jobs = corpus();
+    let mut client = Client::connect(handle.addr()).expect("connect healthy");
+    let report = client.solve_module(&jobs[0]).expect("healthy request solves");
+    assert_eq!(report.name, jobs[0].name);
+    handle.shutdown();
 }
 
 #[test]
@@ -204,12 +395,32 @@ fn shutdown_drains_gracefully() {
     // Work submitted before the drain completes normally.
     let reports = client.solve_batch(&jobs).expect("pre-drain batch");
     assert_eq!(reports.len(), jobs.len());
-    client.shutdown().expect("shutdown acknowledged");
-    // Post-drain work is refused, not hung.
+    // The ack frame is *required*: connection handlers are joined on
+    // drain, so its delivery is guaranteed, not best-effort.
+    client.shutdown().expect("shutdown acknowledged with a delivered frame");
+    // Post-drain work is refused or the (draining) connection is already
+    // closed — never a hang, never a solve.
     match client.solve_module(&jobs[0]) {
         Err(ClientError::ShuttingDown) => {}
-        other => panic!("expected ShuttingDown, got {other:?}"),
+        Err(ClientError::Wire(_)) | Err(ClientError::Unexpected(_)) => {}
+        other => panic!("expected refusal or closed connection, got {other:?}"),
     }
-    // All server threads exit.
+    // All server threads — acceptor, shards, *and connection handlers* —
+    // exit.
     handle.join();
+}
+
+#[test]
+fn shutdown_ack_is_delivered_on_every_cycle() {
+    // The PR-4 workaround treated a hang-up as a successful drain because
+    // the ack frame was cut off roughly 30% of the time. With tracked,
+    // joined connection handlers the ack must arrive on every cycle.
+    for cycle in 0..12 {
+        let handle = server(1, 8);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client
+            .shutdown()
+            .unwrap_or_else(|e| panic!("cycle {cycle}: ack not delivered: {e}"));
+        handle.join();
+    }
 }
