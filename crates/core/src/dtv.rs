@@ -49,7 +49,23 @@ impl BaseVar {
 
 impl fmt::Display for BaseVar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
+        match self {
+            BaseVar::Var(s) => write!(f, "{s}"),
+            BaseVar::Const(s) => {
+                let name = s.as_str();
+                // Constants must render in a form the parser reads back as
+                // a constant: `#tag` and well-known names are self-marking,
+                // anything else (a custom-lattice element) needs its `$`
+                // sigil or the round trip degrades it to a variable.
+                if name.starts_with('#')
+                    || crate::parse::WELL_KNOWN_CONSTANTS.contains(&name)
+                {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "${name}")
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,134 @@
+//! Fuzzing entry points for the textual parsers.
+//!
+//! The wire protocol ships programs and lattices as canonical text, so the
+//! parsers in [`crate::parse`] and [`crate::lattice`] sit directly on the
+//! remote attack surface: every byte a client sends eventually reaches one
+//! of them. These functions package each parser with its *contract* so a
+//! fuzzer (or a property test) can drive them with one call per input:
+//!
+//! 1. **No panic.** Arbitrary input must produce `Ok` or `Err`, never an
+//!    unwind — a panic on a connection thread shows up remotely as a
+//!    dropped connection at best and an aborted process at worst.
+//! 2. **Display/reparse fixpoint.** When input *does* parse, rendering the
+//!    result and reparsing it must reproduce the same value. The driver
+//!    fingerprints canonical text and the wire protocol round-trips it, so
+//!    a value whose rendering parses differently silently changes meaning
+//!    (or cache identity) across the wire.
+//!
+//! Each checker returns whether the input parsed, so harnesses can report
+//! valid/invalid ratios; contract violations are `panic!`s with enough
+//! context to reproduce (fuzz harnesses run these under `catch_unwind`).
+
+use std::str::FromStr;
+
+use crate::lattice::LatticeDescriptor;
+use crate::parse::{parse_constraint_set, parse_derived_var};
+
+/// Drives [`parse_derived_var`]: parse, and on success check the
+/// display/reparse fixpoint. Returns whether the input parsed.
+///
+/// # Panics
+///
+/// Panics when a parsed value's rendering fails to reparse to the same
+/// value — a wire-fidelity bug, since derived variables travel as text.
+pub fn check_derived_var(input: &str) -> bool {
+    let Ok(dv) = parse_derived_var(input) else {
+        return false;
+    };
+    let rendered = dv.to_string();
+    match parse_derived_var(&rendered) {
+        Ok(back) if back == dv => true,
+        Ok(back) => panic!(
+            "derived var display/reparse diverged: {input:?} -> {dv:?} -> {rendered:?} -> {back:?}"
+        ),
+        Err(e) => panic!(
+            "derived var rendering does not reparse: {input:?} -> {rendered:?}: {e}"
+        ),
+    }
+}
+
+/// Drives [`parse_constraint_set`]: parse, and on success check the
+/// display/reparse fixpoint. Returns whether the input parsed.
+///
+/// # Panics
+///
+/// Panics when a parsed set's rendering fails to reparse identically —
+/// the wire protocol and the driver's content fingerprints both rely on
+/// this round trip.
+pub fn check_constraint_set(input: &str) -> bool {
+    let Ok(cs) = parse_constraint_set(input) else {
+        return false;
+    };
+    let rendered = cs.to_string();
+    match parse_constraint_set(&rendered) {
+        Ok(back) if back == cs => true,
+        Ok(_) => panic!(
+            "constraint set display/reparse diverged for input {input:?} (rendered {rendered:?})"
+        ),
+        Err(e) => panic!(
+            "constraint set rendering does not reparse: {input:?} -> {rendered:?}: {e}"
+        ),
+    }
+}
+
+/// Drives [`LatticeDescriptor`]'s `FromStr`: parse, and on success check
+/// the display/reparse fixpoint plus fingerprint stability. Returns
+/// whether the input parsed.
+///
+/// # Panics
+///
+/// Panics when a parsed descriptor's canonical text reparses to a
+/// different descriptor (or one with a different fingerprint) — the
+/// fingerprint is a cache key, so this would let two identities collide
+/// or one identity split.
+pub fn check_lattice_descriptor(input: &str) -> bool {
+    let Ok(d) = LatticeDescriptor::from_str(input) else {
+        return false;
+    };
+    let rendered = d.to_string();
+    match LatticeDescriptor::from_str(&rendered) {
+        Ok(back) if back == d && back.fingerprint() == d.fingerprint() => true,
+        Ok(back) => panic!(
+            "lattice descriptor display/reparse diverged: {input:?} -> {rendered:?} -> {back:?}"
+        ),
+        Err(e) => panic!(
+            "lattice descriptor rendering does not reparse: {input:?} -> {rendered:?}: {e}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkers_accept_canonical_forms() {
+        assert!(check_derived_var("f.in_stack0.load.σ32@4"));
+        assert!(check_derived_var("#FileDescriptor"));
+        assert!(check_derived_var("$custom.load"));
+        assert!(check_constraint_set(
+            "f.in_stack0 <= t; t.load.σ32@0 <= int; VAR q.load; Add(a, b; c)"
+        ));
+        assert!(check_lattice_descriptor(
+            "lattice demo { bot mid top ; bot <= mid, mid <= top }"
+        ));
+    }
+
+    #[test]
+    fn checkers_reject_garbage_without_panicking() {
+        for junk in ["", "x.banana", "a b c ⊑", "lattice {", "Add(a, b, c)"] {
+            check_derived_var(junk);
+            check_constraint_set(junk);
+            check_lattice_descriptor(junk);
+        }
+    }
+
+    #[test]
+    fn custom_constants_keep_their_sigil_through_the_round_trip() {
+        // `$name` marks a constant whose name is not in the well-known
+        // list; its rendering must preserve const-ness or a custom-lattice
+        // constraint silently degrades to a variable over the wire.
+        assert!(check_constraint_set("x <= $custom"));
+        assert!(check_constraint_set("$lo <= y.load; VAR $lo.load"));
+    }
+}

@@ -1,0 +1,76 @@
+//! A counting global allocator: the fuzz harness's bounded-allocation
+//! oracle.
+//!
+//! Register it in a binary with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: retypd_fuzz::alloc::CountingAlloc = retypd_fuzz::alloc::CountingAlloc;
+//! ```
+//!
+//! and read [`CountingAlloc::current`] / [`CountingAlloc::peak`] between
+//! iterations. The counters are process-wide relaxed atomics — cheap
+//! enough to leave on for every allocation, precise enough to catch a
+//! mutant that makes the server (or the decode path) balloon by hundreds
+//! of megabytes. Note that [`retypd_core::Symbol`] interning leaks by
+//! design (symbols live for the process), so live-growth bounds must be
+//! generous rather than tight.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// The counting allocator: forwards to [`System`], tracking live bytes
+/// and the high-water mark.
+pub struct CountingAlloc;
+
+fn on_alloc(n: usize) {
+    let live = CURRENT.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+// SAFETY: defers all allocation to `System`; the bookkeeping only touches
+// atomics and never allocates itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+impl CountingAlloc {
+    /// Live heap bytes right now.
+    pub fn current() -> usize {
+        CURRENT.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live heap bytes since process start (or the
+    /// last [`CountingAlloc::reset_peak`]).
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live count.
+    pub fn reset_peak() {
+        PEAK.store(Self::current(), Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,84 @@
+//! The committed malformed-input regression corpus.
+//!
+//! Files live in `crates/fuzz/corpus/` and are replayed by
+//! `tests/corpus_replay.rs` on every `cargo test` — over a live socket, at
+//! one shard and several, asserting bit-identical reply bytes.
+//!
+//! Conventions:
+//!
+//! * A file named `raw_*` holds complete **wire bytes**, length prefix
+//!   included — these entries attack the framing itself (lying, over-cap,
+//!   truncated prefixes).
+//! * Any other file holds a frame **payload**; the replay harness frames
+//!   it normally.
+//! * Every entry must fail **before admission** (framing, JSON, envelope,
+//!   lattice, or constraint-text validation): pre-admission errors never
+//!   reach a shard, which is what makes the reply bytes independent of
+//!   the shard count. An entry that decodes into dispatchable work (or a
+//!   `stats`/`shutdown` request) does not belong here.
+//! * Entries replay in filename order; names describe the attack.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// One corpus entry.
+pub struct CorpusEntry {
+    /// File name (replay order and failure messages key off it).
+    pub name: String,
+    /// The committed bytes.
+    pub bytes: Vec<u8>,
+    /// True when `bytes` are complete wire bytes (`raw_*` files).
+    pub raw: bool,
+}
+
+/// The corpus directory (committed alongside the crate).
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Loads every corpus entry, sorted by file name.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a missing directory is an error too —
+/// the corpus is a committed artifact, not an optional cache.
+pub fn load() -> io::Result<Vec<CorpusEntry>> {
+    let mut entries = Vec::new();
+    for entry in fs::read_dir(corpus_dir())? {
+        let entry = entry?;
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let bytes = fs::read(entry.path())?;
+        let raw = name.starts_with("raw_");
+        entries.push(CorpusEntry { name, bytes, raw });
+    }
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(entries)
+}
+
+/// Saves a minimized failing input as a new corpus entry, picking the
+/// first free `<prefix>_NNN.bin` name. Returns the chosen file name.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save(prefix: &str, bytes: &[u8], raw: bool) -> io::Result<String> {
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir)?;
+    let marker = if raw { "raw_" } else { "" };
+    for n in 0..10_000u32 {
+        let name = format!("{marker}{prefix}_{n:03}.bin");
+        let path = dir.join(&name);
+        if !path.exists() {
+            fs::write(path, bytes)?;
+            return Ok(name);
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::Other,
+        "no free corpus file name",
+    ))
+}

@@ -1,0 +1,103 @@
+//! # retypd-fuzz
+//!
+//! A deterministic, structure-aware fuzzing harness for the `retypd-serve`
+//! wire protocol. No external fuzzer crates: mutation is driven by the
+//! vendored seeded RNG, so every run — and every failure — is exactly
+//! reproducible from `--seed`/`--iters` alone.
+//!
+//! Three mutator tiers (see [`mutate`]):
+//!
+//! * **Raw** — byte-level damage to valid request frames plus
+//!   length-prefix attacks (lying, over-cap, truncated, zero prefixes).
+//! * **Structural** — JSON-tree mutations of valid request payloads:
+//!   member removal/duplication, type swaps, nesting bombs, huge numbers
+//!   and strings, plus text-level truncation.
+//! * **Grammar** — grammar-aware mutations of the request envelope, the
+//!   [`retypd_core::LatticeDescriptor`] canonical text, and constraint-set
+//!   text, assembled from the grammar's own vocabulary so deep parser
+//!   branches are actually reached.
+//!
+//! Every mutant runs against **both** the in-process decode path
+//! (`serve::json` + `wire::Request::decode`, plus the
+//! [`retypd_core::fuzzing`] parser checkers for grammar strings) and a
+//! **live socket server**, under the oracles in [`oracle`]:
+//!
+//! 1. every delivered frame gets a reply or a clean close — never a hang
+//!    past the deadline;
+//! 2. no panic anywhere (in-process panics are caught; a server-side panic
+//!    would surface as a dropped connection plus a failed liveness probe);
+//! 3. bounded wall-clock per input;
+//! 4. bounded allocation growth, via the [`alloc::CountingAlloc`] global
+//!    allocator hook.
+//!
+//! Failing inputs are minimized (greedy chunk removal) and can be saved
+//! into the committed regression corpus under `corpus/` (see [`corpus`]),
+//! which `tests/corpus_replay.rs` replays over a live socket at 1 and N
+//! shards on every `cargo test`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc;
+pub mod corpus;
+pub mod mutate;
+pub mod oracle;
+
+/// True when the bytes could decode (or be mutated into decoding) as a
+/// `shutdown` request. The fuzz loop shares one live server across all
+/// iterations, so shutdown requests are never delivered to the socket —
+/// they are still exercised in-process.
+pub fn contains_shutdown(bytes: &[u8]) -> bool {
+    let needle = b"shutdown";
+    bytes.len() >= needle.len() && bytes.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Greedy chunk-removal minimization (ddmin-lite): repeatedly deletes the
+/// largest chunks whose removal keeps `still_fails` true, halving the
+/// chunk size until single bytes. Bounded by `max_probes` candidate
+/// evaluations so minimization of an expensive reproducer stays cheap.
+pub fn minimize(input: &[u8], max_probes: usize, still_fails: &mut dyn FnMut(&[u8]) -> bool) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    let mut probes = 0usize;
+    let mut chunk = (cur.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i + chunk <= cur.len() {
+            if probes >= max_probes {
+                return cur;
+            }
+            let mut cand = cur.clone();
+            cand.drain(i..i + chunk);
+            probes += 1;
+            if still_fails(&cand) {
+                cur = cand;
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            return cur;
+        }
+        chunk /= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimize_strips_irrelevant_bytes() {
+        // Failure: input contains the byte 0xFF anywhere.
+        let input: Vec<u8> = (0..64u8).chain([0xFF]).chain(64..128u8).collect();
+        let min = minimize(&input, 10_000, &mut |b| b.contains(&0xFF));
+        assert_eq!(min, vec![0xFF]);
+    }
+
+    #[test]
+    fn shutdown_guard_matches_embedded_keyword() {
+        assert!(contains_shutdown(br#"{"kind":"shutdown"}"#));
+        assert!(!contains_shutdown(br#"{"kind":"stats"}"#));
+        assert!(!contains_shutdown(b"shu"));
+    }
+}

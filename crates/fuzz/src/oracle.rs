@@ -1,0 +1,383 @@
+//! The crash/hang/liveness oracles every mutant runs under.
+//!
+//! * **In-process** ([`check_in_process`], [`check_grammar_strings`]):
+//!   the exact decode path a connection handler runs (`serve::json` +
+//!   `Request::decode`), plus the [`retypd_core::fuzzing`] parser
+//!   checkers, under `catch_unwind` and a wall-clock budget.
+//! * **Socket** ([`SocketOracle`]): delivery to a live server. Raw-tier
+//!   inputs get a fresh connection each (write, half-close, read to EOF —
+//!   the half-close means a truncated frame is an immediate `Broken` at
+//!   the server instead of a read-timeout wait); framed payloads reuse a
+//!   persistent connection and must draw a reply before any close. Either
+//!   way, exceeding the deadline is a **hang** failure — the one thing a
+//!   robust server must never do.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use retypd_core::fuzzing::{check_constraint_set, check_derived_var, check_lattice_descriptor};
+use retypd_serve::json::Json;
+use retypd_serve::wire;
+use retypd_serve::{Client, Request, Response};
+
+/// An oracle violation. Everything carries enough context to reproduce:
+/// the harness is deterministic, so (seed, iteration) pins the input.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// A parser or decoder panicked (in-process `catch_unwind`).
+    Panic {
+        /// The panic payload.
+        what: String,
+        /// Which check was running.
+        context: String,
+    },
+    /// An input exceeded its wall-clock budget.
+    Hang {
+        /// Which check was running.
+        context: String,
+        /// Observed wall clock.
+        elapsed_ms: u64,
+    },
+    /// The server closed a connection without replying to a complete,
+    /// well-framed request frame.
+    NoReply {
+        /// Which check was running.
+        context: String,
+    },
+    /// The server sent bytes that do not decode as a response frame.
+    BadReply {
+        /// Decode error text.
+        what: String,
+        /// Which check was running.
+        context: String,
+    },
+    /// Live heap growth exceeded the harness bound.
+    MemoryGrowth {
+        /// Bytes of live-heap growth since the baseline.
+        grew_bytes: usize,
+        /// Where in the run the bound tripped.
+        context: String,
+    },
+    /// The liveness probe could not reach the server at all — a crashed
+    /// acceptor or a wedged accept loop.
+    ServerDown {
+        /// Connect/probe error text.
+        what: String,
+        /// Which check was running.
+        context: String,
+    },
+}
+
+impl Failure {
+    /// Stable kind tag for stats output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::Panic { .. } => "panic",
+            Failure::Hang { .. } => "hang",
+            Failure::NoReply { .. } => "no_reply",
+            Failure::BadReply { .. } => "bad_reply",
+            Failure::MemoryGrowth { .. } => "memory_growth",
+            Failure::ServerDown { .. } => "server_down",
+        }
+    }
+
+    /// One-line human description.
+    pub fn describe(&self) -> String {
+        match self {
+            Failure::Panic { what, context } => format!("panic in {context}: {what}"),
+            Failure::Hang {
+                context,
+                elapsed_ms,
+            } => format!("hang in {context}: {elapsed_ms}ms"),
+            Failure::NoReply { context } => format!("no reply in {context}"),
+            Failure::BadReply { what, context } => format!("bad reply in {context}: {what}"),
+            Failure::MemoryGrowth {
+                grew_bytes,
+                context,
+            } => format!("live heap grew {grew_bytes} bytes ({context})"),
+            Failure::ServerDown { what, context } => format!("server down in {context}: {what}"),
+        }
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// Runs `f` under `catch_unwind` and a wall-clock budget.
+fn guarded(context: &str, budget: Duration, f: impl FnOnce()) -> Result<(), Failure> {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let elapsed = start.elapsed();
+    match result {
+        Err(p) => Err(Failure::Panic {
+            what: panic_text(p),
+            context: context.to_owned(),
+        }),
+        Ok(()) if elapsed > budget => Err(Failure::Hang {
+            context: context.to_owned(),
+            elapsed_ms: elapsed.as_millis() as u64,
+        }),
+        Ok(()) => Ok(()),
+    }
+}
+
+/// The in-process decode path: `serve::json` on the payload text (when it
+/// is UTF-8) and the full `Request::decode`. Returns whether the payload
+/// decoded as a request, for valid-ratio accounting.
+///
+/// # Errors
+///
+/// A [`Failure`] when the decode path panics or exceeds `budget`.
+pub fn check_in_process(payload: &[u8], budget: Duration) -> Result<bool, Failure> {
+    let mut decoded = false;
+    guarded("in-process decode", budget, || {
+        if let Ok(text) = std::str::from_utf8(payload) {
+            let _ = Json::parse(text);
+        }
+        decoded = Request::decode(payload).is_ok();
+    })?;
+    Ok(decoded)
+}
+
+/// Drives the core parser checkers over tier-C grammar strings: the
+/// parsers must not panic, and anything they accept must survive the
+/// display/reparse round trip (the checkers panic on violations, which
+/// `catch_unwind` converts into [`Failure::Panic`]).
+///
+/// # Errors
+///
+/// A [`Failure`] when a checker panics or exceeds `budget`.
+pub fn check_grammar_strings(strings: &[String], budget: Duration) -> Result<(), Failure> {
+    for s in strings {
+        guarded("core parser checkers", budget, || {
+            check_derived_var(s);
+            check_constraint_set(s);
+            check_lattice_descriptor(s);
+        })?;
+    }
+    Ok(())
+}
+
+/// Socket-side delivery and its reply-or-clean-close / no-hang oracle.
+pub struct SocketOracle {
+    addr: SocketAddr,
+    /// Per-interaction wall-clock bound; exceeding it is a hang failure.
+    deadline: Duration,
+    /// Reused connection for framed (tier B/C) payloads; dropped and
+    /// re-dialed whenever the server closes it.
+    persistent: Option<TcpStream>,
+}
+
+impl SocketOracle {
+    /// An oracle talking to the server at `addr`.
+    pub fn new(addr: SocketAddr, deadline: Duration) -> SocketOracle {
+        SocketOracle {
+            addr,
+            deadline,
+            persistent: None,
+        }
+    }
+
+    fn connect(&self) -> Result<TcpStream, Failure> {
+        let s = TcpStream::connect_timeout(&self.addr.clone(), self.deadline).map_err(|e| {
+            Failure::ServerDown {
+                what: e.to_string(),
+                context: "connect".into(),
+            }
+        })?;
+        s.set_nodelay(true).ok();
+        // The deadline bounds every blocking read/write: a hang surfaces
+        // as a timeout error instead of pinning the harness.
+        s.set_read_timeout(Some(self.deadline)).ok();
+        s.set_write_timeout(Some(self.deadline)).ok();
+        Ok(s)
+    }
+
+    /// Tier-A delivery: fresh connection, write the raw wire bytes
+    /// verbatim, half-close, then read whatever comes back until EOF.
+    /// *Any* reply byte sequence followed by a close satisfies the oracle
+    /// — raw mutants include truncated and desynchronized frames where
+    /// silence is the correct answer — but the read must finish inside
+    /// the deadline. Returns the reply bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::Hang`] past the deadline, [`Failure::ServerDown`] when
+    /// the server cannot be reached.
+    pub fn deliver_raw(&mut self, bytes: &[u8], context: &str) -> Result<Vec<u8>, Failure> {
+        let mut s = self.connect()?;
+        let start = Instant::now();
+        // Write errors are expected: the server may refuse the frame and
+        // close while we are still sending (e.g. over-cap announcements).
+        let _ = s.write_all(bytes);
+        let _ = s.shutdown(Shutdown::Write);
+        let mut reply = Vec::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            if start.elapsed() > self.deadline {
+                return Err(Failure::Hang {
+                    context: context.to_owned(),
+                    elapsed_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            match s.read(&mut buf) {
+                Ok(0) => return Ok(reply),
+                Ok(n) => reply.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(Failure::Hang {
+                        context: context.to_owned(),
+                        elapsed_ms: start.elapsed().as_millis() as u64,
+                    });
+                }
+                // A reset after the server refused the frame still counts
+                // as a close.
+                Err(_) => return Ok(reply),
+            }
+        }
+    }
+
+    /// Tier-B/C delivery: the payload goes out as one well-formed frame on
+    /// a persistent connection, and a complete frame must always draw a
+    /// reply (or a refusal) before any close. Streaming batches are read
+    /// through to their terminal frame. Returns how many reply frames
+    /// arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::Hang`] past the deadline, [`Failure::NoReply`] when the
+    /// server closes without answering, [`Failure::BadReply`] when a reply
+    /// frame does not decode, [`Failure::ServerDown`] when the server is
+    /// unreachable.
+    pub fn deliver_framed(&mut self, payload: &[u8], context: &str) -> Result<usize, Failure> {
+        // Predict the reply shape with the same decoder the server runs:
+        // a streaming batch answers with report frames then a terminal
+        // frame; everything else (including a decode error) is one frame.
+        let streaming = matches!(
+            Request::decode(payload),
+            Ok(Request::SolveBatch { stream: true, .. })
+        );
+        // The previous mutant may have made the server close this
+        // connection (budget refusals, oversized frames); one reconnect
+        // retry distinguishes that from a dead server.
+        for attempt in 0..2 {
+            if self.persistent.is_none() {
+                self.persistent = Some(self.connect()?);
+            }
+            let s = self.persistent.as_mut().expect("just connected");
+            if wire::write_frame(s, payload).is_err() {
+                self.persistent = None;
+                if attempt == 0 {
+                    continue;
+                }
+                return Err(Failure::ServerDown {
+                    what: "write failed on a fresh connection".into(),
+                    context: context.to_owned(),
+                });
+            }
+            return match Self::read_replies(s, streaming, self.deadline, context) {
+                Ok(n) => Ok(n),
+                Err(failure) => {
+                    // Desynchronized or closed: next framed mutant dials
+                    // fresh either way.
+                    self.persistent = None;
+                    // EOF-without-reply right after a successful write can
+                    // still be the *previous* mutant's close racing us; a
+                    // single retry on a fresh connection settles it.
+                    if attempt == 0 && matches!(failure, Failure::NoReply { .. }) {
+                        continue;
+                    }
+                    Err(failure)
+                }
+            };
+        }
+        unreachable!("loop returns on every path by attempt 1")
+    }
+
+    fn read_replies(
+        s: &mut TcpStream,
+        streaming: bool,
+        deadline: Duration,
+        context: &str,
+    ) -> Result<usize, Failure> {
+        let start = Instant::now();
+        let mut frames = 0usize;
+        loop {
+            if start.elapsed() > deadline {
+                return Err(Failure::Hang {
+                    context: context.to_owned(),
+                    elapsed_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            let frame = match wire::read_frame(s) {
+                Ok(Some(f)) => f,
+                Ok(None) => {
+                    return if frames == 0 {
+                        Err(Failure::NoReply {
+                            context: context.to_owned(),
+                        })
+                    } else {
+                        // Close after at least one reply: a refusal frame
+                        // (budget, timeout) legitimately ends this way.
+                        Ok(frames)
+                    };
+                }
+                Err(wire::WireError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(Failure::Hang {
+                        context: context.to_owned(),
+                        elapsed_ms: start.elapsed().as_millis() as u64,
+                    });
+                }
+                Err(_) => {
+                    // Reset or mid-frame close: a violation only if the
+                    // frame drew no reply at all (a refusal frame followed
+                    // by a hard close is within contract).
+                    return if frames == 0 {
+                        Err(Failure::NoReply {
+                            context: context.to_owned(),
+                        })
+                    } else {
+                        Ok(frames)
+                    };
+                }
+            };
+            let resp = Response::decode(&frame).map_err(|e| Failure::BadReply {
+                what: e.to_string(),
+                context: context.to_owned(),
+            })?;
+            frames += 1;
+            match resp {
+                // Streaming replies continue until a terminal frame.
+                Response::Report { .. } if streaming => {}
+                _ => return Ok(frames),
+            }
+        }
+    }
+
+    /// Liveness probe: a fresh connection must still get a `stats` answer.
+    ///
+    /// # Errors
+    ///
+    /// [`Failure::ServerDown`] when the probe fails.
+    pub fn probe(&self, context: &str) -> Result<(), Failure> {
+        let mut client = Client::connect(self.addr).map_err(|e| Failure::ServerDown {
+            what: e.to_string(),
+            context: context.to_owned(),
+        })?;
+        client.stats().map(|_| ()).map_err(|e| Failure::ServerDown {
+            what: e.to_string(),
+            context: context.to_owned(),
+        })
+    }
+}

@@ -15,7 +15,8 @@ use retypd_serve::{start, ServeConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--shards N] [--workers N] \
-         [--queue-depth N] [--cache-capacity N|unbounded] [--read-timeout SECS|0]"
+         [--queue-depth N] [--cache-capacity N|unbounded] [--read-timeout SECS|0] \
+         [--max-frames-per-conn N|0] [--max-bytes-per-conn N|0]"
     );
     std::process::exit(2);
 }
@@ -66,6 +67,16 @@ fn main() {
                 } else {
                     Some(std::time::Duration::from_secs(secs as u64))
                 };
+            }
+            "--max-frames-per-conn" => {
+                // 0 disables the per-connection frame budget.
+                let n = parse_num(&mut args, "--max-frames-per-conn");
+                config.max_frames_per_conn = if n == 0 { None } else { Some(n as u64) };
+            }
+            "--max-bytes-per-conn" => {
+                // 0 disables the per-connection byte budget.
+                let n = parse_num(&mut args, "--max-bytes-per-conn");
+                config.max_bytes_per_conn = if n == 0 { None } else { Some(n as u64) };
             }
             _ => usage(),
         }

@@ -94,6 +94,16 @@ pub struct ServeConfig {
     /// streamed replies cannot wedge a handler — and therefore cannot
     /// wedge the drain that joins it.
     pub read_timeout: Option<Duration>,
+    /// Cap on cumulative frames one connection may send over its lifetime;
+    /// the frame that crosses the budget gets a protocol `error` naming
+    /// the limit and the connection is closed. `None` disables the cap.
+    /// Bounds how much total work a single endlessly-reconnecting-averse
+    /// client can extract from one accepted socket.
+    pub max_frames_per_conn: Option<u64>,
+    /// Cap on cumulative bytes (payloads plus their 4-byte length
+    /// prefixes) one connection may send; enforced like
+    /// [`ServeConfig::max_frames_per_conn`]. `None` disables the cap.
+    pub max_bytes_per_conn: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +115,8 @@ impl Default for ServeConfig {
             queue_depth: 256,
             cache_capacity: Some(4096),
             read_timeout: Some(Duration::from_secs(30)),
+            max_frames_per_conn: Some(100_000),
+            max_bytes_per_conn: Some(1 << 30),
         }
     }
 }
@@ -142,6 +154,10 @@ struct Shared {
     local_addr: SocketAddr,
     /// Per-connection read behavior (see [`ServeConfig::read_timeout`]).
     read_timeout: Option<Duration>,
+    /// Per-connection budgets (see [`ServeConfig::max_frames_per_conn`]
+    /// and [`ServeConfig::max_bytes_per_conn`]).
+    max_frames_per_conn: Option<u64>,
+    max_bytes_per_conn: Option<u64>,
     /// Live connection handlers, joined on drain so every final frame
     /// reaches the kernel before the process exits. The acceptor inserts
     /// `None` *before* spawning (so a handler that finishes instantly can
@@ -353,6 +369,8 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
         draining: AtomicBool::new(false),
         local_addr,
         read_timeout: config.read_timeout,
+        max_frames_per_conn: config.max_frames_per_conn,
+        max_bytes_per_conn: config.max_bytes_per_conn,
         conns: Mutex::new(FxHashMap::default()),
         next_conn: AtomicU64::new(0),
         lattices: LatticeMemo::new(),
@@ -562,20 +580,29 @@ fn read_frame_polled(
     let deadline = read_timeout.map(|t| Instant::now() + t);
     let mut drain_deadline: Option<Instant> = None;
     let mut len_buf = [0u8; 4];
-    let mut payload: Option<Vec<u8>> = None;
+    // `None` while the 4-byte prefix is being read; `Some(total)` after.
+    let mut expected: Option<usize> = None;
+    let mut payload: Vec<u8> = Vec::new();
     let mut filled = 0usize;
     loop {
-        let read = match &mut payload {
+        let read = match expected {
             None => std::io::Read::read(stream, &mut len_buf[filled..]),
-            Some(p) => {
-                let total = p.len();
-                std::io::Read::read(stream, &mut p[filled..total])
+            Some(total) => {
+                // Grow the buffer only as bytes actually arrive: a peer
+                // that *announces* a near-cap frame and then trickles (or
+                // never sends) it must not cost the announced allocation
+                // up front.
+                if filled == payload.len() {
+                    let take = (total - filled).min(wire::READ_CHUNK);
+                    payload.resize(filled + take, 0);
+                }
+                std::io::Read::read(stream, &mut payload[filled..])
             }
         };
         match read {
             Ok(0) => {
                 // EOF: clean only between frames.
-                return if payload.is_none() && filled == 0 {
+                return if expected.is_none() && filled == 0 {
                     PolledRead::Eof
                 } else {
                     PolledRead::Broken
@@ -583,12 +610,11 @@ fn read_frame_polled(
             }
             Ok(n) => {
                 filled += n;
-                let total = payload.as_ref().map_or(4, Vec::len);
-                if filled < total {
-                    continue;
-                }
-                match payload.take() {
+                match expected {
                     None => {
+                        if filled < 4 {
+                            continue;
+                        }
                         let len = u32::from_be_bytes(len_buf) as usize;
                         if len > wire::MAX_FRAME_BYTES {
                             return PolledRead::Oversized(len);
@@ -596,10 +622,14 @@ fn read_frame_polled(
                         if len == 0 {
                             return PolledRead::Frame(Vec::new());
                         }
-                        payload = Some(vec![0u8; len]);
+                        expected = Some(len);
                         filled = 0;
                     }
-                    Some(p) => return PolledRead::Frame(p),
+                    Some(total) => {
+                        if filled == total {
+                            return PolledRead::Frame(payload);
+                        }
+                    }
                 }
             }
             Err(e)
@@ -613,7 +643,7 @@ fn read_frame_polled(
                 // mid-frame cannot hold the drain join hostage even when
                 // `read_timeout` is disabled.
                 if draining.load(Ordering::Relaxed) {
-                    if payload.is_none() && filled == 0 {
+                    if expected.is_none() && filled == 0 {
                         return PolledRead::DrainIdle;
                     }
                     let cutoff =
@@ -636,6 +666,8 @@ fn read_frame_polled(
 
 fn handle_conn(stream: TcpStream, shared: &Shared) {
     let mut stream = stream;
+    let mut frames_used = 0u64;
+    let mut bytes_used = 0u64;
     loop {
         let payload = match read_frame_polled(&mut stream, shared.read_timeout, &shared.draining)
         {
@@ -680,6 +712,38 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
+        // Per-connection budgets: the frame that crosses a cap is refused
+        // with an error naming the exhausted limit, then the connection is
+        // closed — cumulative, so one socket cannot extract unbounded work
+        // or feed unbounded bytes no matter how well-formed each frame is.
+        frames_used += 1;
+        bytes_used += 4 + payload.len() as u64;
+        if let Some(limit) = shared.max_frames_per_conn {
+            if frames_used > limit {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Response::Error(format!(
+                        "per-connection frame budget of {limit} frames exhausted; \
+                         closing connection"
+                    ))
+                    .encode(),
+                );
+                return;
+            }
+        }
+        if let Some(limit) = shared.max_bytes_per_conn {
+            if bytes_used > limit {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &Response::Error(format!(
+                        "per-connection byte budget of {limit} bytes exhausted; \
+                         closing connection"
+                    ))
+                    .encode(),
+                );
+                return;
+            }
+        }
         let response = match Request::decode(&payload) {
             Ok(Request::SolveBatch {
                 modules,

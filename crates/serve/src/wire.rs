@@ -111,8 +111,21 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> 
     Ok(())
 }
 
+/// Granularity of frame-payload allocation: the buffer grows one chunk at
+/// a time as bytes actually arrive, so a peer that *announces* a large
+/// frame but never delivers it cannot make the reader commit the full
+/// announced allocation up front.
+pub(crate) const READ_CHUNK: usize = 64 << 10;
+
 /// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
 /// between frames); EOF inside a frame is an error.
+///
+/// Both sides of the protocol use this: the announced length is validated
+/// against [`MAX_FRAME_BYTES`] *before* any allocation (a malicious or
+/// confused server must not make a [`crate::Client`] attempt a multi-GiB
+/// allocation, and vice versa), and the payload buffer then grows in
+/// [`READ_CHUNK`] steps so memory tracks bytes delivered, not bytes
+/// promised.
 ///
 /// # Errors
 ///
@@ -128,8 +141,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     if len > MAX_FRAME_BYTES {
         return Err(proto(format!("peer announced {len}-byte frame, over cap")));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let take = (len - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        if let Err(e) = r.read_exact(&mut payload[start..]) {
+            return Err(e.into());
+        }
+    }
     Ok(Some(payload))
 }
 

@@ -1,0 +1,92 @@
+//! Property tests for `serve::json`: every value the encoder can emit must
+//! parse back to the same value (the wire protocol's determinism tests
+//! compare reply bytes, so encode must be a fixpoint of parse∘encode), and
+//! the parser must refuse nesting past its recursion bound instead of
+//! overflowing the thread stack.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use retypd_serve::json::{Json, MAX_DEPTH};
+
+/// Characters exercising the writer's escape paths (quotes, backslash,
+/// control bytes) and the parser's UTF-8 fast path (multi-byte runs).
+const STRING_POOL: &[char] = &[
+    'a', 'z', '0', '_', ' ', '/', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'σ', '⊑',
+    'é', '😀',
+];
+
+fn gen_string(rng: &mut StdRng) -> String {
+    (0..rng.gen_range(0..12usize))
+        .map(|_| STRING_POOL[rng.gen_range(0..STRING_POOL.len())])
+        .collect()
+}
+
+/// A random JSON value with container nesting bounded by `depth`.
+fn gen_value(rng: &mut StdRng, depth: usize) -> Json {
+    let pick = if depth == 0 {
+        rng.gen_range(0..4u32)
+    } else {
+        rng.gen_range(0..6u32)
+    };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        // Numbers are literal text; cover integers (incl. > 2^53, which an
+        // f64 model would corrupt), negatives, and decimals.
+        2 => match rng.gen_range(0..3u32) {
+            0 => Json::u64(rng.gen()),
+            1 => Json::Num(format!("-{}", rng.gen::<u32>())),
+            _ => Json::Num(format!("{}.{}", rng.gen::<u16>(), rng.gen_range(0..1000u32))),
+        },
+        3 => Json::Str(gen_string(rng)),
+        4 => Json::Arr(
+            (0..rng.gen_range(0..4usize))
+                .map(|_| gen_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_range(0..4usize))
+                .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn encode_then_parse_is_the_identity(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let depth = rng.gen_range(0..8usize);
+        let v = gen_value(&mut rng, depth);
+        let enc = v.encode();
+        let back = Json::parse(&enc).expect("encoder output must parse");
+        prop_assert_eq!(&back, &v);
+        // And the encoding is deterministic (a fixpoint, not just stable).
+        prop_assert_eq!(back.encode(), enc);
+    }
+
+    #[test]
+    fn nesting_past_the_limit_is_rejected(extra in any::<u8>()) {
+        // From 1 past the bound up to deep bomb territory: always a clean
+        // error, never deeper recursion.
+        let depth = MAX_DEPTH + 1 + extra as usize * 16;
+        let deep = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let err = Json::parse(&deep).expect_err("over-deep input must be refused");
+        prop_assert!(err.to_string().contains("nesting"), "{}", err);
+    }
+}
+
+#[test]
+fn the_limit_itself_round_trips() {
+    // A value at exactly MAX_DEPTH encodes and parses back — the bound
+    // rejects only what is *deeper* than anything the protocol emits.
+    let mut v = Json::u64(7);
+    for _ in 0..MAX_DEPTH {
+        v = Json::Arr(vec![v]);
+    }
+    let enc = v.encode();
+    assert_eq!(Json::parse(&enc).expect("at-limit value parses"), v);
+}
