@@ -40,6 +40,16 @@ fn validate_name(kind: &str, name: &str) -> Result<(), LatticeError> {
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct LatticeElem(pub(crate) u16);
 
+impl LatticeElem {
+    /// The element's dense index within its lattice. Indices follow the
+    /// descriptor's element order, so for a fixed descriptor they are
+    /// stable across processes — which is what lets fingerprints hash
+    /// them directly instead of rendering names.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Errors produced while building or querying a lattice.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LatticeError {

@@ -35,6 +35,24 @@ use crate::variance::Variance;
 /// State index within a [`Sketch`].
 pub type SketchState = u32;
 
+/// One state of a [`Sketch`] in decomposed form: the mark, the
+/// `[lower, upper]` bound interval, and the labeled successors. This is the
+/// serialization surface — [`Sketch::from_states`] reconstructs an
+/// automaton from a state list, and the read accessors ([`Sketch::mark`],
+/// [`Sketch::interval`], [`Sketch::edges`]) produce one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SketchStateSpec {
+    /// The state's Λ mark.
+    pub mark: LatticeElem,
+    /// Lower constant bound (`⋁` of entailed lower bounds).
+    pub lower: LatticeElem,
+    /// Upper constant bound (`⋀` of entailed upper bounds).
+    pub upper: LatticeElem,
+    /// Labeled successors; labels must be distinct (the automaton is
+    /// deterministic).
+    pub edges: Vec<(Label, SketchState)>,
+}
+
 #[derive(Clone, PartialEq, Eq, Debug)]
 struct Node {
     mark: LatticeElem,
@@ -77,6 +95,35 @@ impl Sketch {
     /// The ⊤ sketch: language `{ε}`, marked ⊤ (the greatest sketch).
     pub fn top(lattice: &Lattice) -> Sketch {
         Sketch::leaf(lattice.top())
+    }
+
+    /// Reconstructs a sketch from a decomposed state list (the inverse of
+    /// walking [`Sketch::mark`] / [`Sketch::interval`] / [`Sketch::edges`]
+    /// over `0..len`). Returns `None` if the list is empty, the root or any
+    /// edge target is out of range, or a state carries duplicate edge
+    /// labels — a deserializer must treat that as a corrupt record, not a
+    /// panic.
+    pub fn from_states(states: Vec<SketchStateSpec>, root: SketchState) -> Option<Sketch> {
+        let n = states.len();
+        if n == 0 || root as usize >= n {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for spec in states {
+            let mut edges = BTreeMap::new();
+            for (label, target) in spec.edges {
+                if target as usize >= n || edges.insert(label, target).is_some() {
+                    return None;
+                }
+            }
+            nodes.push(Node {
+                mark: spec.mark,
+                lower: spec.lower,
+                upper: spec.upper,
+                edges,
+            });
+        }
+        Some(Sketch { nodes, root })
     }
 
     /// The root state.

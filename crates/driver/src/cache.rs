@@ -102,12 +102,16 @@ impl<V> LruMap<V> {
         }
     }
 
-    fn insert(&mut self, fp: u64, value: V) {
+    /// Inserts (refreshing recency), returning the fingerprints evicted to
+    /// stay within capacity — the persistent store mirrors removals from
+    /// them, so the on-disk log tracks the live cache.
+    fn insert(&mut self, fp: u64, value: V) -> Vec<u64> {
         let now = Self::touch(&mut self.tick);
         if let Some((_, stamp)) = self.map.insert(fp, (value, now)) {
             self.order.remove(&stamp);
         }
         self.order.insert(now, fp);
+        let mut evicted = Vec::new();
         if let Some(cap) = self.capacity {
             while self.map.len() > cap.max(1) {
                 let (&oldest, &victim) = self
@@ -118,8 +122,10 @@ impl<V> LruMap<V> {
                 self.order.remove(&oldest);
                 self.map.remove(&victim);
                 self.evictions += 1;
+                evicted.push(victim);
             }
         }
+        evicted
     }
 
     fn len(&self) -> usize {
@@ -172,9 +178,11 @@ impl SchemeCache {
         got
     }
 
-    /// Stores a pass-1 entry.
-    pub fn insert_schemes(&self, fp: u64, entry: Arc<CachedSchemes>) {
-        self.schemes.lock().expect("cache lock").insert(fp, entry);
+    /// Stores a pass-1 entry, returning any fingerprints evicted to stay
+    /// within capacity (so a persistent store can drop their mirror
+    /// records).
+    pub fn insert_schemes(&self, fp: u64, entry: Arc<CachedSchemes>) -> Vec<u64> {
+        self.schemes.lock().expect("cache lock").insert(fp, entry)
     }
 
     /// Looks up a pass-2 entry, counting the hit or miss.
@@ -184,9 +192,10 @@ impl SchemeCache {
         got
     }
 
-    /// Stores a pass-2 entry.
-    pub fn insert_refine(&self, fp: u64, entry: Arc<SccRefinement>) {
-        self.refines.lock().expect("cache lock").insert(fp, entry);
+    /// Stores a pass-2 entry, returning any evicted fingerprints (see
+    /// [`SchemeCache::insert_schemes`]).
+    pub fn insert_refine(&self, fp: u64, entry: Arc<SccRefinement>) -> Vec<u64> {
+        self.refines.lock().expect("cache lock").insert(fp, entry)
     }
 
     fn count(&self, hit: bool) {

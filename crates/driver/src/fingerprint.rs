@@ -10,8 +10,8 @@
 //! output.
 //!
 //! Hashes are FNV-1a over rendered canonical text (`ConstraintSet` and
-//! `TypeScheme` display deterministically from `BTreeSet` storage, and
-//! `Sketch`'s `Debug` form is determined by its construction order), so
+//! `DerivedVar` display deterministically from `BTreeSet` storage) or, for
+//! sketches, over the automaton's structure field by field, so
 //! fingerprints are stable across runs and processes for a fixed lattice —
 //! deliberately *not* `DefaultHasher`, whose keys are randomized, and not
 //! `Symbol`'s pointer-based `Hash`, which varies with interning history.
@@ -58,25 +58,128 @@ impl Fnv64 {
         self.write(&x.to_le_bytes());
     }
 
+    /// Absorbs a byte slice a word at a time — one xor-multiply round per
+    /// 8 bytes instead of per byte, with the length absorbed first so
+    /// the zero-padded tail cannot alias a longer input. Roughly 8× the
+    /// throughput of [`Fnv64::write`]; used for the scheme store's frame
+    /// checksums and for the bulk text fields of content fingerprints
+    /// (constraint-set renderings run to hundreds of bytes per scheme).
+    /// Not interchangeable with `write` — the two produce different
+    /// hashes for the same bytes.
+    pub fn write_wide(&mut self, bytes: &[u8]) {
+        self.0 ^= bytes.len() as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.0 ^= u64::from_le_bytes(c.try_into().unwrap());
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.0 ^= u64::from_le_bytes(tail);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
     /// The accumulated hash.
     pub fn finish(self) -> u64 {
         self.0
     }
 }
 
-/// Fingerprint of a type scheme (canonical rendered form).
+/// Fingerprint of a type scheme, hashed from its canonical parts:
+/// subject, existentials, and the *lossless* [`retypd_core::ConstraintSet`]
+/// rendering. (`TypeScheme`'s own `Display` elides `VAR` declarations and
+/// additive constraints, so it cannot key a lossless store record.)
 pub fn scheme_fp(s: &TypeScheme) -> u64 {
+    scheme_fp_parts(
+        &s.subject().to_string(),
+        s.existentials(),
+        &s.constraints().to_string(),
+    )
+}
+
+/// [`scheme_fp`] over pre-rendered parts. The driver renders a solved
+/// scheme's subject and constraint text once, fingerprints the strings
+/// here, and hands the same strings to the scheme store's writer — what
+/// gets persisted is byte-for-byte the text that was fingerprinted.
+pub fn scheme_fp_parts(
+    subject: &str,
+    existentials: &std::collections::BTreeSet<Symbol>,
+    constraints: &str,
+) -> u64 {
     let mut h = Fnv64::new("scheme");
-    h.write_str(&s.to_string());
+    h.write_wide(subject.as_bytes());
+    h.write_u64(existentials.len() as u64);
+    for x in existentials {
+        h.write_str(x.as_str());
+    }
+    // The constraint text is the bulk of the input (hundreds of bytes per
+    // scheme), and this hash runs once per solved scheme *and* once per
+    // replayed store record — wide absorption keeps both cheap.
+    h.write_wide(constraints.as_bytes());
     h.finish()
 }
 
-/// Fingerprint of a sketch: structure, marks, and bound intervals. The
-/// `Debug` rendering is canonical because sketch construction is
-/// deterministic and `Symbol`s print their content.
+/// Absorbs a label by discriminant and fields — registers go in by their
+/// interned *string* (`Symbol`'s pointer identity varies with interning
+/// history). Each discriminant fixes its field count, so adjacent labels
+/// cannot alias.
+fn write_label(h: &mut Fnv64, label: retypd_core::Label) {
+    use retypd_core::{Label, Loc};
+    let mut write_loc = |h: &mut Fnv64, loc: Loc| match loc {
+        Loc::Stack(k) => {
+            h.write_u64(0);
+            h.write_u64(k as u64);
+        }
+        Loc::Reg(r) => {
+            h.write_u64(1);
+            h.write_str(r.as_str());
+        }
+    };
+    match label {
+        Label::In(loc) => {
+            h.write_u64(0);
+            write_loc(h, loc);
+        }
+        Label::Out(loc) => {
+            h.write_u64(1);
+            write_loc(h, loc);
+        }
+        Label::Load => h.write_u64(2),
+        Label::Store => h.write_u64(3),
+        Label::Sigma { bits, offset } => {
+            h.write_u64(4);
+            h.write_u64(bits as u64);
+            h.write_u64(offset as u32 as u64);
+        }
+    }
+}
+
+/// Fingerprint of a sketch: structure, marks, and bound intervals, hashed
+/// field by field. Element indices are descriptor-stable (see
+/// [`retypd_core::LatticeElem::index`]) and labels are absorbed by
+/// discriminant and fields (see [`write_label`]) — no rendering at all,
+/// which matters because the scheme store fingerprints every sketch it
+/// encodes *and* every sketch it replays.
 pub fn sketch_fp(s: &Sketch) -> u64 {
     let mut h = Fnv64::new("sketch");
-    h.write_str(&format!("{s:?}"));
+    h.write_u64(s.len() as u64);
+    h.write_u64(s.root() as u64);
+    for st in 0..s.len() as u32 {
+        let (lower, upper) = s.interval(st);
+        h.write_u64(s.mark(st).index() as u64);
+        h.write_u64(lower.index() as u64);
+        h.write_u64(upper.index() as u64);
+        for (label, target) in s.edges(st) {
+            h.write_u64(target as u64);
+            write_label(&mut h, label);
+        }
+        // Targets are `u32`, so `u64::MAX` cannot be mistaken for an edge.
+        h.write_u64(u64::MAX);
+    }
     h.finish()
 }
 
@@ -100,7 +203,7 @@ pub fn program_fp(program: &Program) -> u64 {
     h.write_u64(program.procs.len() as u64);
     for proc in &program.procs {
         h.write_str(proc.name.as_str());
-        h.write_str(&proc.constraints.to_string());
+        h.write_wide(proc.constraints.to_string().as_bytes());
         h.write_u64(proc.callsites.len() as u64);
         for cs in &proc.callsites {
             h.write_str(&cs.tag);
@@ -144,7 +247,7 @@ pub fn scc_fingerprint(
     for &p in scc {
         let proc = &program.procs[p];
         h.write_str(proc.name.as_str());
-        h.write_str(&proc.constraints.to_string());
+        h.write_wide(proc.constraints.to_string().as_bytes());
         h.write_u64(proc.callsites.len() as u64);
         for cs in &proc.callsites {
             h.write_str(&cs.tag);

@@ -54,8 +54,10 @@
 pub mod cache;
 pub mod fingerprint;
 pub mod scheduler;
+pub mod store;
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -69,9 +71,10 @@ use retypd_core::{
 };
 
 pub use cache::{CacheStats, CachedSchemes, SchemeCache};
+pub use store::PersistStats;
 
 /// Driver configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DriverConfig {
     /// Worker threads for wave dispatch and batch distribution. `1` makes
     /// the driver fully sequential (still cache-enabled).
@@ -82,6 +85,12 @@ pub struct DriverConfig {
     /// one-shot batch runs, wrong for a resident service, which is why
     /// `retypd-serve` always sets a bound.
     pub cache_capacity: Option<usize>,
+    /// Path of the persistent scheme-store log ([`store`]). `Some` makes
+    /// cache inserts append to the log (asynchronously, off the solve
+    /// path) and driver construction replay it, so a restarted process
+    /// answers previously-seen modules from warm fingerprint hits. `None`
+    /// (the default) keeps the cache process-lifetime only.
+    pub persist_path: Option<PathBuf>,
 }
 
 impl DriverConfig {
@@ -101,6 +110,7 @@ impl Default for DriverConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_capacity: None,
+            persist_path: None,
         }
     }
 }
@@ -307,6 +317,11 @@ pub struct AnalysisDriver<'l> {
     /// Descriptor-built lattices, memoized so a stream of requests naming
     /// the same lattice builds it once.
     lattices: LatticeMemo,
+    /// The persistent scheme store, when [`DriverConfig::persist_path`] is
+    /// set and the path is usable (open failure degrades to in-memory-only
+    /// caching with a warning — persistence is an accelerator, never a
+    /// precondition).
+    store: Option<store::SchemeStore>,
 }
 
 /// A bounded, thread-safe memo of descriptor-built lattices, keyed by
@@ -359,12 +374,7 @@ impl<'l> AnalysisDriver<'l> {
 
     /// A driver with an explicit configuration.
     pub fn with_config(lattice: &'l Lattice, config: DriverConfig) -> AnalysisDriver<'l> {
-        AnalysisDriver {
-            lattice: LatticeHandle::Borrowed(lattice),
-            config,
-            cache: SchemeCache::with_capacity(config.cache_capacity),
-            lattices: LatticeMemo::new(),
-        }
+        AnalysisDriver::build(LatticeHandle::Borrowed(lattice), config)
     }
 
     /// A driver that owns its lattice, giving it a `'static` lifetime so it
@@ -372,11 +382,34 @@ impl<'l> AnalysisDriver<'l> {
     /// builds one of these per shard). Results are identical to a borrowed
     /// construction with an equal lattice.
     pub fn owned(lattice: Lattice, config: DriverConfig) -> AnalysisDriver<'static> {
+        AnalysisDriver::build(LatticeHandle::Owned(Arc::new(lattice)), config)
+    }
+
+    /// The shared constructor: builds the cache, then (if configured)
+    /// opens the persistent store, which replays its log *into* the cache
+    /// before the driver ever sees a request — that is the warm-restart
+    /// fast path.
+    fn build<'x>(lattice: LatticeHandle<'x>, config: DriverConfig) -> AnalysisDriver<'x> {
+        let cache = SchemeCache::with_capacity(config.cache_capacity);
+        let lattices = LatticeMemo::new();
+        let store = config.persist_path.as_deref().and_then(|path| {
+            match store::SchemeStore::open(path, lattice.get(), &lattices, &cache) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!(
+                        "scheme store {}: persistence disabled (open failed: {e})",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
         AnalysisDriver {
-            lattice: LatticeHandle::Owned(Arc::new(lattice)),
+            lattice,
             config,
-            cache: SchemeCache::with_capacity(config.cache_capacity),
-            lattices: LatticeMemo::new(),
+            cache,
+            lattices,
+            store,
         }
     }
 
@@ -393,6 +426,31 @@ impl<'l> AnalysisDriver<'l> {
     /// Cumulative cache counters (across every solve this driver ran).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Counters of the persistent scheme store; `None` when the driver
+    /// runs without persistence (no [`DriverConfig::persist_path`], or the
+    /// path was unusable at construction).
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// Blocks until every pending store append has been flushed to the OS.
+    /// No-op without a store. `retypd-serve`'s panic-rebuild path calls
+    /// this on the wounded driver so the replacement's replay sees every
+    /// entry the old driver solved.
+    pub fn flush_store(&self) {
+        if let Some(s) = &self.store {
+            s.flush();
+        }
+    }
+
+    /// Forces a store compaction (snapshot rewrite + atomic rename) and
+    /// waits for it to land. No-op without a store.
+    pub fn compact_store(&self) {
+        if let Some(s) = &self.store {
+            s.compact();
+        }
     }
 
     /// Resolves a [`SolveRequest`] into an [`AnalysisSession`]: the lattice
@@ -527,18 +585,42 @@ impl<'l> AnalysisDriver<'l> {
                     None => {
                         misses.fetch_add(1, Ordering::Relaxed);
                         let out = solver.solve_scc(program, scc, &cond.scc_of, &schemes);
+                        // With persistence on, render each scheme's
+                        // canonical parts once and share the strings with
+                        // the store's writer — the fingerprint covers
+                        // exactly the text that gets persisted, and the
+                        // writer never renders a scheme itself.
+                        let mut texts = self.store.as_ref().map(|_| Vec::new());
                         let entry = Arc::new(CachedSchemes {
                             schemes: out
                                 .schemes
                                 .into_iter()
                                 .map(|(n, s)| {
-                                    let fp = fingerprint::scheme_fp(&s);
+                                    let fp = match &mut texts {
+                                        Some(texts) => {
+                                            let t = store::SchemeText {
+                                                subject: s.subject().to_string(),
+                                                constraints: s.constraints().to_string(),
+                                            };
+                                            let fp = fingerprint::scheme_fp_parts(
+                                                &t.subject,
+                                                s.existentials(),
+                                                &t.constraints,
+                                            );
+                                            texts.push(t);
+                                            fp
+                                        }
+                                        None => fingerprint::scheme_fp(&s),
+                                    };
                                     (n, s, fp)
                                 })
                                 .collect(),
                             constraints: out.constraints,
                         });
-                        self.cache.insert_schemes(fp, entry.clone());
+                        let evicted = self.cache.insert_schemes(fp, entry.clone());
+                        if let Some(store) = &self.store {
+                            store.record_schemes(fp, &entry, texts.unwrap_or_default(), evicted);
+                        }
                         entry
                     }
                 };
@@ -588,7 +670,10 @@ impl<'l> AnalysisDriver<'l> {
                             &actuals,
                             &sketches,
                         ));
-                        self.cache.insert_refine(fp2, r.clone());
+                        let evicted = self.cache.insert_refine(fp2, r.clone());
+                        if let Some(store) = &self.store {
+                            store.record_refine(fp2, lattice, lattice_fp, &r, evicted);
+                        }
                         r
                     }
                 }
@@ -627,6 +712,12 @@ impl<'l> AnalysisDriver<'l> {
         }
         inconsistencies.sort();
         inconsistencies.dedup();
+        // The store's end-of-solve hook hands over buffered records and
+        // checks compaction here (not on the insert path), so eviction
+        // churn within one solve triggers at most one rewrite.
+        if let Some(store) = &self.store {
+            store.solve_finished();
+        }
         stats.solve_ns = start.elapsed().as_nanos() as u64;
         stats.cache_hits = hits.load(Ordering::Relaxed);
         stats.cache_misses = misses.load(Ordering::Relaxed);

@@ -1,0 +1,1210 @@
+//! The persistent, content-addressed scheme store.
+//!
+//! An [`crate::AnalysisDriver`] configured with
+//! [`crate::DriverConfig::persist_path`] mirrors every cache insert into an
+//! append-only on-disk log, and on construction replays that log to
+//! pre-populate both cache passes — so a process restart (or a shard's
+//! panic rebuild in `retypd-serve`) starts *warm*: previously-seen modules
+//! are answered entirely from fingerprint hits instead of paying the full
+//! cold solve again.
+//!
+//! ## Log format
+//!
+//! The file opens with [`MAGIC`], followed by length-prefixed records:
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a checksum of payload][payload]
+//! ```
+//!
+//! Payloads are tagged by their first byte:
+//!
+//! * `1` — a lattice descriptor: `(lattice fingerprint, canonical
+//!   descriptor text)`. Written once per lattice, *before* the first
+//!   refinement record that references it, so sequential replay always
+//!   sees the descriptor first.
+//! * `2` — a pass-1 entry: the SCC fingerprint plus each member's scheme
+//!   in canonical text form with its per-scheme fingerprint.
+//! * `3` — a pass-2 entry: the refinement fingerprint, the lattice
+//!   fingerprint it was solved against, and the full
+//!   [`SccRefinement`] — sketches decomposed state-by-state with lattice
+//!   elements stored *by name* (indices are rebuilt against the replayer's
+//!   lattice) and a per-sketch fingerprint.
+//!
+//! Everything inside a payload is little-endian with length-prefixed UTF-8
+//! strings; the canonical text forms are the same ones the fingerprints of
+//! [`crate::fingerprint`] hash, which is what makes the store
+//! content-addressed: a record is valid exactly when re-fingerprinting its
+//! decoded value reproduces the stored key.
+//!
+//! ## Replay semantics
+//!
+//! Replay is torn-tail tolerant: the log is scanned record by record and
+//! *truncated at the first corrupt frame* (short header, oversized length,
+//! checksum mismatch) — a crash mid-append never prevents a restart, it
+//! only costs the torn record. Within a valid frame, every decoded entry is
+//! re-validated against its stored fingerprints (scheme text → scheme
+//! fingerprint, sketch structure → sketch fingerprint, descriptor text →
+//! lattice fingerprint); mismatches drop that record and are counted in
+//! [`PersistStats::dropped_records`]. Replay never panics and never
+//! refuses to start.
+//!
+//! ## Compaction
+//!
+//! The store keeps an in-memory mirror of the serialized payload for every
+//! *live* cache entry (evictions remove their mirror entry). When the log
+//! grows past `max(64 KiB, 4 × live bytes)` — checked after each solve and
+//! forceable via [`crate::AnalysisDriver::compact_store`] — the mirror is
+//! snapshotted in deterministic order (lattices, then pass-1 entries, then
+//! pass-2 entries, each sorted by fingerprint), written to a sibling
+//! temporary file, and atomically renamed over the log. Replaying a
+//! compacted log reproduces the live cache contents bit-identically.
+//!
+//! ## The writer thread
+//!
+//! Appends never block the solve hot path on disk — or on serialization:
+//! the solve path sends the cache entry itself (an `Arc` clone plus a
+//! pointer-copy snapshot of the lattice's element names) over a channel,
+//! and a dedicated writer thread renders the canonical text, maintains the
+//! live mirror, and appends. The writer batches whatever has queued up and
+//! flushes once per batch.
+//! [`SchemeStore::flush`] is the synchronization barrier (used by tests,
+//! benches, and the serve crate's panic-rebuild path). Any I/O error
+//! disables the writer with a warning — persistence is an accelerator, so
+//! it degrades to the in-memory-only behavior rather than failing solves.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use retypd_core::fxhash::FxHashMap;
+use retypd_core::parse::{parse_constraint_set, parse_derived_var};
+use retypd_core::sketch::{Sketch, SketchStateSpec};
+use retypd_core::{
+    Label, Lattice, LatticeDescriptor, SccRefinement, SolverStats, Symbol, TypeScheme,
+};
+
+use crate::cache::{CachedSchemes, SchemeCache};
+use crate::fingerprint::{self, Fnv64};
+use crate::LatticeMemo;
+
+/// The file magic every store log begins with. A file that does not start
+/// with it is treated as wholly corrupt and rewritten fresh.
+pub const MAGIC: &[u8] = b"retypd-scheme-store-v1\n";
+
+/// Frame header size: `u32` payload length + `u64` payload checksum.
+const FRAME_HEADER: usize = 12;
+
+/// Upper bound on a single record payload; a corrupt length field larger
+/// than this is treated as a torn tail rather than an allocation request.
+const MAX_PAYLOAD: usize = 64 << 20;
+
+/// The log-growth factor (relative to live mirror bytes) that triggers
+/// compaction, and the size floor below which compaction never runs.
+const COMPACT_FACTOR: u64 = 4;
+const COMPACT_MIN_BYTES: u64 = 64 * 1024;
+
+/// How many records the solve side buffers before waking the writer; see
+/// [`SchemeStore::pending`]. Flush, compaction, solve end, and drop hand
+/// over partial batches immediately.
+const SEND_BATCH: usize = 64;
+
+/// Payload kind tags.
+const KIND_LATTICE: u8 = 1;
+const KIND_SCHEMES: u8 = 2;
+const KIND_REFINE: u8 = 3;
+
+/// Checksum of a record payload: word-at-a-time FNV-1a over the raw
+/// bytes, domain-tagged like every other fingerprint in
+/// [`crate::fingerprint`]. This guards frames against torn or corrupted
+/// bytes; content-level validity is the fingerprints *inside* the
+/// payloads.
+fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut h = Fnv64::new("store-record");
+    h.write_wide(payload);
+    h.finish()
+}
+
+/// Frames a payload as it appears in the log: header (length + checksum)
+/// followed by the payload bytes. Exposed for the durability tests, which
+/// tamper with payload bytes and must re-frame them with a *valid*
+/// checksum to exercise the content-level fingerprint validation rather
+/// than the frame-level checksum.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload_checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked little-endian reader; every accessor returns `None`
+/// past the end, so a corrupt payload decodes to `None` instead of
+/// panicking.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let out = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        let n = self.u32()? as usize;
+        std::str::from_utf8(self.bytes(n)?).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn encode_lattice(fp: u64, descriptor_text: &str) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.push(KIND_LATTICE);
+    put_u64(&mut buf, fp);
+    put_str(&mut buf, descriptor_text);
+    buf
+}
+
+fn decode_lattice(payload: &[u8]) -> Option<(u64, String)> {
+    let mut c = Cursor::new(payload);
+    if c.u8()? != KIND_LATTICE {
+        return None;
+    }
+    let fp = c.u64()?;
+    let text = c.str()?.to_owned();
+    c.done().then_some((fp, text))
+}
+
+fn encode_schemes(fp: u64, entry: &CachedSchemes, texts: &[SchemeText]) -> Vec<u8> {
+    debug_assert_eq!(entry.schemes.len(), texts.len());
+    let text_bytes: usize = texts
+        .iter()
+        .map(|t| t.subject.len() + t.constraints.len())
+        .sum();
+    let mut buf = Vec::with_capacity(text_bytes + 64 * entry.schemes.len() + 64);
+    buf.push(KIND_SCHEMES);
+    put_u64(&mut buf, fp);
+    put_u64(&mut buf, entry.constraints as u64);
+    put_u32(&mut buf, entry.schemes.len() as u32);
+    for ((name, scheme, sfp), text) in entry.schemes.iter().zip(texts) {
+        put_str(&mut buf, name.as_str());
+        put_str(&mut buf, &text.subject);
+        put_u32(&mut buf, scheme.existentials().len() as u32);
+        for x in scheme.existentials() {
+            put_str(&mut buf, x.as_str());
+        }
+        put_str(&mut buf, &text.constraints);
+        put_u64(&mut buf, *sfp);
+    }
+    buf
+}
+
+/// Decodes and *validates* a pass-1 payload: every scheme's stored
+/// canonical text must reproduce its stored fingerprint — the same parts
+/// [`fingerprint::scheme_fp_parts`] hashed when the record was written,
+/// so validation is a hash over the text, not a parse → re-render round
+/// trip (display → reparse is a fixpoint, property-tested in `core`; the
+/// parse must still succeed for the record to be accepted at all).
+fn decode_schemes(payload: &[u8]) -> Option<(u64, CachedSchemes)> {
+    let mut c = Cursor::new(payload);
+    if c.u8()? != KIND_SCHEMES {
+        return None;
+    }
+    let fp = c.u64()?;
+    let constraints = c.u64()? as usize;
+    let n = c.u32()? as usize;
+    let mut schemes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = Symbol::intern(c.str()?);
+        let subject_text = c.str()?;
+        let subject = parse_derived_var(subject_text).ok()?;
+        if !subject.path().is_empty() {
+            return None;
+        }
+        let n_exist = c.u32()? as usize;
+        let mut existentials = std::collections::BTreeSet::new();
+        for _ in 0..n_exist {
+            existentials.insert(Symbol::intern(c.str()?));
+        }
+        let constraints_text = c.str()?;
+        let constraints = parse_constraint_set(constraints_text).ok()?;
+        let sfp = c.u64()?;
+        if fingerprint::scheme_fp_parts(subject_text, &existentials, constraints_text) != sfp {
+            return None;
+        }
+        let scheme = TypeScheme::new(subject.base(), existentials, constraints);
+        schemes.push((name, scheme, sfp));
+    }
+    c.done().then_some((fp, CachedSchemes { schemes, constraints }))
+}
+
+/// Renders a `Display` value into `scratch` (clearing it first) and
+/// appends it length-prefixed — the writer thread reuses one scratch
+/// buffer across every record it encodes.
+fn put_display(buf: &mut Vec<u8>, scratch: &mut String, value: impl std::fmt::Display) {
+    use std::fmt::Write as _;
+    scratch.clear();
+    let _ = write!(scratch, "{value}");
+    put_str(buf, scratch);
+}
+
+/// Rendered label texts, memoized per writer thread — the label
+/// vocabulary is tiny and repeats on nearly every sketch edge, so one
+/// `Display` render per distinct label replaces one per edge.
+type LabelCache = FxHashMap<Label, Box<str>>;
+
+fn put_sketch(buf: &mut Vec<u8>, sketch: &Sketch, names: &NameTable, labels: &mut LabelCache) {
+    let name = |e: retypd_core::LatticeElem| names.get(e.index()).copied().unwrap_or("");
+    put_u64(buf, fingerprint::sketch_fp(sketch));
+    put_u32(buf, sketch.len() as u32);
+    put_u32(buf, sketch.root());
+    for s in 0..sketch.len() as u32 {
+        let (lower, upper) = sketch.interval(s);
+        put_str(buf, name(sketch.mark(s)));
+        put_str(buf, name(lower));
+        put_str(buf, name(upper));
+        put_u32(buf, sketch.edges(s).count() as u32);
+        for (label, target) in sketch.edges(s) {
+            let text = labels
+                .entry(label)
+                .or_insert_with(|| label.to_string().into_boxed_str());
+            put_str(buf, text);
+            put_u32(buf, target);
+        }
+    }
+}
+
+/// Parsed labels by display text, memoized across one replay — the
+/// decode-side twin of [`LabelCache`]. Replay without it runs a full
+/// derived-variable parse per sketch *edge*; with it, one per distinct
+/// label in the log.
+type LabelMemo = FxHashMap<Box<str>, Label>;
+
+/// Re-reads a label from its display form via the derived-variable parser
+/// (labels have no standalone parser; `x.<label>` does), consulting
+/// `memo` first. A failed parse is not memoized — corrupt text returns
+/// `None` and the record is dropped anyway.
+fn parse_label(text: &str, memo: &mut LabelMemo) -> Option<Label> {
+    if let Some(l) = memo.get(text) {
+        return Some(*l);
+    }
+    let dv = parse_derived_var(&format!("x.{text}")).ok()?;
+    match dv.path() {
+        [l] => {
+            memo.insert(text.into(), *l);
+            Some(*l)
+        }
+        _ => None,
+    }
+}
+
+/// Decodes and *validates* one sketch blob against `lattice`: element
+/// names must resolve, the automaton must reconstruct, and the
+/// reconstruction must reproduce the stored sketch fingerprint.
+fn take_sketch(c: &mut Cursor<'_>, lattice: &Lattice, memo: &mut LabelMemo) -> Option<Sketch> {
+    let sfp = c.u64()?;
+    let n = c.u32()? as usize;
+    let root = c.u32()?;
+    let mut states = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let mark = lattice.element(c.str()?)?;
+        let lower = lattice.element(c.str()?)?;
+        let upper = lattice.element(c.str()?)?;
+        let n_edges = c.u32()? as usize;
+        let mut edges = Vec::with_capacity(n_edges.min(1024));
+        for _ in 0..n_edges {
+            let label = parse_label(c.str()?, memo)?;
+            let target = c.u32()?;
+            edges.push((label, target));
+        }
+        states.push(SketchStateSpec { mark, lower, upper, edges });
+    }
+    let sketch = Sketch::from_states(states, root)?;
+    (fingerprint::sketch_fp(&sketch) == sfp).then_some(sketch)
+}
+
+fn encode_refine(
+    fp: u64,
+    lattice_fp: u64,
+    r: &SccRefinement,
+    names: &NameTable,
+    labels: &mut LabelCache,
+    scratch: &mut String,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(512 * (r.sketches.len() + r.general.len()).max(1));
+    buf.push(KIND_REFINE);
+    put_u64(&mut buf, fp);
+    put_u64(&mut buf, lattice_fp);
+    put_u32(&mut buf, r.sketches.len() as u32);
+    for (var, sketch) in &r.sketches {
+        put_display(&mut buf, scratch, var);
+        put_sketch(&mut buf, sketch, names, labels);
+    }
+    put_u32(&mut buf, r.general.len() as u32);
+    for (name, sketch) in &r.general {
+        put_str(&mut buf, name.as_str());
+        put_sketch(&mut buf, sketch, names, labels);
+    }
+    put_u32(&mut buf, r.inconsistencies.len() as u32);
+    for (a, b) in &r.inconsistencies {
+        put_str(&mut buf, a.as_str());
+        put_str(&mut buf, b.as_str());
+    }
+    for x in [
+        r.stats.graph_nodes as u64,
+        r.stats.graph_edges as u64,
+        r.stats.quotient_nodes as u64,
+        r.stats.sketch_states as u64,
+        r.stats.constraints as u64,
+        r.stats.solve_ns,
+        r.stats.cache_hits,
+        r.stats.cache_misses,
+    ] {
+        put_u64(&mut buf, x);
+    }
+    buf
+}
+
+/// Peeks the lattice fingerprint of a pass-2 payload without decoding the
+/// body — used to resolve the lattice before the full decode, and by
+/// compaction to keep only referenced lattice records.
+fn refine_lattice_fp(payload: &[u8]) -> Option<u64> {
+    let mut c = Cursor::new(payload);
+    if c.u8()? != KIND_REFINE {
+        return None;
+    }
+    c.u64()?; // entry fingerprint
+    c.u64()
+}
+
+fn decode_refine(
+    payload: &[u8],
+    lattice: &Lattice,
+    memo: &mut LabelMemo,
+) -> Option<(u64, SccRefinement)> {
+    let mut c = Cursor::new(payload);
+    if c.u8()? != KIND_REFINE {
+        return None;
+    }
+    let fp = c.u64()?;
+    c.u64()?; // lattice fingerprint (already resolved by the caller)
+    let n_sketches = c.u32()? as usize;
+    let mut sketches = BTreeMap::new();
+    for _ in 0..n_sketches {
+        let dv = parse_derived_var(c.str()?).ok()?;
+        if !dv.path().is_empty() {
+            return None;
+        }
+        let sketch = take_sketch(&mut c, lattice, memo)?;
+        sketches.insert(dv.base(), sketch);
+    }
+    let n_general = c.u32()? as usize;
+    let mut general = Vec::with_capacity(n_general.min(1024));
+    for _ in 0..n_general {
+        let name = Symbol::intern(c.str()?);
+        general.push((name, take_sketch(&mut c, lattice, memo)?));
+    }
+    let n_inc = c.u32()? as usize;
+    let mut inconsistencies = Vec::with_capacity(n_inc.min(1024));
+    for _ in 0..n_inc {
+        let a = Symbol::intern(c.str()?);
+        let b = Symbol::intern(c.str()?);
+        inconsistencies.push((a, b));
+    }
+    let stats = SolverStats {
+        graph_nodes: c.u64()? as usize,
+        graph_edges: c.u64()? as usize,
+        quotient_nodes: c.u64()? as usize,
+        sketch_states: c.u64()? as usize,
+        constraints: c.u64()? as usize,
+        solve_ns: c.u64()?,
+        cache_hits: c.u64()?,
+        cache_misses: c.u64()?,
+    };
+    c.done().then_some((
+        fp,
+        SccRefinement {
+            sketches,
+            general,
+            inconsistencies,
+            stats,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Gauges and counters of a driver's persistent store, surfaced through
+/// [`crate::AnalysisDriver::persist_stats`] (and from there through
+/// `retypd-serve`'s `stats` wire response).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PersistStats {
+    /// Cache entries loaded from the log at construction (both passes).
+    pub replayed_entries: u64,
+    /// Wall-clock nanoseconds the construction-time replay took.
+    pub replay_ns: u64,
+    /// Records rejected during replay: frame-corrupt tails, fingerprint
+    /// mismatches, unresolvable lattices, undecodable payloads.
+    pub dropped_records: u64,
+    /// Cache entries currently mirrored on disk (both passes, post
+    /// eviction; what a restart would replay, modulo the queue).
+    pub persisted_entries: u64,
+    /// Records appended since construction.
+    pub appended_entries: u64,
+    /// Compactions performed since construction.
+    pub compactions: u64,
+    /// Current log size in bytes (as of the last enqueued write).
+    pub log_bytes: u64,
+}
+
+/// A snapshot of a lattice's element names, taken on the solve path
+/// (where the `&Lattice` is in scope) so the writer thread can serialize
+/// sketch states without needing the lattice itself. Indexed by
+/// [`retypd_core::LatticeElem::index`]; names are `&'static str`
+/// (interned by the lattice), so the snapshot is a handful of pointer
+/// copies and each lookup is an array read.
+type NameTable = Vec<&'static str>;
+
+/// Everything the writer thread needs from a lattice, rendered *once* per
+/// lattice fingerprint on first encounter and shared by `Arc` afterwards —
+/// re-rendering the descriptor per record would dwarf the rest of the
+/// solve-path recording cost.
+struct LatticeMeta {
+    descriptor: String,
+    names: NameTable,
+}
+
+/// A solved scheme's canonical text, rendered once on the solve path —
+/// [`fingerprint::scheme_fp_parts`] hashes these exact strings, and the
+/// writer persists them verbatim, so the record is content-addressed by
+/// construction with no second render.
+pub(crate) struct SchemeText {
+    pub subject: String,
+    pub constraints: String,
+}
+
+/// Messages to the writer thread (sent in [`SEND_BATCH`]-sized batches).
+/// Cache entries travel as `Arc` clones and are *encoded on the writer
+/// thread*; pass-1 canonical text rides along pre-rendered because the
+/// solve path already rendered it to fingerprint the schemes.
+enum Msg {
+    /// A pass-1 insert: encode, mirror (dropping `evicted`), append.
+    Schemes {
+        fp: u64,
+        entry: Arc<CachedSchemes>,
+        texts: Vec<SchemeText>,
+        evicted: Vec<u64>,
+    },
+    /// A pass-2 insert: encode (writing the lattice's descriptor record
+    /// first if this fingerprint is new to the mirror), mirror, append.
+    Refine {
+        fp: u64,
+        lattice_fp: u64,
+        meta: Arc<LatticeMeta>,
+        entry: Arc<SccRefinement>,
+        evicted: Vec<u64>,
+    },
+    /// Rewrite the log from the live mirror (temp file + atomic rename),
+    /// then continue appending to the new file.
+    Compact,
+    /// Flush buffered writes and ack.
+    Flush(mpsc::Sender<()>),
+}
+
+/// Gauges shared with the writer thread, which updates them after each
+/// batch it processes. They lag the queue by at most one batch — fine for
+/// the compaction trigger and the stats report, and [`SchemeStore::flush`]
+/// is the barrier that makes them exact.
+#[derive(Default)]
+struct Shared {
+    log_bytes: AtomicU64,
+    live_bytes: AtomicU64,
+    live_entries: AtomicU64,
+    appended: AtomicU64,
+    compactions: AtomicU64,
+    /// Set when a compaction is enqueued, cleared when it lands — keeps a
+    /// backlogged queue from triggering a pile of redundant rewrites.
+    compact_pending: std::sync::atomic::AtomicBool,
+}
+
+/// The in-memory mirror: the serialized payload of every live cache
+/// entry, which is exactly what compaction rewrites the log from. Owned
+/// by the writer thread (seeded by replay at construction), so mirror
+/// order always matches file order with no locking at all.
+struct Mirror {
+    schemes: FxHashMap<u64, Arc<Vec<u8>>>,
+    refines: FxHashMap<u64, Arc<Vec<u8>>>,
+    /// Lattice-descriptor payloads by lattice fingerprint. `BTreeMap` so
+    /// compaction emits them in deterministic order.
+    lattices: BTreeMap<u64, Arc<Vec<u8>>>,
+}
+
+impl Mirror {
+    fn framed_len(payload: &[u8]) -> u64 {
+        (FRAME_HEADER + payload.len()) as u64
+    }
+
+    fn entries(&self) -> u64 {
+        (self.schemes.len() + self.refines.len()) as u64
+    }
+}
+
+/// Everything the writer thread takes ownership of when it starts: the
+/// append handle and the replay-seeded mirror. Boxed so the idle state
+/// is one pointer wide.
+struct WriterSeed {
+    file: File,
+    mirror: Mirror,
+    live_bytes: u64,
+}
+
+/// Lifecycle of the writer thread. A store opens `Idle`, holding the
+/// seed; the first non-empty batch moves it to `Running`. `Poisoned`
+/// means thread spawn failed (or `Drop` ran) — subsequent records are
+/// silently dropped, exactly as if the channel had closed.
+enum WriterHandle {
+    Idle(Box<WriterSeed>),
+    Running {
+        tx: mpsc::Sender<Vec<Msg>>,
+        handle: JoinHandle<()>,
+    },
+    Poisoned,
+}
+
+/// The persistent store attached to one driver. See the module docs for
+/// the format, replay, and compaction story.
+pub struct SchemeStore {
+    path: PathBuf,
+    shared: Arc<Shared>,
+    /// The writer thread — spawned lazily by the first non-empty batch,
+    /// so a fully warm store (every solve a replay hit, nothing to
+    /// append) never pays thread spawn or join. The lock is taken once
+    /// per [`SEND_BATCH`] records, not per record.
+    writer: Mutex<WriterHandle>,
+    /// Records buffered on the solve side and handed to the writer in
+    /// batches of [`SEND_BATCH`] (or at a flush/compaction/solve
+    /// boundary): a channel send wakes the parked writer, and on a
+    /// single core that wakeup — not the queue push — is what recording
+    /// would otherwise pay per entry.
+    pending: Mutex<Vec<Msg>>,
+    /// Rendered descriptor + name table per lattice fingerprint (see
+    /// [`LatticeMeta`]). The lock is held for a hash lookup and an `Arc`
+    /// clone; only a lattice's *first* record pays the rendering.
+    lattice_meta: Mutex<FxHashMap<u64, Arc<LatticeMeta>>>,
+    replayed_entries: u64,
+    replay_ns: u64,
+    dropped_records: u64,
+}
+
+impl std::fmt::Debug for SchemeStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeStore")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SchemeStore {
+    /// Opens (creating if absent) the log at `path`, replays it into
+    /// `cache`, and repairs any torn tail. The writer thread is spawned
+    /// lazily by the first record actually appended, so a store whose
+    /// every solve is a replay hit costs no thread at all.
+    /// Replayed pass-2 entries are validated against `lattice` when their
+    /// lattice fingerprint matches, or against a descriptor-built lattice
+    /// from `memo` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O failure (unreadable/unwritable path); corrupt *content*
+    /// is never an error, it is truncated or dropped.
+    pub(crate) fn open(
+        path: &Path,
+        lattice: &Lattice,
+        memo: &LatticeMemo,
+        cache: &SchemeCache,
+    ) -> io::Result<SchemeStore> {
+        let start = Instant::now();
+        let default_fp = lattice.fingerprint();
+        let data = match fs::read(path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+
+        // ---- Frame scan: collect valid payloads, find the usable prefix.
+        let magic_ok = data.starts_with(MAGIC);
+        let mut payloads: Vec<&[u8]> = Vec::new();
+        let mut valid = if magic_ok { MAGIC.len() } else { 0 };
+        if magic_ok {
+            let mut pos = valid;
+            loop {
+                let Some(header) = data.get(pos..pos + FRAME_HEADER) else { break };
+                let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+                let sum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+                if len > MAX_PAYLOAD {
+                    break;
+                }
+                let Some(payload) = data.get(pos + FRAME_HEADER..pos + FRAME_HEADER + len)
+                else {
+                    break;
+                };
+                if payload_checksum(payload) != sum {
+                    break;
+                }
+                payloads.push(payload);
+                pos += FRAME_HEADER + len;
+                valid = pos;
+            }
+        }
+        let mut dropped = u64::from(valid < data.len());
+
+        // ---- Apply records in log order (later records overwrite earlier
+        // ones for the same fingerprint, so replay-of-append equals
+        // replay-of-compaction).
+        let mut mirror = Mirror {
+            schemes: FxHashMap::default(),
+            refines: FxHashMap::default(),
+            lattices: BTreeMap::new(),
+        };
+        let mut live_bytes = 0u64;
+        let mut lattice_texts: BTreeMap<u64, String> = BTreeMap::new();
+        let mut label_memo = LabelMemo::default();
+        let mut replayed = 0u64;
+        for payload in payloads {
+            let owned = || Arc::new(payload.to_vec());
+            match payload.first().copied() {
+                Some(KIND_LATTICE) => match decode_lattice(payload) {
+                    Some((fp, text)) => {
+                        lattice_texts.insert(fp, text);
+                        mirror_insert(&mut mirror.lattices, fp, &owned(), &mut live_bytes);
+                    }
+                    None => dropped += 1,
+                },
+                Some(KIND_SCHEMES) => match decode_schemes(payload) {
+                    Some((fp, entry)) => {
+                        let evicted = cache.insert_schemes(fp, Arc::new(entry));
+                        for e in evicted {
+                            mirror_remove(&mut mirror.schemes, e, &mut live_bytes);
+                        }
+                        mirror_insert(&mut mirror.schemes, fp, &owned(), &mut live_bytes);
+                        replayed += 1;
+                    }
+                    None => dropped += 1,
+                },
+                Some(KIND_REFINE) => {
+                    let decoded = refine_lattice_fp(payload).and_then(|lfp| {
+                        if lfp == default_fp {
+                            decode_refine(payload, lattice, &mut label_memo)
+                        } else {
+                            let text = lattice_texts.get(&lfp)?;
+                            let d: LatticeDescriptor = text.parse().ok()?;
+                            let built = memo.get_or_build(&d).ok()?;
+                            if built.fingerprint() != lfp {
+                                return None;
+                            }
+                            decode_refine(payload, &built, &mut label_memo)
+                        }
+                    });
+                    match decoded {
+                        Some((fp, refine)) => {
+                            let evicted = cache.insert_refine(fp, Arc::new(refine));
+                            for e in evicted {
+                                mirror_remove(&mut mirror.refines, e, &mut live_bytes);
+                            }
+                            mirror_insert(&mut mirror.refines, fp, &owned(), &mut live_bytes);
+                            replayed += 1;
+                        }
+                        None => dropped += 1,
+                    }
+                }
+                _ => dropped += 1,
+            }
+        }
+
+        // ---- Repair the file: fresh magic if it was missing/corrupt,
+        // truncate a torn tail otherwise — *before* any new append lands.
+        if !magic_ok {
+            let mut f = File::create(path)?;
+            f.write_all(MAGIC)?;
+            valid = MAGIC.len();
+        } else if valid < data.len() {
+            OpenOptions::new().write(true).open(path)?.set_len(valid as u64)?;
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+
+        let shared = Arc::new(Shared::default());
+        shared.log_bytes.store(valid as u64, Ordering::Relaxed);
+        shared.live_bytes.store(live_bytes, Ordering::Relaxed);
+        shared.live_entries.store(mirror.entries(), Ordering::Relaxed);
+
+        Ok(SchemeStore {
+            path: path.to_path_buf(),
+            shared,
+            writer: Mutex::new(WriterHandle::Idle(Box::new(WriterSeed {
+                file,
+                mirror,
+                live_bytes,
+            }))),
+            pending: Mutex::new(Vec::new()),
+            lattice_meta: Mutex::new(FxHashMap::default()),
+            replayed_entries: replayed,
+            replay_ns: start.elapsed().as_nanos() as u64,
+            dropped_records: dropped,
+        })
+    }
+
+    /// The log path this store appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Buffers a message, handing the whole buffer to the writer once it
+    /// holds [`SEND_BATCH`] records.
+    fn push(&self, msg: Msg) {
+        let ready = {
+            let mut pending = self.pending.lock().expect("store pending");
+            pending.push(msg);
+            (pending.len() >= SEND_BATCH).then(|| std::mem::take(&mut *pending))
+        };
+        if let Some(batch) = ready {
+            self.send(batch);
+        }
+    }
+
+    /// Hands any buffered records to the writer immediately, plus `tail`.
+    fn kick(&self, tail: Option<Msg>) {
+        let mut batch = std::mem::take(&mut *self.pending.lock().expect("store pending"));
+        batch.extend(tail);
+        if !batch.is_empty() {
+            self.send(batch);
+        }
+    }
+
+    /// Hands a batch to the writer thread, spawning it first if this is
+    /// the store's first append. Spawn failure poisons the handle and the
+    /// batch is dropped — the log simply stops growing, which replay
+    /// already tolerates.
+    fn send(&self, batch: Vec<Msg>) {
+        let mut writer = self.writer.lock().expect("store writer");
+        if matches!(&*writer, WriterHandle::Idle(_)) {
+            let WriterHandle::Idle(seed) =
+                std::mem::replace(&mut *writer, WriterHandle::Poisoned)
+            else {
+                unreachable!()
+            };
+            let (tx, rx) = mpsc::channel();
+            let path = self.path.clone();
+            let shared = Arc::clone(&self.shared);
+            let spawned = std::thread::Builder::new()
+                .name("scheme-store-writer".into())
+                .spawn(move || {
+                    let WriterSeed { file, mirror, live_bytes } = *seed;
+                    writer_loop(path, file, rx, shared, mirror, live_bytes)
+                });
+            if let Ok(handle) = spawned {
+                *writer = WriterHandle::Running { tx, handle };
+            }
+        }
+        if let WriterHandle::Running { tx, .. } = &*writer {
+            let _ = tx.send(batch);
+        }
+    }
+
+    /// Hands a pass-1 insert to the writer thread: the entry travels as an
+    /// `Arc` clone plus the canonical text the solve path already rendered
+    /// to fingerprint it; framing happens off the solve path.
+    pub(crate) fn record_schemes(
+        &self,
+        fp: u64,
+        entry: &Arc<CachedSchemes>,
+        texts: Vec<SchemeText>,
+        evicted: Vec<u64>,
+    ) {
+        self.push(Msg::Schemes {
+            fp,
+            entry: Arc::clone(entry),
+            texts,
+            evicted,
+        });
+    }
+
+    /// Hands a pass-2 insert to the writer thread. The solve path snapshots
+    /// only what the writer cannot reach later — the lattice's name table
+    /// and descriptor text — and only once per lattice (cached by
+    /// fingerprint, shared by `Arc` thereafter).
+    pub(crate) fn record_refine(
+        &self,
+        fp: u64,
+        lattice: &Lattice,
+        lattice_fp: u64,
+        entry: &Arc<SccRefinement>,
+        evicted: Vec<u64>,
+    ) {
+        let meta = {
+            let mut cache = self.lattice_meta.lock().expect("lattice meta");
+            Arc::clone(cache.entry(lattice_fp).or_insert_with(|| {
+                Arc::new(LatticeMeta {
+                    descriptor: lattice.descriptor().to_string(),
+                    names: {
+                        let mut names = NameTable::new();
+                        for e in lattice.elements() {
+                            if e.index() >= names.len() {
+                                names.resize(e.index() + 1, "");
+                            }
+                            names[e.index()] = lattice.name(e);
+                        }
+                        names
+                    },
+                })
+            }))
+        };
+        self.push(Msg::Refine {
+            fp,
+            lattice_fp,
+            meta,
+            entry: Arc::clone(entry),
+            evicted,
+        });
+    }
+
+    /// End-of-solve hook: hands the writer whatever the solve buffered,
+    /// plus a compaction request if the log has outgrown the live mirror
+    /// (see module docs). The gauges lag the writer by at most one batch,
+    /// which only delays the compaction trigger, never loses it.
+    pub(crate) fn solve_finished(&self) {
+        let log = self.shared.log_bytes.load(Ordering::Relaxed);
+        let live = MAGIC.len() as u64 + self.shared.live_bytes.load(Ordering::Relaxed);
+        let compact = log > live.saturating_mul(COMPACT_FACTOR).max(COMPACT_MIN_BYTES)
+            && !self.shared.compact_pending.swap(true, Ordering::Relaxed);
+        self.kick(compact.then_some(Msg::Compact));
+    }
+
+    /// Unconditionally compacts and waits for the rewrite to land.
+    pub fn compact(&self) {
+        if !self.shared.compact_pending.swap(true, Ordering::Relaxed) {
+            self.kick(Some(Msg::Compact));
+        }
+        self.flush();
+    }
+
+    /// Blocks until every record handed over so far has been encoded,
+    /// appended, and flushed to the OS — the barrier tests, benches, and
+    /// the serve rebuild path use before re-reading the log, and the
+    /// point at which the shared gauges are exact.
+    pub fn flush(&self) {
+        {
+            // Nothing recorded since open (or ever): the gauges are
+            // already exact and there is no writer to wait on. The
+            // `writer` lock is held across the `pending` check so a
+            // concurrent push can't slip a batch between the two reads.
+            let writer = self.writer.lock().expect("store writer");
+            if matches!(&*writer, WriterHandle::Idle(_))
+                && self.pending.lock().expect("store pending").is_empty()
+            {
+                return;
+            }
+        }
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.kick(Some(Msg::Flush(ack_tx)));
+        let _ = ack_rx.recv();
+    }
+
+    /// Current counters (replay numbers are fixed at construction; the
+    /// rest are exact as of the writer's last completed batch — call
+    /// [`SchemeStore::flush`] first for exact-now values).
+    pub fn stats(&self) -> PersistStats {
+        PersistStats {
+            replayed_entries: self.replayed_entries,
+            replay_ns: self.replay_ns,
+            dropped_records: self.dropped_records,
+            persisted_entries: self.shared.live_entries.load(Ordering::Relaxed),
+            appended_entries: self.shared.appended.load(Ordering::Relaxed),
+            compactions: self.shared.compactions.load(Ordering::Relaxed),
+            log_bytes: self.shared.log_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for SchemeStore {
+    fn drop(&mut self) {
+        // Hand over anything still buffered, then close the channel: the
+        // writer drains its queue, flushes, and exits; joining makes
+        // driver teardown a durability point. A store that never
+        // appended has no thread — dropping the seed just closes the
+        // file handle.
+        self.kick(None);
+        let writer = std::mem::replace(
+            self.writer.get_mut().unwrap_or_else(|e| e.into_inner()),
+            WriterHandle::Poisoned,
+        );
+        if let WriterHandle::Running { tx, handle } = writer {
+            drop(tx);
+            let _ = handle.join();
+        }
+    }
+}
+
+fn mirror_insert<M: MirrorMap>(map: &mut M, fp: u64, payload: &Arc<Vec<u8>>, live: &mut u64) {
+    if let Some(old) = map.insert_payload(fp, Arc::clone(payload)) {
+        *live -= Mirror::framed_len(&old);
+    }
+    *live += Mirror::framed_len(payload);
+}
+
+fn mirror_remove<M: MirrorMap>(map: &mut M, fp: u64, live: &mut u64) {
+    if let Some(old) = map.remove_payload(fp) {
+        *live -= Mirror::framed_len(&old);
+    }
+}
+
+/// The two mirror map shapes (`FxHashMap` for entries, `BTreeMap` for
+/// lattices) behind one insert/remove interface.
+trait MirrorMap {
+    fn insert_payload(&mut self, fp: u64, payload: Arc<Vec<u8>>) -> Option<Arc<Vec<u8>>>;
+    fn remove_payload(&mut self, fp: u64) -> Option<Arc<Vec<u8>>>;
+}
+
+impl MirrorMap for FxHashMap<u64, Arc<Vec<u8>>> {
+    fn insert_payload(&mut self, fp: u64, payload: Arc<Vec<u8>>) -> Option<Arc<Vec<u8>>> {
+        self.insert(fp, payload)
+    }
+    fn remove_payload(&mut self, fp: u64) -> Option<Arc<Vec<u8>>> {
+        self.remove(&fp)
+    }
+}
+
+impl MirrorMap for BTreeMap<u64, Arc<Vec<u8>>> {
+    fn insert_payload(&mut self, fp: u64, payload: Arc<Vec<u8>>) -> Option<Arc<Vec<u8>>> {
+        self.insert(fp, payload)
+    }
+    fn remove_payload(&mut self, fp: u64) -> Option<Arc<Vec<u8>>> {
+        self.remove(&fp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer thread
+// ---------------------------------------------------------------------------
+
+fn write_frame(out: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+    out.write_all(&payload_checksum(payload).to_le_bytes())?;
+    out.write_all(payload)
+}
+
+/// Writes the compaction snapshot to a sibling temp file and atomically
+/// renames it over the log; returns the reopened append handle.
+fn rewrite_log(path: &Path, records: &[Arc<Vec<u8>>]) -> io::Result<File> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut out = BufWriter::new(File::create(&tmp)?);
+    out.write_all(MAGIC)?;
+    for r in records {
+        write_frame(&mut out, r)?;
+    }
+    let f = out.into_inner().map_err(|e| e.into_error())?;
+    f.sync_all()?;
+    fs::rename(&tmp, path)?;
+    OpenOptions::new().append(true).open(path)
+}
+
+fn writer_loop(
+    path: PathBuf,
+    file: File,
+    rx: mpsc::Receiver<Vec<Msg>>,
+    shared: Arc<Shared>,
+    mut mirror: Mirror,
+    mut live_bytes: u64,
+) {
+    // A buffer comfortably larger than a typical batch, so appends cost
+    // one write syscall per flush rather than one per 8 KiB of frames.
+    const WRITER_BUF: usize = 256 << 10;
+    let mut out = BufWriter::with_capacity(WRITER_BUF, file);
+    let mut log_bytes = shared.log_bytes.load(Ordering::Relaxed);
+    // After an I/O error the writer keeps consuming (and acking flushes,
+    // so nobody deadlocks) but stops writing until a compaction gives it
+    // a fresh file; one warning, not one per record.
+    let mut broken = false;
+    let append = |out: &mut BufWriter<File>, broken: &mut bool, log_bytes: &mut u64, payload: &[u8]| {
+        shared.appended.fetch_add(1, Ordering::Relaxed);
+        *log_bytes += Mirror::framed_len(payload);
+        if !*broken {
+            if let Err(e) = write_frame(out, payload) {
+                eprintln!("scheme store {}: append failed: {e}", path.display());
+                *broken = true;
+            }
+        }
+    };
+    let mut scratch = String::new();
+    let mut labels = LabelCache::default();
+    while let Ok(mut batch) = rx.recv() {
+        let mut acks: Vec<mpsc::Sender<()>> = Vec::new();
+        while let Ok(more) = rx.try_recv() {
+            batch.extend(more);
+        }
+        for msg in batch {
+            match msg {
+                Msg::Schemes {
+                    fp,
+                    entry,
+                    texts,
+                    evicted,
+                } => {
+                    let payload = Arc::new(encode_schemes(fp, &entry, &texts));
+                    for e in evicted {
+                        mirror_remove(&mut mirror.schemes, e, &mut live_bytes);
+                    }
+                    mirror_insert(&mut mirror.schemes, fp, &payload, &mut live_bytes);
+                    append(&mut out, &mut broken, &mut log_bytes, &payload);
+                }
+                Msg::Refine {
+                    fp,
+                    lattice_fp,
+                    meta,
+                    entry,
+                    evicted,
+                } => {
+                    for e in evicted {
+                        mirror_remove(&mut mirror.refines, e, &mut live_bytes);
+                    }
+                    // The descriptor record precedes the first refine that
+                    // references it; the mirror is the have-we-written-it set.
+                    if !mirror.lattices.contains_key(&lattice_fp) {
+                        let lp = Arc::new(encode_lattice(lattice_fp, &meta.descriptor));
+                        mirror_insert(&mut mirror.lattices, lattice_fp, &lp, &mut live_bytes);
+                        append(&mut out, &mut broken, &mut log_bytes, &lp);
+                    }
+                    let payload = Arc::new(encode_refine(
+                        fp,
+                        lattice_fp,
+                        &entry,
+                        &meta.names,
+                        &mut labels,
+                        &mut scratch,
+                    ));
+                    mirror_insert(&mut mirror.refines, fp, &payload, &mut live_bytes);
+                    append(&mut out, &mut broken, &mut log_bytes, &payload);
+                }
+                Msg::Compact => {
+                    // Drop lattice records no longer referenced by a live
+                    // refine entry, so descriptors cannot accumulate
+                    // without bound.
+                    let referenced: std::collections::BTreeSet<u64> = mirror
+                        .refines
+                        .values()
+                        .filter_map(|p| refine_lattice_fp(p))
+                        .collect();
+                    let stale: Vec<u64> = mirror
+                        .lattices
+                        .keys()
+                        .copied()
+                        .filter(|fp| !referenced.contains(fp))
+                        .collect();
+                    for fp in stale {
+                        mirror_remove(&mut mirror.lattices, fp, &mut live_bytes);
+                    }
+
+                    // Deterministic snapshot order: lattices, schemes,
+                    // refines, each ascending by fingerprint.
+                    let mut records: Vec<Arc<Vec<u8>>> = Vec::with_capacity(
+                        mirror.lattices.len() + mirror.schemes.len() + mirror.refines.len(),
+                    );
+                    records.extend(mirror.lattices.values().cloned());
+                    for map in [&mirror.schemes, &mirror.refines] {
+                        let mut fps: Vec<u64> = map.keys().copied().collect();
+                        fps.sort_unstable();
+                        records.extend(fps.iter().map(|fp| Arc::clone(&map[fp])));
+                    }
+                    match rewrite_log(&path, &records) {
+                        Ok(f) => {
+                            // Buffered frames belonged to the
+                            // pre-compaction file; the snapshot supersedes
+                            // them.
+                            out = BufWriter::with_capacity(WRITER_BUF, f);
+                            broken = false;
+                            log_bytes = MAGIC.len() as u64
+                                + records.iter().map(|p| Mirror::framed_len(p)).sum::<u64>();
+                            shared.compactions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("scheme store {}: compaction failed: {e}", path.display());
+                            broken = true;
+                        }
+                    }
+                    shared.compact_pending.store(false, Ordering::Relaxed);
+                }
+                Msg::Flush(ack) => acks.push(ack),
+            }
+        }
+        if !broken {
+            if let Err(e) = out.flush() {
+                eprintln!("scheme store {}: flush failed: {e}", path.display());
+                broken = true;
+            }
+        }
+        shared.log_bytes.store(log_bytes, Ordering::Relaxed);
+        shared.live_bytes.store(live_bytes, Ordering::Relaxed);
+        shared.live_entries.store(mirror.entries(), Ordering::Relaxed);
+        for ack in acks {
+            let _ = ack.send(());
+        }
+    }
+    let _ = out.flush();
+}
+
+// The store rides inside `AnalysisDriver<'static>`, which crosses thread
+// boundaries in `retypd-serve`; pin the auto-traits here where the fields
+// that determine them live.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SchemeStore>();
+    assert_send_sync::<PersistStats>();
+};

@@ -58,6 +58,7 @@ fn bounded_cache_evicts_and_stays_correct() {
         DriverConfig {
             workers: 1,
             cache_capacity: Some(4),
+            persist_path: None,
         },
     );
     for round in 0..3 {
@@ -96,6 +97,7 @@ fn eviction_costs_misses_not_correctness() {
         DriverConfig {
             workers: 1,
             cache_capacity: Some(3),
+            persist_path: None,
         },
     );
     let first = driver.solve(&job.program);
@@ -132,6 +134,7 @@ fn hot_entries_survive_cold_churn() {
         DriverConfig {
             workers: 1,
             cache_capacity: Some(2 * hot_sccs),
+            persist_path: None,
         },
     );
     driver.solve(&hot.program);

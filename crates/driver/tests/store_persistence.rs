@@ -1,0 +1,329 @@
+//! Durability suite for the persistent scheme store: restart warmness,
+//! kill-at-any-byte replay, content-fingerprint rejection, and compaction
+//! equivalence. Everything here runs against real files in a per-test
+//! temp directory — the store's contract is about surviving process
+//! boundaries, so the tests cross them (by dropping and rebuilding
+//! drivers on the same path, which is exactly what a restart does).
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use retypd_core::{Lattice, LatticeDescriptor, SolverResult};
+use retypd_driver::store::{frame_record, MAGIC};
+use retypd_driver::{AnalysisDriver, DriverConfig, LatticeSelector, ModuleJob, SolveRequest};
+use retypd_minic::codegen::compile;
+use retypd_minic::genprog::{GenConfig, ProgramGenerator};
+
+/// A unique temp file path per call (no tempfile crate in the vendored
+/// workspace; pid + counter keeps parallel test binaries apart).
+fn temp_store_path(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "retypd-store-test-{}-{tag}-{n}.store",
+        std::process::id()
+    ))
+}
+
+/// RAII cleanup so failed assertions don't leave files behind forever.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(tag: &str) -> TempFile {
+        TempFile(temp_store_path(tag))
+    }
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn generated_job(seed: u64, functions: usize) -> ModuleJob {
+    let module = ProgramGenerator::new(GenConfig {
+        seed,
+        functions,
+        structs: 3,
+        ..GenConfig::default()
+    })
+    .generate();
+    let (mir, _) = compile(&module).expect("generated module compiles");
+    ModuleJob {
+        name: format!("m{seed}"),
+        program: retypd_congen::generate(&mir),
+    }
+}
+
+fn render(result: &SolverResult) -> String {
+    let mut out = String::new();
+    for (name, pr) in &result.procs {
+        let _ = writeln!(out, "{name}: {}", pr.scheme);
+        let _ = writeln!(out, "  sketch: {:?}", pr.sketch);
+        let _ = writeln!(out, "  general: {:?}", pr.general_sketch);
+    }
+    let _ = writeln!(out, "{:?}", result.inconsistencies);
+    out
+}
+
+fn persistent_config(path: &Path) -> DriverConfig {
+    DriverConfig {
+        workers: 1,
+        cache_capacity: None,
+        persist_path: Some(path.to_path_buf()),
+    }
+}
+
+/// The headline contract: a restarted driver replaying its store answers a
+/// previously-seen corpus with 100% cache hits and bit-identical results.
+#[test]
+fn restart_replays_to_all_hits() {
+    let lattice = Lattice::c_types();
+    let store = TempFile::new("restart");
+    let jobs: Vec<ModuleJob> = [(61u64, 8usize), (62, 10)]
+        .iter()
+        .map(|&(s, f)| generated_job(s, f))
+        .collect();
+
+    let (reference, cold_misses) = {
+        let driver = AnalysisDriver::with_config(&lattice, persistent_config(store.path()));
+        let results: Vec<String> = jobs.iter().map(|j| render(&driver.solve(&j.program))).collect();
+        // Generated modules may share the odd SCC (hence hits > 0 is
+        // possible even cold); every *miss* becomes a persisted record.
+        let stats = driver.cache_stats();
+        assert!(stats.misses > 0);
+        (results, stats.misses)
+        // Drop joins the writer thread: everything is on disk now.
+    };
+
+    let restarted = AnalysisDriver::with_config(&lattice, persistent_config(store.path()));
+    let persist = restarted.persist_stats().expect("store configured");
+    assert_eq!(
+        persist.replayed_entries, cold_misses,
+        "every miss became a persisted, replayed entry"
+    );
+    assert_eq!(persist.dropped_records, 0);
+    assert!(persist.replay_ns > 0);
+
+    for (j, want) in jobs.iter().zip(&reference) {
+        let got = restarted.solve(&j.program);
+        assert_eq!(
+            got.stats.cache_misses, 0,
+            "restart must answer {} entirely from the replayed store",
+            j.name
+        );
+        assert!(got.stats.cache_hits > 0);
+        assert_eq!(render(&got), *want, "{}: replayed result differs", j.name);
+    }
+}
+
+/// Pass-2 entries solved against a non-default lattice round-trip too:
+/// the store records the lattice descriptor and replays against a
+/// rebuilt, fingerprint-verified lattice.
+#[test]
+fn restart_replays_non_default_lattice_entries() {
+    let c_types = Lattice::c_types();
+    let store = TempFile::new("lattice");
+    let descriptor: LatticeDescriptor = {
+        let mut b = Lattice::c_types_builder();
+        b.add_under("#StoreTestTag", "int").expect("fresh tag");
+        b.le("⊥", "#StoreTestTag").expect("known");
+        b.set_name("c_types_store_test");
+        b.build().expect("extended c_types is a lattice").descriptor().clone()
+    };
+    let job = generated_job(63, 6);
+
+    let reference = {
+        let driver = AnalysisDriver::with_config(&c_types, persistent_config(store.path()));
+        let session = driver
+            .session(
+                SolveRequest::batch(std::slice::from_ref(&job))
+                    .with_lattice(LatticeSelector::Descriptor(descriptor.clone())),
+            )
+            .expect("descriptor is valid");
+        render(&session.run()[0].result)
+    };
+
+    let restarted = AnalysisDriver::with_config(&c_types, persistent_config(store.path()));
+    assert!(restarted.persist_stats().expect("store").replayed_entries > 0);
+    let session = restarted
+        .session(
+            SolveRequest::batch(std::slice::from_ref(&job))
+                .with_lattice(LatticeSelector::Descriptor(descriptor)),
+        )
+        .expect("descriptor is valid");
+    let report = &session.run()[0];
+    assert_eq!(report.result.stats.cache_misses, 0);
+    assert_eq!(render(&report.result), reference);
+}
+
+/// Kill-at-any-byte: for *every* prefix of a valid log, replay must not
+/// panic, must yield a usable (possibly empty) cache, and the repaired
+/// file must accept and persist new appends.
+#[test]
+fn kill_at_any_byte_yields_usable_prefix() {
+    let lattice = Lattice::c_types();
+    let full = TempFile::new("kill-src");
+    let job = generated_job(64, 3);
+    let reference = {
+        let driver = AnalysisDriver::with_config(&lattice, persistent_config(full.path()));
+        render(&driver.solve(&job.program))
+    };
+    let bytes = std::fs::read(full.path()).expect("store file exists");
+    assert!(bytes.len() > MAGIC.len(), "corpus must persist something");
+
+    let truncated = TempFile::new("kill-dst");
+    let mut max_replayed = 0u64;
+    for cut in 0..=bytes.len() {
+        std::fs::write(truncated.path(), &bytes[..cut]).expect("write truncated copy");
+        let driver = AnalysisDriver::with_config(&lattice, persistent_config(truncated.path()));
+        let persist = driver.persist_stats().expect("store configured");
+        max_replayed = max_replayed.max(persist.replayed_entries);
+        // Whatever survived, the solve is bit-identical to the reference.
+        let got = driver.solve(&job.program);
+        assert_eq!(render(&got), reference, "cut at byte {cut}");
+    }
+    assert!(
+        max_replayed > 0,
+        "full-length replay must recover the corpus"
+    );
+
+    // A torn tail is *repaired*: after replaying a mid-record cut, new
+    // appends land after the valid prefix and a further restart sees them.
+    let cut = bytes.len() - 1;
+    std::fs::write(truncated.path(), &bytes[..cut]).expect("write torn copy");
+    {
+        let driver = AnalysisDriver::with_config(&lattice, persistent_config(truncated.path()));
+        driver.solve(&job.program);
+    }
+    let repaired = AnalysisDriver::with_config(&lattice, persistent_config(truncated.path()));
+    let warm = repaired.solve(&job.program);
+    assert_eq!(warm.stats.cache_misses, 0, "repaired log replays fully");
+    assert_eq!(render(&warm), reference);
+}
+
+/// A record whose frame checksum is valid but whose *content* fingerprint
+/// does not match its decoded value is dropped on replay (content
+/// addressing, not just frame integrity).
+#[test]
+fn fingerprint_mismatch_drops_the_record() {
+    let lattice = Lattice::c_types();
+    let store = TempFile::new("tamper");
+    let job = generated_job(65, 4);
+    let (reference, clean_replayed) = {
+        let driver = AnalysisDriver::with_config(&lattice, persistent_config(store.path()));
+        let reference = render(&driver.solve(&job.program));
+        drop(driver);
+        let replayed = AnalysisDriver::with_config(&lattice, persistent_config(store.path()))
+            .persist_stats()
+            .expect("store")
+            .replayed_entries;
+        (reference, replayed)
+    };
+
+    // Re-frame the log with one payload's trailing fingerprint byte
+    // flipped: pass-1 payloads end in the last scheme's fingerprint,
+    // pass-2 payloads carry per-sketch fingerprints — either way the
+    // frame checksum is recomputed so only content validation can object.
+    let bytes = std::fs::read(store.path()).expect("store file exists");
+    let mut rewritten = MAGIC.to_vec();
+    let mut tampered = false;
+    let mut pos = MAGIC.len();
+    while pos + 12 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let mut payload = bytes[pos + 12..pos + 12 + len].to_vec();
+        if !tampered && payload.first() == Some(&2) {
+            *payload.last_mut().unwrap() ^= 0xff;
+            tampered = true;
+        }
+        rewritten.extend_from_slice(&frame_record(&payload));
+        pos += 12 + len;
+    }
+    assert!(tampered, "log must contain a pass-1 record");
+    std::fs::write(store.path(), &rewritten).expect("rewrite tampered log");
+
+    let driver = AnalysisDriver::with_config(&lattice, persistent_config(store.path()));
+    let persist = driver.persist_stats().expect("store configured");
+    assert_eq!(
+        persist.replayed_entries,
+        clean_replayed - 1,
+        "exactly the tampered record is rejected"
+    );
+    assert!(persist.dropped_records >= 1);
+    let got = driver.solve(&job.program);
+    assert!(
+        got.stats.cache_misses > 0,
+        "the dropped entry re-solves as a miss"
+    );
+    assert_eq!(render(&got), reference, "rejection never corrupts results");
+}
+
+/// Compaction equivalence: replaying the compacted log reproduces the
+/// live cache bit-identically (100% hits, identical results, same entry
+/// count), and the log shrinks under eviction churn instead of growing
+/// without bound.
+#[test]
+fn compaction_preserves_cache_contents() {
+    let lattice = Lattice::c_types();
+    let store = TempFile::new("compact");
+    let jobs: Vec<ModuleJob> = [(66u64, 6usize), (67, 8), (68, 7)]
+        .iter()
+        .map(|&(s, f)| generated_job(s, f))
+        .collect();
+
+    let driver = AnalysisDriver::with_config(&lattice, persistent_config(store.path()));
+    let reference: Vec<String> = jobs.iter().map(|j| render(&driver.solve(&j.program))).collect();
+    driver.flush_store();
+    let appended_len = std::fs::metadata(store.path()).expect("store file").len();
+    let live_entries = {
+        let s = driver.cache_stats();
+        (s.scheme_entries + s.refine_entries) as u64
+    };
+
+    driver.compact_store();
+    let compacted_len = std::fs::metadata(store.path()).expect("store file").len();
+    assert!(compacted_len <= appended_len);
+    assert_eq!(driver.persist_stats().expect("store").compactions, 1);
+    drop(driver);
+
+    let restarted = AnalysisDriver::with_config(&lattice, persistent_config(store.path()));
+    let persist = restarted.persist_stats().expect("store configured");
+    assert_eq!(
+        persist.replayed_entries, live_entries,
+        "compacted log holds exactly the live entries"
+    );
+    for (j, want) in jobs.iter().zip(&reference) {
+        let got = restarted.solve(&j.program);
+        assert_eq!(got.stats.cache_misses, 0, "{}: compaction lost entries", j.name);
+        assert_eq!(render(&got), *want, "{}: compaction changed results", j.name);
+    }
+
+    // Under eviction churn with a tiny capacity, dead records pile up in
+    // the log; the auto-compaction threshold must eventually fire and keep
+    // the file within a constant factor of the live set.
+    let churn_store = TempFile::new("churn");
+    let churn = AnalysisDriver::with_config(
+        &lattice,
+        DriverConfig {
+            workers: 1,
+            cache_capacity: Some(4),
+            persist_path: Some(churn_store.path().to_path_buf()),
+        },
+    );
+    for round in 0..30 {
+        for j in &jobs {
+            let _ = churn.solve(&j.program);
+        }
+        let _ = round;
+    }
+    let stats = churn.persist_stats().expect("store configured");
+    assert!(stats.compactions > 0, "churn must trigger auto-compaction");
+    assert!(
+        stats.persisted_entries <= 8,
+        "mirror tracks the bounded cache: {stats:?}"
+    );
+}

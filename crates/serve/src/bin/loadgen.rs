@@ -23,6 +23,14 @@
 //! non-default descriptor, references are solved under that lattice, and
 //! each report's `lattice_fp` is checked.
 //!
+//! Restart mode (`--expect-warm-start`): for a server relaunched on a
+//! populated `--persist-dir`, the run instead asserts that the *first*
+//! pass already runs warm — first-contact hit rate ≥ 90%, first-contact
+//! p50 within 3x of the steady-state p50, and replayed store entries
+//! reported by the shards — proving the store replay did its job.
+//! `--retry-budget N` enables client-side retry-on-`overloaded`
+//! (jittered exponential backoff, at most N retries per request).
+//!
 //! Streaming mode (`--stream`): the whole corpus is submitted as one
 //! `solve_batch` per request, alternating streaming and single-frame
 //! replies; the run records p50/p95 time-to-first-report versus the v1
@@ -41,7 +49,7 @@ use retypd_driver::ModuleJob;
 use retypd_minic::codegen::compile;
 use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
 use retypd_serve::wire::WireReport;
-use retypd_serve::{start, Client, ServeConfig};
+use retypd_serve::{start, Client, RetryPolicy, ServeConfig};
 
 struct PassOutcome {
     latencies_ns: Vec<u64>,
@@ -68,6 +76,7 @@ fn run_pass(
     lattice: Option<&LatticeDescriptor>,
     expected_lattice_fp: u64,
     concurrency: usize,
+    retry: Option<&RetryPolicy>,
     shard_counters: impl Fn() -> (u64, u64),
 ) -> PassOutcome {
     let cursor = AtomicUsize::new(0);
@@ -75,8 +84,12 @@ fn run_pass(
     let (hits0, misses0) = shard_counters();
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..concurrency.max(1) {
-            scope.spawn(|| {
+        let (cursor, latencies) = (&cursor, &latencies);
+        for worker in 0..concurrency.max(1) {
+            // Each worker gets a distinct jitter seed so backoff
+            // schedules decorrelate across connections.
+            let policy = retry.map(|p| p.clone().with_seed(p.seed ^ (worker as u64 + 1)));
+            scope.spawn(move || {
                 let mut client = Client::connect_retry(addr, Duration::from_secs(10))
                     .expect("connect to server");
                 loop {
@@ -85,9 +98,14 @@ fn run_pass(
                         break;
                     }
                     let req_start = Instant::now();
-                    let report: WireReport = client
-                        .solve_module_in(&jobs[i], lattice)
-                        .expect("solve request");
+                    let report: WireReport = match &policy {
+                        Some(p) => client
+                            .solve_module_retry(&jobs[i], lattice, p)
+                            .expect("solve request (with retry budget)"),
+                        None => client
+                            .solve_module_in(&jobs[i], lattice)
+                            .expect("solve request"),
+                    };
                     let lat = req_start.elapsed().as_nanos() as u64;
                     assert_eq!(
                         report.canonical_text(),
@@ -267,6 +285,8 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut shutdown_server = false;
     let mut stream_mode = false;
+    let mut retry_budget = 0u32;
+    let mut expect_warm_start = false;
     let mut lattice_arg = "default".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -275,6 +295,16 @@ fn main() {
             "--addr" => addr_arg = args.next(),
             "--shutdown" => shutdown_server = true,
             "--stream" => stream_mode = true,
+            "--expect-warm-start" => expect_warm_start = true,
+            "--retry-budget" => {
+                retry_budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--retry-budget expects a non-negative integer");
+                        std::process::exit(2);
+                    })
+            }
             "--lattice" => {
                 lattice_arg = args.next().unwrap_or_default();
                 if lattice_arg != "default" && lattice_arg != "extended" {
@@ -308,7 +338,7 @@ fn main() {
                 eprintln!(
                     "unknown argument {other}; usage: loadgen [--small] [--addr HOST:PORT] \
                      [--shards N] [--concurrency N] [--out FILE] [--shutdown] [--stream] \
-                     [--lattice default|extended]"
+                     [--lattice default|extended] [--retry-budget N] [--expect-warm-start]"
                 );
                 std::process::exit(2);
             }
@@ -323,6 +353,10 @@ fn main() {
             "--shards configures the in-process server and cannot be combined with \
              --addr (the external server's own shard count applies)"
         );
+        std::process::exit(2);
+    }
+    if expect_warm_start && stream_mode {
+        eprintln!("--expect-warm-start applies to the default two-pass mode, not --stream");
         std::process::exit(2);
     }
 
@@ -431,6 +465,7 @@ fn main() {
             small,
         )
     } else {
+        let retry_policy = (retry_budget > 0).then(|| RetryPolicy::new(retry_budget));
         let cold = run_pass(
             addr,
             &jobs,
@@ -438,10 +473,11 @@ fn main() {
             descriptor.as_ref(),
             expected_lattice_fp,
             concurrency,
+            retry_policy.as_ref(),
             &shard_counters,
         );
         eprintln!(
-            "cold: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
+            "pass 1: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
             Duration::from_nanos(percentile(&cold.latencies_ns, 50)),
             Duration::from_nanos(percentile(&cold.latencies_ns, 95)),
             cold.hits,
@@ -454,10 +490,11 @@ fn main() {
             descriptor.as_ref(),
             expected_lattice_fp,
             concurrency,
+            retry_policy.as_ref(),
             &shard_counters,
         );
         eprintln!(
-            "warm: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
+            "pass 2: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
             Duration::from_nanos(percentile(&warm.latencies_ns, 50)),
             Duration::from_nanos(percentile(&warm.latencies_ns, 95)),
             warm.hits,
@@ -474,25 +511,58 @@ fn main() {
             percentile(&cold.latencies_ns, 50),
             percentile(&warm.latencies_ns, 50),
         );
-        assert!(
-            warm_p50 < cold_p50,
-            "warm p50 ({warm_p50} ns) must beat cold p50 ({cold_p50} ns)"
-        );
-        eprintln!(
-            "verified: all reports bit-identical to sequential Solver::infer ✓, \
-             warm hit rate {:.0}% ✓, warm p50 {:.2}x faster ✓",
-            100.0 * warm_hit_rate,
-            cold_p50 as f64 / warm_p50.max(1) as f64
-        );
+        if expect_warm_start {
+            // Restart mode: the server replayed a persisted scheme store,
+            // so the *first* pass must already run warm — a high hit rate
+            // on first contact and warm-class latency (pass 1 p50 within
+            // 3x of pass 2's steady-state p50; a cold first pass is ~12x).
+            let first_hit_rate =
+                cold.hits as f64 / ((cold.hits + cold.misses) as f64).max(1.0);
+            assert!(
+                first_hit_rate >= 0.9,
+                "--expect-warm-start: first pass must hit the replayed store: \
+                 hit rate {first_hit_rate:.3}"
+            );
+            assert!(
+                cold_p50 <= 3 * warm_p50.max(1),
+                "--expect-warm-start: first-contact p50 ({cold_p50} ns) must be \
+                 warm-class (≤ 3x steady-state p50 {warm_p50} ns)"
+            );
+            eprintln!(
+                "verified: all reports bit-identical to sequential Solver::infer ✓, \
+                 warm start ✓ (first-contact hit rate {:.0}%, p50 {:.2}x steady state)",
+                100.0 * first_hit_rate,
+                cold_p50 as f64 / warm_p50.max(1) as f64
+            );
+        } else {
+            assert!(
+                warm_p50 < cold_p50,
+                "warm p50 ({warm_p50} ns) must beat cold p50 ({cold_p50} ns)"
+            );
+            eprintln!(
+                "verified: all reports bit-identical to sequential Solver::infer ✓, \
+                 warm hit rate {:.0}% ✓, warm p50 {:.2}x faster ✓",
+                100.0 * warm_hit_rate,
+                cold_p50 as f64 / warm_p50.max(1) as f64
+            );
+        }
 
         // --- Final per-shard stats + JSON report. ---
         let mut client =
             Client::connect_retry(addr, Duration::from_secs(10)).expect("connect");
         let stats = client.stats().expect("stats");
+        if expect_warm_start {
+            let replayed: u64 = stats.shards.iter().map(|s| s.replayed_entries).sum();
+            assert!(
+                replayed > 0,
+                "--expect-warm-start: no shard reported replayed store entries"
+            );
+        }
         let mut json = String::from("{\n");
         json.push_str(&format!(
             "  \"modules\": {}, \"concurrency\": {concurrency}, \
-             \"lattice\": \"{lattice_arg}\", \"lattice_fp\": {expected_lattice_fp},\n",
+             \"lattice\": \"{lattice_arg}\", \"lattice_fp\": {expected_lattice_fp}, \
+             \"warm_start\": {expect_warm_start}, \"retry_budget\": {retry_budget},\n",
             jobs.len()
         ));
         json.push_str(&pass_json("cold", &cold, jobs.len()));
@@ -506,13 +576,18 @@ fn main() {
                 s.cache.hits as f64 / (s.cache.hits + s.cache.misses) as f64
             };
             json.push_str(&format!(
-                "    {{\"shard\": {}, \"jobs\": {}, \"hits\": {}, \"misses\": {}, \
-                 \"evictions\": {}, \"hit_rate\": {rate:.3}}}{}\n",
+                "    {{\"shard\": {}, \"jobs\": {}, \"rebuilds\": {}, \"hits\": {}, \
+                 \"misses\": {}, \"evictions\": {}, \"hit_rate\": {rate:.3}, \
+                 \"persisted_entries\": {}, \"replayed_entries\": {}, \"replay_ns\": {}}}{}\n",
                 s.shard,
                 s.jobs,
+                s.rebuilds,
                 s.cache.hits,
                 s.cache.misses,
                 s.cache.evictions,
+                s.persisted_entries,
+                s.replayed_entries,
+                s.replay_ns,
                 if i + 1 == stats.shards.len() { "" } else { "," }
             ));
         }

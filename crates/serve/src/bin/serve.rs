@@ -16,7 +16,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--shards N] [--workers N] \
          [--queue-depth N] [--cache-capacity N|unbounded] [--read-timeout SECS|0] \
-         [--max-frames-per-conn N|0] [--max-bytes-per-conn N|0]"
+         [--max-frames-per-conn N|0] [--max-bytes-per-conn N|0] [--persist-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -78,6 +78,13 @@ fn main() {
                 let n = parse_num(&mut args, "--max-bytes-per-conn");
                 config.max_bytes_per_conn = if n == 0 { None } else { Some(n as u64) };
             }
+            "--persist-dir" => {
+                // Each shard keeps a `shard-<N>.store` scheme log here;
+                // relaunching with the same dir (and shard count) starts
+                // every shard with a warm cache.
+                config.persist_dir =
+                    Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             _ => usage(),
         }
     }
@@ -85,13 +92,14 @@ fn main() {
         Ok(handle) => {
             eprintln!(
                 "retypd-serve listening on {} ({} shards, {} workers/shard, queue depth {}, \
-                 cache capacity {:?}, read timeout {:?})",
+                 cache capacity {:?}, read timeout {:?}, persist dir {:?})",
                 handle.addr(),
                 config.shards,
                 config.workers_per_shard,
                 config.queue_depth,
                 config.cache_capacity,
-                config.read_timeout
+                config.read_timeout,
+                config.persist_dir
             );
             // `join` returns only after the drain joined every connection
             // handler, so the `shutting_down` ack and all final response

@@ -81,6 +81,74 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Retry policy for [`ClientError::Overloaded`] refusals: jittered
+/// exponential backoff under a bounded retry budget.
+///
+/// Admission refusals are transient by design — the server sheds load
+/// instead of queueing unboundedly — so the productive client response
+/// is to back off and resubmit. Only `Overloaded` is retried: every
+/// other error (protocol trouble, server shutdown, invalid input) is
+/// returned immediately.
+///
+/// The wait before retry `k` (0-based) is drawn uniformly from
+/// `[d/2, d]` where `d = min(cap, base · 2^k)` ("equal jitter"), so
+/// concurrent clients refused together do not resubmit in lockstep.
+/// Total added latency is bounded by `budget · cap`; a policy never
+/// spins forever.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the initial attempt. `0` means
+    /// the retry calls behave exactly like their plain counterparts.
+    pub budget: u32,
+    /// Backoff before the first retry; doubles each refusal.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Seed for the jitter PRNG — give each concurrent client a
+    /// distinct seed so their backoff schedules decorrelate.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `budget` retries and the default backoff shape
+    /// (10 ms base, 500 ms cap).
+    pub fn new(budget: u32) -> RetryPolicy {
+        RetryPolicy {
+            budget,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The same policy with a different jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// The jittered wait before retry `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));
+        let ceiling = doubled.min(self.cap);
+        let nanos = u64::try_from(ceiling.as_nanos()).unwrap_or(u64::MAX);
+        if nanos < 2 {
+            return ceiling;
+        }
+        // xorshift64* keyed by seed and attempt: deterministic per
+        // (policy, attempt) yet uncorrelated across seeds.
+        let mut x = self.seed ^ (u64::from(attempt).wrapping_add(1)).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let half = nanos / 2;
+        Duration::from_nanos(half + x % (nanos - half))
+    }
+}
+
 /// A blocking connection to a `retypd-serve` server.
 pub struct Client {
     stream: TcpStream,
@@ -217,6 +285,59 @@ impl Client {
             )));
         }
         Ok(reports)
+    }
+
+    /// [`Client::solve_module_in`] with retry-on-overloaded: admission
+    /// refusals are retried under `policy` (jittered exponential
+    /// backoff, at most `policy.budget` retries); every other error
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::solve_module_in`]; [`ClientError::Overloaded`] is
+    /// returned only once the retry budget is exhausted.
+    pub fn solve_module_retry(
+        &mut self,
+        job: &ModuleJob,
+        lattice: Option<&LatticeDescriptor>,
+        policy: &RetryPolicy,
+    ) -> Result<WireReport, ClientError> {
+        self.with_retry(policy, |c| c.solve_module_in(job, lattice))
+    }
+
+    /// [`Client::solve_batch_in`] with retry-on-overloaded, as
+    /// [`Client::solve_module_retry`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::solve_batch_in`]; [`ClientError::Overloaded`] is
+    /// returned only once the retry budget is exhausted. A batch larger
+    /// than the server's whole admission budget fails as
+    /// [`ClientError::Server`] without consuming retries.
+    pub fn solve_batch_retry(
+        &mut self,
+        jobs: &[ModuleJob],
+        lattice: Option<&LatticeDescriptor>,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<WireReport>, ClientError> {
+        self.with_retry(policy, |c| c.solve_batch_in(jobs, lattice))
+    }
+
+    fn with_retry<T>(
+        &mut self,
+        policy: &RetryPolicy,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(self) {
+                Err(ClientError::Overloaded { .. }) if attempt < policy.budget => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                done => return done,
+            }
+        }
     }
 
     /// Submits a streaming batch: the server answers with one `report`

@@ -43,7 +43,7 @@ pub mod json;
 pub mod server;
 pub mod wire;
 
-pub use client::{BatchStream, Client, ClientError};
+pub use client::{BatchStream, Client, ClientError, RetryPolicy};
 pub use server::{start, ServeConfig, ServerHandle};
 pub use wire::{Request, Response, WireBatchDone, WireModule, WireReport, WireStats};
 

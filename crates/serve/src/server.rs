@@ -53,6 +53,7 @@
 //! [`AnalysisDriver::solve_batch`] — pinned by `tests/serve_determinism.rs`.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -104,6 +105,12 @@ pub struct ServeConfig {
     /// prefixes) one connection may send; enforced like
     /// [`ServeConfig::max_frames_per_conn`]. `None` disables the cap.
     pub max_bytes_per_conn: Option<u64>,
+    /// Directory for per-shard persistent scheme stores
+    /// (`shard-<N>.store` under it; created if absent). When set, each
+    /// shard's cache survives process restarts *and* panic rebuilds: the
+    /// replacement driver replays the store instead of starting cold.
+    /// `None` (the default) keeps shard caches process-lifetime only.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +124,7 @@ impl Default for ServeConfig {
             read_timeout: Some(Duration::from_secs(30)),
             max_frames_per_conn: Some(100_000),
             max_bytes_per_conn: Some(1 << 30),
+            persist_dir: None,
         }
     }
 }
@@ -354,7 +362,11 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
             stats: Mutex::new(WireShardStats {
                 shard: shard_id,
                 jobs: 0,
+                rebuilds: 0,
                 cache: CacheStats::default(),
+                persisted_entries: 0,
+                replayed_entries: 0,
+                replay_ns: 0,
             }),
         });
         receivers.push(rx);
@@ -377,19 +389,48 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
         default_lattice_fp: Lattice::c_types().fingerprint(),
     });
 
+    // Per-shard store files: routing is stable (fingerprint % shards), so
+    // shard N's log holds exactly the entries shard N will be asked for
+    // again — as long as the relaunch uses the same shard count.
+    if let Some(dir) = &config.persist_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!(
+                "persist dir {}: unusable ({e}); serving without persistence",
+                dir.display()
+            );
+        }
+    }
+    // Shards signal once their driver is built (store replayed, first
+    // stats published): `start` returns only after every shard is ready,
+    // so a stats probe right after a restart already sees the replay
+    // gauges instead of racing driver construction.
+    let (ready_tx, ready_rx) = mpsc::channel::<()>();
     for (shard_id, rx) in receivers.into_iter().enumerate() {
         let shared = Arc::clone(&shared);
         let hook = Arc::clone(&hook);
+        let ready = ready_tx.clone();
         let driver_config = DriverConfig {
             workers: config.workers_per_shard.max(1),
             cache_capacity: config.cache_capacity,
+            persist_path: config
+                .persist_dir
+                .as_ref()
+                .map(|dir| dir.join(format!("shard-{shard_id}.store"))),
         };
         shard_threads.push(
             std::thread::Builder::new()
                 .name(format!("retypd-shard-{shard_id}"))
-                .spawn(move || shard_main(shard_id, rx, driver_config, shared, hook))
+                .spawn(move || shard_main(shard_id, rx, driver_config, shared, hook, ready))
                 .expect("spawn shard thread"),
         );
+    }
+    drop(ready_tx);
+    for _ in 0..shards {
+        // A hung-up sender means the shard thread died during driver
+        // construction; surface it instead of serving with a dead shard.
+        ready_rx
+            .recv()
+            .expect("shard thread died before becoming ready");
     }
 
     let acceptor = {
@@ -413,10 +454,30 @@ fn shard_main(
     driver_config: DriverConfig,
     shared: Arc<Shared>,
     hook: SolveHook,
+    ready: mpsc::Sender<()>,
 ) {
     // The driver outlives every request: its cache *is* the shard's state.
-    let mut driver = AnalysisDriver::owned(Lattice::c_types(), driver_config);
+    let mut driver = AnalysisDriver::owned(Lattice::c_types(), driver_config.clone());
     let mut jobs_done = 0u64;
+    let mut rebuilds = 0u64;
+    let publish_stats = |driver: &AnalysisDriver<'static>, jobs: u64, rebuilds: u64| {
+        let persist = driver.persist_stats().unwrap_or_default();
+        *shared.shards[shard_id].stats.lock().expect("shard stats lock") = WireShardStats {
+            shard: shard_id,
+            jobs,
+            rebuilds,
+            cache: driver.cache_stats(),
+            persisted_entries: persist.persisted_entries,
+            replayed_entries: persist.replayed_entries,
+            replay_ns: persist.replay_ns,
+        };
+    };
+    // Publish before the first job so a `stats` probe right after a
+    // (re)start already sees the replay gauges — that is how CI's restart
+    // check distinguishes a warm start from a cold one without solving.
+    publish_stats(&driver, jobs_done, rebuilds);
+    let _ = ready.send(()); // unblocks `start`: this shard is warm and serving
+    drop(ready);
     for msg in rx {
         let start = Instant::now();
         // A solver panic on one hostile/unusual module must not kill the
@@ -447,17 +508,22 @@ fn shard_main(
                     .map(|s| (*s).to_owned())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_owned());
-                driver = AnalysisDriver::owned(Lattice::c_types(), driver_config);
+                // Flush the wounded driver's pending store appends, then
+                // rebuild: the replacement replays the store, so with
+                // persistence configured the rebuilt cache is *warm* (the
+                // half-finished solve never inserted, so nothing tainted
+                // was persisted). Without persistence this is the old
+                // cold rebuild.
+                driver.flush_store();
+                driver = AnalysisDriver::owned(Lattice::c_types(), driver_config.clone());
+                rebuilds += 1;
                 Err(format!("solver panicked on module {:?}: {what}", msg.job.name))
             }
         };
-        // After a panic the rebuilt driver reports a cold cache — accurate,
-        // since the old cache was discarded with it.
-        *shared.shards[shard_id].stats.lock().expect("shard stats lock") = WireShardStats {
-            shard: shard_id,
-            jobs: jobs_done,
-            cache: driver.cache_stats(),
-        };
+        // After a panic the rebuilt driver reports a replayed (or, without
+        // persistence, cold) cache plus the bumped rebuild counter — the
+        // observability the stats probe needs to assert warm-after-rebuild.
+        publish_stats(&driver, jobs_done, rebuilds);
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         // A dropped reply receiver just means the client went away.
         let _ = msg.reply.send((msg.index, reply));
@@ -1098,6 +1164,81 @@ mod tests {
         // program, so this lands on exactly the shard that just panicked.
         let report = client.solve_module(&job("after")).expect("shard still serves");
         assert_eq!(report.name, "after");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_against_a_saturated_server() {
+        use crate::client::RetryPolicy;
+        use std::sync::mpsc;
+        use std::time::{Duration, Instant};
+
+        // One admission slot, and a hook that parks the job occupying it
+        // until released — the server is *saturated*, not slow, for as
+        // long as the test wants.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let release_rx = Mutex::new(release_rx);
+        let hook: SolveHook = Arc::new(move |driver, job, lattice| {
+            if job.name.starts_with("blocker") {
+                let _ = release_rx.lock().expect("release channel").recv();
+            }
+            session_solve(driver, job, lattice)
+        });
+        let config = ServeConfig {
+            queue_depth: 1,
+            shards: 1,
+            ..ServeConfig::default()
+        };
+        let handle = start_with_hook(config, hook).expect("bind");
+        let addr = handle.addr();
+
+        let blocker = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect blocker");
+            c.solve_module(&job("blocker")).expect("blocker eventually solves")
+        });
+        // Wait until the blocker actually holds the only slot.
+        let mut client = Client::connect(addr).expect("connect");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while client.stats().expect("stats").queued < 1 {
+            assert!(Instant::now() < deadline, "blocker never admitted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // A bounded budget against permanent saturation must terminate
+        // with `Overloaded` — never spin forever. The whole schedule is
+        // at most (budget + 1) attempts and budget * cap of sleep.
+        let tight = RetryPolicy {
+            budget: 3,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+            seed: 42,
+        };
+        let t0 = Instant::now();
+        match client.solve_module_retry(&job("starved"), None, &tight) {
+            Err(ClientError::Overloaded { queued, limit }) => {
+                assert_eq!((queued, limit), (1, 1));
+            }
+            other => panic!("expected overloaded after budget exhaustion, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "retry schedule overran its bound: {:?}",
+            t0.elapsed()
+        );
+
+        // With the saturation lifting mid-schedule, a retrying client
+        // rides the backoff to success instead of surfacing the refusal.
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            release_tx.send(()).expect("release the blocker");
+        });
+        let patient = RetryPolicy::new(400).with_seed(7);
+        let report = client
+            .solve_module_retry(&job("waited"), None, &patient)
+            .expect("retry succeeds once the slot frees");
+        assert_eq!(report.name, "waited");
+        releaser.join().expect("releaser");
+        blocker.join().expect("blocker thread");
         handle.shutdown();
     }
 }

@@ -258,8 +258,20 @@ pub struct WireShardStats {
     pub shard: usize,
     /// Modules this shard has solved.
     pub jobs: u64,
+    /// Times this shard's driver was rebuilt after a solver panic. With a
+    /// persistent store each rebuild replays to a warm cache; without one
+    /// it restarts cold — either way the count makes the event observable.
+    pub rebuilds: u64,
     /// The shard driver's cumulative cache counters.
     pub cache: CacheStats,
+    /// Cache entries currently mirrored in the shard's persistent store
+    /// (0 when persistence is off).
+    pub persisted_entries: u64,
+    /// Entries the *current* driver replayed from its store at
+    /// construction (0 when persistence is off or the store was empty).
+    pub replayed_entries: u64,
+    /// Wall-clock nanoseconds the current driver's replay took.
+    pub replay_ns: u64,
 }
 
 /// The server-wide statistics reply.
@@ -775,18 +787,27 @@ fn shard_stats_to_json(s: &WireShardStats) -> Json {
     Json::Obj(vec![
         ("shard".into(), Json::usize(s.shard)),
         ("jobs".into(), Json::u64(s.jobs)),
+        ("rebuilds".into(), Json::u64(s.rebuilds)),
         ("hits".into(), Json::u64(s.cache.hits)),
         ("misses".into(), Json::u64(s.cache.misses)),
         ("evictions".into(), Json::u64(s.cache.evictions)),
         ("scheme_entries".into(), Json::usize(s.cache.scheme_entries)),
         ("refine_entries".into(), Json::usize(s.cache.refine_entries)),
+        ("persisted_entries".into(), Json::u64(s.persisted_entries)),
+        ("replayed_entries".into(), Json::u64(s.replayed_entries)),
+        ("replay_ns".into(), Json::u64(s.replay_ns)),
     ])
 }
 
 fn shard_stats_from_json(j: &Json) -> Result<WireShardStats, WireError> {
+    // The rebuild/persistence gauges are newer than the stats shape
+    // itself; decode them tolerantly (as the v2 fields were) so a client
+    // can read an older server's stats reply.
+    let opt_u64 = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0);
     Ok(WireShardStats {
         shard: usize_field(j, "shard")?,
         jobs: u64_field(j, "jobs")?,
+        rebuilds: opt_u64("rebuilds"),
         cache: CacheStats {
             hits: u64_field(j, "hits")?,
             misses: u64_field(j, "misses")?,
@@ -794,6 +815,9 @@ fn shard_stats_from_json(j: &Json) -> Result<WireShardStats, WireError> {
             scheme_entries: usize_field(j, "scheme_entries")?,
             refine_entries: usize_field(j, "refine_entries")?,
         },
+        persisted_entries: opt_u64("persisted_entries"),
+        replayed_entries: opt_u64("replayed_entries"),
+        replay_ns: opt_u64("replay_ns"),
     })
 }
 
