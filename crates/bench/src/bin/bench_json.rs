@@ -437,6 +437,69 @@ fn main() {
         });
     }
 
+    // --- telemetry (record-path overhead + spans-on vs spans-off pipeline) ---
+    let telem_insts;
+    {
+        use retypd_telemetry::{Counter, Histogram};
+        let hist = Histogram::new();
+        let counter = Counter::new();
+        let mut x = 0x243f6a8885a308d3u64;
+        // One histogram record + one counter inc per iteration, the value
+        // cycling across buckets the way real latencies do.
+        bench(&mut records, "telemetry/record_overhead", || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            hist.record(x >> 40);
+            counter.inc();
+        });
+        // A disarmed span guard: the price every instrumented hot path
+        // pays when tracing is off (one relaxed atomic load).
+        let _ = bench(&mut records, "telemetry/span_disabled", || {
+            retypd_telemetry::span("bench.noop")
+        });
+
+        // The full cold pipeline with spans off versus on. The arms run
+        // rotated because the claim is their *ratio*: telemetry off must
+        // not tax the pipeline (the acceptance bound), and on-cost stays
+        // visible in the committed JSON.
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 7,
+            functions: *sizes.last().expect("at least one size"),
+            ..GenConfig::default()
+        })
+        .generate();
+        let (mir, _) = compile(&module).unwrap();
+        let program = retypd_congen::generate(&mir);
+        telem_insts = mir.instruction_count();
+        bench_rotated(
+            &mut records,
+            vec![
+                (
+                    format!("telemetry/pipeline_{telem_insts}_spans_off"),
+                    Box::new(|| {
+                        retypd_telemetry::set_spans_enabled(false);
+                        std::hint::black_box(
+                            AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1))
+                                .solve(&program),
+                        );
+                    }),
+                ),
+                (
+                    format!("telemetry/pipeline_{telem_insts}_spans_on"),
+                    Box::new(|| {
+                        retypd_telemetry::set_spans_enabled(true);
+                        std::hint::black_box(
+                            AnalysisDriver::with_config(&lattice, DriverConfig::with_workers(1))
+                                .solve(&program),
+                        );
+                        retypd_telemetry::set_spans_enabled(false);
+                    }),
+                ),
+            ],
+        );
+        // Don't let the spans-on arm's ring contents outlive the bench.
+        let _ = retypd_telemetry::drain_spans();
+    }
+
     // --- emit JSON (hand-rolled: the vendored serde shim has no serializer) ---
     let mut json = String::from("{\n  \"benches\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -473,6 +536,19 @@ fn main() {
         cold / replayed_start.max(1.0),
         replayed_start / warm.max(1.0),
         lookup("serve/restart_first_solve".to_owned()),
+    ));
+    // --- telemetry section: the record-path cost and the spans-off vs
+    // spans-on pipeline ratio (off must stay within the acceptance bound
+    // of the untelemetried baseline). ---
+    let spans_off = lookup(format!("telemetry/pipeline_{telem_insts}_spans_off"));
+    let spans_on = lookup(format!("telemetry/pipeline_{telem_insts}_spans_on"));
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"record_overhead_ns\": {:.1}, \"span_disabled_ns\": {:.1}, \
+         \"pipeline_spans_off_ns\": {spans_off:.1}, \"pipeline_spans_on_ns\": {spans_on:.1}, \
+         \"spans_on_overhead_ratio\": {:.4}}},\n",
+        lookup("telemetry/record_overhead".to_owned()),
+        lookup("telemetry/span_disabled".to_owned()),
+        spans_on / spans_off.max(1.0),
     ));
     json.push_str("  \"stats\": [\n");
     for (i, (name, s)) in stats_records.iter().enumerate() {

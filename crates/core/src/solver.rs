@@ -151,6 +151,18 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// SCC solves that missed the scheme cache (0 for the plain solver).
     pub cache_misses: u64,
+    /// Nanoseconds building + saturating constraint graphs (pass 2,
+    /// including the shape quotient). Phase fields count *work performed*:
+    /// the driver zeroes them in cached entries, so cache hits replay size
+    /// statistics but no phase time, and the persistent store neither
+    /// persists nor replays them.
+    pub saturate_ns: u64,
+    /// Nanoseconds extracting scalar violations via the transducer (pass 2).
+    pub transducer_ns: u64,
+    /// Nanoseconds simplifying type schemes (pass 1 scheme building).
+    pub simplify_ns: u64,
+    /// Nanoseconds inferring and refining sketches (pass 2).
+    pub sketch_ns: u64,
 }
 
 impl SolverStats {
@@ -167,7 +179,42 @@ impl SolverStats {
         self.solve_ns += other.solve_ns;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.saturate_ns += other.saturate_ns;
+        self.transducer_ns += other.transducer_ns;
+        self.simplify_ns += other.simplify_ns;
+        self.sketch_ns += other.sketch_ns;
     }
+
+    /// Moves the per-phase timing fields out, zeroing them here. The driver
+    /// calls this before caching an [`SccRefinement`] so a later cache hit
+    /// replays the SCC's size statistics but not phase work it never did.
+    pub fn take_phase_ns(&mut self) -> PhaseNs {
+        let ph = PhaseNs {
+            saturate_ns: self.saturate_ns,
+            transducer_ns: self.transducer_ns,
+            simplify_ns: self.simplify_ns,
+            sketch_ns: self.sketch_ns,
+        };
+        self.saturate_ns = 0;
+        self.transducer_ns = 0;
+        self.simplify_ns = 0;
+        self.sketch_ns = 0;
+        ph
+    }
+}
+
+/// Per-phase solve timing, split out of [`SolverStats`] for callers that
+/// need to account phase work separately from replayed size statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseNs {
+    /// Nanoseconds building + saturating constraint graphs.
+    pub saturate_ns: u64,
+    /// Nanoseconds extracting scalar violations via the transducer.
+    pub transducer_ns: u64,
+    /// Nanoseconds simplifying type schemes.
+    pub simplify_ns: u64,
+    /// Nanoseconds inferring and refining sketches.
+    pub sketch_ns: u64,
 }
 
 /// Result of whole-program inference.
@@ -190,6 +237,10 @@ pub struct SccSchemes {
     pub schemes: Vec<(Symbol, TypeScheme)>,
     /// Number of combined constraints processed for this SCC.
     pub constraints: usize,
+    /// Nanoseconds spent building these schemes (the simplify phase). Like
+    /// the [`SolverStats`] phase fields, this measures work performed, so
+    /// the driver counts it only on cache misses.
+    pub simplify_ns: u64,
 }
 
 /// Pass-2 output for one SCC: every sketch the SCC's processing inserted
@@ -367,6 +418,7 @@ impl<'l> Solver<'l> {
         for scc in &cond.sccs {
             let out = self.solve_scc(program, scc, &cond.scc_of, &schemes);
             stats.constraints += out.constraints;
+            stats.simplify_ns += out.simplify_ns;
             for (name, scheme) in out.schemes {
                 schemes.insert(name, scheme);
             }
@@ -422,6 +474,8 @@ impl<'l> Solver<'l> {
         scc_of: &[usize],
         schemes: &BTreeMap<Symbol, TypeScheme>,
     ) -> SccSchemes {
+        let _span = retypd_telemetry::span("core.simplify");
+        let phase_start = Instant::now();
         let builder = SchemeBuilder::new(self.lattice);
         let combined = crate::addsub::augment_with_addsubs(
             &self.scc_constraints(program, scc, scc_of, schemes),
@@ -439,6 +493,7 @@ impl<'l> Solver<'l> {
         SccSchemes {
             schemes: out,
             constraints: combined.len(),
+            simplify_ns: phase_start.elapsed().as_nanos() as u64,
         }
     }
 
@@ -466,10 +521,14 @@ impl<'l> Solver<'l> {
             &self.scc_constraints(program, scc, scc_of, schemes),
             self.lattice,
         );
+        let phase_start = Instant::now();
+        let saturate_span = retypd_telemetry::span("core.saturate");
         let mut g = ConstraintGraph::build(&combined);
         saturate(&mut g);
         let mut quotient = ShapeQuotient::build(&combined);
         apply_addsubs(&combined, &mut quotient, self.lattice);
+        drop(saturate_span);
+        stats.saturate_ns = phase_start.elapsed().as_nanos() as u64;
         stats.graph_nodes += g.node_count();
         stats.graph_edges += g.edge_count();
         stats.quotient_nodes += quotient.node_count();
@@ -478,7 +537,13 @@ impl<'l> Solver<'l> {
             .into_iter()
             .filter(|b| b.is_const())
             .collect();
+        let phase_start = Instant::now();
+        let transducer_span = retypd_telemetry::span("core.transducer");
         let inconsistencies = crate::transducer::scalar_violations(&g, self.lattice);
+        drop(transducer_span);
+        stats.transducer_ns = phase_start.elapsed().as_nanos() as u64;
+        let phase_start = Instant::now();
+        let sketch_span = retypd_telemetry::span("core.sketch_infer");
         let mut overlay: BTreeMap<BaseVar, Sketch> = BTreeMap::new();
         let mut general = Vec::new();
         for &p in scc {
@@ -521,6 +586,8 @@ impl<'l> Solver<'l> {
                 }
             }
         }
+        drop(sketch_span);
+        stats.sketch_ns = phase_start.elapsed().as_nanos() as u64;
         SccRefinement {
             sketches: overlay,
             general,

@@ -59,8 +59,10 @@ pub mod store;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+use retypd_telemetry::{Counter, Histogram};
 
 use retypd_core::dtv::BaseVar;
 use retypd_core::fxhash::FxHashMap;
@@ -72,6 +74,43 @@ use retypd_core::{
 
 pub use cache::{CacheStats, CachedSchemes, SchemeCache};
 pub use store::PersistStats;
+
+/// Process-global driver instruments, resolved once from
+/// [`retypd_telemetry::global`] so recording on the solve path is a
+/// handful of lock-free atomic adds — no registry lookup per solve.
+struct DriverMetrics {
+    solves: Arc<Counter>,
+    solve_ns: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    /// Replay is a construction-time event, so these are counters (they
+    /// sum correctly across the many drivers of a sharded server); levels
+    /// like "entries currently persisted" stay per-driver in
+    /// [`PersistStats`] where they can't clobber each other.
+    store_replayed: Arc<Counter>,
+    store_replay_ns: Arc<Histogram>,
+    store_appended: Arc<Counter>,
+    store_compactions: Arc<Counter>,
+}
+
+fn driver_metrics() -> &'static DriverMetrics {
+    static METRICS: OnceLock<DriverMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = retypd_telemetry::global();
+        DriverMetrics {
+            solves: g.counter("driver.solves"),
+            solve_ns: g.histogram("driver.solve_ns"),
+            cache_hits: g.counter("driver.cache_hits"),
+            cache_misses: g.counter("driver.cache_misses"),
+            cache_evictions: g.counter("driver.cache_evictions"),
+            store_replayed: g.counter("driver.store_replayed_entries"),
+            store_replay_ns: g.histogram("driver.store_replay_ns"),
+            store_appended: g.counter("driver.store_appended_entries"),
+            store_compactions: g.counter("driver.store_compactions"),
+        }
+    })
+}
 
 /// Driver configuration.
 #[derive(Clone, Debug)]
@@ -393,8 +432,15 @@ impl<'l> AnalysisDriver<'l> {
         let cache = SchemeCache::with_capacity(config.cache_capacity);
         let lattices = LatticeMemo::new();
         let store = config.persist_path.as_deref().and_then(|path| {
+            let _span = retypd_telemetry::span("driver.store_replay");
             match store::SchemeStore::open(path, lattice.get(), &lattices, &cache) {
-                Ok(s) => Some(s),
+                Ok(s) => {
+                    let p = s.stats();
+                    let m = driver_metrics();
+                    m.store_replayed.add(p.replayed_entries);
+                    m.store_replay_ns.record(p.replay_ns);
+                    Some(s)
+                }
                 Err(e) => {
                     eprintln!(
                         "scheme store {}: persistence disabled (open failed: {e})",
@@ -548,11 +594,23 @@ impl<'l> AnalysisDriver<'l> {
         program: &Program,
         workers: usize,
     ) -> SolverResult {
+        let _solve_span = retypd_telemetry::span("driver.solve");
+        let metrics = driver_metrics();
+        let before_cache = self.cache.stats();
+        let before_persist = self.persist_stats().unwrap_or_default();
         let start = Instant::now();
         let solver = Solver::new(lattice);
         let cond = Condensation::compute(program);
         let hits = AtomicU64::new(0);
         let misses = AtomicU64::new(0);
+        // Per-phase work performed by *this* solve, accumulated from cache
+        // misses only: cached entries had their phase fields taken before
+        // insertion (see below), so a fully warm solve reports zero phase
+        // time — the breakdown measures work done, not work remembered.
+        let saturate_ns = AtomicU64::new(0);
+        let transducer_ns = AtomicU64::new(0);
+        let simplify_ns = AtomicU64::new(0);
+        let sketch_ns = AtomicU64::new(0);
 
         // Cross-SCC state, updated between waves only.
         let mut schemes: BTreeMap<Symbol, TypeScheme> = BTreeMap::new();
@@ -567,6 +625,7 @@ impl<'l> AnalysisDriver<'l> {
         // ---- Pass 1: INFERPROCTYPES, one wave of independent SCCs at a
         // time (callees first). ----
         for wave in cond.waves() {
+            let _wave_span = retypd_telemetry::span("driver.wave");
             let outputs = scheduler::run_indexed(wave.len(), workers, |k| {
                 let i = wave[k];
                 let scc = &cond.sccs[i];
@@ -584,7 +643,11 @@ impl<'l> AnalysisDriver<'l> {
                     }
                     None => {
                         misses.fetch_add(1, Ordering::Relaxed);
-                        let out = solver.solve_scc(program, scc, &cond.scc_of, &schemes);
+                        let out = {
+                            let _span = retypd_telemetry::span("driver.scc_solve");
+                            solver.solve_scc(program, scc, &cond.scc_of, &schemes)
+                        };
+                        simplify_ns.fetch_add(out.simplify_ns, Ordering::Relaxed);
                         // With persistence on, render each scheme's
                         // canonical parts once and share the strings with
                         // the store's writer — the fingerprint covers
@@ -645,6 +708,7 @@ impl<'l> AnalysisDriver<'l> {
         let mut general: BTreeMap<Symbol, Sketch> = BTreeMap::new();
         let mut inconsistencies: Vec<(Symbol, Symbol)> = Vec::new();
         for wave in cond.refine_waves() {
+            let _wave_span = retypd_telemetry::span("driver.wave");
             let outputs = scheduler::run_indexed(wave.len(), workers, |k| {
                 let i = wave[k];
                 let scc = &cond.sccs[i];
@@ -662,14 +726,28 @@ impl<'l> AnalysisDriver<'l> {
                     }
                     None => {
                         misses.fetch_add(1, Ordering::Relaxed);
-                        let r = Arc::new(solver.refine_scc(
-                            program,
-                            scc,
-                            &cond.scc_of,
-                            &schemes,
-                            &actuals,
-                            &sketches,
-                        ));
+                        let mut fresh = {
+                            let _span = retypd_telemetry::span("driver.scc_refine");
+                            solver.refine_scc(
+                                program,
+                                scc,
+                                &cond.scc_of,
+                                &schemes,
+                                &actuals,
+                                &sketches,
+                            )
+                        };
+                        // Strip the phase breakdown *before* the entry is
+                        // cached (and persisted): a later cache hit replays
+                        // the result, not the work, so hits must contribute
+                        // zero phase time. This solve keeps the stripped
+                        // values through the accumulators.
+                        let phases = fresh.stats.take_phase_ns();
+                        saturate_ns.fetch_add(phases.saturate_ns, Ordering::Relaxed);
+                        transducer_ns.fetch_add(phases.transducer_ns, Ordering::Relaxed);
+                        simplify_ns.fetch_add(phases.simplify_ns, Ordering::Relaxed);
+                        sketch_ns.fetch_add(phases.sketch_ns, Ordering::Relaxed);
+                        let r = Arc::new(fresh);
                         let evicted = self.cache.insert_refine(fp2, r.clone());
                         if let Some(store) = &self.store {
                             store.record_refine(fp2, lattice, lattice_fp, &r, evicted);
@@ -721,6 +799,33 @@ impl<'l> AnalysisDriver<'l> {
         stats.solve_ns = start.elapsed().as_nanos() as u64;
         stats.cache_hits = hits.load(Ordering::Relaxed);
         stats.cache_misses = misses.load(Ordering::Relaxed);
+        // `stats.merge` above only ever added zeros for the phase fields
+        // (cached and fresh entries alike are stripped), so assignment is
+        // the whole story: misses' work this solve, nothing remembered.
+        stats.saturate_ns = saturate_ns.load(Ordering::Relaxed);
+        stats.transducer_ns = transducer_ns.load(Ordering::Relaxed);
+        stats.simplify_ns = simplify_ns.load(Ordering::Relaxed);
+        stats.sketch_ns = sketch_ns.load(Ordering::Relaxed);
+        metrics.solves.inc();
+        metrics.solve_ns.record(stats.solve_ns);
+        metrics.cache_hits.add(stats.cache_hits);
+        metrics.cache_misses.add(stats.cache_misses);
+        let after_cache = self.cache.stats();
+        metrics
+            .cache_evictions
+            .add(after_cache.evictions.saturating_sub(before_cache.evictions));
+        if let Some(after_persist) = self.persist_stats() {
+            metrics.store_appended.add(
+                after_persist
+                    .appended_entries
+                    .saturating_sub(before_persist.appended_entries),
+            );
+            metrics.store_compactions.add(
+                after_persist
+                    .compactions
+                    .saturating_sub(before_persist.compactions),
+            );
+        }
         SolverResult {
             procs,
             inconsistencies,

@@ -48,16 +48,23 @@ where
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Trace context is thread-local; carry the dispatching thread's trace
+    // id into every worker so spans emitted inside tasks attribute to the
+    // request that scheduled them.
+    let trace = retypd_telemetry::current_trace();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let _trace = retypd_telemetry::set_current_trace(trace);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    observe(i, &out);
+                    *slots[i].lock().expect("result slot") = Some(out);
                 }
-                let out = f(i);
-                observe(i, &out);
-                *slots[i].lock().expect("result slot") = Some(out);
             });
         }
     });

@@ -464,6 +464,10 @@ fn decode_refine(
         solve_ns: c.u64()?,
         cache_hits: c.u64()?,
         cache_misses: c.u64()?,
+        // Phase timings are deliberately not persisted: they measure work
+        // performed, and a replayed entry performed none. Old logs decode
+        // unchanged; replayed entries report zero phase time.
+        ..SolverStats::default()
     };
     c.done().then_some((
         fp,
@@ -1073,7 +1077,9 @@ fn writer_loop(
     // so nobody deadlocks) but stops writing until a compaction gives it
     // a fresh file; one warning, not one per record.
     let mut broken = false;
+    let store_append_spans = retypd_telemetry::global().counter("driver.store_append_frames");
     let append = |out: &mut BufWriter<File>, broken: &mut bool, log_bytes: &mut u64, payload: &[u8]| {
+        store_append_spans.inc();
         shared.appended.fetch_add(1, Ordering::Relaxed);
         *log_bytes += Mirror::framed_len(payload);
         if !*broken {
@@ -1134,6 +1140,7 @@ fn writer_loop(
                     append(&mut out, &mut broken, &mut log_bytes, &payload);
                 }
                 Msg::Compact => {
+                    let _span = retypd_telemetry::span("driver.store_compact");
                     // Drop lattice records no longer referenced by a live
                     // refine entry, so descriptors cannot accumulate
                     // without bound.

@@ -78,8 +78,9 @@ fn sample_job(name: &str) -> ModuleJob {
 }
 
 /// The valid base requests mutation starts from. Index 0 is `stats`;
-/// the rest are solve requests (the grammar tier starts from those, since
-/// only they carry modules and lattices).
+/// indexes 1–3 are solve requests (the grammar tier starts from index 1,
+/// since only non-`stats` requests carry interesting envelope fields);
+/// index 4 is `metrics`.
 pub fn base_payloads() -> Vec<Vec<u8>> {
     let module = WireModule::from_job(&sample_job("fuzz_base"));
     let lattice: LatticeDescriptor = "lattice fz { lo hi ; lo <= hi }"
@@ -90,20 +91,24 @@ pub fn base_payloads() -> Vec<Vec<u8>> {
         Request::SolveModule {
             module: module.clone(),
             lattice: None,
+            trace_id: None,
         }
         .encode(),
         Request::SolveBatch {
             modules: vec![module.clone(), module.clone()],
             lattice: Some(lattice.clone()),
             stream: false,
+            trace_id: Some("fuzz-trace".into()),
         }
         .encode(),
         Request::SolveBatch {
             modules: vec![module],
             lattice: Some(lattice),
             stream: true,
+            trace_id: None,
         }
         .encode(),
+        Request::Metrics { text: false }.encode(),
     ]
 }
 
@@ -431,7 +436,7 @@ fn grammar_mutant(rng: &mut StdRng, bases: &[Vec<u8>]) -> Mutant {
     let text = std::str::from_utf8(base).expect("base payloads are JSON text");
     let mut v = Json::parse(text).expect("base payloads parse");
     let mut grammar = Vec::new();
-    match rng.gen_range(0..5u32) {
+    match rng.gen_range(0..6u32) {
         0 => {
             // Constraint / name text: overwrite a random embedded string.
             let s = grammar_string(rng, 24);
@@ -460,13 +465,28 @@ fn grammar_mutant(rng: &mut StdRng, bases: &[Vec<u8>]) -> Mutant {
         }
         3 => {
             // Kind confusion. Never "shutdown": the fuzz server is shared.
-            let kind = match rng.gen_range(0..4u32) {
+            let kind = match rng.gen_range(0..5u32) {
                 0 => "stats".into(),
                 1 => "solve_batch".into(),
-                2 => grammar_string(rng, 4),
+                2 => "metrics".into(),
+                3 => grammar_string(rng, 4),
                 _ => String::new(),
             };
             set_member(&mut v, "kind", Json::Str(kind));
+        }
+        4 => {
+            // Trace-id confusion: wrong types, empty, over the 64-byte
+            // budget, or junk text — the envelope-level validation must
+            // refuse these without touching the solve path.
+            let trace = match rng.gen_range(0..6u32) {
+                0 => Json::Str(String::new()),
+                1 => Json::Str("A".repeat(rng.gen_range(65..512usize))),
+                2 => Json::Str(grammar_string(rng, 8)),
+                3 => Json::Arr(vec![Json::u64(1)]),
+                4 => Json::u64(rng.gen()),
+                _ => Json::Null,
+            };
+            set_member(&mut v, "trace_id", trace);
         }
         _ => {
             // Stream-flag confusion.

@@ -113,7 +113,7 @@ fn corpus_payloads_decode_without_panics_and_without_dispatchable_work() {
         // server would dispatch or act on — pre-admission errors only.
         match Request::decode(&entry.bytes) {
             Err(_) => {}
-            Ok(Request::Stats) | Ok(Request::Shutdown) => {
+            Ok(Request::Stats) | Ok(Request::Shutdown) | Ok(Request::Metrics { .. }) => {
                 panic!("{} decodes to a control request", entry.name)
             }
             // Solve requests may decode; they must then die in job

@@ -23,6 +23,14 @@
 //! non-default descriptor, references are solved under that lattice, and
 //! each report's `lattice_fp` is checked.
 //!
+//! Latency quantiles (p50/p95/p99) come from a `retypd-telemetry`
+//! log-scale histogram the workers record into lock-free — the same
+//! bucketing the server's own `metrics` endpoint uses. The default mode
+//! also probes that endpoint over the live socket cold-then-warm and
+//! asserts the shard/driver histograms are non-empty and grow across the
+//! passes; `--metrics-text FILE` saves the server's Prometheus-style
+//! exposition (CI uploads it as an artifact).
+//!
 //! Restart mode (`--expect-warm-start`): for a server relaunched on a
 //! populated `--persist-dir`, the run instead asserts that the *first*
 //! pass already runs warm — first-contact hit rate ≥ 90%, first-contact
@@ -41,7 +49,6 @@
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use retypd_core::{Lattice, LatticeDescriptor, Solver};
@@ -50,14 +57,21 @@ use retypd_minic::codegen::compile;
 use retypd_minic::genprog::{ClusterSpec, ProgramGenerator};
 use retypd_serve::wire::WireReport;
 use retypd_serve::{start, Client, RetryPolicy, ServeConfig};
+use retypd_telemetry::{Histogram, HistogramSnapshot};
 
 struct PassOutcome {
-    latencies_ns: Vec<u64>,
+    /// Per-request latency, recorded into a log-scale histogram on the
+    /// worker threads (lock-free) — p50/p95/p99 come from its quantiles,
+    /// not from a sorted `Vec`, so the numbers match what the server's
+    /// own `metrics` endpoint would report for the same samples.
+    hist: HistogramSnapshot,
     wall: Duration,
     hits: u64,
     misses: u64,
 }
 
+/// Sorted-vec percentile, used only for the streaming mode's
+/// time-to-first-report comparison (exact single-thread measurements).
 fn percentile(sorted: &[u64], pct: usize) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -80,11 +94,11 @@ fn run_pass(
     shard_counters: impl Fn() -> (u64, u64),
 ) -> PassOutcome {
     let cursor = AtomicUsize::new(0);
-    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let latency_hist = Histogram::new();
     let (hits0, misses0) = shard_counters();
     let start = Instant::now();
     std::thread::scope(|scope| {
-        let (cursor, latencies) = (&cursor, &latencies);
+        let (cursor, latency_hist) = (&cursor, &latency_hist);
         for worker in 0..concurrency.max(1) {
             // Each worker gets a distinct jitter seed so backoff
             // schedules decorrelate across connections.
@@ -118,17 +132,15 @@ fn run_pass(
                         "module {} solved against the wrong lattice",
                         jobs[i].name
                     );
-                    latencies.lock().expect("latency vec").push(lat);
+                    latency_hist.record(lat);
                 }
             });
         }
     });
     let wall = start.elapsed();
     let (hits1, misses1) = shard_counters();
-    let mut latencies_ns = latencies.into_inner().expect("latency vec");
-    latencies_ns.sort_unstable();
     PassOutcome {
-        latencies_ns,
+        hist: latency_hist.snapshot(),
         wall,
         hits: hits1 - hits0,
         misses: misses1 - misses0,
@@ -143,13 +155,15 @@ fn pass_json(name: &str, p: &PassOutcome, requests: usize) -> String {
     };
     format!(
         "  \"{name}\": {{\"requests\": {requests}, \"wall_ns\": {}, \
-         \"throughput_rps\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}, \
+         \"throughput_rps\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+         \"max_ns\": {}, \
          \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.3}}}",
         p.wall.as_nanos(),
         requests as f64 / p.wall.as_secs_f64().max(1e-9),
-        percentile(&p.latencies_ns, 50),
-        percentile(&p.latencies_ns, 95),
-        p.latencies_ns.last().copied().unwrap_or(0),
+        p.hist.quantile(50, 100),
+        p.hist.quantile(95, 100),
+        p.hist.quantile(99, 100),
+        p.hist.quantile(100, 100),
         p.hits,
         p.misses,
         hit_rate,
@@ -288,6 +302,7 @@ fn main() {
     let mut retry_budget = 0u32;
     let mut expect_warm_start = false;
     let mut lattice_arg = "default".to_owned();
+    let mut metrics_text_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -334,11 +349,13 @@ fn main() {
                     })
             }
             "--out" => out_path = args.next(),
+            "--metrics-text" => metrics_text_path = args.next(),
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: loadgen [--small] [--addr HOST:PORT] \
                      [--shards N] [--concurrency N] [--out FILE] [--shutdown] [--stream] \
-                     [--lattice default|extended] [--retry-budget N] [--expect-warm-start]"
+                     [--lattice default|extended] [--retry-budget N] [--expect-warm-start] \
+                     [--metrics-text FILE]"
                 );
                 std::process::exit(2);
             }
@@ -466,6 +483,16 @@ fn main() {
         )
     } else {
         let retry_policy = (retry_budget > 0).then(|| RetryPolicy::new(retry_budget));
+        // The v2 `metrics` probe, exercised cold-then-warm: the reply must
+        // round-trip over the live socket both times, with the shard solve
+        // histogram non-empty after the cold pass and *grown* after the
+        // warm one (an external server may carry counts from earlier runs,
+        // so only deltas are asserted).
+        let probe_metrics = || {
+            let mut client = Client::connect_retry(addr, Duration::from_secs(10))
+                .expect("connect for metrics probe");
+            client.metrics().expect("metrics probe (protocol v2)")
+        };
         let cold = run_pass(
             addr,
             &jobs,
@@ -477,12 +504,14 @@ fn main() {
             &shard_counters,
         );
         eprintln!(
-            "pass 1: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
-            Duration::from_nanos(percentile(&cold.latencies_ns, 50)),
-            Duration::from_nanos(percentile(&cold.latencies_ns, 95)),
+            "pass 1: p50 {:.3?} p95 {:.3?} p99 {:.3?} ({} hits / {} misses)",
+            Duration::from_nanos(cold.hist.quantile(50, 100)),
+            Duration::from_nanos(cold.hist.quantile(95, 100)),
+            Duration::from_nanos(cold.hist.quantile(99, 100)),
             cold.hits,
             cold.misses
         );
+        let metrics_cold = probe_metrics();
         let warm = run_pass(
             addr,
             &jobs,
@@ -494,11 +523,46 @@ fn main() {
             &shard_counters,
         );
         eprintln!(
-            "pass 2: p50 {:.3?} p95 {:.3?} ({} hits / {} misses)",
-            Duration::from_nanos(percentile(&warm.latencies_ns, 50)),
-            Duration::from_nanos(percentile(&warm.latencies_ns, 95)),
+            "pass 2: p50 {:.3?} p95 {:.3?} p99 {:.3?} ({} hits / {} misses)",
+            Duration::from_nanos(warm.hist.quantile(50, 100)),
+            Duration::from_nanos(warm.hist.quantile(95, 100)),
+            Duration::from_nanos(warm.hist.quantile(99, 100)),
             warm.hits,
             warm.misses
+        );
+        let metrics_warm = probe_metrics();
+
+        // --- Metrics probe assertions. ---
+        for (when, m) in [("cold", &metrics_cold), ("warm", &metrics_warm)] {
+            for name in ["shard.solve_ns", "shard.queue_wait_ns", "driver.solve_ns"] {
+                let h = m
+                    .histogram(name)
+                    .unwrap_or_else(|| panic!("{when} metrics reply lacks {name}"));
+                assert!(
+                    h.count > 0 && !h.buckets.is_empty(),
+                    "{when} metrics: {name} histogram is empty"
+                );
+            }
+        }
+        let solve_count = |m: &retypd_serve::wire::WireMetrics| {
+            m.histogram("shard.solve_ns").map_or(0, |h| h.count)
+        };
+        assert!(
+            solve_count(&metrics_warm) >= solve_count(&metrics_cold) + jobs.len() as u64,
+            "warm metrics probe must show the warm pass's solves: {} -> {}",
+            solve_count(&metrics_cold),
+            solve_count(&metrics_warm)
+        );
+        assert!(
+            metrics_warm.counter("shard.jobs")
+                >= metrics_cold.counter("shard.jobs") + jobs.len() as u64,
+            "warm metrics probe must count the warm pass's jobs"
+        );
+        eprintln!(
+            "metrics probe: cold {} solves, warm {} solves, {} histograms ✓",
+            solve_count(&metrics_cold),
+            solve_count(&metrics_warm),
+            metrics_warm.histograms.len()
         );
 
         // --- Acceptance assertions (see module docs). ---
@@ -507,10 +571,7 @@ fn main() {
             warm_hit_rate >= 0.9,
             "warm pass must re-hit its shard caches: hit rate {warm_hit_rate:.3}"
         );
-        let (cold_p50, warm_p50) = (
-            percentile(&cold.latencies_ns, 50),
-            percentile(&warm.latencies_ns, 50),
-        );
+        let (cold_p50, warm_p50) = (cold.hist.quantile(50, 100), warm.hist.quantile(50, 100));
         if expect_warm_start {
             // Restart mode: the server replayed a persisted scheme store,
             // so the *first* pass must already run warm — a high hit rate
@@ -599,6 +660,16 @@ fn main() {
         json
     };
 
+    if let Some(p) = &metrics_text_path {
+        // The server-side exposition, fetched before any shutdown so the
+        // registries still carry this run's samples (CI uploads the file
+        // as an artifact).
+        let mut client = Client::connect_retry(addr, Duration::from_secs(10))
+            .expect("connect for metrics exposition");
+        let text = client.metrics_text().expect("metrics text exposition");
+        std::fs::write(p, text).expect("write metrics exposition");
+        eprintln!("wrote metrics exposition to {p}");
+    }
     if shutdown_server {
         // Drain the external server too (CI runs it as a background
         // process and waits for a clean exit). The ack frame is required:

@@ -10,13 +10,16 @@
 //! blocks until a `shutdown` wire message drains it (CI starts this in the
 //! background and runs `loadgen` against it).
 
+use std::path::PathBuf;
+
 use retypd_serve::{start, ServeConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--shards N] [--workers N] \
          [--queue-depth N] [--cache-capacity N|unbounded] [--read-timeout SECS|0] \
-         [--max-frames-per-conn N|0] [--max-bytes-per-conn N|0] [--persist-dir PATH]"
+         [--max-frames-per-conn N|0] [--max-bytes-per-conn N|0] [--persist-dir PATH] \
+         [--metrics-text FILE] [--trace-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -36,6 +39,8 @@ fn main() {
         addr: "127.0.0.1:7411".into(),
         ..ServeConfig::default()
     };
+    let mut metrics_text: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -85,8 +90,24 @@ fn main() {
                 config.persist_dir =
                     Some(args.next().unwrap_or_else(|| usage()).into());
             }
+            "--metrics-text" => {
+                metrics_text = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-dir" => {
+                trace_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             _ => usage(),
         }
+    }
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("failed to create trace dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        // Spans stay a single relaxed atomic load when this flag is
+        // absent; flipping it here is the only place the binary pays for
+        // tracing.
+        retypd_telemetry::set_spans_enabled(true);
     }
     match start(config.clone()) {
         Ok(handle) => {
@@ -101,10 +122,31 @@ fn main() {
                 config.read_timeout,
                 config.persist_dir
             );
+            // `join` consumes the handle; the observer is what lets us
+            // render one final exposition after the drain.
+            let observer = handle.metrics_observer();
             // `join` returns only after the drain joined every connection
             // handler, so the `shutting_down` ack and all final response
             // frames are already handed to the kernel — no exit dwell.
             handle.join();
+            if let Some(path) = &metrics_text {
+                match std::fs::write(path, observer.text()) {
+                    Ok(()) => eprintln!("metrics exposition written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+                }
+            }
+            if let Some(dir) = &trace_dir {
+                let (events, dropped) = retypd_telemetry::drain_spans();
+                let path = dir.join("serve-trace.jsonl");
+                match std::fs::write(&path, retypd_telemetry::chrome_trace_json(&events)) {
+                    Ok(()) => eprintln!(
+                        "trace written to {} ({} spans, {dropped} dropped)",
+                        path.display(),
+                        events.len()
+                    ),
+                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+                }
+            }
             eprintln!("retypd-serve drained, exiting");
         }
         Err(e) => {

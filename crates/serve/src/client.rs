@@ -18,7 +18,7 @@ use retypd_core::LatticeDescriptor;
 use retypd_driver::ModuleJob;
 
 use crate::wire::{
-    self, Request, Response, WireBatchDone, WireModule, WireReport, WireStats,
+    self, Request, Response, WireBatchDone, WireMetrics, WireModule, WireReport, WireStats,
 };
 
 /// A client-side failure.
@@ -229,9 +229,27 @@ impl Client {
         job: &ModuleJob,
         lattice: Option<&LatticeDescriptor>,
     ) -> Result<WireReport, ClientError> {
+        self.solve_module_traced(job, lattice, None)
+    }
+
+    /// [`Client::solve_module_in`] with a request-scoped `trace_id`: the
+    /// server stamps the solve's tracing spans with it and echoes it in
+    /// the report (`WireReport::trace_id`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::solve_module_in`]; additionally the server rejects ids
+    /// that are empty or longer than [`wire::MAX_TRACE_ID_BYTES`].
+    pub fn solve_module_traced(
+        &mut self,
+        job: &ModuleJob,
+        lattice: Option<&LatticeDescriptor>,
+        trace_id: Option<&str>,
+    ) -> Result<WireReport, ClientError> {
         let resp = self.roundtrip(&Request::SolveModule {
             module: WireModule::from_job(job),
             lattice: lattice.cloned(),
+            trace_id: trace_id.map(str::to_owned),
         })?;
         let mut reports = Self::expect_solved(resp)?;
         if reports.len() != 1 {
@@ -275,6 +293,7 @@ impl Client {
             modules,
             lattice: lattice.cloned(),
             stream: false,
+            trace_id: None,
         })?;
         let reports = Self::expect_solved(resp)?;
         if reports.len() != jobs.len() {
@@ -364,6 +383,7 @@ impl Client {
                 modules,
                 lattice: lattice.cloned(),
                 stream: true,
+                trace_id: None,
             }
             .encode(),
         )?;
@@ -402,6 +422,34 @@ impl Client {
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the merged telemetry registry (v2): counters, gauges, and
+    /// histogram buckets with server-extracted p50/p95/p99.
+    ///
+    /// # Errors
+    ///
+    /// Fails on protocol or server errors (a pre-v2 server answers
+    /// `error: unknown request kind`).
+    pub fn metrics(&mut self) -> Result<WireMetrics, ClientError> {
+        match self.roundtrip(&Request::Metrics { text: false })? {
+            Response::Metrics(m) => Ok(m),
+            Response::Error(m) => Err(ClientError::Server(m)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the telemetry registry as Prometheus-style exposition text.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::metrics`].
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics { text: true })? {
+            Response::MetricsText(t) => Ok(t),
             Response::Error(m) => Err(ClientError::Server(m)),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

@@ -44,7 +44,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{BatchStream, Client, ClientError, RetryPolicy};
-pub use server::{start, ServeConfig, ServerHandle};
+pub use server::{start, MetricsObserver, ServeConfig, ServerHandle};
 pub use wire::{Request, Response, WireBatchDone, WireModule, WireReport, WireStats};
 
 #[cfg(test)]
@@ -122,13 +122,17 @@ mod tests {
             Request::SolveModule {
                 module: WireModule::from_job(&job),
                 lattice: Some(custom.clone()),
+                trace_id: Some("req-7".into()),
             },
             Request::SolveBatch {
                 modules: vec![WireModule::from_job(&job); 2],
                 lattice: Some(custom),
                 stream: true,
+                trace_id: None,
             },
             Request::Stats,
+            Request::Metrics { text: false },
+            Request::Metrics { text: true },
             Request::Shutdown,
         ] {
             let bytes = req.encode();
@@ -148,10 +152,12 @@ mod tests {
                 modules,
                 lattice,
                 stream,
+                trace_id,
             } => {
                 assert!(modules.is_empty());
                 assert!(lattice.is_none(), "absent lattice means the default");
                 assert!(!stream, "v1 batches are single-frame");
+                assert!(trace_id.is_none(), "v1 requests are untraced");
             }
             other => panic!("expected SolveBatch, got {other:?}"),
         }

@@ -65,9 +65,11 @@ use retypd_driver::{
     AnalysisDriver, CacheStats, DriverConfig, LatticeMemo, LatticeSelector, ModuleJob,
     ModuleReport, SolveRequest,
 };
+use retypd_telemetry::{trace_id_hash, Counter, Histogram, MetricsSnapshot, Registry};
 
 use crate::wire::{
-    self, Request, Response, WireBatchDone, WireModule, WireReport, WireShardStats, WireStats,
+    self, Request, Response, WireBatchDone, WireMetrics, WireModule, WireReport, WireShardStats,
+    WireStats,
 };
 
 /// Server configuration.
@@ -139,16 +141,120 @@ struct ShardJob {
     /// (`c_types`). Pre-built and validated by the connection handler, so
     /// the shard's session resolution is infallible.
     lattice: Option<Arc<Lattice>>,
+    /// When the connection handler enqueued the job — the shard measures
+    /// queue wait as `dequeue − enqueued`.
+    enqueued: Instant,
+    /// Hashed request trace id (0 = untraced): established as the shard
+    /// thread's current trace for the duration of the solve, so every span
+    /// the solver emits carries it.
+    trace: u64,
+    /// The request's original trace id string, echoed on the report.
+    trace_id: Option<Arc<str>>,
     /// `Err` carries a description of a solver panic on this module.
     reply: mpsc::Sender<(usize, Result<WireReport, String>)>,
 }
 
-/// One shard's handle: its queue sender and published statistics.
+/// One shard's published statistics, one atomic cell per field.
+///
+/// The shard thread `publish`es after every job and the stats probe
+/// `snapshot`s — plain relaxed stores and loads, no lock. The previous
+/// design republished a whole `WireShardStats` under a `Mutex` per job,
+/// so a `stats` probe could contend with the solve loop (and vice versa);
+/// counters never need that coherence.
+#[derive(Default)]
+struct ShardStatsCells {
+    jobs: AtomicU64,
+    rebuilds: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    scheme_entries: AtomicU64,
+    refine_entries: AtomicU64,
+    persisted_entries: AtomicU64,
+    replayed_entries: AtomicU64,
+    replay_ns: AtomicU64,
+}
+
+impl ShardStatsCells {
+    /// Refreshes every cell from the shard's driver. Runs on the shard
+    /// thread (the only writer), so the driver walk never blocks a probe.
+    fn publish(&self, driver: &AnalysisDriver<'static>, jobs: u64, rebuilds: u64) {
+        let cache = driver.cache_stats();
+        let persist = driver.persist_stats().unwrap_or_default();
+        self.jobs.store(jobs, Ordering::Relaxed);
+        self.rebuilds.store(rebuilds, Ordering::Relaxed);
+        self.hits.store(cache.hits, Ordering::Relaxed);
+        self.misses.store(cache.misses, Ordering::Relaxed);
+        self.evictions.store(cache.evictions, Ordering::Relaxed);
+        self.scheme_entries.store(cache.scheme_entries as u64, Ordering::Relaxed);
+        self.refine_entries.store(cache.refine_entries as u64, Ordering::Relaxed);
+        self.persisted_entries.store(persist.persisted_entries, Ordering::Relaxed);
+        self.replayed_entries.store(persist.replayed_entries, Ordering::Relaxed);
+        self.replay_ns.store(persist.replay_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, shard: usize) -> WireShardStats {
+        WireShardStats {
+            shard,
+            jobs: self.jobs.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            cache: CacheStats {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                evictions: self.evictions.load(Ordering::Relaxed),
+                scheme_entries: self.scheme_entries.load(Ordering::Relaxed) as usize,
+                refine_entries: self.refine_entries.load(Ordering::Relaxed) as usize,
+            },
+            persisted_entries: self.persisted_entries.load(Ordering::Relaxed),
+            replayed_entries: self.replayed_entries.load(Ordering::Relaxed),
+            replay_ns: self.replay_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One shard's handle: its queue sender, published statistics, and
+/// metrics registry.
 struct Shard {
     /// `None` once draining has begun (new sends fail fast).
     tx: Mutex<Option<mpsc::Sender<ShardJob>>>,
-    /// Snapshot refreshed by the shard thread after every job.
-    stats: Mutex<WireShardStats>,
+    /// Refreshed lock-free by the shard thread after every job.
+    stats: ShardStatsCells,
+    /// Per-shard instruments (queue wait, solve wall, job size). Every
+    /// shard registers the same names, so the `metrics` reply merges them
+    /// into one fleet-wide view — bit-identical regardless of shard count
+    /// for shard-count-independent quantities like `shard.job_constraints`.
+    metrics: Registry,
+}
+
+/// Server-wide instruments, resolved once so the per-frame record path is
+/// an atomic add with no registry lookup.
+struct ServerMetrics {
+    registry: Registry,
+    conns_opened: Arc<Counter>,
+    conns_closed: Arc<Counter>,
+    frames: Arc<Counter>,
+    frame_decode_ns: Arc<Histogram>,
+    frame_bytes: Arc<Histogram>,
+    reply_flush_ns: Arc<Histogram>,
+    admitted_jobs: Arc<Counter>,
+    rejected_batches: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        ServerMetrics {
+            conns_opened: registry.counter("serve.conns_opened"),
+            conns_closed: registry.counter("serve.conns_closed"),
+            frames: registry.counter("serve.frames"),
+            frame_decode_ns: registry.histogram("serve.frame_decode_ns"),
+            frame_bytes: registry.histogram("serve.frame_bytes"),
+            reply_flush_ns: registry.histogram("serve.reply_flush_ns"),
+            admitted_jobs: registry.counter("serve.admitted_jobs"),
+            rejected_batches: registry.counter("serve.rejected_batches"),
+            registry,
+        }
+    }
 }
 
 struct Shared {
@@ -179,6 +285,9 @@ struct Shared {
     /// `Lattice::c_types().fingerprint()` — what reports carry for
     /// default-lattice (v1) requests.
     default_lattice_fp: u64,
+    /// Server-wide instruments (connection lifecycle, frame decode,
+    /// admission, reply flush).
+    metrics: ServerMetrics,
 }
 
 impl Shared {
@@ -252,9 +361,26 @@ impl Shared {
             shards: self
                 .shards
                 .iter()
-                .map(|s| *s.stats.lock().expect("shard stats lock"))
+                .enumerate()
+                .map(|(i, s)| s.stats.snapshot(i))
                 .collect(),
         }
+    }
+
+    /// The `metrics` reply: the process-global registry (core + driver
+    /// instruments), the server-wide registry, and every shard registry
+    /// merged into one name-sorted snapshot. Shard registries register
+    /// identical names, so the merged histograms aggregate the fleet —
+    /// and because merge re-sorts by name, the reply's ordering (and, for
+    /// shard-count-independent quantities, its quantiles) is bit-identical
+    /// at 1 and N shards.
+    fn merged_metrics(&self) -> MetricsSnapshot {
+        let mut snap = retypd_telemetry::global().snapshot();
+        snap.merge(&self.metrics.registry.snapshot());
+        for shard in &self.shards {
+            snap.merge(&shard.metrics.snapshot());
+        }
+        snap
     }
 }
 
@@ -265,10 +391,41 @@ pub struct ServerHandle {
     shard_threads: Vec<JoinHandle<()>>,
 }
 
+/// Read-only metrics access that outlives [`ServerHandle::join`].
+///
+/// `join` consumes the handle, but the `serve` binary still needs one
+/// final exposition after the drain (`--metrics-text`); the observer
+/// keeps the registries alive exactly long enough to render it. Shard
+/// registries are never torn down mid-snapshot — a shard thread exiting
+/// only drops its `Sender`, not its `Registry`.
+#[derive(Clone)]
+pub struct MetricsObserver {
+    shared: Arc<Shared>,
+}
+
+impl MetricsObserver {
+    /// The merged snapshot: process-global + server-wide + every shard.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.shared.merged_metrics()
+    }
+
+    /// Prometheus-style text exposition of [`MetricsObserver::snapshot`].
+    pub fn text(&self) -> String {
+        self.snapshot().to_text()
+    }
+}
+
 impl ServerHandle {
     /// The address the server actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// A cloneable metrics view that survives [`ServerHandle::join`].
+    pub fn metrics_observer(&self) -> MetricsObserver {
+        MetricsObserver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Begins a graceful drain and waits for queued work and every server
@@ -355,19 +512,12 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
     let mut shard_handles = Vec::new();
     let mut shard_threads = Vec::new();
     let mut receivers = Vec::new();
-    for shard_id in 0..shards {
+    for _ in 0..shards {
         let (tx, rx) = mpsc::channel::<ShardJob>();
         shard_handles.push(Shard {
             tx: Mutex::new(Some(tx)),
-            stats: Mutex::new(WireShardStats {
-                shard: shard_id,
-                jobs: 0,
-                rebuilds: 0,
-                cache: CacheStats::default(),
-                persisted_entries: 0,
-                replayed_entries: 0,
-                replay_ns: 0,
-            }),
+            stats: ShardStatsCells::default(),
+            metrics: Registry::new(),
         });
         receivers.push(rx);
     }
@@ -387,6 +537,7 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
         next_conn: AtomicU64::new(0),
         lattices: LatticeMemo::new(),
         default_lattice_fp: Lattice::c_types().fingerprint(),
+        metrics: ServerMetrics::new(),
     });
 
     // Per-shard store files: routing is stable (fingerprint % shards), so
@@ -460,26 +611,41 @@ fn shard_main(
     let mut driver = AnalysisDriver::owned(Lattice::c_types(), driver_config.clone());
     let mut jobs_done = 0u64;
     let mut rebuilds = 0u64;
-    let publish_stats = |driver: &AnalysisDriver<'static>, jobs: u64, rebuilds: u64| {
-        let persist = driver.persist_stats().unwrap_or_default();
-        *shared.shards[shard_id].stats.lock().expect("shard stats lock") = WireShardStats {
-            shard: shard_id,
-            jobs,
-            rebuilds,
-            cache: driver.cache_stats(),
-            persisted_entries: persist.persisted_entries,
-            replayed_entries: persist.replayed_entries,
-            replay_ns: persist.replay_ns,
-        };
-    };
+    let cells = &shared.shards[shard_id].stats;
+    // Resolve the shard instruments once: the per-job record path is then
+    // three lock-free atomic adds per histogram. `shard.job_constraints`
+    // records a *deterministic* per-job quantity (the module's constraint
+    // count), so the histogram merged across shards is a pure function of
+    // the job multiset — the quantile bit-identity the acceptance test
+    // pins at 1 vs N shards. The `_ns` histograms are wall-clock and only
+    // asserted non-empty.
+    let shard_metrics = &shared.shards[shard_id].metrics;
+    let queue_wait_ns = shard_metrics.histogram("shard.queue_wait_ns");
+    let solve_ns = shard_metrics.histogram("shard.solve_ns");
+    let job_constraints = shard_metrics.histogram("shard.job_constraints");
+    let jobs_counter = shard_metrics.counter("shard.jobs");
     // Publish before the first job so a `stats` probe right after a
     // (re)start already sees the replay gauges — that is how CI's restart
     // check distinguishes a warm start from a cold one without solving.
-    publish_stats(&driver, jobs_done, rebuilds);
+    cells.publish(&driver, jobs_done, rebuilds);
     let _ = ready.send(()); // unblocks `start`: this shard is warm and serving
     drop(ready);
     for msg in rx {
         let start = Instant::now();
+        queue_wait_ns.record(start.duration_since(msg.enqueued).as_nanos() as u64);
+        job_constraints.record(
+            msg.job
+                .program
+                .procs
+                .iter()
+                .map(|p| p.constraints.len() as u64)
+                .sum(),
+        );
+        // Every span the solver emits while this job runs carries the
+        // request's trace id (0 = untraced); the guard restores the
+        // previous trace when the job finishes.
+        let trace_guard = retypd_telemetry::set_current_trace(msg.trace);
+        let solve_span = retypd_telemetry::span("serve.shard_solve");
         // A solver panic on one hostile/unusual module must not kill the
         // shard: an unwinding shard thread would leak the job's admission
         // slot and turn 1/N of the fingerprint space into a dead letter.
@@ -488,6 +654,10 @@ fn shard_main(
         let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             hook(&driver, &msg.job, msg.lattice.as_ref())
         }));
+        drop(solve_span);
+        drop(trace_guard);
+        solve_ns.record(start.elapsed().as_nanos() as u64);
+        jobs_counter.inc();
         let reply = match solved {
             Ok(result) => {
                 let report = ModuleReport {
@@ -500,7 +670,9 @@ fn shard_main(
                     wall: start.elapsed(),
                 };
                 jobs_done += 1;
-                Ok(WireReport::from_report(&report, msg.fingerprint, shard_id))
+                let mut wire = WireReport::from_report(&report, msg.fingerprint, shard_id);
+                wire.trace_id = msg.trace_id.as_deref().map(str::to_owned);
+                Ok(wire)
             }
             Err(panic) => {
                 let what = panic
@@ -523,7 +695,7 @@ fn shard_main(
         // After a panic the rebuilt driver reports a replayed (or, without
         // persistence, cold) cache plus the bumped rebuild counter — the
         // observability the stats probe needs to assert warm-after-rebuild.
-        publish_stats(&driver, jobs_done, rebuilds);
+        cells.publish(&driver, jobs_done, rebuilds);
         shared.queued.fetch_sub(1, Ordering::Relaxed);
         // A dropped reply receiver just means the client went away.
         let _ = msg.reply.send((msg.index, reply));
@@ -731,6 +903,16 @@ fn read_frame_polled(
 }
 
 fn handle_conn(stream: TcpStream, shared: &Shared) {
+    shared.metrics.conns_opened.inc();
+    // Count the close on *every* exit path (there are many), including a
+    // handler panic — the opened/closed pair is how a leak would show.
+    struct ConnClosed<'a>(&'a Counter);
+    impl Drop for ConnClosed<'_> {
+        fn drop(&mut self) {
+            self.0.inc();
+        }
+    }
+    let _closed = ConnClosed(&shared.metrics.conns_closed);
     let mut stream = stream;
     let mut frames_used = 0u64;
     let mut bytes_used = 0u64;
@@ -810,16 +992,31 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
                 return;
             }
         }
-        let response = match Request::decode(&payload) {
+        shared.metrics.frames.inc();
+        shared.metrics.frame_bytes.record(payload.len() as u64);
+        let decode_start = Instant::now();
+        let decoded = Request::decode(&payload);
+        shared
+            .metrics
+            .frame_decode_ns
+            .record(decode_start.elapsed().as_nanos() as u64);
+        let response = match decoded {
             Ok(Request::SolveBatch {
                 modules,
                 lattice,
                 stream: true,
+                trace_id,
             }) => {
                 // Streaming mode writes its own frames (one `report` per
                 // module plus `batch_done`); a pre-admission refusal falls
                 // through as a single ordinary response.
-                match solve_streaming(&mut stream, &modules, lattice.as_ref(), shared) {
+                match solve_streaming(
+                    &mut stream,
+                    &modules,
+                    lattice.as_ref(),
+                    trace_id.as_deref(),
+                    shared,
+                ) {
                     Ok(()) => continue,
                     Err(refusal) => refusal,
                 }
@@ -827,7 +1024,13 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
             Ok(req) => respond(req, shared),
             Err(e) => Response::Error(e.to_string()),
         };
-        if wire::write_frame(&mut stream, &response.encode()).is_err() {
+        let flush_start = Instant::now();
+        let wrote = wire::write_frame(&mut stream, &response.encode());
+        shared
+            .metrics
+            .reply_flush_ns
+            .record(flush_start.elapsed().as_nanos() as u64);
+        if wrote.is_err() {
             return;
         }
     }
@@ -835,15 +1038,33 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
 
 fn respond(req: Request, shared: &Shared) -> Response {
     match req {
-        Request::SolveModule { module, lattice } => {
-            solve(std::slice::from_ref(&module), lattice.as_ref(), shared)
-        }
+        Request::SolveModule {
+            module,
+            lattice,
+            trace_id,
+        } => solve(
+            std::slice::from_ref(&module),
+            lattice.as_ref(),
+            trace_id.as_deref(),
+            shared,
+        ),
         // `stream: true` is intercepted in `handle_conn`; a direct call
         // (impossible from the socket path) degrades to a single frame.
         Request::SolveBatch {
-            modules, lattice, ..
-        } => solve(&modules, lattice.as_ref(), shared),
+            modules,
+            lattice,
+            trace_id,
+            ..
+        } => solve(&modules, lattice.as_ref(), trace_id.as_deref(), shared),
         Request::Stats => Response::Stats(shared.stats()),
+        Request::Metrics { text } => {
+            let snap = shared.merged_metrics();
+            if text {
+                Response::MetricsText(snap.to_text())
+            } else {
+                Response::Metrics(WireMetrics::from_snapshot(&snap))
+            }
+        }
         Request::Shutdown => {
             shared.begin_drain();
             Response::ShuttingDown
@@ -884,12 +1105,14 @@ fn admit_batch(n: usize, shared: &Shared) -> Result<(), Response> {
             return Err(Response::ShuttingDown);
         }
         shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.rejected_batches.inc();
         return Err(Response::Overloaded {
             queued,
             limit: shared.queue_depth,
         });
     }
     shared.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.admitted_jobs.add(n as u64);
     Ok(())
 }
 
@@ -901,6 +1124,7 @@ fn admit_batch(n: usize, shared: &Shared) -> Result<(), Response> {
 fn admit_and_dispatch(
     modules: &[WireModule],
     lattice: Option<&LatticeDescriptor>,
+    trace_id: Option<&str>,
     shared: &Shared,
 ) -> Result<Dispatched, Response> {
     if shared.draining.load(Ordering::Relaxed) {
@@ -928,6 +1152,8 @@ fn admit_and_dispatch(
     }
     admit_batch(n, shared)?;
 
+    let trace = trace_id.map_or(0, trace_id_hash);
+    let trace_str: Option<Arc<str>> = trace_id.map(Arc::from);
     let (reply_tx, reply_rx) = mpsc::channel();
     let mut dispatched = 0usize;
     for (index, job) in jobs.into_iter().enumerate() {
@@ -942,6 +1168,9 @@ fn admit_and_dispatch(
                         job,
                         fingerprint,
                         lattice: lattice.clone(),
+                        enqueued: Instant::now(),
+                        trace,
+                        trace_id: trace_str.clone(),
                         reply: reply_tx.clone(),
                     })
                     .is_ok(),
@@ -966,9 +1195,10 @@ fn admit_and_dispatch(
 fn solve(
     modules: &[WireModule],
     lattice: Option<&LatticeDescriptor>,
+    trace_id: Option<&str>,
     shared: &Shared,
 ) -> Response {
-    let d = match admit_and_dispatch(modules, lattice, shared) {
+    let d = match admit_and_dispatch(modules, lattice, trace_id, shared) {
         Ok(d) => d,
         Err(refusal) => return refusal,
     };
@@ -1008,6 +1238,7 @@ fn solve_streaming(
     stream: &mut TcpStream,
     modules: &[WireModule],
     lattice: Option<&LatticeDescriptor>,
+    trace_id: Option<&str>,
     shared: &Shared,
 ) -> Result<(), Response> {
     let start = Instant::now();
@@ -1027,6 +1258,8 @@ fn solve_streaming(
         // inside the pipeline below.
         admit_batch(n, shared)?;
 
+        let trace = trace_id.map_or(0, trace_id_hash);
+        let trace_str: Option<Arc<str>> = trace_id.map(Arc::from);
         let (reply_tx, reply_rx) = mpsc::channel();
         let mut write_ok = true;
         let mut write_report = |index: usize,
@@ -1062,6 +1295,9 @@ fn solve_streaming(
                                     job,
                                     fingerprint,
                                     lattice: lattice.clone(),
+                                    enqueued: Instant::now(),
+                                    trace,
+                                    trace_id: trace_str.clone(),
                                     reply: reply_tx.clone(),
                                 })
                                 .is_ok(),

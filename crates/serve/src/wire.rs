@@ -63,6 +63,11 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 /// are treated as version 1; versions above this are refused.
 pub const PROTOCOL_VERSION: u64 = 2;
 
+/// Longest accepted envelope `trace_id` (bytes). Long enough for a UUID
+/// plus tenant prefix; short enough that echoing it back is never a
+/// memory concern.
+pub const MAX_TRACE_ID_BYTES: usize = 64;
+
 /// A protocol error: framing, JSON, or message-shape trouble.
 #[derive(Debug)]
 pub enum WireError {
@@ -249,6 +254,111 @@ pub struct WireReport {
     pub stats: SolverStats,
     /// Wall-clock nanoseconds the shard spent on this module.
     pub wall_ns: u64,
+    /// The client-supplied `trace_id`, echoed verbatim; `None` when the
+    /// request carried none.
+    pub trace_id: Option<String>,
+    /// Per-phase solve timing, present when any phase recorded work (cache
+    /// hits replay no phase work, so a fully warm report omits it).
+    pub timing: Option<WireTiming>,
+}
+
+/// Per-phase timing breakdown of a solve: where the module's nanoseconds
+/// went, split along the paper's pipeline (saturation → transducer →
+/// simplify → sketches). Excluded from [`WireReport::canonical_text`], so
+/// determinism comparisons are unaffected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTiming {
+    /// Nanoseconds building + saturating constraint graphs.
+    pub saturate_ns: u64,
+    /// Nanoseconds extracting scalar violations via the transducer.
+    pub transducer_ns: u64,
+    /// Nanoseconds simplifying type schemes (cache misses only).
+    pub simplify_ns: u64,
+    /// Nanoseconds inferring and refining sketches.
+    pub sketch_ns: u64,
+}
+
+impl WireTiming {
+    /// Extracts the phase breakdown from solver stats; `None` when no phase
+    /// recorded any work.
+    pub fn from_stats(s: &SolverStats) -> Option<WireTiming> {
+        let t = WireTiming {
+            saturate_ns: s.saturate_ns,
+            transducer_ns: s.transducer_ns,
+            simplify_ns: s.simplify_ns,
+            sketch_ns: s.sketch_ns,
+        };
+        (t != WireTiming::default()).then_some(t)
+    }
+}
+
+/// The merged telemetry registry on the wire: the `metrics` reply.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WireMetrics {
+    /// Monotonic counters, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, name-sorted (merged across shards by summation).
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<WireHistogram>,
+}
+
+impl WireMetrics {
+    /// Renders a merged [`retypd_telemetry::MetricsSnapshot`] for the wire.
+    pub fn from_snapshot(snap: &retypd_telemetry::MetricsSnapshot) -> WireMetrics {
+        WireMetrics {
+            counters: snap.counters.clone(),
+            gauges: snap.gauges.clone(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(name, h)| WireHistogram {
+                    name: name.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    buckets: h.nonzero_buckets(),
+                    p50: h.quantile(50, 100),
+                    p95: h.quantile(95, 100),
+                    p99: h.quantile(99, 100),
+                })
+                .collect(),
+        }
+    }
+
+    /// The histogram with this name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&WireHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The counter with this name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// One histogram in a `metrics` reply: non-empty buckets plus the quantiles
+/// the server extracted from the merged registry. The bucket bounds are
+/// deterministic (`retypd_telemetry::bucket_bound`), so quantiles survive a
+/// wire round trip bit-identically.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireHistogram {
+    /// Instrument name.
+    pub name: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+    /// Median (bucket upper bound at rank ⌈count/2⌉).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
 }
 
 /// A shard's published statistics.
@@ -314,6 +424,9 @@ pub enum Request {
         module: WireModule,
         /// The lattice to solve against; `None` means `c_types`.
         lattice: Option<LatticeDescriptor>,
+        /// Request-scoped trace id (1–64 chars), echoed in the report and
+        /// stamped on the solve's tracing spans.
+        trace_id: Option<String>,
     },
     /// Solve a batch of modules; the response preserves order.
     SolveBatch {
@@ -325,9 +438,17 @@ pub enum Request {
         /// finishes plus a terminal `batch_done`, instead of a single
         /// `solved` frame.
         stream: bool,
+        /// Request-scoped trace id (1–64 chars), echoed in every report.
+        trace_id: Option<String>,
     },
     /// Fetch server statistics.
     Stats,
+    /// Fetch the merged telemetry registry (v2 only).
+    Metrics {
+        /// `true` asks for the Prometheus-style text exposition
+        /// (`metrics_text` reply) instead of the structured snapshot.
+        text: bool,
+    },
     /// Begin a graceful drain: queued work finishes, new work is refused.
     Shutdown,
 }
@@ -338,6 +459,7 @@ impl Request {
         Request::SolveModule {
             module,
             lattice: None,
+            trace_id: None,
         }
     }
 
@@ -347,7 +469,19 @@ impl Request {
             modules,
             lattice: None,
             stream: false,
+            trace_id: None,
         }
+    }
+
+    /// Sets the envelope `trace_id` on a solve request (no-op on control
+    /// requests, which carry no reports to echo it in).
+    pub fn with_trace_id(mut self, id: impl Into<String>) -> Request {
+        match &mut self {
+            Request::SolveModule { trace_id, .. }
+            | Request::SolveBatch { trace_id, .. } => *trace_id = Some(id.into()),
+            _ => {}
+        }
+        self
     }
 }
 
@@ -376,6 +510,10 @@ pub enum Response {
         /// The admission limit.
         limit: usize,
     },
+    /// The merged telemetry registry.
+    Metrics(WireMetrics),
+    /// The telemetry registry as Prometheus-style exposition text.
+    MetricsText(String),
     /// The server is draining and takes no new work.
     ShuttingDown,
     /// The request could not be processed.
@@ -542,6 +680,8 @@ impl WireReport {
                 .collect(),
             stats: result.stats,
             wall_ns: 0,
+            trace_id: None,
+            timing: WireTiming::from_stats(&result.stats),
         }
     }
 
@@ -678,10 +818,18 @@ fn stats_to_json(s: &SolverStats) -> Json {
         ("solve_ns".into(), Json::u64(s.solve_ns)),
         ("cache_hits".into(), Json::u64(s.cache_hits)),
         ("cache_misses".into(), Json::u64(s.cache_misses)),
+        ("saturate_ns".into(), Json::u64(s.saturate_ns)),
+        ("transducer_ns".into(), Json::u64(s.transducer_ns)),
+        ("simplify_ns".into(), Json::u64(s.simplify_ns)),
+        ("sketch_ns".into(), Json::u64(s.sketch_ns)),
     ])
 }
 
 fn stats_from_json(j: &Json) -> Result<SolverStats, WireError> {
+    // The phase-timing fields are newer than the stats shape; decode them
+    // tolerantly (as the v2 fields were) so a client can read an older
+    // server's reports.
+    let opt_u64 = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0);
     Ok(SolverStats {
         graph_nodes: usize_field(j, "graph_nodes")?,
         graph_edges: usize_field(j, "graph_edges")?,
@@ -691,12 +839,16 @@ fn stats_from_json(j: &Json) -> Result<SolverStats, WireError> {
         solve_ns: u64_field(j, "solve_ns")?,
         cache_hits: u64_field(j, "cache_hits")?,
         cache_misses: u64_field(j, "cache_misses")?,
+        saturate_ns: opt_u64("saturate_ns"),
+        transducer_ns: opt_u64("transducer_ns"),
+        simplify_ns: opt_u64("simplify_ns"),
+        sketch_ns: opt_u64("sketch_ns"),
     })
 }
 
 impl WireReport {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut obj = Json::Obj(vec![
             ("name".into(), Json::str(&self.name)),
             ("fingerprint".into(), Json::u64(self.fingerprint)),
             ("lattice_fp".into(), Json::u64(self.lattice_fp)),
@@ -734,7 +886,25 @@ impl WireReport {
             ),
             ("stats".into(), stats_to_json(&self.stats)),
             ("wall_ns".into(), Json::u64(self.wall_ns)),
-        ])
+        ]);
+        // Optional v2 additions ride at the end so v1-era consumers that
+        // index fields positionally are unaffected.
+        let Json::Obj(fields) = &mut obj else { unreachable!() };
+        if let Some(t) = &self.trace_id {
+            fields.push(("trace_id".into(), Json::str(t)));
+        }
+        if let Some(t) = &self.timing {
+            fields.push((
+                "timing".into(),
+                Json::Obj(vec![
+                    ("saturate_ns".into(), Json::u64(t.saturate_ns)),
+                    ("transducer_ns".into(), Json::u64(t.transducer_ns)),
+                    ("simplify_ns".into(), Json::u64(t.simplify_ns)),
+                    ("sketch_ns".into(), Json::u64(t.sketch_ns)),
+                ]),
+            ));
+        }
+        obj
     }
 
     fn from_json(j: &Json) -> Result<WireReport, WireError> {
@@ -779,6 +949,19 @@ impl WireReport {
                 j.get("stats").ok_or_else(|| proto("missing stats"))?,
             )?,
             wall_ns: u64_field(j, "wall_ns")?,
+            trace_id: opt_str_field(j, "trace_id")?,
+            // Optional phase breakdown; tolerate absence (older servers)
+            // and decode sub-fields tolerantly like the stats additions.
+            timing: j.get("timing").and_then(|t| {
+                let f = |name: &str| t.get(name).and_then(Json::as_u64).unwrap_or(0);
+                let w = WireTiming {
+                    saturate_ns: f("saturate_ns"),
+                    transducer_ns: f("transducer_ns"),
+                    simplify_ns: f("simplify_ns"),
+                    sketch_ns: f("sketch_ns"),
+                };
+                (w != WireTiming::default()).then_some(w)
+            }),
         })
     }
 }
@@ -837,10 +1020,20 @@ impl Request {
                 fields.push(("lattice".into(), Json::str(&d.to_string())));
             }
         };
+        let push_trace = |fields: &mut Vec<(String, Json)>, t: &Option<String>| {
+            if let Some(id) = t {
+                fields.push(("trace_id".into(), Json::str(id)));
+            }
+        };
         let j = match self {
-            Request::SolveModule { module, lattice } => {
+            Request::SolveModule {
+                module,
+                lattice,
+                trace_id,
+            } => {
                 let mut fields = envelope("solve_module");
                 push_lattice(&mut fields, lattice);
+                push_trace(&mut fields, trace_id);
                 fields.push(("module".into(), module.to_json()));
                 Json::Obj(fields)
             }
@@ -848,9 +1041,11 @@ impl Request {
                 modules,
                 lattice,
                 stream,
+                trace_id,
             } => {
                 let mut fields = envelope("solve_batch");
                 push_lattice(&mut fields, lattice);
+                push_trace(&mut fields, trace_id);
                 if *stream {
                     fields.push(("stream".into(), Json::Bool(true)));
                 }
@@ -861,6 +1056,13 @@ impl Request {
                 Json::Obj(fields)
             }
             Request::Stats => Json::Obj(envelope("stats")),
+            Request::Metrics { text } => {
+                let mut fields = envelope("metrics");
+                if *text {
+                    fields.push(("format".into(), Json::str("text")));
+                }
+                Json::Obj(fields)
+            }
             Request::Shutdown => Json::Obj(envelope("shutdown")),
         };
         encode_msg(&j)
@@ -900,12 +1102,27 @@ impl Request {
             Some(Json::Bool(b)) => *b,
             Some(_) => return Err(proto("field \"stream\" must be a bool")),
         };
+        // Envelope-level trace id: validated for every kind (control
+        // requests simply have no report to echo it in).
+        let trace_id = match j.get("trace_id") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) if !s.is_empty() && s.len() <= MAX_TRACE_ID_BYTES => {
+                Some(s.clone())
+            }
+            Some(Json::Str(_)) => {
+                return Err(proto(format!(
+                    "field \"trace_id\" must be 1..={MAX_TRACE_ID_BYTES} bytes"
+                )))
+            }
+            Some(_) => return Err(proto("field \"trace_id\" must be a string")),
+        };
         match str_field(&j, "kind")?.as_str() {
             "solve_module" => Ok(Request::SolveModule {
                 module: WireModule::from_json(
                     j.get("module").ok_or_else(|| proto("missing module"))?,
                 )?,
                 lattice,
+                trace_id,
             }),
             "solve_batch" => Ok(Request::SolveBatch {
                 modules: arr_field(&j, "modules")?
@@ -914,8 +1131,21 @@ impl Request {
                     .collect::<Result<_, WireError>>()?,
                 lattice,
                 stream,
+                trace_id,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" if version >= 2 => {
+                let text = match j.get("format") {
+                    None => false,
+                    Some(Json::Str(s)) if s == "json" => false,
+                    Some(Json::Str(s)) if s == "text" => true,
+                    Some(Json::Str(s)) => {
+                        return Err(proto(format!("unknown metrics format {s:?}")))
+                    }
+                    Some(_) => return Err(proto("field \"format\" must be a string")),
+                };
+                Ok(Request::Metrics { text })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(proto(format!("unknown request kind {other:?}"))),
         }
@@ -970,6 +1200,63 @@ impl Response {
                 ("kind".into(), Json::str("overloaded")),
                 ("queued".into(), Json::usize(*queued)),
                 ("limit".into(), Json::usize(*limit)),
+            ]),
+            Response::Metrics(m) => Json::Obj(vec![
+                ("kind".into(), Json::str("metrics")),
+                (
+                    "counters".into(),
+                    Json::Obj(
+                        m.counters
+                            .iter()
+                            .map(|(n, v)| (n.clone(), Json::u64(*v)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges".into(),
+                    Json::Obj(
+                        m.gauges
+                            .iter()
+                            .map(|(n, v)| (n.clone(), Json::Num(v.to_string())))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histograms".into(),
+                    Json::Arr(
+                        m.histograms
+                            .iter()
+                            .map(|h| {
+                                Json::Obj(vec![
+                                    ("name".into(), Json::str(&h.name)),
+                                    ("count".into(), Json::u64(h.count)),
+                                    ("sum".into(), Json::u64(h.sum)),
+                                    (
+                                        "buckets".into(),
+                                        Json::Arr(
+                                            h.buckets
+                                                .iter()
+                                                .map(|(b, c)| {
+                                                    Json::Arr(vec![
+                                                        Json::u64(*b),
+                                                        Json::u64(*c),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                    ("p50".into(), Json::u64(h.p50)),
+                                    ("p95".into(), Json::u64(h.p95)),
+                                    ("p99".into(), Json::u64(h.p99)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::MetricsText(text) => Json::Obj(vec![
+                ("kind".into(), Json::str("metrics_text")),
+                ("text".into(), Json::str(text)),
             ]),
             Response::ShuttingDown => {
                 Json::Obj(vec![("kind".into(), Json::str("shutting_down"))])
@@ -1027,6 +1314,62 @@ impl Response {
                 queued: usize_field(&j, "queued")?,
                 limit: usize_field(&j, "limit")?,
             }),
+            "metrics" => {
+                let pairs = |key: &str| -> Result<Vec<(String, String)>, WireError> {
+                    match j.get(key) {
+                        Some(Json::Obj(members)) => Ok(members
+                            .iter()
+                            .filter_map(|(n, v)| match v {
+                                Json::Num(num) => Some((n.clone(), num.clone())),
+                                _ => None,
+                            })
+                            .collect()),
+                        _ => Err(proto(format!("missing object field {key:?}"))),
+                    }
+                };
+                let counters = pairs("counters")?
+                    .into_iter()
+                    .filter_map(|(n, v)| v.parse::<u64>().ok().map(|v| (n, v)))
+                    .collect();
+                let gauges = pairs("gauges")?
+                    .into_iter()
+                    .filter_map(|(n, v)| v.parse::<i64>().ok().map(|v| (n, v)))
+                    .collect();
+                let histograms = arr_field(&j, "histograms")?
+                    .iter()
+                    .map(|h| {
+                        Ok(WireHistogram {
+                            name: str_field(h, "name")?,
+                            count: u64_field(h, "count")?,
+                            sum: u64_field(h, "sum")?,
+                            buckets: arr_field(h, "buckets")?
+                                .iter()
+                                .map(|pair| {
+                                    let items = pair
+                                        .as_arr()
+                                        .filter(|a| a.len() == 2)
+                                        .ok_or_else(|| {
+                                            proto("histogram buckets are 2-element arrays")
+                                        })?;
+                                    match (items[0].as_u64(), items[1].as_u64()) {
+                                        (Some(b), Some(c)) => Ok((b, c)),
+                                        _ => Err(proto("histogram buckets are u64 pairs")),
+                                    }
+                                })
+                                .collect::<Result<_, WireError>>()?,
+                            p50: u64_field(h, "p50")?,
+                            p95: u64_field(h, "p95")?,
+                            p99: u64_field(h, "p99")?,
+                        })
+                    })
+                    .collect::<Result<_, WireError>>()?;
+                Ok(Response::Metrics(WireMetrics {
+                    counters,
+                    gauges,
+                    histograms,
+                }))
+            }
+            "metrics_text" => Ok(Response::MetricsText(str_field(&j, "text")?)),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error(str_field(&j, "message")?)),
             other => Err(proto(format!("unknown response kind {other:?}"))),

@@ -1,0 +1,65 @@
+//! # retypd-telemetry — std-only observability for the Retypd stack
+//!
+//! Two subsystems, both safe to leave compiled into release binaries:
+//!
+//! - **[`metrics`]** — a registry of atomic [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket log-scale [`Histogram`]s. Recording is lock-free (callers
+//!   hold `Arc`s to the instruments); snapshots merge across registries with
+//!   plain bucket addition, and quantiles are reported as deterministic
+//!   bucket bounds so merged p50/p95/p99 are bit-identical no matter how
+//!   samples were sharded. This is what the serve layer's wire `metrics`
+//!   request and Prometheus-style text exposition serialize.
+//!
+//! - **[`spans`]** — RAII tracing spans written to per-thread ring buffers,
+//!   gated on a process-wide flag that defaults to *off* (a disarmed span is
+//!   one relaxed atomic load). Span events carry a thread-local trace id
+//!   propagated from the wire envelope, and drain as Chrome-trace JSONL for
+//!   flamegraph inspection (`--trace-dir` in the serve bin).
+//!
+//! The crate has no dependencies — it sits below `retypd-core` so every
+//! layer of the stack (core solver phases, driver scheduling/caching, serve
+//! connection handling) can instrument itself without cycles.
+//!
+//! ```
+//! use retypd_telemetry as tele;
+//!
+//! // Metrics: register once, record lock-free.
+//! let hits = tele::global().counter("demo.cache_hits");
+//! let lat = tele::global().histogram("demo.latency_ns");
+//! hits.inc();
+//! lat.record(1_250);
+//! let snap = tele::global().snapshot();
+//! assert_eq!(snap.histograms.iter().find(|(n, _)| n == "demo.latency_ns").unwrap().1.count, 1);
+//!
+//! // Spans: no-ops until enabled.
+//! tele::set_spans_enabled(true);
+//! {
+//!     let _trace = tele::set_current_trace(tele::trace_id_hash("req-42"));
+//!     let _span = tele::span("demo.solve");
+//! }
+//! tele::set_spans_enabled(false);
+//! let (events, _dropped) = tele::drain_spans();
+//! assert_eq!(events.last().unwrap().name, "demo.solve");
+//! ```
+
+pub mod metrics;
+pub mod spans;
+
+pub use metrics::{
+    bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot,
+    Registry, NUM_BUCKETS,
+};
+pub use spans::{
+    chrome_trace_json, current_trace, drain_spans, now_ns, set_current_trace, set_spans_enabled,
+    span, spans_enabled, trace_id_hash, SpanEvent, SpanGuard, TraceGuard,
+};
+
+use std::sync::OnceLock;
+
+/// The process-wide default registry. Core and driver instrumentation lands
+/// here; serve additionally keeps per-shard registries and merges them with
+/// this one when answering a `metrics` request.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
