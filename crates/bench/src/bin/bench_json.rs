@@ -437,6 +437,138 @@ fn main() {
         });
     }
 
+    // --- gateway (routed vs direct warm solves, hedge-off vs hedge-on tail) ---
+    {
+        use retypd_driver::ModuleJob;
+        use retypd_gateway::{route_key, server, BackendSpec, GatewayConfig, Ring};
+        use retypd_serve::{start, Client, ServeConfig};
+
+        let module = ProgramGenerator::new(GenConfig {
+            seed: 7,
+            functions: 10,
+            ..GenConfig::default()
+        })
+        .generate();
+        let (mir, _) = compile(&module).unwrap();
+        let job = ModuleJob {
+            name: "bench".into(),
+            program: retypd_congen::generate(&mir),
+        };
+        let backend = |solve_delay: Option<Duration>| {
+            start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                shards: 1,
+                solve_delay,
+                ..ServeConfig::default()
+            })
+            .expect("loopback backend")
+        };
+
+        // Routing overhead: one warm solve direct to a backend versus the
+        // same solve through a gateway in front of two backends. Rotated:
+        // the committed figure is their ratio.
+        let direct = backend(None);
+        let backends = [backend(None), backend(None)];
+        let gw = server::start(
+            GatewayConfig::default(),
+            backends.iter().map(|h| BackendSpec::External { addr: h.addr() }).collect(),
+        )
+        .expect("gateway starts");
+        let mut direct_client = Client::connect(direct.addr()).expect("direct client");
+        let mut gw_client = Client::connect(gw.addr()).expect("gateway client");
+        direct_client.solve_module(&job).expect("cold prime direct");
+        gw_client.solve_module(&job).expect("cold prime routed");
+        bench_rotated(
+            &mut records,
+            vec![
+                (
+                    "gateway/direct_solve_warm".to_owned(),
+                    Box::new(|| {
+                        direct_client.solve_module(&job).expect("warm direct");
+                    }),
+                ),
+                (
+                    "gateway/routed_solve_warm".to_owned(),
+                    Box::new(|| {
+                        gw_client.solve_module(&job).expect("warm routed");
+                    }),
+                ),
+            ],
+        );
+        drop(direct_client);
+        drop(gw_client);
+        gw.shutdown();
+        for b in backends {
+            b.shutdown();
+        }
+        direct.shutdown();
+
+        // Tail latency under a slow primary: the module's owner slot gets
+        // a pure-latency stall, so hedge-off pays the stall on every solve
+        // while hedge-on races the other (warm) backend after 2ms. The
+        // stall is injected before the solve, so bytes are unaffected.
+        let stall = Duration::from_millis(25);
+        let key = route_key(lattice.fingerprint(), job.fingerprint());
+        let slow_slot = Ring::build(&[0, 1]).route(key).expect("two-slot ring");
+        let slow_pair = || {
+            let handles: Vec<_> = (0..2)
+                .map(|slot| backend((slot == slow_slot).then_some(stall)))
+                .collect();
+            // Prime both backends so the race is cache-hit vs cache-hit.
+            for h in &handles {
+                Client::connect(h.addr())
+                    .expect("prime client")
+                    .solve_module(&job)
+                    .expect("prime solve");
+            }
+            handles
+        };
+        let hedge_iters = if small { 10u64 } else { 30 };
+        let mut tail_ns: Vec<Vec<u64>> = Vec::new();
+        for hedge_after in [None, Some(Duration::from_millis(2))] {
+            let handles = slow_pair();
+            let gw = server::start(
+                GatewayConfig {
+                    hedge_after,
+                    ..GatewayConfig::default()
+                },
+                handles.iter().map(|h| BackendSpec::External { addr: h.addr() }).collect(),
+            )
+            .expect("gateway starts");
+            let mut client = Client::connect(gw.addr()).expect("gateway client");
+            client.solve_module(&job).expect("prime routed path");
+            let mut ns = Vec::with_capacity(hedge_iters as usize);
+            for _ in 0..hedge_iters {
+                let t0 = Instant::now();
+                client.solve_module(&job).expect("solve under stall");
+                ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            tail_ns.push(ns);
+            drop(client);
+            gw.shutdown();
+            for h in handles {
+                h.shutdown();
+            }
+        }
+        let median_u64 = |v: &mut Vec<u64>| {
+            v.sort_unstable();
+            v[v.len() / 2] as f64
+        };
+        for (name, v) in ["gateway/hedge_off_slow", "gateway/hedge_on_slow"]
+            .iter()
+            .copied()
+            .zip(tail_ns.iter_mut())
+        {
+            let ns = median_u64(v);
+            eprintln!("{name:<40} {ns:>14.0} ns/iter (n = {hedge_iters})");
+            records.push(Record {
+                name: name.to_owned(),
+                ns_per_iter: ns,
+                iters: hedge_iters,
+            });
+        }
+    }
+
     // --- telemetry (record-path overhead + spans-on vs spans-off pipeline) ---
     let telem_insts;
     {
@@ -536,6 +668,20 @@ fn main() {
         cold / replayed_start.max(1.0),
         replayed_start / warm.max(1.0),
         lookup("serve/restart_first_solve".to_owned()),
+    ));
+    // --- gateway section: routing overhead over a direct backend and the
+    // hedge's tail-latency rescue under a slow primary. ---
+    let direct_warm = lookup("gateway/direct_solve_warm".to_owned());
+    let routed_warm = lookup("gateway/routed_solve_warm".to_owned());
+    let hedge_off = lookup("gateway/hedge_off_slow".to_owned());
+    let hedge_on = lookup("gateway/hedge_on_slow".to_owned());
+    json.push_str(&format!(
+        "  \"gateway\": {{\"direct_solve_warm_ns\": {direct_warm:.1}, \
+         \"routed_solve_warm_ns\": {routed_warm:.1}, \"routing_overhead_ratio\": {:.4}, \
+         \"hedge_off_slow_ns\": {hedge_off:.1}, \"hedge_on_slow_ns\": {hedge_on:.1}, \
+         \"hedge_tail_speedup\": {:.2}}},\n",
+        routed_warm / direct_warm.max(1.0),
+        hedge_off / hedge_on.max(1.0),
     ));
     // --- telemetry section: the record-path cost and the spans-off vs
     // spans-on pipeline ratio (off must stay within the acceptance bound

@@ -129,7 +129,7 @@ pub fn scheme_fp_parts(
 /// cannot alias.
 fn write_label(h: &mut Fnv64, label: retypd_core::Label) {
     use retypd_core::{Label, Loc};
-    let mut write_loc = |h: &mut Fnv64, loc: Loc| match loc {
+    let write_loc = |h: &mut Fnv64, loc: Loc| match loc {
         Loc::Stack(k) => {
             h.write_u64(0);
             h.write_u64(k as u64);

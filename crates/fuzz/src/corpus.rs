@@ -9,13 +9,19 @@
 //! * A file named `raw_*` holds complete **wire bytes**, length prefix
 //!   included — these entries attack the framing itself (lying, over-cap,
 //!   truncated prefixes).
+//! * A file named `gwstats_*` holds a malformed backend `stats` **reply**
+//!   as seen by the gateway's health probe: it replays through
+//!   `retypd_gateway::classify_stats_reply` (which must reject it without
+//!   panicking), never through a request socket — such bytes can look
+//!   exactly like a valid `stats` *request*.
 //! * Any other file holds a frame **payload**; the replay harness frames
 //!   it normally.
-//! * Every entry must fail **before admission** (framing, JSON, envelope,
-//!   lattice, or constraint-text validation): pre-admission errors never
-//!   reach a shard, which is what makes the reply bytes independent of
-//!   the shard count. An entry that decodes into dispatchable work (or a
-//!   `stats`/`shutdown` request) does not belong here.
+//! * Every request entry must fail **before admission** (framing, JSON,
+//!   envelope, lattice, or constraint-text validation): pre-admission
+//!   errors never reach a shard, which is what makes the reply bytes
+//!   independent of the shard count. An entry that decodes into
+//!   dispatchable work (or a `stats`/`shutdown` request) does not belong
+//!   here.
 //! * Entries replay in filename order; names describe the attack.
 
 use std::fs;

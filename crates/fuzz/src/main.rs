@@ -7,7 +7,10 @@
 //!
 //! Iterations round-robin the three mutator tiers. Every input runs the
 //! in-process decode oracle; every input that cannot be mistaken for a
-//! `shutdown` request is also delivered to the live socket. Failures are
+//! `shutdown` request is also delivered to the live socket. Grammar-tier
+//! iterations additionally mutate a backend `stats` *reply* and drive it
+//! through the gateway's health-probe classifier, which must degrade
+//! garbage to "unhealthy" without ever panicking the router. Failures are
 //! minimized and (with `--save-failures`) written into the committed
 //! regression corpus. The run writes a stats JSON (`--out`) and exits
 //! non-zero if any oracle tripped.
@@ -19,7 +22,7 @@ use rand::SeedableRng;
 use retypd_fuzz::alloc::CountingAlloc;
 use retypd_fuzz::mutate::{self, Tier};
 use retypd_fuzz::oracle::{
-    check_grammar_strings, check_in_process, Failure, SocketOracle,
+    check_gateway_reply, check_grammar_strings, check_in_process, Failure, SocketOracle,
 };
 use retypd_fuzz::{contains_shutdown, corpus, minimize};
 use retypd_serve::json::Json;
@@ -136,6 +139,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tier_stats = [TierStats::new(), TierStats::new(), TierStats::new()];
     let mut failures: Vec<FailureRecord> = Vec::new();
+    let mut gateway_replies = 0u64;
+    let mut gateway_healthy = 0u64;
 
     for i in 0..iters {
         let tier = Tier::for_iteration(i);
@@ -153,6 +158,22 @@ fn main() {
         if failed.is_none() && !mutant.grammar.is_empty() {
             if let Err(f) = check_grammar_strings(&mutant.grammar, IN_PROCESS_BUDGET) {
                 failed = Some(f);
+            }
+        }
+
+        // Grammar-tier iterations also attack the *other* direction of
+        // the protocol: a backend's stats reply as seen by the gateway's
+        // health probe. The classifier must degrade garbage to unhealthy,
+        // never panic the router.
+        if failed.is_none() && tier == Tier::Grammar {
+            let reply = mutate::gateway_stats_mutant(&mut rng);
+            gateway_replies += 1;
+            match check_gateway_reply(&reply, IN_PROCESS_BUDGET) {
+                Ok(true) => gateway_healthy += 1,
+                Ok(false) => {}
+                Err(f) => {
+                    record_gateway_failure(&mut failures, i, &reply, f, save_failures);
+                }
             }
         }
 
@@ -227,6 +248,13 @@ fn main() {
         ("seed".into(), Json::u64(seed)),
         ("iters".into(), Json::u64(iters)),
         ("wall_ms".into(), Json::u64(wall_ms)),
+        (
+            "gateway".into(),
+            Json::Obj(vec![
+                ("stats_replies".into(), Json::u64(gateway_replies)),
+                ("classified_healthy".into(), Json::u64(gateway_healthy)),
+            ]),
+        ),
         (
             "tiers".into(),
             Json::Obj(vec![
@@ -322,6 +350,34 @@ fn record_failure(
     failures.push(FailureRecord {
         iteration,
         tier,
+        failure,
+        minimized_len: minimized.len(),
+        saved,
+    });
+}
+
+/// Like [`record_failure`], but for a backend stats *reply* that broke
+/// the gateway classifier. Saved entries take the `gwstats_found` prefix
+/// so the replay suite routes them through the classifier rather than a
+/// request socket.
+fn record_gateway_failure(
+    failures: &mut Vec<FailureRecord>,
+    iteration: u64,
+    bytes: &[u8],
+    failure: Failure,
+    save: bool,
+) {
+    let minimized = minimize(bytes, 2048, &mut |cand| {
+        check_gateway_reply(cand, IN_PROCESS_BUDGET).is_err()
+    });
+    let saved = if save && !minimized.is_empty() {
+        corpus::save(&format!("gwstats_found_{}", failure.kind()), &minimized, false).ok()
+    } else {
+        None
+    };
+    failures.push(FailureRecord {
+        iteration,
+        tier: Tier::Grammar,
         failure,
         minimized_len: minimized.len(),
         saved,

@@ -7,10 +7,10 @@ use rand::Rng;
 use retypd_core::parse::parse_constraint_set;
 use retypd_core::solver::Procedure;
 use retypd_core::{LatticeDescriptor, Program, Symbol};
-use retypd_driver::ModuleJob;
+use retypd_driver::{CacheStats, ModuleJob};
 use retypd_serve::json::Json;
-use retypd_serve::wire::{self, WireModule};
-use retypd_serve::Request;
+use retypd_serve::wire::{self, WireModule, WireShardStats, WireStats};
+use retypd_serve::{Request, Response};
 
 /// Which mutator produced an input.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -507,6 +507,115 @@ fn grammar_mutant(rng: &mut StdRng, bases: &[Vec<u8>]) -> Mutant {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Gateway-facing backend stats replies.
+
+/// A healthy backend's `stats` reply — the bytes the gateway's health
+/// probe hands to [`retypd_gateway::classify_stats_reply`]. The stats-
+/// reply mutations below all start from this.
+pub fn base_stats_reply() -> Vec<u8> {
+    Response::Stats(WireStats {
+        accepted: 12,
+        rejected: 1,
+        queued: 2,
+        queue_limit: 64,
+        pid: 4242,
+        start_ns: 1_700_000_000_000_000_000,
+        shards: vec![WireShardStats {
+            shard: 0,
+            jobs: 7,
+            rebuilds: 0,
+            cache: CacheStats::default(),
+            persisted_entries: 3,
+            replayed_entries: 3,
+            replay_ns: 1_000,
+        }],
+    })
+    .encode()
+}
+
+/// A mutated backend `stats` reply for the gateway's probe classifier:
+/// wrong reply kinds, poisoned admission fields, shard-list confusion,
+/// structural damage, truncation, and raw garbage. The classifier must
+/// degrade every one of these to "unhealthy" — never panic the router,
+/// never classify them healthy.
+pub fn gateway_stats_mutant(rng: &mut StdRng) -> Vec<u8> {
+    let base = base_stats_reply();
+    let text = std::str::from_utf8(&base).expect("stats reply is JSON text");
+    let mut v = Json::parse(text).expect("stats reply parses");
+    match rng.gen_range(0..8u32) {
+        0 => {
+            // Another reply kind where `stats` was expected.
+            let kind = match rng.gen_range(0..5u32) {
+                0 => "error".into(),
+                1 => "solved".into(),
+                2 => "overloaded".into(),
+                3 => "shutting_down".into(),
+                _ => grammar_string(rng, 4),
+            };
+            set_member(&mut v, "kind", Json::Str(kind));
+        }
+        1 => {
+            // Poison one admission / liveness number.
+            let key = ["accepted", "rejected", "queued", "queue_limit", "pid", "start_ns"]
+                [rng.gen_range(0..6usize)];
+            let value = match rng.gen_range(0..5u32) {
+                0 => Json::Num(huge_number(rng)),
+                1 => Json::Num("-1".into()),
+                2 => Json::Str("64".into()),
+                3 => Json::Null,
+                _ => Json::Arr(vec![]),
+            };
+            set_member(&mut v, key, value);
+        }
+        2 => {
+            // A backend claiming it can admit nothing.
+            set_member(&mut v, "queue_limit", Json::u64(0));
+        }
+        3 => {
+            // Queue depth beyond the advertised limit.
+            set_member(&mut v, "queued", Json::u64(rng.gen_range(65..10_000u64)));
+        }
+        4 => {
+            // Shard-list confusion: empty, scalar, or scalar elements.
+            let shards = match rng.gen_range(0..4u32) {
+                0 => Json::Arr(vec![]),
+                1 => Json::u64(7),
+                2 => Json::Arr(vec![Json::Null, Json::u64(1)]),
+                _ => Json::Str(grammar_string(rng, 4)),
+            };
+            set_member(&mut v, "shards", shards);
+        }
+        5 => {
+            // Drop a random top-level member.
+            if let Json::Obj(m) = &mut v {
+                if !m.is_empty() {
+                    let i = rng.gen_range(0..m.len());
+                    m.remove(i);
+                }
+            }
+        }
+        6 => {
+            // General structural damage, reusing the tier-B mutator.
+            for _ in 0..rng.gen_range(1..4u32) {
+                mutate_json(&mut v, rng);
+            }
+        }
+        _ => {
+            // Text-level damage: truncation or raw (possibly non-UTF-8)
+            // garbage replacing the reply outright.
+            let mut bytes = v.encode().into_bytes();
+            if rng.gen_bool(0.5) && !bytes.is_empty() {
+                bytes.truncate(rng.gen_range(0..bytes.len()));
+            } else {
+                bytes = (0..rng.gen_range(1..64usize)).map(|_| rng.gen()).collect();
+            }
+            return bytes;
+        }
+    }
+    v.encode().into_bytes()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +639,19 @@ mod tests {
             assert_eq!(ma.bytes, mb.bytes, "{tier:?} must be reproducible");
             assert_eq!(ma.grammar, mb.grammar);
         }
+    }
+
+    #[test]
+    fn base_stats_reply_classifies_healthy() {
+        retypd_gateway::classify_stats_reply(&base_stats_reply())
+            .expect("the unmutated reply must classify healthy");
+    }
+
+    #[test]
+    fn stats_reply_mutation_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(gateway_stats_mutant(&mut a), gateway_stats_mutant(&mut b));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The crash/hang/liveness oracles every mutant runs under.
 //!
-//! * **In-process** ([`check_in_process`], [`check_grammar_strings`]):
-//!   the exact decode path a connection handler runs (`serve::json` +
-//!   `Request::decode`), plus the [`retypd_core::fuzzing`] parser
-//!   checkers, under `catch_unwind` and a wall-clock budget.
+//! * **In-process** ([`check_in_process`], [`check_grammar_strings`],
+//!   [`check_gateway_reply`]): the exact decode path a connection handler
+//!   runs (`serve::json` + `Request::decode`), the
+//!   [`retypd_core::fuzzing`] parser checkers, and the gateway's backend
+//!   stats-reply classifier, under `catch_unwind` and a wall-clock
+//!   budget.
 //! * **Socket** ([`SocketOracle`]): delivery to a live server. Raw-tier
 //!   inputs get a fresh connection each (write, half-close, read to EOF —
 //!   the half-close means a truncated frame is an immediate `Broken` at
@@ -162,6 +164,22 @@ pub fn check_grammar_strings(strings: &[String], budget: Duration) -> Result<(),
         })?;
     }
     Ok(())
+}
+
+/// Drives a (mutated) backend `stats` reply through the gateway's health-
+/// probe classifier. The router's contract: a malformed reply degrades
+/// the backend to unhealthy — it must never panic the gateway. Returns
+/// whether the reply still classified healthy, for accounting.
+///
+/// # Errors
+///
+/// A [`Failure`] when the classifier panics or exceeds `budget`.
+pub fn check_gateway_reply(payload: &[u8], budget: Duration) -> Result<bool, Failure> {
+    let mut healthy = false;
+    guarded("gateway stats-reply classifier", budget, || {
+        healthy = retypd_gateway::classify_stats_reply(payload).is_ok();
+    })?;
+    Ok(healthy)
 }
 
 /// Socket-side delivery and its reply-or-clean-close / no-hang oracle.

@@ -12,7 +12,11 @@
 //! * every reply frame the corpus provokes is a protocol `error` frame —
 //!   an entry that earns a `stats` or `solved` reply has drifted into
 //!   dispatchable work and no longer belongs in the corpus;
-//! * `Request::decode` never panics on any committed payload.
+//! * `Request::decode` never panics on any committed payload;
+//! * `gwstats_*` entries — malformed backend `stats` *replies* — are kept
+//!   off the request socket entirely and instead replay through the
+//!   gateway's health-probe classifier, which must reject each one
+//!   without panicking.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -75,6 +79,9 @@ fn replay_all(shards: usize) -> BTreeMap<String, Vec<u8>> {
     let mut oracle = SocketOracle::new(handle.addr(), DEADLINE);
     let mut replies = BTreeMap::new();
     for entry in corpus::load().expect("load committed corpus") {
+        if entry.name.starts_with("gwstats_") {
+            continue; // backend replies, not requests — classifier-only.
+        }
         let wire_bytes = if entry.raw {
             entry.bytes.clone()
         } else {
@@ -106,8 +113,8 @@ fn corpus_meets_the_committed_size_floor() {
 #[test]
 fn corpus_payloads_decode_without_panics_and_without_dispatchable_work() {
     for entry in corpus::load().expect("load committed corpus") {
-        if entry.raw {
-            continue; // wire bytes, not a payload; framing rejects them.
+        if entry.raw || entry.name.starts_with("gwstats_") {
+            continue; // wire bytes / backend replies, not request payloads.
         }
         // Decode must not panic, and must not produce a request the
         // server would dispatch or act on — pre-admission errors only.
@@ -121,6 +128,34 @@ fn corpus_payloads_decode_without_panics_and_without_dispatchable_work() {
             // an error reply frame.
             Ok(_) => {}
         }
+    }
+}
+
+#[test]
+fn gwstats_corpus_replays_through_the_gateway_classifier() {
+    let entries: Vec<_> = corpus::load()
+        .expect("load committed corpus")
+        .into_iter()
+        .filter(|e| e.name.starts_with("gwstats_"))
+        .collect();
+    assert!(
+        entries.len() >= 6,
+        "gateway stats-reply corpus holds {} entries, need at least 6",
+        entries.len()
+    );
+    for entry in entries {
+        // Each committed reply once confused (or guards against confusing)
+        // the gateway's health probe: the classifier must reject it —
+        // degrading the backend to unhealthy — and must never panic.
+        let verdict = std::panic::catch_unwind(|| {
+            retypd_gateway::classify_stats_reply(&entry.bytes)
+        })
+        .unwrap_or_else(|_| panic!("{}: classifier panicked", entry.name));
+        assert!(
+            verdict.is_err(),
+            "{}: a malformed reply classified healthy",
+            entry.name
+        );
     }
 }
 

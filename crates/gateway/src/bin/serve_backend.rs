@@ -1,0 +1,10 @@
+//! The backend server binary the gateway spawns by default: byte-for-
+//! byte the same server main as `serve` (shared via
+//! [`retypd_serve::launch::serve_main`]), rebuilt here so the gateway
+//! crate's tests and binary can rely on a sibling executable
+//! (`CARGO_BIN_EXE_serve_backend`) without reaching into another
+//! package's target directory.
+
+fn main() {
+    std::process::exit(retypd_serve::launch::serve_main(std::env::args().skip(1)));
+}

@@ -1,0 +1,225 @@
+//! The consistent-hash ring: which backend owns a `(lattice_fp,
+//! module_fp)` key.
+//!
+//! ## Why consistent hashing (and not `fp % n`)
+//!
+//! Inside one `serve` process, `fingerprint % shards` is perfect: the
+//! shard count is fixed for the process's life. A gateway's membership is
+//! *not* fixed — backends are evicted when unhealthy and re-added when
+//! they recover — and under `% n` a single membership change remaps
+//! almost every key, stranding every warm per-process persistent store.
+//! On a consistent-hash ring, removing one of `n` backends moves only
+//! ~`1/n` of the keyspace, and **re-adding it restores exactly the
+//! original map**: a recycled process comes back to the same keys its
+//! replayed store already holds.
+//!
+//! ## Determinism
+//!
+//! The ring is a pure function of the *healthy slot set*: [`Ring::build`]
+//! hashes each slot index into [`VNODES`] points (stable FNV-64, no
+//! randomness), sorts them, and routes a key to the first point at or
+//! clockwise after it. Two gateways (or one gateway before and after a
+//! restart) with the same healthy set route identically — and since every
+//! backend solves with the same deterministic solver, *results* are
+//! bit-identical regardless of topology; routing only decides which warm
+//! store answers.
+//!
+//! The hedge target for a key is the next point owned by a *different*
+//! slot — deterministic too, so a hedged request always duplicates onto
+//! the same second opinion.
+
+use retypd_driver::fingerprint::Fnv64;
+
+/// Virtual nodes per backend slot. 64 keeps the per-slot keyspace share
+/// within a few percent of fair at single-digit backend counts while the
+/// whole ring for 16 backends still fits in ~16 KiB.
+pub const VNODES: usize = 64;
+
+/// One routing point on the ring: a hash position owned by a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Point {
+    hash: u64,
+    slot: usize,
+}
+
+/// An immutable consistent-hash ring over a set of backend slots.
+///
+/// Slots are *stable indices* (position in the gateway's configured
+/// backend list), not addresses: a backend restarted on a new ephemeral
+/// port keeps its slot, so it reclaims exactly the keyspace its persistent
+/// store is warm for.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// Points sorted by hash; empty when no slot is healthy.
+    points: Vec<Point>,
+}
+
+/// The routing key: a stable hash of `(lattice_fp, module_fp)`. Mixing the
+/// lattice in gives same-lattice tenants affinity — the same module under
+/// two lattices may land on different backends, and each backend's store
+/// keys already segregate by lattice fingerprint.
+pub fn route_key(lattice_fp: u64, module_fp: u64) -> u64 {
+    let mut h = Fnv64::new("gateway.route");
+    h.write_u64(lattice_fp);
+    h.write_u64(module_fp);
+    h.finish()
+}
+
+impl Ring {
+    /// Builds the ring for a set of healthy slots. Order does not matter;
+    /// duplicates are debug-rejected. An empty set yields an empty ring
+    /// (every route is `None` — the gateway reports unavailability rather
+    /// than guessing).
+    pub fn build(slots: &[usize]) -> Ring {
+        debug_assert!(
+            {
+                let mut sorted: Vec<usize> = slots.to_vec();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate slots in ring"
+        );
+        let mut points = Vec::with_capacity(slots.len() * VNODES);
+        for &slot in slots {
+            for vnode in 0..VNODES {
+                let mut h = Fnv64::new("gateway.ring");
+                h.write_u64(slot as u64);
+                h.write_u64(vnode as u64);
+                points.push(Point {
+                    hash: h.finish(),
+                    slot,
+                });
+            }
+        }
+        // Sort by hash; break (astronomically unlikely) hash ties by slot
+        // so the ring is a pure function of the set, not the build order.
+        points.sort_unstable_by(|a, b| (a.hash, a.slot).cmp(&(b.hash, b.slot)));
+        Ring { points }
+    }
+
+    /// Number of distinct healthy slots on the ring.
+    pub fn len(&self) -> usize {
+        let mut slots: Vec<usize> = self.points.iter().map(|p| p.slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        slots.len()
+    }
+
+    /// True when no slot is healthy.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The slot owning `key`: the first point at or clockwise after it.
+    pub fn route(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|p| p.hash < key);
+        let p = self.points.get(i).unwrap_or(&self.points[0]);
+        Some(p.slot)
+    }
+
+    /// The hedge target for `key`: the owner of the next point belonging
+    /// to a *different* slot than `primary`, walking clockwise. `None`
+    /// when no second distinct healthy slot exists.
+    pub fn hedge_target(&self, key: u64, primary: usize) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|p| p.hash < key);
+        for off in 0..self.points.len() {
+            let p = self.points[(start + off) % self.points.len()];
+            if p.slot != primary {
+                return Some(p.slot);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: u64) -> impl Iterator<Item = u64> {
+        (0..n).map(|i| route_key(7, i.wrapping_mul(0x9e3779b97f4a7c15)))
+    }
+
+    #[test]
+    fn ring_is_a_pure_function_of_the_slot_set() {
+        let a = Ring::build(&[0, 1, 2, 3]);
+        let b = Ring::build(&[3, 1, 0, 2]);
+        for k in keys(1000) {
+            assert_eq!(a.route(k), b.route(k), "order must not matter");
+        }
+    }
+
+    #[test]
+    fn single_slot_takes_everything_and_empty_takes_nothing() {
+        let one = Ring::build(&[5]);
+        let none = Ring::build(&[]);
+        for k in keys(100) {
+            assert_eq!(one.route(k), Some(5));
+            assert_eq!(one.hedge_target(k, 5), None, "no second opinion exists");
+            assert_eq!(none.route(k), None);
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_slots_keys() {
+        let full = Ring::build(&[0, 1, 2, 3]);
+        let without_2 = Ring::build(&[0, 1, 3]);
+        let mut moved = 0u64;
+        let mut total = 0u64;
+        for k in keys(4000) {
+            total += 1;
+            let before = full.route(k).unwrap();
+            let after = without_2.route(k).unwrap();
+            if before == 2 {
+                assert_ne!(after, 2);
+                moved += 1;
+            } else {
+                assert_eq!(before, after, "a surviving slot's keys must not move");
+            }
+        }
+        // ~1/4 of the keyspace belonged to slot 2 (vnode balance is
+        // approximate; allow a generous band).
+        assert!(
+            (total / 10..=total / 2).contains(&moved),
+            "slot 2 owned {moved}/{total} keys — ring badly unbalanced"
+        );
+    }
+
+    #[test]
+    fn readding_restores_the_original_map() {
+        let full = Ring::build(&[0, 1, 2, 3]);
+        let readded = Ring::build(&[2, 0, 3, 1]);
+        for k in keys(2000) {
+            assert_eq!(full.route(k), readded.route(k));
+        }
+    }
+
+    #[test]
+    fn hedge_target_is_deterministic_and_distinct() {
+        let ring = Ring::build(&[0, 1, 2]);
+        for k in keys(500) {
+            let primary = ring.route(k).unwrap();
+            let hedge = ring.hedge_target(k, primary).unwrap();
+            assert_ne!(hedge, primary);
+            assert_eq!(hedge, ring.hedge_target(k, primary).unwrap());
+        }
+    }
+
+    #[test]
+    fn all_slots_get_some_keyspace() {
+        let ring = Ring::build(&[0, 1, 2, 3]);
+        let mut counts = [0u64; 4];
+        for k in keys(4000) {
+            counts[ring.route(k).unwrap()] += 1;
+        }
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "slot {slot} owns no keys");
+        }
+    }
+}

@@ -1,0 +1,895 @@
+//! The gateway server: accepts the same wire protocol `serve` speaks,
+//! routes every module to a backend by consistent hash, supervises the
+//! backends, and aggregates their control-plane answers.
+//!
+//! ```text
+//!                         ┌─ health checker ─ probe / evict / restart / re-add
+//!  client ──▶ gateway ────┤
+//!             (ring)      ├─▶ backend slot 0 (serve, own persist dir)
+//!   solve_module ─ route ─┼─▶ backend slot 1 (serve, own persist dir)
+//!   solve_batch ── split ─┴─▶ backend slot 2 (serve, own persist dir)
+//!   stats/metrics ─ fan-in: sum / merge across healthy backends
+//! ```
+//!
+//! * **Transparent protocol.** A client (or `loadgen`) pointed at the
+//!   gateway sees a bit-identical protocol: `solve_module` forwards,
+//!   `solve_batch` is decomposed into per-module forwards and
+//!   reassembled in submission order (streaming batches emit `report`
+//!   frames as modules finish), `stats` sums the fleet, `metrics`
+//!   merges every backend registry with the gateway's own.
+//! * **Warm affinity.** Routing is a pure function of
+//!   `(lattice_fp, module_fp)` and the healthy slot set — a
+//!   re-submitted module lands on the backend whose per-process
+//!   persistent store already holds it, across gateway *and* backend
+//!   restarts.
+//! * **Supervision.** A health thread probes each backend with the
+//!   ordinary `stats` request, evicts on failure (ring rebuild — the
+//!   live re-shard), restarts spawned children with their original
+//!   persist dir, and re-adds on recovery (ring rebuild back to the
+//!   original map).
+//! * **Hedging.** A solve stuck past [`GatewayConfig::hedge_after`] is
+//!   duplicated to the next distinct slot on the ring; first winning
+//!   reply is forwarded, the loser dropped. Determinism makes this
+//!   safe: both backends compute byte-identical reports, so the race
+//!   only picks *which copy* of the answer arrives.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use retypd_core::Lattice;
+use retypd_serve::wire::{
+    self, Request, Response, WireBatchDone, WireMetrics, WireReport, WireStats,
+};
+use retypd_serve::RetryPolicy;
+use retypd_telemetry::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+
+use crate::backend::{Backend, BackendSpec};
+use crate::forward::{exchange, hedged_exchange, Winner};
+use crate::health::classify_stats_reply;
+use crate::ring::{route_key, Ring};
+
+/// Gateway tuning. `Default` suits tests and small fleets; the binary
+/// maps flags onto it.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Front-end listen address (`0` port binds ephemerally).
+    pub addr: String,
+    /// Pause between health sweeps.
+    pub health_interval: Duration,
+    /// Per-probe budget (connect + stats round trip).
+    pub probe_timeout: Duration,
+    /// Latency threshold after which a solve is hedged to a second
+    /// backend; `None` disables hedging.
+    pub hedge_after: Option<Duration>,
+    /// Re-route/overload retry schedule (the same machinery client-side
+    /// retries use; the gateway reuses its jittered curve).
+    pub retry: RetryPolicy,
+    /// End-to-end budget for one forwarded exchange.
+    pub forward_timeout: Duration,
+    /// How long a spawned backend may take to print its readiness
+    /// banner (covers persistent-store replay on warm restarts).
+    pub spawn_timeout: Duration,
+    /// Echo `RETYPD_GATEWAY_*` lines on stdout (the binary turns this
+    /// on so operators and CI can find backend pids; tests keep it off).
+    pub echo: bool,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:0".into(),
+            health_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_secs(2),
+            hedge_after: None,
+            retry: RetryPolicy::new(8),
+            forward_timeout: Duration::from_secs(60),
+            spawn_timeout: Duration::from_secs(30),
+            echo: false,
+        }
+    }
+}
+
+/// Gateway-side instruments, exposed (merged with every backend's
+/// registry) through the ordinary v2 `metrics` request.
+struct GatewayMetrics {
+    registry: Registry,
+    requests: Arc<Counter>,
+    hedge_fired: Arc<Counter>,
+    hedge_won: Arc<Counter>,
+    reroutes: Arc<Counter>,
+    evicted: Arc<Counter>,
+    readded: Arc<Counter>,
+    restarts: Arc<Counter>,
+    no_backend: Arc<Counter>,
+    forward_ns: Arc<Histogram>,
+    healthy: Arc<Gauge>,
+    /// Per-slot routed-request counters, indexed by slot.
+    routed: Vec<Arc<Counter>>,
+}
+
+impl GatewayMetrics {
+    fn new(slots: usize) -> GatewayMetrics {
+        let registry = Registry::new();
+        GatewayMetrics {
+            requests: registry.counter("gateway.requests"),
+            hedge_fired: registry.counter("gateway.hedge_fired"),
+            hedge_won: registry.counter("gateway.hedge_won"),
+            reroutes: registry.counter("gateway.reroutes"),
+            evicted: registry.counter("gateway.evicted"),
+            readded: registry.counter("gateway.readded"),
+            restarts: registry.counter("gateway.restarts"),
+            no_backend: registry.counter("gateway.no_backend_errors"),
+            forward_ns: registry.histogram("gateway.forward_ns"),
+            healthy: registry.gauge("gateway.backends_healthy"),
+            routed: (0..slots)
+                .map(|s| registry.counter(&format!("gateway.backend_{s}.routed")))
+                .collect(),
+            registry,
+        }
+    }
+}
+
+struct Shared {
+    backends: Vec<Backend>,
+    /// The current ring — a pure function of the healthy slot set,
+    /// swapped atomically on every membership change. Forwarders
+    /// snapshot it per attempt, so a re-shard mid-retry is picked up.
+    ring: Mutex<Arc<Ring>>,
+    /// Bumped on every ring rebuild (observable mid-run re-sharding).
+    epoch: AtomicU64,
+    draining: AtomicBool,
+    local_addr: SocketAddr,
+    active_conns: AtomicUsize,
+    default_lattice_fp: u64,
+    metrics: GatewayMetrics,
+    config: GatewayConfig,
+}
+
+impl Shared {
+    fn ring_snapshot(&self) -> Arc<Ring> {
+        Arc::clone(&self.ring.lock().expect("ring lock"))
+    }
+
+    /// Recomputes the ring from current backend health and swaps it in.
+    /// This *is* the live re-shard: deterministic (the ring is a pure
+    /// function of the healthy set) and atomic (in-flight forwards
+    /// finish on their snapshot; every retry re-reads).
+    fn rebuild_ring(&self) {
+        let healthy: Vec<usize> = self
+            .backends
+            .iter()
+            .filter(|b| b.healthy())
+            .map(|b| b.slot)
+            .collect();
+        self.metrics.healthy.set(healthy.len() as i64);
+        let ring = Arc::new(Ring::build(&healthy));
+        *self.ring.lock().expect("ring lock") = ring;
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a slot unhealthy because a forward or probe failed, and
+    /// re-shards if that is a transition. The health thread will restart
+    /// it (spawned backends) and re-add it once it answers probes again.
+    fn mark_unhealthy(&self, slot: usize, why: &str) {
+        if self.backends[slot].set_healthy(false) {
+            self.metrics.evicted.inc();
+            self.log(&format!("slot {slot} evicted: {why}"));
+            self.rebuild_ring();
+        }
+    }
+
+    fn log(&self, msg: &str) {
+        if self.config.echo {
+            eprintln!("[gateway] {msg}");
+        }
+    }
+
+    /// One probe: connect, `stats` round trip, classify. Pure verdict —
+    /// health bookkeeping happens at the caller.
+    fn probe(&self, slot: usize) -> Result<crate::health::ProbeReport, String> {
+        let b = &self.backends[slot];
+        let mut conn = b.connect(self.config.probe_timeout)?;
+        let reply = exchange(
+            &mut conn,
+            &Request::Stats.encode(),
+            self.config.probe_timeout,
+        )?;
+        let report = classify_stats_reply(&reply)?;
+        b.note_probe(&report);
+        b.pool(conn);
+        Ok(report)
+    }
+
+    /// Forwards one already-encoded solve request for `key`, with
+    /// hedging and eviction-driven re-routing. Returns the winning
+    /// reply payload; encodes an error reply if every attempt failed.
+    fn forward_solve(&self, key: u64, payload: &[u8]) -> Vec<u8> {
+        let started = Instant::now();
+        let mut last_err = String::new();
+        for attempt in 0..=self.config.retry.budget {
+            if attempt > 0 {
+                self.metrics.reroutes.inc();
+                std::thread::sleep(self.config.retry.backoff(attempt - 1));
+            }
+            let ring = self.ring_snapshot();
+            let Some(primary) = ring.route(key) else {
+                self.metrics.no_backend.inc();
+                last_err = "no healthy backends".into();
+                continue;
+            };
+            let backend = &self.backends[primary];
+            let mut conn = match backend.connect(self.config.probe_timeout) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.mark_unhealthy(primary, &e);
+                    last_err = e;
+                    continue;
+                }
+            };
+            let hedge_slot = self
+                .config
+                .hedge_after
+                .and_then(|_| ring.hedge_target(key, primary));
+            let open_hedge = || {
+                hedge_slot.and_then(|s| self.backends[s].connect(self.config.probe_timeout).ok())
+            };
+            // Hedge only when a distinct second backend exists.
+            let hedge_after = hedge_slot.and(self.config.hedge_after);
+            match hedged_exchange(
+                payload,
+                &mut conn,
+                hedge_after,
+                open_hedge,
+                self.config.forward_timeout,
+            ) {
+                Ok(ex) => {
+                    if ex.hedged {
+                        self.metrics.hedge_fired.inc();
+                    }
+                    let winner_slot = match ex.winner {
+                        Winner::Primary => {
+                            backend.pool(conn);
+                            primary
+                        }
+                        Winner::Hedge(stream) => {
+                            self.metrics.hedge_won.inc();
+                            let slot = hedge_slot.expect("hedge won implies target");
+                            if let Some(s) = stream {
+                                self.backends[slot].pool(s);
+                            }
+                            slot
+                        }
+                    };
+                    self.metrics.routed[winner_slot].inc();
+                    self.metrics
+                        .forward_ns
+                        .record(started.elapsed().as_nanos() as u64);
+                    return ex.payload;
+                }
+                Err(e) => {
+                    self.mark_unhealthy(primary, &e);
+                    last_err = e;
+                }
+            }
+        }
+        Response::Error(format!(
+            "gateway: forwarding failed after {} attempts: {last_err}",
+            self.config.retry.budget + 1
+        ))
+        .encode()
+    }
+
+    /// Solves one module of a decomposed batch: route, forward, decode.
+    /// `overloaded` backend replies are retried here on the jittered
+    /// backoff curve — batch clients cannot retry per module, so the
+    /// gateway absorbs admission pushback for them.
+    fn solve_batch_module(
+        &self,
+        module: &wire::WireModule,
+        lattice: &Option<retypd_core::LatticeDescriptor>,
+        trace_id: &Option<String>,
+    ) -> Result<WireReport, String> {
+        let module_fp = module.to_job().map_err(|e| e.to_string())?.fingerprint();
+        let lattice_fp = lattice
+            .as_ref()
+            .map_or(self.default_lattice_fp, |d| d.fingerprint());
+        let key = route_key(lattice_fp, module_fp);
+        let payload = Request::SolveModule {
+            module: module.clone(),
+            lattice: lattice.clone(),
+            trace_id: trace_id.clone(),
+        }
+        .encode();
+        for attempt in 0..=self.config.retry.budget {
+            let reply = self.forward_solve(key, &payload);
+            match Response::decode(&reply) {
+                Ok(Response::Solved(mut reports)) if !reports.is_empty() => {
+                    return Ok(reports.swap_remove(0));
+                }
+                Ok(Response::Overloaded { .. }) if attempt < self.config.retry.budget => {
+                    std::thread::sleep(self.config.retry.backoff(attempt));
+                }
+                Ok(Response::Overloaded { queued, limit }) => {
+                    return Err(format!("backend overloaded ({queued}/{limit})"));
+                }
+                Ok(Response::Error(e)) => return Err(e),
+                Ok(Response::ShuttingDown) => return Err("backend shutting down".into()),
+                Ok(other) => return Err(format!("unexpected backend reply: {other:?}")),
+                Err(e) => return Err(format!("undecodable backend reply: {e}")),
+            }
+        }
+        Err("backend overloaded past the retry budget".into())
+    }
+}
+
+/// A running gateway. Dropping the handle does not stop it; call
+/// [`GatewayHandle::shutdown`] (or send the wire `shutdown` request).
+pub struct GatewayHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The bound front-end address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Current ring epoch — bumps on every membership change, so tests
+    /// can assert that a mid-run event actually re-sharded.
+    pub fn ring_epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Slots currently routed to.
+    pub fn healthy_slots(&self) -> Vec<usize> {
+        self.shared
+            .backends
+            .iter()
+            .filter(|b| b.healthy())
+            .map(|b| b.slot)
+            .collect()
+    }
+
+    /// A backend's last known pid (0 when unknown).
+    pub fn backend_pid(&self, slot: usize) -> u64 {
+        self.shared.backends[slot].pid()
+    }
+
+    /// Kills a spawned backend's process outright (chaos hook for
+    /// failure-path tests; the supervisor notices, re-shards, restarts).
+    pub fn kill_backend(&self, slot: usize) {
+        // `kill` already drops the healthy bit, so re-shard explicitly
+        // rather than through the transition-edge path.
+        self.shared.backends[slot].kill();
+        self.shared.metrics.evicted.inc();
+        self.shared.log(&format!("slot {slot} killed by operator"));
+        self.shared.rebuild_ring();
+    }
+
+    /// The gateway's own metrics snapshot (no backend fan-in).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.registry.snapshot()
+    }
+
+    /// Drains: stops accepting, waits for in-flight connections, shuts
+    /// down spawned backends gracefully (wire `shutdown`, then kill on
+    /// timeout).
+    pub fn shutdown(mut self) {
+        begin_drain(&self.shared);
+        self.join_threads();
+        drain_backends(&self.shared);
+    }
+
+    /// Blocks until the gateway drains (a wire `shutdown`, or
+    /// [`GatewayHandle::shutdown`] from another thread).
+    pub fn join(mut self) {
+        self.join_threads();
+        drain_backends(&self.shared);
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn begin_drain(shared: &Shared) {
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the acceptor with a no-op connection.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+/// Gracefully stops every spawned backend: wire `shutdown` first (lets
+/// the child flush its persistent store), hard kill as a fallback.
+fn drain_backends(shared: &Shared) {
+    for b in &shared.backends {
+        if !b.restartable() {
+            continue;
+        }
+        if let Ok(mut conn) = b.connect(Duration::from_secs(1)) {
+            let _ = exchange(&mut conn, &Request::Shutdown.encode(), Duration::from_secs(5));
+        }
+        // `kill` reaps the child; if the graceful path worked the wait
+        // returns immediately, otherwise this is the hard stop.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !b.child_exited() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        b.kill();
+    }
+}
+
+/// Starts a gateway over `specs` (slot = index). Spawned backends are
+/// launched and *all* backends probed once; at least one must be
+/// healthy or startup fails (a gateway with an empty ring would refuse
+/// every request — better to fail loudly at the top).
+pub fn start(config: GatewayConfig, specs: Vec<BackendSpec>) -> Result<GatewayHandle, String> {
+    if specs.is_empty() {
+        return Err("gateway needs at least one backend".into());
+    }
+    let backends: Vec<Backend> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(slot, spec)| Backend::new(slot, spec))
+        .collect();
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let local_addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let metrics = GatewayMetrics::new(backends.len());
+    let shared = Arc::new(Shared {
+        backends,
+        ring: Mutex::new(Arc::new(Ring::build(&[]))),
+        epoch: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+        local_addr,
+        active_conns: AtomicUsize::new(0),
+        default_lattice_fp: Lattice::c_types().fingerprint(),
+        metrics,
+        config,
+    });
+
+    // Bring the fleet up: launch children, then probe each backend (with
+    // a short grace loop — an external server may still be binding).
+    for b in &shared.backends {
+        match b.launch(shared.config.spawn_timeout) {
+            Ok(addr) => {
+                if shared.config.echo {
+                    println!(
+                        "RETYPD_GATEWAY_BACKEND slot={} addr={addr} pid={}",
+                        b.slot,
+                        b.pid()
+                    );
+                }
+            }
+            Err(e) => shared.log(&format!("slot {} failed to launch: {e}", b.slot)),
+        }
+    }
+    for b in &shared.backends {
+        let deadline = Instant::now() + shared.config.probe_timeout;
+        loop {
+            match shared.probe(b.slot) {
+                Ok(_) => {
+                    b.set_healthy(true);
+                    break;
+                }
+                Err(e) if Instant::now() >= deadline => {
+                    shared.log(&format!("slot {} unhealthy at startup: {e}", b.slot));
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+    shared.rebuild_ring();
+    if shared.ring_snapshot().is_empty() {
+        drain_backends(&shared);
+        return Err("no backend passed its startup probe".into());
+    }
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("gateway-acceptor".into())
+            .spawn(move || acceptor_main(listener, shared))
+            .map_err(|e| e.to_string())?
+    };
+    let health = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("gateway-health".into())
+            .spawn(move || health_main(shared))
+            .map_err(|e| e.to_string())?
+    };
+    Ok(GatewayHandle {
+        shared,
+        acceptor: Some(acceptor),
+        health: Some(health),
+    })
+}
+
+fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(conn) = conn else { continue };
+        // Replies are written prefix-then-payload; without nodelay the
+        // second write sits out a Nagle/delayed-ACK round (~40ms).
+        conn.set_nodelay(true).ok();
+        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        let shared2 = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("gateway-conn".into())
+            .spawn(move || {
+                handle_conn(conn, &shared2);
+                shared2.active_conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    // Drain: give in-flight connections a bounded window to finish.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The supervisor: probe every slot each sweep, evict/restart/re-add.
+fn health_main(shared: Arc<Shared>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.config.health_interval);
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        for b in &shared.backends {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            // A crashed child is a fact, not a probe verdict.
+            if b.child_exited() {
+                shared.mark_unhealthy(b.slot, "child process exited");
+            }
+            let restart = match shared.probe(b.slot) {
+                Ok(_) => {
+                    if !b.set_healthy(true) {
+                        shared.metrics.readded.inc();
+                        shared.log(&format!("slot {} re-added", b.slot));
+                        shared.rebuild_ring();
+                    }
+                    false
+                }
+                Err(e) => {
+                    shared.mark_unhealthy(b.slot, &e);
+                    b.restartable()
+                }
+            };
+            if restart {
+                // Respawn with the original spec — same slot, same
+                // persist dir — so the replacement warm-starts and
+                // reclaims its exact keyspace. Re-add happens on the
+                // next sweep's successful probe.
+                b.kill();
+                match b.launch(shared.config.spawn_timeout) {
+                    Ok(addr) => {
+                        shared.metrics.restarts.inc();
+                        shared.log(&format!("slot {} restarted at {addr}", b.slot));
+                        if shared.config.echo {
+                            println!(
+                                "RETYPD_GATEWAY_BACKEND slot={} addr={addr} pid={}",
+                                b.slot,
+                                b.pid()
+                            );
+                        }
+                    }
+                    Err(e) => shared.log(&format!("slot {} restart failed: {e}", b.slot)),
+                }
+            }
+        }
+    }
+}
+
+fn handle_conn(mut conn: TcpStream, shared: &Shared) {
+    loop {
+        let payload = match wire::read_frame(&mut conn) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(_) => return,
+        };
+        shared.metrics.requests.inc();
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = write_reply(&mut conn, &Response::Error(e.to_string()).encode());
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            let _ = write_reply(&mut conn, &Response::ShuttingDown.encode());
+            continue;
+        }
+        match request {
+            Request::SolveModule {
+                module, lattice, ..
+            } => {
+                // Forward the client's own frame verbatim — the gateway
+                // only needs the routing key from it.
+                let reply = match module.to_job() {
+                    Ok(job) => {
+                        let lattice_fp = lattice
+                            .as_ref()
+                            .map_or(shared.default_lattice_fp, |d| d.fingerprint());
+                        shared.forward_solve(route_key(lattice_fp, job.fingerprint()), &payload)
+                    }
+                    Err(e) => Response::Error(e.to_string()).encode(),
+                };
+                if write_reply(&mut conn, &reply).is_err() {
+                    return;
+                }
+            }
+            Request::SolveBatch {
+                modules,
+                lattice,
+                stream,
+                trace_id,
+            } => {
+                if handle_batch(&mut conn, shared, modules, lattice, stream, trace_id).is_err() {
+                    return;
+                }
+            }
+            Request::Stats => {
+                let reply = Response::Stats(aggregate_stats(shared)).encode();
+                if write_reply(&mut conn, &reply).is_err() {
+                    return;
+                }
+            }
+            Request::Metrics { text } => {
+                let merged = aggregate_metrics(shared);
+                let reply = if text {
+                    Response::MetricsText(metrics_to_text(&merged))
+                } else {
+                    Response::Metrics(merged)
+                };
+                if write_reply(&mut conn, &reply.encode()).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let _ = write_reply(&mut conn, &Response::ShuttingDown.encode());
+                begin_drain(shared);
+                return;
+            }
+        }
+    }
+}
+
+fn write_reply(conn: &mut TcpStream, payload: &[u8]) -> Result<(), String> {
+    use std::io::Write;
+    wire::write_frame(conn, payload).map_err(|e| e.to_string())?;
+    conn.flush().map_err(|e| e.to_string())
+}
+
+/// Decomposes a batch into per-module forwards (a small worker pool —
+/// modules route to *different* backends, so the fan-out is the whole
+/// point), reassembles the reply in submission order. Streaming batches
+/// emit `report` frames as modules finish, exactly like `serve`.
+fn handle_batch(
+    conn: &mut TcpStream,
+    shared: &Shared,
+    modules: Vec<wire::WireModule>,
+    lattice: Option<retypd_core::LatticeDescriptor>,
+    stream: bool,
+    trace_id: Option<String>,
+) -> Result<(), String> {
+    let started = Instant::now();
+    let total = modules.len();
+    let lattice_fp = lattice
+        .as_ref()
+        .map_or(shared.default_lattice_fp, |d| d.fingerprint());
+    if total == 0 {
+        let reply = if stream {
+            Response::BatchDone(WireBatchDone {
+                modules: 0,
+                delivered: 0,
+                errors: vec![],
+                wall_ns: 0,
+                lattice_fp,
+            })
+        } else {
+            Response::Solved(vec![])
+        };
+        return write_reply(conn, &reply.encode());
+    }
+
+    let healthy = shared.backends.iter().filter(|b| b.healthy()).count().max(1);
+    let workers = total.min((2 * healthy).max(2));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<WireReport, String>)>();
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let modules = &modules;
+            let lattice = &lattice;
+            let trace_id = &trace_id;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= modules.len() {
+                    break;
+                }
+                let result = shared.solve_batch_module(&modules[i], lattice, trace_id);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        if stream {
+            let mut delivered = 0usize;
+            let mut errors: Vec<String> = Vec::new();
+            for (index, result) in rx {
+                match result {
+                    Ok(report) => {
+                        delivered += 1;
+                        write_reply(
+                            conn,
+                            &Response::Report {
+                                index,
+                                result: Ok(Box::new(report)),
+                            }
+                            .encode(),
+                        )?;
+                    }
+                    Err(e) => {
+                        errors.push(format!("module {index}: {e}"));
+                        write_reply(
+                            conn,
+                            &Response::Report {
+                                index,
+                                result: Err(e),
+                            }
+                            .encode(),
+                        )?;
+                    }
+                }
+            }
+            write_reply(
+                conn,
+                &Response::BatchDone(WireBatchDone {
+                    modules: total,
+                    delivered,
+                    errors,
+                    wall_ns: started.elapsed().as_nanos() as u64,
+                    lattice_fp,
+                })
+                .encode(),
+            )
+        } else {
+            let mut slots: Vec<Option<Result<WireReport, String>>> = (0..total).map(|_| None).collect();
+            for (index, result) in rx {
+                slots[index] = Some(result);
+            }
+            let mut reports = Vec::with_capacity(total);
+            let mut errors: Vec<String> = Vec::new();
+            for (index, slot) in slots.into_iter().enumerate() {
+                match slot {
+                    Some(Ok(report)) => reports.push(report),
+                    Some(Err(e)) => errors.push(format!("module {index}: {e}")),
+                    None => errors.push(format!("module {index}: lost by the gateway")),
+                }
+            }
+            let reply = if errors.is_empty() {
+                Response::Solved(reports)
+            } else {
+                Response::Error(errors.join("; "))
+            };
+            write_reply(conn, &reply.encode())
+        }
+    })
+}
+
+/// Fleet-wide stats: admission counters sum, shard lists concatenate
+/// (renumbered into one flat fleet-wide sequence), pid/start time are
+/// the gateway's own. A backend failing its stats round trip here is
+/// evicted, exactly as if a probe had failed.
+fn aggregate_stats(shared: &Shared) -> WireStats {
+    let mut agg = WireStats {
+        accepted: 0,
+        rejected: 0,
+        queued: 0,
+        queue_limit: 0,
+        pid: std::process::id() as u64,
+        start_ns: 0,
+        shards: vec![],
+    };
+    for b in &shared.backends {
+        if !b.healthy() {
+            continue;
+        }
+        let reply = b
+            .connect(shared.config.probe_timeout)
+            .and_then(|mut conn| {
+                let r = exchange(
+                    &mut conn,
+                    &Request::Stats.encode(),
+                    shared.config.probe_timeout,
+                )?;
+                b.pool(conn);
+                Ok(r)
+            })
+            .and_then(|payload| classify_stats_reply(&payload));
+        match reply {
+            Ok(report) => {
+                let s = report.stats;
+                agg.accepted += s.accepted;
+                agg.rejected += s.rejected;
+                agg.queued += s.queued;
+                agg.queue_limit += s.queue_limit;
+                for mut shard in s.shards {
+                    shard.shard = agg.shards.len();
+                    agg.shards.push(shard);
+                }
+            }
+            Err(e) => shared.mark_unhealthy(b.slot, &e),
+        }
+    }
+    agg
+}
+
+/// The gateway's registry merged with every healthy backend's: the v2
+/// `metrics` request answers for the whole fleet through one socket.
+fn aggregate_metrics(shared: &Shared) -> WireMetrics {
+    let mut merged = WireMetrics::from_snapshot(&shared.metrics.registry.snapshot());
+    for b in &shared.backends {
+        if !b.healthy() {
+            continue;
+        }
+        let reply = b.connect(shared.config.probe_timeout).and_then(|mut conn| {
+            let r = exchange(
+                &mut conn,
+                &Request::Metrics { text: false }.encode(),
+                shared.config.probe_timeout,
+            )?;
+            b.pool(conn);
+            Ok(r)
+        });
+        if let Ok(payload) = reply {
+            if let Ok(Response::Metrics(wm)) = Response::decode(&payload) {
+                merged.merge(&wm);
+            }
+        }
+    }
+    merged
+}
+
+/// Renders a merged wire snapshot as exposition text by rebuilding a
+/// telemetry snapshot from the wire buckets — same format the backends
+/// themselves produce.
+fn metrics_to_text(wm: &WireMetrics) -> String {
+    let mut snap = MetricsSnapshot {
+        counters: wm.counters.clone(),
+        gauges: wm.gauges.clone(),
+        histograms: vec![],
+    };
+    for h in &wm.histograms {
+        snap.histograms.push((
+            h.name.clone(),
+            retypd_telemetry::HistogramSnapshot::from_buckets(&h.buckets, h.sum),
+        ));
+    }
+    snap.to_text()
+}

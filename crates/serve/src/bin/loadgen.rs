@@ -6,6 +6,11 @@
 //! cargo run --release -p retypd-serve --bin loadgen -- --small --out serve-load.json
 //! # Against an external server (CI starts `serve` in the background):
 //! cargo run --release -p retypd-serve --bin loadgen -- --small --addr 127.0.0.1:7411
+//! # Against a server on an ephemeral port (no fixed-port assumption:
+//! # `serve --addr 127.0.0.1:0 --banner-file F` writes its bound addr there):
+//! cargo run --release -p retypd-serve --bin loadgen -- --small --addr-file F
+//! # Against a gateway fleet (routing/hedge counters asserted and reported):
+//! cargo run --release -p retypd-serve --bin loadgen -- --small --addr-file F --gateway
 //! # Protocol v2: a non-default lattice descriptor on every request:
 //! cargo run --release -p retypd-serve --bin loadgen -- --small --lattice extended
 //! # Protocol v2: streaming batches, measuring time-to-first-report:
@@ -38,6 +43,16 @@
 //! reported by the shards — proving the store replay did its job.
 //! `--retry-budget N` enables client-side retry-on-`overloaded`
 //! (jittered exponential backoff, at most N retries per request).
+//!
+//! Gateway mode (`--gateway`): the target is a `retypd-gateway` front
+//! end rather than a single server. The measurement loop is unchanged —
+//! the gateway speaks the same protocol, aggregates `stats`, and merges
+//! `metrics` fleet-wide, so every assertion above still applies (the
+//! warm pass's ≥ 90% hit rate now proves *routing affinity*: consistent
+//! hashing kept re-submissions on their warm backends). Additionally
+//! the run asserts the gateway's own counters are present in the merged
+//! metrics and emits a `gateway` JSON section (requests, hedge fires
+//! and wins, restarts, per-backend routed counts).
 //!
 //! Streaming mode (`--stream`): the whole corpus is submitted as one
 //! `solve_batch` per request, alternating streaming and single-frame
@@ -294,6 +309,8 @@ fn run_stream_mode(
 fn main() {
     let mut small = false;
     let mut addr_arg: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut gateway_mode = false;
     let mut shards_arg: Option<usize> = None;
     let mut concurrency = 4usize;
     let mut out_path: Option<String> = None;
@@ -308,6 +325,8 @@ fn main() {
         match a.as_str() {
             "--small" => small = true,
             "--addr" => addr_arg = args.next(),
+            "--addr-file" => addr_file = args.next(),
+            "--gateway" => gateway_mode = true,
             "--shutdown" => shutdown_server = true,
             "--stream" => stream_mode = true,
             "--expect-warm-start" => expect_warm_start = true,
@@ -353,6 +372,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other}; usage: loadgen [--small] [--addr HOST:PORT] \
+                     [--addr-file FILE] [--gateway] \
                      [--shards N] [--concurrency N] [--out FILE] [--shutdown] [--stream] \
                      [--lattice default|extended] [--retry-budget N] [--expect-warm-start] \
                      [--metrics-text FILE]"
@@ -360,6 +380,40 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    // --addr-file: the target wrote its bound (possibly ephemeral) address
+    // to a banner file — `serve --addr 127.0.0.1:0 --banner-file F` or
+    // `gateway --banner-file F`. Wait for the file (the server may still
+    // be replaying its persistent store) and take the `addr=` field from
+    // its one banner line. Kills the fixed-port assumption: CI no longer
+    // needs a free well-known port per job.
+    if let Some(path) = &addr_file {
+        if addr_arg.is_some() {
+            eprintln!("--addr and --addr-file are mutually exclusive");
+            std::process::exit(2);
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        addr_arg = loop {
+            let parsed = std::fs::read_to_string(path).ok().and_then(|text| {
+                text.lines().next().and_then(|line| {
+                    line.split_whitespace()
+                        .find_map(|tok| tok.strip_prefix("addr=").map(str::to_owned))
+                })
+            });
+            if let Some(a) = parsed {
+                break Some(a);
+            }
+            if Instant::now() >= deadline {
+                eprintln!("--addr-file {path}: no `addr=` banner appeared within 60s");
+                std::process::exit(2);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        eprintln!("addr-file {path}: target at {}", addr_arg.as_deref().unwrap());
+    }
+    if gateway_mode && addr_arg.is_none() {
+        eprintln!("--gateway needs an external target (--addr or --addr-file)");
+        std::process::exit(2);
     }
     // `--shards` only shapes the in-process server; an external server
     // keeps its own shard count, so combining the flags would silently
@@ -564,6 +618,24 @@ fn main() {
             solve_count(&metrics_warm),
             metrics_warm.histograms.len()
         );
+        // --- Gateway mode: the merged metrics must carry the router's own
+        // instruments (proof the target really is a gateway, and the place
+        // the JSON report's routing/hedging numbers come from). ---
+        if gateway_mode {
+            assert!(
+                metrics_warm.counter("gateway.requests") > 0,
+                "--gateway: target's metrics lack gateway.requests — is it a plain server?"
+            );
+            eprintln!(
+                "gateway probe: {} requests routed, {} hedges fired ({} won), \
+                 {} restarts, {} reroutes ✓",
+                metrics_warm.counter("gateway.requests"),
+                metrics_warm.counter("gateway.hedge_fired"),
+                metrics_warm.counter("gateway.hedge_won"),
+                metrics_warm.counter("gateway.restarts"),
+                metrics_warm.counter("gateway.reroutes"),
+            );
+        }
 
         // --- Acceptance assertions (see module docs). ---
         let warm_hit_rate = warm.hits as f64 / ((warm.hits + warm.misses) as f64).max(1.0);
@@ -653,6 +725,40 @@ fn main() {
             ));
         }
         json.push_str("  ],\n");
+        if gateway_mode {
+            // Per-backend routed counts, in slot order (counter names are
+            // `gateway.backend_<slot>.routed` in the merged registry).
+            let mut routed: Vec<(usize, u64)> = metrics_warm
+                .counters
+                .iter()
+                .filter_map(|(name, v)| {
+                    let slot: usize = name
+                        .strip_prefix("gateway.backend_")?
+                        .strip_suffix(".routed")?
+                        .parse()
+                        .ok()?;
+                    Some((slot, *v))
+                })
+                .collect();
+            routed.sort_unstable();
+            json.push_str(&format!(
+                "  \"gateway\": {{\"requests\": {}, \"hedge_fired\": {}, \
+                 \"hedge_won\": {}, \"reroutes\": {}, \"restarts\": {}, \
+                 \"evicted\": {}, \"readded\": {}, \"routed\": [{}]}},\n",
+                metrics_warm.counter("gateway.requests"),
+                metrics_warm.counter("gateway.hedge_fired"),
+                metrics_warm.counter("gateway.hedge_won"),
+                metrics_warm.counter("gateway.reroutes"),
+                metrics_warm.counter("gateway.restarts"),
+                metrics_warm.counter("gateway.evicted"),
+                metrics_warm.counter("gateway.readded"),
+                routed
+                    .iter()
+                    .map(|(_, v)| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            ));
+        }
         json.push_str(&format!(
             "  \"accepted\": {}, \"rejected\": {}, \"verified\": true\n}}\n",
             stats.accepted, stats.rejected

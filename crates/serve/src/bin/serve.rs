@@ -6,152 +6,15 @@
 //!     --read-timeout 30
 //! ```
 //!
-//! Prints `listening on <addr>` to stderr once the socket is bound, then
-//! blocks until a `shutdown` wire message drains it (CI starts this in the
-//! background and runs `loadgen` against it).
-
-use std::path::PathBuf;
-
-use retypd_serve::{start, ServeConfig};
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: serve [--addr HOST:PORT] [--shards N] [--workers N] \
-         [--queue-depth N] [--cache-capacity N|unbounded] [--read-timeout SECS|0] \
-         [--max-frames-per-conn N|0] [--max-bytes-per-conn N|0] [--persist-dir PATH] \
-         [--metrics-text FILE] [--trace-dir DIR]"
-    );
-    std::process::exit(2);
-}
-
-fn parse_num(args: &mut impl Iterator<Item = String>, flag: &str) -> usize {
-    match args.next().as_deref().map(str::parse) {
-        Some(Ok(n)) => n,
-        _ => {
-            eprintln!("{flag} expects a non-negative integer");
-            usage();
-        }
-    }
-}
+//! Prints a human log line to stderr and the machine-readable
+//! `RETYPD_SERVE_READY addr=… pid=… shards=…` banner to stdout once the
+//! socket is bound and every shard is warm, then blocks until a `shutdown`
+//! wire message drains it (CI and the gateway start this in the background
+//! and read the banner instead of sleeping).
+//!
+//! The whole main lives in [`retypd_serve::launch`] so the gateway crate
+//! can ship the identical server as its own `serve_backend` test binary.
 
 fn main() {
-    let mut config = ServeConfig {
-        addr: "127.0.0.1:7411".into(),
-        ..ServeConfig::default()
-    };
-    let mut metrics_text: Option<PathBuf> = None;
-    let mut trace_dir: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--addr" => config.addr = args.next().unwrap_or_else(|| usage()),
-            "--shards" => config.shards = parse_num(&mut args, "--shards").max(1),
-            "--workers" => {
-                config.workers_per_shard = parse_num(&mut args, "--workers").max(1)
-            }
-            "--queue-depth" => {
-                config.queue_depth = parse_num(&mut args, "--queue-depth").max(1)
-            }
-            "--cache-capacity" => {
-                let v = args.next().unwrap_or_else(|| usage());
-                config.cache_capacity = if v == "unbounded" {
-                    None
-                } else {
-                    match v.parse() {
-                        Ok(n) => Some(n),
-                        Err(_) => usage(),
-                    }
-                };
-            }
-            "--read-timeout" => {
-                // 0 disables the timeout (a connection may then idle
-                // forever between requests; drains still proceed).
-                let secs = parse_num(&mut args, "--read-timeout");
-                config.read_timeout = if secs == 0 {
-                    None
-                } else {
-                    Some(std::time::Duration::from_secs(secs as u64))
-                };
-            }
-            "--max-frames-per-conn" => {
-                // 0 disables the per-connection frame budget.
-                let n = parse_num(&mut args, "--max-frames-per-conn");
-                config.max_frames_per_conn = if n == 0 { None } else { Some(n as u64) };
-            }
-            "--max-bytes-per-conn" => {
-                // 0 disables the per-connection byte budget.
-                let n = parse_num(&mut args, "--max-bytes-per-conn");
-                config.max_bytes_per_conn = if n == 0 { None } else { Some(n as u64) };
-            }
-            "--persist-dir" => {
-                // Each shard keeps a `shard-<N>.store` scheme log here;
-                // relaunching with the same dir (and shard count) starts
-                // every shard with a warm cache.
-                config.persist_dir =
-                    Some(args.next().unwrap_or_else(|| usage()).into());
-            }
-            "--metrics-text" => {
-                metrics_text = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
-            }
-            "--trace-dir" => {
-                trace_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
-            }
-            _ => usage(),
-        }
-    }
-    if let Some(dir) = &trace_dir {
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("failed to create trace dir {}: {e}", dir.display());
-            std::process::exit(1);
-        }
-        // Spans stay a single relaxed atomic load when this flag is
-        // absent; flipping it here is the only place the binary pays for
-        // tracing.
-        retypd_telemetry::set_spans_enabled(true);
-    }
-    match start(config.clone()) {
-        Ok(handle) => {
-            eprintln!(
-                "retypd-serve listening on {} ({} shards, {} workers/shard, queue depth {}, \
-                 cache capacity {:?}, read timeout {:?}, persist dir {:?})",
-                handle.addr(),
-                config.shards,
-                config.workers_per_shard,
-                config.queue_depth,
-                config.cache_capacity,
-                config.read_timeout,
-                config.persist_dir
-            );
-            // `join` consumes the handle; the observer is what lets us
-            // render one final exposition after the drain.
-            let observer = handle.metrics_observer();
-            // `join` returns only after the drain joined every connection
-            // handler, so the `shutting_down` ack and all final response
-            // frames are already handed to the kernel — no exit dwell.
-            handle.join();
-            if let Some(path) = &metrics_text {
-                match std::fs::write(path, observer.text()) {
-                    Ok(()) => eprintln!("metrics exposition written to {}", path.display()),
-                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
-                }
-            }
-            if let Some(dir) = &trace_dir {
-                let (events, dropped) = retypd_telemetry::drain_spans();
-                let path = dir.join("serve-trace.jsonl");
-                match std::fs::write(&path, retypd_telemetry::chrome_trace_json(&events)) {
-                    Ok(()) => eprintln!(
-                        "trace written to {} ({} spans, {dropped} dropped)",
-                        path.display(),
-                        events.len()
-                    ),
-                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
-                }
-            }
-            eprintln!("retypd-serve drained, exiting");
-        }
-        Err(e) => {
-            eprintln!("failed to bind {}: {e}", config.addr);
-            std::process::exit(1);
-        }
-    }
+    std::process::exit(retypd_serve::launch::serve_main(std::env::args().skip(1)));
 }

@@ -128,8 +128,11 @@ impl RetryPolicy {
         self
     }
 
-    /// The jittered wait before retry `attempt` (0-based).
-    fn backoff(&self, attempt: u32) -> Duration {
+    /// The jittered wait before retry `attempt` (0-based): equal-jitter
+    /// exponential backoff, deterministic per `(policy, attempt)`. Public
+    /// because the gateway's hedging and re-route machinery schedules its
+    /// duplicate requests on exactly this curve.
+    pub fn backoff(&self, attempt: u32) -> Duration {
         let doubled = self
             .base
             .saturating_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX));

@@ -29,6 +29,11 @@
 //! * [`json`] — the dependency-free JSON model backing the protocol (the
 //!   offline vendor set has no `serde_json`; the wire structs still carry
 //!   serde derives so the real serde can slot in later).
+//! * [`launch`] — the `serve` binary's main as a library function, plus
+//!   the machine-readable stdout readiness banner
+//!   (`RETYPD_SERVE_READY addr=… pid=… shards=…`) a supervisor parses to
+//!   learn the bound address without races or fixed sleeps; shared so the
+//!   gateway crate can spawn the identical server from its own tests.
 //!
 //! The networking is deliberately `std`-only (`TcpListener` + threads):
 //! the vendored dependency set has no async runtime, and the analysis
@@ -40,10 +45,12 @@
 
 pub mod client;
 pub mod json;
+pub mod launch;
 pub mod server;
 pub mod wire;
 
 pub use client::{BatchStream, Client, ClientError, RetryPolicy};
+pub use launch::{parse_ready_banner, ready_banner, serve_main, READY_SENTINEL};
 pub use server::{start, MetricsObserver, ServeConfig, ServerHandle};
 pub use wire::{Request, Response, WireBatchDone, WireModule, WireReport, WireStats};
 

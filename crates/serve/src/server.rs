@@ -113,6 +113,12 @@ pub struct ServeConfig {
     /// replacement driver replays the store instead of starting cold.
     /// `None` (the default) keeps shard caches process-lifetime only.
     pub persist_dir: Option<PathBuf>,
+    /// Artificial per-job delay injected on the shard thread *before* the
+    /// solve — a chaos/testing seam (`serve --solve-delay-ms`) for
+    /// exercising tail-latency machinery (the gateway's hedged requests)
+    /// against a deterministically slow backend. `None` (the default)
+    /// adds nothing; results are unaffected either way.
+    pub solve_delay: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -127,6 +133,7 @@ impl Default for ServeConfig {
             max_frames_per_conn: Some(100_000),
             max_bytes_per_conn: Some(1 << 30),
             persist_dir: None,
+            solve_delay: None,
         }
     }
 }
@@ -288,6 +295,15 @@ struct Shared {
     /// Server-wide instruments (connection lifecycle, frame decode,
     /// admission, reply flush).
     metrics: ServerMetrics,
+    /// This process's OS pid, echoed in `stats` so a supervisor can tie
+    /// the socket to the child it spawned.
+    pid: u64,
+    /// Process start, nanoseconds since the UNIX epoch: a restarted
+    /// backend answers with a larger value, so a supervisor can tell a
+    /// recycled process from a surviving one behind the same addr.
+    start_ns: u64,
+    /// Artificial pre-solve delay (see [`ServeConfig::solve_delay`]).
+    solve_delay: Option<Duration>,
 }
 
 impl Shared {
@@ -358,6 +374,8 @@ impl Shared {
             rejected: self.rejected.load(Ordering::Relaxed),
             queued: self.queued.load(Ordering::Relaxed),
             queue_limit: self.queue_depth,
+            pid: self.pid,
+            start_ns: self.start_ns,
             shards: self
                 .shards
                 .iter()
@@ -538,6 +556,11 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
         lattices: LatticeMemo::new(),
         default_lattice_fp: Lattice::c_types().fingerprint(),
         metrics: ServerMetrics::new(),
+        pid: std::process::id() as u64,
+        start_ns: std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64),
+        solve_delay: config.solve_delay,
     });
 
     // Per-shard store files: routing is stable (fingerprint % shards), so
@@ -641,6 +664,11 @@ fn shard_main(
                 .map(|p| p.constraints.len() as u64)
                 .sum(),
         );
+        // The chaos seam: stall *before* solving so injected slowness is
+        // pure latency — the result bytes cannot differ.
+        if let Some(delay) = shared.solve_delay {
+            std::thread::sleep(delay);
+        }
         // Every span the solver emits while this job runs carries the
         // request's trace id (0 = untraced); the guard restores the
         // previous trace when the job finishes.

@@ -325,6 +325,54 @@ impl WireMetrics {
         }
     }
 
+    /// Merges another wire snapshot into this one, the algebra a gateway
+    /// uses to answer `metrics` as the sum of its own registry plus every
+    /// backend's reply: counters and gauges sum by name, histograms merge
+    /// bucket-wise (the bounds are the deterministic
+    /// [`retypd_telemetry::bucket_bound`] grid, so bucket addition commutes)
+    /// and the quantiles are re-extracted from the merged buckets — exactly
+    /// what a single process holding all the samples would have reported.
+    /// Name ordering stays sorted, so merge order never changes the bytes.
+    pub fn merge(&mut self, other: &WireMetrics) {
+        fn merge_sorted<V: Copy + std::ops::AddAssign>(
+            dst: &mut Vec<(String, V)>,
+            src: &[(String, V)],
+        ) {
+            for (name, v) in src {
+                match dst.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => dst[i].1 += *v,
+                    Err(i) => dst.insert(i, (name.clone(), *v)),
+                }
+            }
+        }
+        merge_sorted(&mut self.counters, &other.counters);
+        merge_sorted(&mut self.gauges, &other.gauges);
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|mine| mine.name.as_str().cmp(&h.name))
+            {
+                Ok(i) => {
+                    let mine = &mut self.histograms[i];
+                    let mut snap = retypd_telemetry::HistogramSnapshot::from_buckets(
+                        &mine.buckets,
+                        mine.sum,
+                    );
+                    snap.merge(&retypd_telemetry::HistogramSnapshot::from_buckets(
+                        &h.buckets, h.sum,
+                    ));
+                    mine.count = snap.count;
+                    mine.sum = snap.sum;
+                    mine.buckets = snap.nonzero_buckets();
+                    mine.p50 = snap.quantile(50, 100);
+                    mine.p95 = snap.quantile(95, 100);
+                    mine.p99 = snap.quantile(99, 100);
+                }
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
+    }
+
     /// The histogram with this name, if present.
     pub fn histogram(&self, name: &str) -> Option<&WireHistogram> {
         self.histograms.iter().find(|h| h.name == name)
@@ -395,6 +443,15 @@ pub struct WireStats {
     pub queued: usize,
     /// The admission limit.
     pub queue_limit: usize,
+    /// The serving process's OS pid (0 when unknown — e.g. a pre-gateway
+    /// server's reply). Lets a supervisor tie a socket to a child process
+    /// without racing on spawn order.
+    pub pid: u64,
+    /// This process's start time, nanoseconds since the UNIX epoch (0 when
+    /// unknown). A restarted backend answers with a *larger* `start_ns`
+    /// than its predecessor, so a supervisor can distinguish "same
+    /// process, still healthy" from "recycled under the same addr".
+    pub start_ns: u64,
     /// Per-shard statistics.
     pub shards: Vec<WireShardStats>,
 }
@@ -1191,6 +1248,8 @@ impl Response {
                 ("rejected".into(), Json::u64(s.rejected)),
                 ("queued".into(), Json::usize(s.queued)),
                 ("queue_limit".into(), Json::usize(s.queue_limit)),
+                ("pid".into(), Json::u64(s.pid)),
+                ("start_ns".into(), Json::u64(s.start_ns)),
                 (
                     "shards".into(),
                     Json::Arr(s.shards.iter().map(shard_stats_to_json).collect()),
@@ -1305,6 +1364,10 @@ impl Response {
                 rejected: u64_field(&j, "rejected")?,
                 queued: usize_field(&j, "queued")?,
                 queue_limit: usize_field(&j, "queue_limit")?,
+                // Liveness fields are newer than the stats shape; decode
+                // tolerantly so a pre-gateway server's reply still reads.
+                pid: j.get("pid").and_then(Json::as_u64).unwrap_or(0),
+                start_ns: j.get("start_ns").and_then(Json::as_u64).unwrap_or(0),
                 shards: arr_field(&j, "shards")?
                     .iter()
                     .map(shard_stats_from_json)

@@ -17,6 +17,9 @@
 //!   scheme cache and batch API.
 //! * [`serve`] — sharded network analysis service over the driver: wire
 //!   protocol, admission control, client library, load generator.
+//! * [`gateway`] — cross-process shard router fronting a fleet of
+//!   `serve` backends: consistent-hash routing, health-checked
+//!   supervision with restart, hedged requests, live re-sharding.
 //! * [`eval`] — metrics and experiment harness.
 
 #![warn(missing_docs)]
@@ -27,6 +30,7 @@ pub use retypd_congen as congen;
 pub use retypd_core as core;
 pub use retypd_driver as driver;
 pub use retypd_eval as eval;
+pub use retypd_gateway as gateway;
 pub use retypd_minic as minic;
 pub use retypd_mir as mir;
 pub use retypd_serve as serve;
