@@ -1,0 +1,75 @@
+//! Product model tests: the real production types under the checker.
+//!
+//! These exist only under `--cfg retypd_model_check`, which compiles
+//! the whole dependency tree with the sync facade switched to the
+//! modelled doubles — the exact `Admission` CAS loop, `ShardStatsCells`
+//! publish path, `Interner` double-checked locking, and `Histogram`
+//! record path that ship in release builds become the checked code.
+//! CI runs this as the bounded model-check step:
+//!
+//! ```text
+//! RUSTFLAGS='--cfg retypd_model_check' CARGO_TARGET_DIR=target/model \
+//!     cargo test -p retypd-conc-check
+//! ```
+#![cfg(retypd_model_check)]
+
+use retypd_conc_check::{registry, DEFAULT_MAX_ITERATIONS, DEFAULT_SEED};
+
+/// Looks a product model up by name; its presence in the registry is
+/// itself part of the contract.
+fn model(name: &str) -> retypd_conc_check::ModelDef {
+    registry()
+        .into_iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("product model {name} missing from the registry"))
+}
+
+fn assert_clean(name: &str) {
+    let def = model(name);
+    let report = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+    assert!(
+        report.failure.is_none(),
+        "{name} failed: {:?}",
+        report.failure
+    );
+    assert!(
+        report.complete || report.iterations >= def.cap,
+        "{name} neither exhausted its bounded space nor reached its cap of {}",
+        def.cap
+    );
+    assert!(
+        report.iterations >= 1000,
+        "{name} explored only {} interleavings (< 1000)",
+        report.iterations
+    );
+}
+
+#[test]
+fn interner_double_miss_inserts_once() {
+    assert_clean("interner_double_miss");
+}
+
+#[test]
+fn histogram_concurrent_records_are_exact_after_join() {
+    assert_clean("histogram_concurrent_record");
+}
+
+#[test]
+fn admission_batches_are_all_or_nothing() {
+    assert_clean("admission_all_or_nothing");
+}
+
+#[test]
+fn admission_drain_elects_exactly_one_winner() {
+    assert_clean("admission_drain_election");
+}
+
+#[test]
+fn admission_slot_guard_releases_under_contention() {
+    assert_clean("admission_slot_guard");
+}
+
+#[test]
+fn stats_cells_snapshot_mixes_only_published_values() {
+    assert_clean("stats_cells_publish_snapshot");
+}

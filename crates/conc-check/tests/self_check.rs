@@ -1,0 +1,114 @@
+//! Checker self-tests: the suite's guarantees about itself.
+//!
+//! These run in EVERY build (no `--cfg retypd_model_check` needed):
+//! the abstract models use `loom::modelled` explicitly, so a plain
+//! `cargo test` already proves the checker finds real races, that a
+//! reported schedule replays deterministically, and that exploration
+//! is bit-identical for a fixed seed.
+
+use retypd_conc_check::{mutations, registry, DEFAULT_MAX_ITERATIONS, DEFAULT_SEED};
+
+#[test]
+fn correct_protocols_pass_and_exhaust_their_space() {
+    for def in registry() {
+        let report = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+        assert!(
+            report.failure.is_none(),
+            "model {} failed: {:?}",
+            def.name,
+            report.failure
+        );
+        assert!(
+            report.complete || report.iterations >= def.cap,
+            "model {} neither exhausted its bounded space nor reached its \
+             declared cap of {} ({} iterations)",
+            def.name,
+            def.cap,
+            report.iterations
+        );
+        assert!(
+            report.iterations >= 1000,
+            "model {} explored only {} distinct interleavings (< 1000); \
+             raise its preemption bound or enrich the model",
+            def.name,
+            report.iterations
+        );
+    }
+}
+
+#[test]
+fn every_mutation_is_caught() {
+    for def in mutations() {
+        let report = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+        assert!(
+            report.failure.is_some(),
+            "mutation {} was NOT caught in {} interleavings — the checker has lost its teeth",
+            def.name,
+            report.iterations
+        );
+    }
+}
+
+#[test]
+fn a_failure_schedule_replays_to_the_same_failure() {
+    for def in mutations() {
+        let report = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+        let failure = report.failure.expect("mutation must fail");
+        let replayed = def.replay(&failure.schedule);
+        let refailure = replayed
+            .failure
+            .unwrap_or_else(|| panic!("schedule {:?} did not replay for {}", failure.schedule, def.name));
+        assert_eq!(
+            refailure.message, failure.message,
+            "replay of {} reproduced a different failure",
+            def.name
+        );
+        assert_eq!(replayed.iterations, 1, "replay runs exactly one schedule");
+    }
+}
+
+#[test]
+fn exploration_is_deterministic_for_a_fixed_seed() {
+    // Same seed ⇒ bit-identical exploration: identical iteration counts
+    // for passing models, identical failure schedules for mutations.
+    for def in registry() {
+        let a = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+        let b = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+        assert_eq!(a.iterations, b.iterations, "model {} is not deterministic", def.name);
+        assert_eq!(a.complete, b.complete);
+    }
+    for def in mutations() {
+        let a = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+        let b = def.check(DEFAULT_SEED, DEFAULT_MAX_ITERATIONS);
+        let (fa, fb) = (a.failure.unwrap(), b.failure.unwrap());
+        assert_eq!(fa.schedule, fb.schedule, "mutation {} schedule drifted", def.name);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}
+
+#[test]
+fn different_seeds_still_agree_on_the_verdict() {
+    // The seed permutes exploration ORDER, never the verdict: a passing
+    // model passes under any seed, a mutation is caught under any seed
+    // (possibly after a different number of iterations, with a
+    // different schedule).
+    for seed in [7, 0xC0FFEE] {
+        for def in registry() {
+            let report = def.check(seed, DEFAULT_MAX_ITERATIONS);
+            assert!(
+                report.failure.is_none(),
+                "model {} failed under seed {seed}: {:?}",
+                def.name,
+                report.failure
+            );
+        }
+        for def in mutations() {
+            let report = def.check(seed, DEFAULT_MAX_ITERATIONS);
+            assert!(
+                report.failure.is_some(),
+                "mutation {} escaped under seed {seed}",
+                def.name
+            );
+        }
+    }
+}

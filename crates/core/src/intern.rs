@@ -12,6 +12,12 @@
 //! collections of symbols — `BTreeSet<BaseVar>` and friends — a hot-path
 //! hazard.)
 //!
+//! The table itself is an [`Interner`] behind the workspace sync facade
+//! ([`crate::sync`]): its double-checked read-then-write locking is one
+//! of the protocols `crates/conc-check` model-checks (two threads miss
+//! on the same key; exactly one insert must win and both must get the
+//! same canonical pointer).
+//!
 //! ```
 //! use retypd_core::Symbol;
 //!
@@ -24,9 +30,8 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::OnceLock;
 
-use parking_lot::RwLock;
+use crate::sync::{OnceLock, PoisonError, RwLock};
 
 /// An interned string.
 ///
@@ -38,27 +43,74 @@ use parking_lot::RwLock;
 #[derive(Clone, Copy)]
 pub struct Symbol(&'static str);
 
-fn interner() -> &'static RwLock<HashMap<&'static str, &'static str>> {
-    static INTERNER: OnceLock<RwLock<HashMap<&'static str, &'static str>>> = OnceLock::new();
-    INTERNER.get_or_init(|| RwLock::new(HashMap::new()))
+/// A string-interning table: double-checked read-then-write locking
+/// around a canonicalizing map.
+///
+/// [`Symbol::intern`] goes through one process-wide instance; separate
+/// instances exist so the protocol itself is testable (and
+/// model-checkable) without global state.
+#[derive(Default)]
+pub struct Interner {
+    table: RwLock<HashMap<&'static str, &'static str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Canonicalizes `s`, leaking it on first sight.
+    ///
+    /// Fast path: a read lock and a lookup. On a miss, re-check under
+    /// the write lock (another thread may have inserted between the
+    /// locks) before leaking — the re-check is what makes concurrent
+    /// double misses insert exactly once.
+    pub fn intern(&self, s: &str) -> &'static str {
+        {
+            let guard = self.table.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(&canon) = guard.get(s) {
+                return canon;
+            }
+        }
+        let mut guard = self.table.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&canon) = guard.get(s) {
+            return canon;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        guard.insert(leaked, leaked);
+        leaked
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.table
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(Interner::new)
 }
 
 impl Symbol {
     /// Interns `s`, returning its canonical symbol.
     pub fn intern(s: &str) -> Symbol {
-        {
-            let guard = interner().read();
-            if let Some(&canon) = guard.get(s) {
-                return Symbol(canon);
-            }
-        }
-        let mut guard = interner().write();
-        if let Some(&canon) = guard.get(s) {
-            return Symbol(canon);
-        }
-        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        guard.insert(leaked, leaked);
-        Symbol(leaked)
+        Symbol(interner().intern(s))
     }
 
     /// Returns the interned string (no lock: the symbol carries it).
@@ -157,5 +209,16 @@ mod tests {
         let s = Symbol::intern("dbg");
         assert_eq!(format!("{s:?}"), "\"dbg\"");
         assert_eq!(format!("{s}"), "dbg");
+    }
+
+    #[test]
+    fn standalone_interner_canonicalizes() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        let a = i.intern("x");
+        let b = i.intern("x");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(i.len(), 1);
+        assert_eq!(format!("{i:?}"), "Interner { len: 1 }");
     }
 }

@@ -66,13 +66,14 @@ pub mod shapes;
 pub mod simplify;
 pub mod sketch;
 pub mod solver;
+pub mod sync;
 pub mod transducer;
 pub mod variance;
 
 pub use constraint::{AddSubConstraint, AddSubKind, ConstraintSet, SubtypeConstraint};
 pub use ctype::{CType, CTypeBuilder, FuncSig, TypeTable};
 pub use dtv::{BaseVar, DerivedVar};
-pub use intern::Symbol;
+pub use intern::{Interner, Symbol};
 pub use label::{word_variance, Label, Loc};
 pub use lattice::{Lattice, LatticeBuilder, LatticeDescriptor, LatticeElem, LatticeError};
 pub use scheme::TypeScheme;

@@ -1,0 +1,97 @@
+//! The workspace concurrency facade: `std::sync`-compatible primitives
+//! that become **model-checked doubles** under `--cfg retypd_model_check`.
+//!
+//! Product code imports its synchronization from here (or, below
+//! `retypd-core` in the dependency order, from `loom::sync` directly)
+//! instead of `std::sync`/`std::thread`. In a normal build every item
+//! is a plain re-export of the std type — zero cost, same `TypeId`, no
+//! behavioral change. Under `--cfg retypd_model_check` the same paths
+//! resolve to the vendored mini-loom doubles, so `crates/conc-check`
+//! can explore the *actual production code* under a bounded
+//! model-checking scheduler (seeded DFS over interleavings, vector-clock
+//! happens-before, replayable failure schedules). The `retypd-lint`
+//! binary enforces the routing: raw `std::sync::atomic`/`std::thread`
+//! imports outside this facade are build failures in CI.
+//!
+//! # Memory-ordering policy
+//!
+//! The workspace's lock-free code sticks to a small vocabulary; every
+//! site outside it needs a justifying comment (enforced by
+//! `retypd-lint`):
+//!
+//! * **`Relaxed`** — the default for *values that are read for their
+//!   own sake only*: monotonic counters and gauges (telemetry), cache
+//!   hit/miss tallies, statistics cells, generation numbers checked
+//!   under a lock. Nothing may be inferred about *other* memory from a
+//!   relaxed read, and no such site does.
+//! * **`Release`/`Acquire`** — the publication pattern: a writer
+//!   prepares data, then `Release`-stores a flag/pointer/epoch; readers
+//!   `Acquire`-load it before touching the data. Used for shutdown
+//!   flags that gate "the drain is complete" observations, snapshot
+//!   epochs, and once-initialization (`OnceLock` internally).
+//! * **`AcqRel`** — RMWs that both claim and publish, e.g. an admission
+//!   slot CAS that must see the releaser's writes and publish its own.
+//! * **`SeqCst`** — only where a *total order across two or more
+//!   locations* is load-bearing (flag A then flag B read by observers
+//!   in both orders must agree). Each surviving site carries a
+//!   `// WHY-SEQCST:` comment stating that two-location invariant; the
+//!   lint rejects unannotated ones. PR 10 audited every `SeqCst` in the
+//!   tree and downgraded those that were merely "default paranoia".
+//!
+//! The model checker is the enforcement teeth behind the policy: its
+//! relaxed loads really do return stale values, so an under-ordered
+//! publication (`Relaxed` where `Release` was needed) fails a
+//! `conc-check` model with a replayable schedule instead of surviving
+//! until a production repro on weakly-ordered hardware.
+//!
+//! # What is deliberately *not* modeled
+//!
+//! `std::thread::scope` (borrowed spawns) and `park`/`unpark` have no
+//! doubles; the few call sites keep raw `std::thread` with an explicit
+//! `retypd-lint: allow(no-raw-thread)` waiver. `mpsc` channels pass
+//! through unmodeled — model code expresses handoffs with the modeled
+//! `Mutex`/`Condvar` instead.
+
+pub use loom::sync::*;
+
+/// The facade `std::sync::atomic` (modeled under
+/// `--cfg retypd_model_check`; see the [module docs](self) for the
+/// workspace memory-ordering policy).
+pub mod atomic {
+    pub use loom::sync::atomic::*;
+}
+
+/// The facade `std::thread`: spawn/join/yield/sleep route through the
+/// model under `--cfg retypd_model_check`; everything else passes
+/// through to std.
+pub mod thread {
+    pub use loom::thread::*;
+}
+
+#[cfg(test)]
+mod tests {
+    /// In a normal build the facade must be a zero-cost re-export: the
+    /// *same types* as std, not lookalikes.
+    #[cfg(not(retypd_model_check))]
+    #[test]
+    fn facade_is_std_in_normal_builds() {
+        use std::any::TypeId;
+        assert_eq!(
+            TypeId::of::<super::Mutex<u64>>(),
+            TypeId::of::<std::sync::Mutex<u64>>()
+        );
+        assert_eq!(
+            TypeId::of::<super::atomic::AtomicU64>(),
+            // retypd-lint: allow(no-raw-atomics) the zero-cost proof compares against std
+            TypeId::of::<std::sync::atomic::AtomicU64>()
+        );
+        assert_eq!(
+            TypeId::of::<super::RwLock<u32>>(),
+            TypeId::of::<std::sync::RwLock<u32>>()
+        );
+        assert_eq!(
+            TypeId::of::<super::OnceLock<u32>>(),
+            TypeId::of::<std::sync::OnceLock<u32>>()
+        );
+    }
+}

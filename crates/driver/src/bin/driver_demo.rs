@@ -71,7 +71,7 @@ fn main() {
     // Default: all cores, at least 4 (the corpus-level parallelism target);
     // an explicit --workers value is honored verbatim.
     let workers = workers.unwrap_or_else(|| {
-        std::thread::available_parallelism()
+        retypd_core::sync::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .max(4)

@@ -25,8 +25,8 @@
 //! values are pure functions of their fingerprint, so correctness is
 //! unaffected, which the eviction tests pin.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use retypd_core::sync::atomic::{AtomicU64, Ordering};
+use retypd_core::sync::{Arc, Mutex};
 
 use retypd_core::fxhash::FxHashMap;
 use retypd_core::{SccRefinement, Symbol, TypeScheme};

@@ -58,8 +58,8 @@ pub mod store;
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use retypd_core::sync::atomic::{AtomicU64, Ordering};
+use retypd_core::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use retypd_telemetry::{Counter, Histogram};
@@ -145,7 +145,7 @@ impl DriverConfig {
 impl Default for DriverConfig {
     fn default() -> DriverConfig {
         DriverConfig {
-            workers: std::thread::available_parallelism()
+            workers: retypd_core::sync::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             cache_capacity: None,

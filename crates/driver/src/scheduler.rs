@@ -6,8 +6,8 @@
 //! OS interleaves the workers, the caller applies outputs in the same
 //! order the sequential solver would have produced them.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use retypd_core::sync::atomic::{AtomicUsize, Ordering};
+use retypd_core::sync::Mutex;
 
 /// Runs `f(0..n)` across up to `workers` threads, returning results indexed
 /// by task. Work is distributed by an atomic cursor (tasks are coarse —
@@ -52,6 +52,7 @@ where
     // id into every worker so spans emitted inside tasks attribute to the
     // request that scheduled them.
     let trace = retypd_telemetry::current_trace();
+    // retypd-lint: allow(no-raw-thread) scoped spawns are not modeled
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {

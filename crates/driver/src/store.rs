@@ -76,9 +76,9 @@ use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
+use retypd_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use retypd_core::sync::thread::JoinHandle;
+use retypd_core::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use retypd_core::fxhash::FxHashMap;
@@ -574,7 +574,7 @@ struct Shared {
     compactions: AtomicU64,
     /// Set when a compaction is enqueued, cleared when it lands — keeps a
     /// backlogged queue from triggering a pile of redundant rewrites.
-    compact_pending: std::sync::atomic::AtomicBool,
+    compact_pending: AtomicBool,
 }
 
 /// The in-memory mirror: the serialized payload of every live cache
@@ -846,7 +846,7 @@ impl SchemeStore {
             let (tx, rx) = mpsc::channel();
             let path = self.path.clone();
             let shared = Arc::clone(&self.shared);
-            let spawned = std::thread::Builder::new()
+            let spawned = retypd_core::sync::thread::Builder::new()
                 .name("scheme-store-writer".into())
                 .spawn(move || {
                     let WriterSeed { file, mirror, live_bytes } = *seed;

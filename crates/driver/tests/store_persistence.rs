@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use retypd_core::sync::atomic::{AtomicU64, Ordering};
 
 use retypd_core::{Lattice, LatticeDescriptor, SolverResult};
 use retypd_driver::store::{frame_record, MAGIC};

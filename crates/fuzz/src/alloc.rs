@@ -17,6 +17,11 @@
 //! generous rather than tight.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+// A global allocator must not route through the model-checking facade:
+// under `--cfg retypd_model_check` every facade op may allocate (trace
+// recording), and an allocator that allocates on its own path re-enters
+// itself. Raw std atomics are load-bearing here, not an oversight.
+// retypd-lint: allow(no-raw-atomics) GlobalAlloc cannot re-enter the facade
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
@@ -34,6 +39,9 @@ fn on_alloc(n: usize) {
 // SAFETY: defers all allocation to `System`; the bookkeeping only touches
 // atomics and never allocates itself.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `layout` is forwarded to `System.alloc` unchanged, so the
+    // returned pointer satisfies exactly the contract `System` promises;
+    // the counter update happens only on success and never allocates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -42,11 +50,18 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: the caller guarantees `ptr` came from this allocator with
+    // this `layout` (the GlobalAlloc contract); both are forwarded to
+    // `System.dealloc` verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: `ptr`/`layout`/`new_size` obey the GlobalAlloc realloc
+    // contract by the caller's guarantee and are forwarded to
+    // `System.realloc` unchanged; on failure the original allocation is
+    // untouched, so the counters are only adjusted on success.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

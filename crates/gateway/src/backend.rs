@@ -10,8 +10,9 @@ use std::io::BufRead;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
-use std::sync::Mutex;
 use std::time::Duration;
+
+use retypd_core::sync::Mutex;
 
 use crate::health::ProbeReport;
 use retypd_serve::launch::parse_ready_banner;
@@ -252,8 +253,8 @@ fn wait_for_banner(
     stdout: std::process::ChildStdout,
     timeout: Duration,
 ) -> Result<(SocketAddr, u32, usize), String> {
-    let (tx, rx) = std::sync::mpsc::channel();
-    std::thread::spawn(move || {
+    let (tx, rx) = retypd_core::sync::mpsc::channel();
+    retypd_core::sync::thread::spawn(move || {
         let mut reader = std::io::BufReader::new(stdout);
         let mut line = String::new();
         loop {
@@ -295,7 +296,9 @@ mod tests {
 
     #[test]
     fn external_backend_launches_to_its_configured_addr() {
-        let addr: SocketAddr = "127.0.0.1:19999".parse().unwrap();
+        // Port 0: the External spec never binds, the addr is only echoed —
+        // and a fixed port would trip the no-fixed-ports lint for nothing.
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
         let b = Backend::new(3, BackendSpec::External { addr });
         assert_eq!(b.launch(Duration::from_secs(1)).unwrap(), addr);
         assert!(!b.restartable());
@@ -305,7 +308,7 @@ mod tests {
 
     #[test]
     fn health_transitions_report_the_previous_state() {
-        let addr: SocketAddr = "127.0.0.1:19998".parse().unwrap();
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
         let b = Backend::new(0, BackendSpec::External { addr });
         assert!(!b.set_healthy(true));
         assert!(b.set_healthy(true), "idempotent re-mark sees healthy");

@@ -333,14 +333,14 @@ mod tests {
     fn one_shot(reply: Vec<u8>, stall: Duration) -> std::net::SocketAddr {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
-        std::thread::spawn(move || {
+        retypd_core::sync::thread::spawn(move || {
             let (mut conn, _) = listener.accept().expect("accept");
             let got = wire::read_frame(&mut conn).expect("read").expect("frame");
             assert!(!got.is_empty());
-            std::thread::sleep(stall);
+            retypd_core::sync::thread::sleep(stall);
             wire::write_frame(&mut conn, &reply).expect("write");
             // Hold the socket open long enough for the race to resolve.
-            std::thread::sleep(Duration::from_millis(500));
+            retypd_core::sync::thread::sleep(Duration::from_millis(500));
         });
         addr
     }
@@ -364,16 +364,16 @@ mod tests {
         let addr = listener.local_addr().expect("addr");
         let payload = b"{\"kind\": \"shutting_down\"}".to_vec();
         let expected = payload.clone();
-        std::thread::spawn(move || {
+        retypd_core::sync::thread::spawn(move || {
             let (mut conn, _) = listener.accept().expect("accept");
             let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
             frame.extend_from_slice(&payload);
             for b in frame {
                 conn.write_all(&[b]).expect("write");
                 conn.flush().expect("flush");
-                std::thread::sleep(Duration::from_millis(2));
+                retypd_core::sync::thread::sleep(Duration::from_millis(2));
             }
-            std::thread::sleep(Duration::from_millis(200));
+            retypd_core::sync::thread::sleep(Duration::from_millis(200));
         });
         let mut conn = TcpStream::connect(addr).expect("connect");
         let mut rd = FrameReader::new();
@@ -464,7 +464,7 @@ mod tests {
         // Primary accepts, reads the request, then slams the connection.
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let dead_addr = listener.local_addr().expect("addr");
-        std::thread::spawn(move || {
+        retypd_core::sync::thread::spawn(move || {
             let (mut conn, _) = listener.accept().expect("accept");
             let _ = wire::read_frame(&mut conn);
             drop(conn);

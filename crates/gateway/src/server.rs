@@ -34,11 +34,11 @@
 //!   only picks *which copy* of the answer arrives.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use retypd_core::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use retypd_core::sync::thread::JoinHandle;
+use retypd_core::sync::{Arc, Mutex};
 use retypd_core::Lattice;
 use retypd_serve::wire::{
     self, Request, Response, WireBatchDone, WireMetrics, WireReport, WireStats,
@@ -212,7 +212,7 @@ impl Shared {
         for attempt in 0..=self.config.retry.budget {
             if attempt > 0 {
                 self.metrics.reroutes.inc();
-                std::thread::sleep(self.config.retry.backoff(attempt - 1));
+                retypd_core::sync::thread::sleep(self.config.retry.backoff(attempt - 1));
             }
             let ring = self.ring_snapshot();
             let Some(primary) = ring.route(key) else {
@@ -310,7 +310,7 @@ impl Shared {
                     return Ok(reports.swap_remove(0));
                 }
                 Ok(Response::Overloaded { .. }) if attempt < self.config.retry.budget => {
-                    std::thread::sleep(self.config.retry.backoff(attempt));
+                    retypd_core::sync::thread::sleep(self.config.retry.backoff(attempt));
                 }
                 Ok(Response::Overloaded { queued, limit }) => {
                     return Err(format!("backend overloaded ({queued}/{limit})"));
@@ -403,7 +403,10 @@ impl GatewayHandle {
 }
 
 fn begin_drain(shared: &Shared) {
-    if shared.draining.swap(true, Ordering::SeqCst) {
+    // AcqRel, not SeqCst: the RMW's atomicity alone elects the single
+    // drainer, and everything the winner tears down synchronizes through
+    // channels and joins — no second location needs a total order.
+    if shared.draining.swap(true, Ordering::AcqRel) {
         return;
     }
     // Unblock the acceptor with a no-op connection.
@@ -424,7 +427,7 @@ fn drain_backends(shared: &Shared) {
         // returns immediately, otherwise this is the hard stop.
         let deadline = Instant::now() + Duration::from_secs(10);
         while !b.child_exited() && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(20));
+            retypd_core::sync::thread::sleep(Duration::from_millis(20));
         }
         b.kill();
     }
@@ -488,7 +491,7 @@ pub fn start(config: GatewayConfig, specs: Vec<BackendSpec>) -> Result<GatewayHa
                     shared.log(&format!("slot {} unhealthy at startup: {e}", b.slot));
                     break;
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                Err(_) => retypd_core::sync::thread::sleep(Duration::from_millis(25)),
             }
         }
     }
@@ -500,14 +503,14 @@ pub fn start(config: GatewayConfig, specs: Vec<BackendSpec>) -> Result<GatewayHa
 
     let acceptor = {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
+        retypd_core::sync::thread::Builder::new()
             .name("gateway-acceptor".into())
             .spawn(move || acceptor_main(listener, shared))
             .map_err(|e| e.to_string())?
     };
     let health = {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
+        retypd_core::sync::thread::Builder::new()
             .name("gateway-health".into())
             .spawn(move || health_main(shared))
             .map_err(|e| e.to_string())?
@@ -521,41 +524,41 @@ pub fn start(config: GatewayConfig, specs: Vec<BackendSpec>) -> Result<GatewayHa
 
 fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
     for conn in listener.incoming() {
-        if shared.draining.load(Ordering::SeqCst) {
+        if shared.draining.load(Ordering::Relaxed) {
             break;
         }
         let Ok(conn) = conn else { continue };
         // Replies are written prefix-then-payload; without nodelay the
         // second write sits out a Nagle/delayed-ACK round (~40ms).
         conn.set_nodelay(true).ok();
-        shared.active_conns.fetch_add(1, Ordering::SeqCst);
+        shared.active_conns.fetch_add(1, Ordering::Relaxed);
         let shared2 = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
+        let spawned = retypd_core::sync::thread::Builder::new()
             .name("gateway-conn".into())
             .spawn(move || {
                 handle_conn(conn, &shared2);
-                shared2.active_conns.fetch_sub(1, Ordering::SeqCst);
+                shared2.active_conns.fetch_sub(1, Ordering::Release);
             });
         if spawned.is_err() {
-            shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+            shared.active_conns.fetch_sub(1, Ordering::Release);
         }
     }
     // Drain: give in-flight connections a bounded window to finish.
     let deadline = Instant::now() + Duration::from_secs(30);
-    while shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(10));
+    while shared.active_conns.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+        retypd_core::sync::thread::sleep(Duration::from_millis(10));
     }
 }
 
 /// The supervisor: probe every slot each sweep, evict/restart/re-add.
 fn health_main(shared: Arc<Shared>) {
-    while !shared.draining.load(Ordering::SeqCst) {
-        std::thread::sleep(shared.config.health_interval);
-        if shared.draining.load(Ordering::SeqCst) {
+    while !shared.draining.load(Ordering::Relaxed) {
+        retypd_core::sync::thread::sleep(shared.config.health_interval);
+        if shared.draining.load(Ordering::Relaxed) {
             break;
         }
         for b in &shared.backends {
-            if shared.draining.load(Ordering::SeqCst) {
+            if shared.draining.load(Ordering::Relaxed) {
                 return;
             }
             // A crashed child is a fact, not a probe verdict.
@@ -616,7 +619,7 @@ fn handle_conn(mut conn: TcpStream, shared: &Shared) {
                 continue;
             }
         };
-        if shared.draining.load(Ordering::SeqCst) {
+        if shared.draining.load(Ordering::Relaxed) {
             let _ = write_reply(&mut conn, &Response::ShuttingDown.encode());
             continue;
         }
@@ -716,8 +719,9 @@ fn handle_batch(
     let healthy = shared.backends.iter().filter(|b| b.healthy()).count().max(1);
     let workers = total.min((2 * healthy).max(2));
     let next = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Result<WireReport, String>)>();
+    let (tx, rx) = retypd_core::sync::mpsc::channel::<(usize, Result<WireReport, String>)>();
 
+    // retypd-lint: allow(no-raw-thread) scoped spawns are not modeled
     std::thread::scope(|scope| -> Result<(), String> {
         for _ in 0..workers {
             let tx = tx.clone();

@@ -208,7 +208,7 @@ fn membership_change_mid_run_reshards_deterministically() {
     let deadline = Instant::now() + Duration::from_secs(10);
     while gw.healthy_slots().len() < 3 {
         assert!(Instant::now() < deadline, "slot 1 never re-added");
-        std::thread::sleep(Duration::from_millis(20));
+        retypd_core::sync::thread::sleep(Duration::from_millis(20));
     }
     let after = client.solve_batch(&jobs).expect("batch after re-add");
     for (i, r) in after.iter().enumerate() {
@@ -255,7 +255,7 @@ fn dead_backend_is_evicted_and_requests_reroute() {
     let deadline = Instant::now() + Duration::from_secs(10);
     while gw.healthy_slots() != vec![0] {
         assert!(Instant::now() < deadline, "dead backend never evicted");
-        std::thread::sleep(Duration::from_millis(20));
+        retypd_core::sync::thread::sleep(Duration::from_millis(20));
     }
     let again = client.solve_batch(&jobs).expect("all traffic on survivor");
     for (i, r) in again.iter().enumerate() {

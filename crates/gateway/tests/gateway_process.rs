@@ -91,7 +91,7 @@ fn kill9_mid_batch_reroutes_restarts_and_warm_replays() {
     }
     // Store appends flush at solve boundaries; give the writer threads a
     // beat so the kill -9 below cannot outrun the final batch's append.
-    std::thread::sleep(Duration::from_millis(500));
+    retypd_core::sync::thread::sleep(Duration::from_millis(500));
 
     let victim = 1usize;
     let old_pid = gw.backend_pid(victim);
@@ -134,7 +134,7 @@ fn kill9_mid_batch_reroutes_restarts_and_warm_replays() {
             Instant::now() < deadline,
             "killed backend was never restarted and re-added"
         );
-        std::thread::sleep(Duration::from_millis(50));
+        retypd_core::sync::thread::sleep(Duration::from_millis(50));
     }
     let new_pid = gw.backend_pid(victim);
     assert_ne!(new_pid, old_pid, "re-added backend must be a new process");
@@ -212,7 +212,7 @@ fn readiness_banner_and_liveness_fields_work_end_to_end() {
             }
         }
         assert!(Instant::now() < deadline, "banner file never appeared");
-        std::thread::sleep(Duration::from_millis(50));
+        retypd_core::sync::thread::sleep(Duration::from_millis(50));
     };
     let (addr, pid, shards) = banner;
     assert_eq!(shards, 1);

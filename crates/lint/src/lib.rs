@@ -1,0 +1,430 @@
+//! Repo-local concurrency hygiene lints.
+//!
+//! A deliberately small line/token scanner — no rustc plugin, no syn —
+//! enforcing the conventions the model-checking work in `vendor/loom`
+//! depends on. Rules (kebab-case slugs are what waivers name):
+//!
+//! * **`no-raw-atomics`** — `std::sync::atomic` may not appear in code
+//!   outside the facade (`retypd_core::sync` / `loom::sync::atomic`).
+//!   Raw atomics are invisible to the model checker: a schedule explored
+//!   by `conc-check` simply cannot see them interleave.
+//! * **`no-raw-thread`** — `std::thread` may not appear in code outside
+//!   the facade, with one structural exception that must be waived
+//!   explicitly: `std::thread::scope` (borrowed spawns have no modeled
+//!   double).
+//! * **`safety-comment`** — every `unsafe` keyword in code must be
+//!   preceded by a `// SAFETY:` comment (same line, or in the comment
+//!   block immediately above, attributes skipped).
+//! * **`seqcst-justified`** — `Ordering::SeqCst` in code requires a
+//!   `// WHY-SEQCST:` comment on the same line or the line above. The
+//!   ordering policy in `retypd_core::sync` says when SeqCst is the
+//!   right call; this rule makes each such call auditable.
+//! * **`no-fixed-ports`** — test code may not hard-code a TCP port
+//!   (`"127.0.0.1:4455"`-style literals). Fixed ports collide under
+//!   parallel test runs; bind port 0 and read back the address.
+//!
+//! Any finding can be waived in place:
+//!
+//! ```text
+//! // retypd-lint: allow(<rule>) <reason>
+//! ```
+//!
+//! on the flagged line or the line immediately above. The reason is
+//! mandatory — a bare waiver is itself a violation.
+//!
+//! Scanned scope: `crates/*/src` and `crates/*/tests`. `vendor/` is the
+//! facade's implementation and is exempt by construction; so is
+//! `target/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// File the finding is in (as handed to the scanner).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule slug (`no-raw-atomics`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Every rule slug the scanner knows, in report order.
+pub const RULES: [&str; 5] = [
+    "no-raw-atomics",
+    "no-raw-thread",
+    "safety-comment",
+    "seqcst-justified",
+    "no-fixed-ports",
+];
+
+/// Strips the line-comment tail (`// …`) off a source line, returning
+/// the code part. Not string-literal aware by design: a `//` inside a
+/// string truncates the scan of that line, which can only *miss* a
+/// banned token inside a string — where none of the rules apply anyway.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// The comment tail of a line (`// …` onward), if any.
+fn comment_part(line: &str) -> Option<&str> {
+    line.find("//").map(|i| &line[i..])
+}
+
+/// Parses a waiver comment, returning the waived rule slug and whether a
+/// reason follows. Format: `// retypd-lint: allow(<rule>) <reason>`.
+fn parse_waiver(line: &str) -> Option<(&str, bool)> {
+    let comment = comment_part(line)?;
+    let rest = comment.split("retypd-lint:").nth(1)?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim();
+    let reason = rest[close + 1..].trim();
+    Some((rule, !reason.is_empty()))
+}
+
+/// Is `rule` waived for line `idx` (0-based)? A waiver counts on the
+/// flagged line itself or the line immediately above.
+fn waived(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let mut candidates = vec![lines[idx]];
+    if idx > 0 {
+        candidates.push(lines[idx - 1]);
+    }
+    candidates.iter().any(|l| {
+        parse_waiver(l).is_some_and(|(r, has_reason)| r == rule && has_reason)
+    })
+}
+
+/// Does the word `unsafe` appear in `code` as its own token (not as part
+/// of an identifier like `unsafe_code` or `AssertUnwindSafe`)?
+fn has_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("unsafe") {
+        let start = from + pos;
+        let end = start + "unsafe".len();
+        let before_ok = start == 0 || {
+            let c = bytes[start - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let after_ok = end == bytes.len() || {
+            let c = bytes[end] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Is there a `// SAFETY:` comment covering line `idx`? Same line, or in
+/// the contiguous comment/attribute block immediately above.
+fn safety_covered(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        if t.starts_with("#[") || t.starts_with("#![") {
+            continue; // attributes may sit between the comment and the item
+        }
+        return false;
+    }
+    false
+}
+
+/// Does `code` hard-code a TCP port in a string literal? Looks for
+/// `"<anything>:<digits>"` where the digits form a nonzero port and the
+/// prefix looks like a host (dotted quad or `localhost`/`[::1]`).
+fn fixed_port(code: &str) -> Option<u32> {
+    // Walk string literals only: ports in code (array sizes etc.) are
+    // not addresses.
+    let mut rest = code;
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { return None };
+        let lit = &tail[..close];
+        if let Some(colon) = lit.rfind(':') {
+            let (host, port) = (&lit[..colon], &lit[colon + 1..]);
+            let host_like = host == "localhost"
+                || host == "[::1]"
+                || host.chars().all(|c| c.is_ascii_digit() || c == '.')
+                    && host.contains('.');
+            if host_like && !port.is_empty() && port.chars().all(|c| c.is_ascii_digit()) {
+                if let Ok(p) = port.parse::<u32>() {
+                    if p != 0 {
+                        return Some(p);
+                    }
+                }
+            }
+        }
+        rest = &tail[close + 1..];
+    }
+    None
+}
+
+/// Scans one file's contents. `in_tests` marks a file under a `tests/`
+/// directory (integration tests), where `no-fixed-ports` applies from
+/// line one; in other files it applies from the first `#[cfg(test)]` on.
+pub fn scan_source(file: &Path, source: &str, in_tests: bool) -> Vec<Violation> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+    let mut in_test_region = in_tests;
+    let mut push = |idx: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            file: file.to_path_buf(),
+            line: idx + 1,
+            rule,
+            message,
+        });
+    };
+    for (idx, raw) in lines.iter().enumerate() {
+        let code = code_part(raw);
+        if raw.contains("#[cfg(test)]") {
+            in_test_region = true;
+        }
+        if code.contains("std::sync::atomic") && !waived(&lines, idx, "no-raw-atomics") {
+            push(
+                idx,
+                "no-raw-atomics",
+                "raw std::sync::atomic outside the facade; use retypd_core::sync::atomic \
+                 (or waive: // retypd-lint: allow(no-raw-atomics) <reason>)"
+                    .into(),
+            );
+        }
+        if code.contains("std::thread") && !waived(&lines, idx, "no-raw-thread") {
+            push(
+                idx,
+                "no-raw-thread",
+                "raw std::thread outside the facade; use retypd_core::sync::thread \
+                 (or waive: // retypd-lint: allow(no-raw-thread) <reason>)"
+                    .into(),
+            );
+        }
+        if has_unsafe_token(code)
+            && !safety_covered(&lines, idx)
+            && !waived(&lines, idx, "safety-comment")
+        {
+            push(
+                idx,
+                "safety-comment",
+                "unsafe without a preceding // SAFETY: comment".into(),
+            );
+        }
+        if code.contains("SeqCst")
+            && !raw.contains("WHY-SEQCST:")
+            && !(idx > 0 && lines[idx - 1].contains("WHY-SEQCST:"))
+            && !waived(&lines, idx, "seqcst-justified")
+        {
+            push(
+                idx,
+                "seqcst-justified",
+                "Ordering::SeqCst without a // WHY-SEQCST: justification; \
+                 prefer the weakest ordering the protocol needs (see retypd_core::sync docs)"
+                    .into(),
+            );
+        }
+        if in_test_region {
+            if let Some(port) = fixed_port(code) {
+                if !waived(&lines, idx, "no-fixed-ports") {
+                    push(
+                        idx,
+                        "no-fixed-ports",
+                        format!(
+                            "test hard-codes TCP port {port}; bind port 0 and read back \
+                             the address"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scans a file on disk (see [`scan_source`]); unreadable files are
+/// reported as a violation rather than silently skipped.
+pub fn scan_file(file: &Path) -> Vec<Violation> {
+    let in_tests = file
+        .components()
+        .any(|c| c.as_os_str() == "tests" || c.as_os_str() == "benches");
+    match std::fs::read_to_string(file) {
+        Ok(src) => scan_source(file, &src, in_tests),
+        Err(e) => vec![Violation {
+            file: file.to_path_buf(),
+            line: 0,
+            rule: "io",
+            message: format!("unreadable: {e}"),
+        }],
+    }
+}
+
+/// Recursively collects the `.rs` files the lint covers under `root`:
+/// everything beneath `crates/`, skipping `vendor/` (the facade's
+/// implementation — modeled, not routed), `target/`, and the lint crate
+/// itself (its rule messages, unit fixtures, and this very docstring
+/// spell out the banned tokens; a scanner that is not string-literal
+/// aware cannot tell those mentions from uses).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let mut stack = vec![crates.clone()];
+    let lint_crate = crates.join("lint");
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            if path.is_dir() {
+                if name == "target" || path == lint_crate {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut out: Vec<Violation> = workspace_files(root)
+        .iter()
+        .flat_map(|f| scan_file(f))
+        .collect();
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> Vec<Violation> {
+        scan_source(Path::new("x.rs"), src, false)
+    }
+
+    #[test]
+    fn raw_atomics_are_flagged_and_waivable() {
+        let v = scan("use std::sync::atomic::AtomicU64;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-raw-atomics");
+        assert_eq!(v[0].line, 1);
+
+        let ok = scan(
+            "// retypd-lint: allow(no-raw-atomics) allocator cannot use the facade\n\
+             use std::sync::atomic::AtomicU64;\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn waiver_without_a_reason_does_not_count() {
+        let v = scan(
+            "// retypd-lint: allow(no-raw-atomics)\n\
+             use std::sync::atomic::AtomicU64;\n",
+        );
+        assert_eq!(v.len(), 1, "bare waiver must not suppress");
+    }
+
+    #[test]
+    fn comments_and_docs_are_not_code() {
+        let v = scan(
+            "//! talks about std::sync::atomic and std::thread\n\
+             // std::thread::spawn in prose\n\
+             let x = 1; // std::sync::atomic mention\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_thread_is_flagged() {
+        let v = scan("    std::thread::spawn(|| {});\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-raw-thread");
+    }
+
+    #[test]
+    fn unsafe_needs_a_safety_comment() {
+        let v = scan("    unsafe { *p }\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "safety-comment");
+
+        assert!(scan("    // SAFETY: p is valid for reads\n    unsafe { *p }\n").is_empty());
+        assert!(scan(
+            "    // SAFETY: p is valid for reads\n    #[inline]\n    unsafe fn f() {}\n"
+        )
+        .is_empty());
+        // Identifiers containing "unsafe" are not the keyword.
+        assert!(scan("#![forbid(unsafe_code)]\n").is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_why() {
+        let v = scan("    x.store(1, Ordering::SeqCst);\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "seqcst-justified");
+
+        let justified = concat!(
+            "    // WHY-SEQCST: total order with flag y observed by the drain loop\n",
+            "    x.store(1, Ordering::SeqCst);\n"
+        );
+        assert!(scan(justified).is_empty());
+    }
+
+    #[test]
+    fn fixed_ports_only_in_test_code() {
+        // Outside a test region: no finding.
+        assert!(scan("let a = \"127.0.0.1:9999\";\n").is_empty());
+        // Inside #[cfg(test)]: flagged.
+        let v = scan("#[cfg(test)]\nmod tests {\n    let a = \"127.0.0.1:9999\";\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-fixed-ports");
+        // Port 0 is the sanctioned pattern.
+        assert!(scan("#[cfg(test)]\nlet a = \"127.0.0.1:0\";\n").is_empty());
+        // Files under tests/ are test code from line one.
+        let v = scan_source(Path::new("tests/t.rs"), "let a = \"localhost:8080\";\n", true);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn non_address_strings_are_not_ports() {
+        assert!(scan("#[cfg(test)]\nlet a = \"shard-0.store:1\";\n").is_empty());
+        assert!(scan("#[cfg(test)]\nlet t = \"12:30\";\n").is_empty());
+    }
+}

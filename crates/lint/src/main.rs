@@ -1,0 +1,78 @@
+//! `retypd-lint`: the repo's concurrency hygiene scanner as a CLI.
+//!
+//! ```text
+//! retypd-lint [--root DIR] [--json]
+//! ```
+//!
+//! Exit status 0 when clean, 1 when any violation is found, 2 on usage
+//! errors. CI runs this next to the test suite; the same scanner is also
+//! pinned by `crates/lint/tests/lint_workspace.rs` so `cargo test` alone
+//! catches regressions.
+
+use std::path::PathBuf;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("--root expects a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: retypd-lint [--root DIR] [--json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: retypd-lint [--root DIR] [--json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let files = retypd_lint::workspace_files(&root);
+    if files.is_empty() {
+        eprintln!(
+            "retypd-lint: no .rs files under {}/crates — wrong --root?",
+            root.display()
+        );
+        std::process::exit(2);
+    }
+    let violations = retypd_lint::lint_workspace(&root);
+    if json {
+        let mut out = String::from("{\n  \"violations\": [\n");
+        for (i, v) in violations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": {:?}, \"line\": {}, \"rule\": {:?}, \"message\": {:?}}}{}\n",
+                v.file.display().to_string(),
+                v.line,
+                v.rule,
+                v.message,
+                if i + 1 == violations.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"files_scanned\": {},\n  \"violation_count\": {}\n}}\n",
+            files.len(),
+            violations.len()
+        ));
+        print!("{out}");
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        eprintln!(
+            "retypd-lint: {} files scanned, {} violation(s)",
+            files.len(),
+            violations.len()
+        );
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

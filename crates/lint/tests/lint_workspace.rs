@@ -1,0 +1,54 @@
+//! The lint gate as a test: the whole workspace must scan clean, so a
+//! raw `std::thread::spawn`, an unjustified `SeqCst`, or an uncommented
+//! `unsafe` fails `cargo test` locally — not just the CI step.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // crates/lint/ → workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let files = retypd_lint::workspace_files(root);
+    assert!(
+        files.len() > 20,
+        "expected the whole workspace, scanned only {} files from {}",
+        files.len(),
+        root.display()
+    );
+    let violations = retypd_lint::lint_workspace(root);
+    assert!(
+        violations.is_empty(),
+        "retypd-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_scanner_still_bites() {
+    // Guard against the gate rotting into a no-op: a synthetic violation
+    // of every rule must be caught.
+    let bad = concat!(
+        "use std::sync::atomic::AtomicU64;\n",
+        "use std::thread;\n",
+        "unsafe { core::hint::unreachable_unchecked() }\n",
+        "x.store(1, Ordering::SeqCst);\n",
+        "#[cfg(test)]\n",
+        "let addr = \"127.0.0.1:4455\";\n",
+    );
+    let found = retypd_lint::scan_source(Path::new("synthetic.rs"), bad, false);
+    let rules: Vec<&str> = found.iter().map(|v| v.rule).collect();
+    for rule in retypd_lint::RULES {
+        assert!(
+            rules.contains(&rule),
+            "rule {rule} failed to fire on the synthetic source; found {rules:?}"
+        );
+    }
+}

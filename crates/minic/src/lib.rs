@@ -20,6 +20,7 @@
 //! [`genprog`] generates seeded random programs and coreutils-like
 //! clusters of programs sharing a statically-linked utility library.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -63,8 +63,9 @@
 //! the sequential references.
 
 use std::io::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+use retypd_core::sync::atomic::{AtomicUsize, Ordering};
 
 use retypd_core::{Lattice, LatticeDescriptor, Solver};
 use retypd_driver::ModuleJob;
@@ -112,6 +113,7 @@ fn run_pass(
     let latency_hist = Histogram::new();
     let (hits0, misses0) = shard_counters();
     let start = Instant::now();
+    // retypd-lint: allow(no-raw-thread) scoped spawns are not modeled
     std::thread::scope(|scope| {
         let (cursor, latency_hist) = (&cursor, &latency_hist);
         for worker in 0..concurrency.max(1) {
@@ -407,7 +409,7 @@ fn main() {
                 eprintln!("--addr-file {path}: no `addr=` banner appeared within 60s");
                 std::process::exit(2);
             }
-            std::thread::sleep(Duration::from_millis(50));
+            retypd_core::sync::thread::sleep(Duration::from_millis(50));
         };
         eprintln!("addr-file {path}: target at {}", addr_arg.as_deref().unwrap());
     }

@@ -185,7 +185,7 @@ impl Client {
             match Client::connect(addr) {
                 Ok(c) => return Ok(c),
                 Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => retypd_core::sync::thread::sleep(Duration::from_millis(50)),
             }
         }
     }
@@ -354,7 +354,7 @@ impl Client {
         loop {
             match op(self) {
                 Err(ClientError::Overloaded { .. }) if attempt < policy.budget => {
-                    std::thread::sleep(policy.backoff(attempt));
+                    retypd_core::sync::thread::sleep(policy.backoff(attempt));
                     attempt += 1;
                 }
                 done => return done,

@@ -251,6 +251,7 @@ mod tests {
 
     #[test]
     fn banner_round_trips_and_tolerates_growth() {
+        // retypd-lint: allow(no-fixed-ports) the banner is parsed, never bound
         let addr: SocketAddr = "127.0.0.1:40613".parse().unwrap();
         let line = ready_banner(addr, 12345, 4);
         assert_eq!(parse_ready_banner(&line), Some((addr, 12345, 4)));

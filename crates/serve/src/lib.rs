@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod admission;
 pub mod client;
 pub mod json;
 pub mod launch;
 pub mod server;
+pub mod stats_cells;
 pub mod wire;
 
 pub use client::{BatchStream, Client, ClientError, RetryPolicy};

@@ -54,22 +54,24 @@
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use retypd_core::fxhash::FxHashMap;
+use retypd_core::sync::atomic::{AtomicU64, Ordering};
+use retypd_core::sync::thread::JoinHandle;
+use retypd_core::sync::{mpsc, Arc, Mutex};
 use retypd_core::{Lattice, LatticeDescriptor, SolverResult};
 use retypd_driver::{
-    AnalysisDriver, CacheStats, DriverConfig, LatticeMemo, LatticeSelector, ModuleJob,
-    ModuleReport, SolveRequest,
+    AnalysisDriver, DriverConfig, LatticeMemo, LatticeSelector, ModuleJob, ModuleReport,
+    SolveRequest,
 };
 use retypd_telemetry::{trace_id_hash, Counter, Histogram, MetricsSnapshot, Registry};
 
+use crate::admission::Admission;
+use crate::stats_cells::ShardStatsCells;
+
 use crate::wire::{
-    self, Request, Response, WireBatchDone, WireMetrics, WireModule, WireReport, WireShardStats,
-    WireStats,
+    self, Request, Response, WireBatchDone, WireMetrics, WireModule, WireReport, WireStats,
 };
 
 /// Server configuration.
@@ -161,64 +163,6 @@ struct ShardJob {
     reply: mpsc::Sender<(usize, Result<WireReport, String>)>,
 }
 
-/// One shard's published statistics, one atomic cell per field.
-///
-/// The shard thread `publish`es after every job and the stats probe
-/// `snapshot`s — plain relaxed stores and loads, no lock. The previous
-/// design republished a whole `WireShardStats` under a `Mutex` per job,
-/// so a `stats` probe could contend with the solve loop (and vice versa);
-/// counters never need that coherence.
-#[derive(Default)]
-struct ShardStatsCells {
-    jobs: AtomicU64,
-    rebuilds: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    scheme_entries: AtomicU64,
-    refine_entries: AtomicU64,
-    persisted_entries: AtomicU64,
-    replayed_entries: AtomicU64,
-    replay_ns: AtomicU64,
-}
-
-impl ShardStatsCells {
-    /// Refreshes every cell from the shard's driver. Runs on the shard
-    /// thread (the only writer), so the driver walk never blocks a probe.
-    fn publish(&self, driver: &AnalysisDriver<'static>, jobs: u64, rebuilds: u64) {
-        let cache = driver.cache_stats();
-        let persist = driver.persist_stats().unwrap_or_default();
-        self.jobs.store(jobs, Ordering::Relaxed);
-        self.rebuilds.store(rebuilds, Ordering::Relaxed);
-        self.hits.store(cache.hits, Ordering::Relaxed);
-        self.misses.store(cache.misses, Ordering::Relaxed);
-        self.evictions.store(cache.evictions, Ordering::Relaxed);
-        self.scheme_entries.store(cache.scheme_entries as u64, Ordering::Relaxed);
-        self.refine_entries.store(cache.refine_entries as u64, Ordering::Relaxed);
-        self.persisted_entries.store(persist.persisted_entries, Ordering::Relaxed);
-        self.replayed_entries.store(persist.replayed_entries, Ordering::Relaxed);
-        self.replay_ns.store(persist.replay_ns, Ordering::Relaxed);
-    }
-
-    fn snapshot(&self, shard: usize) -> WireShardStats {
-        WireShardStats {
-            shard,
-            jobs: self.jobs.load(Ordering::Relaxed),
-            rebuilds: self.rebuilds.load(Ordering::Relaxed),
-            cache: CacheStats {
-                hits: self.hits.load(Ordering::Relaxed),
-                misses: self.misses.load(Ordering::Relaxed),
-                evictions: self.evictions.load(Ordering::Relaxed),
-                scheme_entries: self.scheme_entries.load(Ordering::Relaxed) as usize,
-                refine_entries: self.refine_entries.load(Ordering::Relaxed) as usize,
-            },
-            persisted_entries: self.persisted_entries.load(Ordering::Relaxed),
-            replayed_entries: self.replayed_entries.load(Ordering::Relaxed),
-            replay_ns: self.replay_ns.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// One shard's handle: its queue sender, published statistics, and
 /// metrics registry.
 struct Shard {
@@ -266,12 +210,9 @@ impl ServerMetrics {
 
 struct Shared {
     shards: Vec<Shard>,
-    queue_depth: usize,
-    /// Modules admitted and not yet finished (shards decrement).
-    queued: AtomicUsize,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    draining: AtomicBool,
+    /// The admission gate: bounded in-flight counter, accept/reject
+    /// accounting, and the sticky drain flag (see [`crate::admission`]).
+    admission: Admission,
     local_addr: SocketAddr,
     /// Per-connection read behavior (see [`ServeConfig::read_timeout`]).
     read_timeout: Option<Duration>,
@@ -322,30 +263,8 @@ impl Shared {
 }
 
 impl Shared {
-    /// Admits `n` jobs atomically, or reports the current queue depth.
-    fn admit(&self, n: usize) -> Result<(), usize> {
-        let mut cur = self.queued.load(Ordering::Relaxed);
-        loop {
-            if self.draining.load(Ordering::Relaxed) {
-                return Err(cur);
-            }
-            if cur + n > self.queue_depth {
-                return Err(cur);
-            }
-            match self.queued.compare_exchange(
-                cur,
-                cur + n,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return Ok(()),
-                Err(actual) => cur = actual,
-            }
-        }
-    }
-
     fn begin_drain(&self) {
-        if self.draining.swap(true, Ordering::SeqCst) {
+        if !self.admission.begin_drain() {
             return; // already draining
         }
         // Hang up the shard queues: shards finish what is buffered, then
@@ -370,10 +289,10 @@ impl Shared {
 
     fn stats(&self) -> WireStats {
         WireStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            queued: self.queued.load(Ordering::Relaxed),
-            queue_limit: self.queue_depth,
+            accepted: self.admission.accepted(),
+            rejected: self.admission.rejected(),
+            queued: self.admission.queued(),
+            queue_limit: self.admission.limit(),
             pid: self.pid,
             start_ns: self.start_ns,
             shards: self
@@ -542,11 +461,7 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
 
     let shared = Arc::new(Shared {
         shards: shard_handles,
-        queue_depth: config.queue_depth.max(1),
-        queued: AtomicUsize::new(0),
-        accepted: AtomicU64::new(0),
-        rejected: AtomicU64::new(0),
-        draining: AtomicBool::new(false),
+        admission: Admission::new(config.queue_depth),
         local_addr,
         read_timeout: config.read_timeout,
         max_frames_per_conn: config.max_frames_per_conn,
@@ -592,7 +507,7 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
                 .map(|dir| dir.join(format!("shard-{shard_id}.store"))),
         };
         shard_threads.push(
-            std::thread::Builder::new()
+            retypd_core::sync::thread::Builder::new()
                 .name(format!("retypd-shard-{shard_id}"))
                 .spawn(move || shard_main(shard_id, rx, driver_config, shared, hook, ready))
                 .expect("spawn shard thread"),
@@ -609,7 +524,7 @@ fn start_with_hook(config: ServeConfig, hook: SolveHook) -> std::io::Result<Serv
 
     let acceptor = {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
+        retypd_core::sync::thread::Builder::new()
             .name("retypd-acceptor".into())
             .spawn(move || acceptor_main(listener, shared))
             .expect("spawn acceptor thread")
@@ -654,6 +569,11 @@ fn shard_main(
     let _ = ready.send(()); // unblocks `start`: this shard is warm and serving
     drop(ready);
     for msg in rx {
+        // The job's admission slot, released exactly once on every exit
+        // path (the solver panic below included) — dropped explicitly
+        // *before* the reply send so a client acting on its response
+        // already sees the freed slot in a `stats` probe.
+        let slot = shared.admission.slot_guard();
         let start = Instant::now();
         queue_wait_ns.record(start.duration_since(msg.enqueued).as_nanos() as u64);
         job_constraints.record(
@@ -667,7 +587,7 @@ fn shard_main(
         // The chaos seam: stall *before* solving so injected slowness is
         // pure latency — the result bytes cannot differ.
         if let Some(delay) = shared.solve_delay {
-            std::thread::sleep(delay);
+            retypd_core::sync::thread::sleep(delay);
         }
         // Every span the solver emits while this job runs carries the
         // request's trace id (0 = untraced); the guard restores the
@@ -724,7 +644,7 @@ fn shard_main(
         // persistence, cold) cache plus the bumped rebuild counter — the
         // observability the stats probe needs to assert warm-after-rebuild.
         cells.publish(&driver, jobs_done, rebuilds);
-        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        drop(slot);
         // A dropped reply receiver just means the client went away.
         let _ = msg.reply.send((msg.index, reply));
     }
@@ -732,7 +652,7 @@ fn shard_main(
 
 fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
     for stream in listener.incoming() {
-        if shared.draining.load(Ordering::Relaxed) {
+        if shared.admission.is_draining() {
             return;
         }
         let stream = match stream {
@@ -741,7 +661,7 @@ fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
                 // Persistent accept errors (e.g. EMFILE under fd
                 // exhaustion) would otherwise spin this loop at 100% CPU;
                 // back off briefly before retrying.
-                std::thread::sleep(std::time::Duration::from_millis(50));
+                retypd_core::sync::thread::sleep(std::time::Duration::from_millis(50));
                 continue;
             }
         };
@@ -765,7 +685,7 @@ fn acceptor_main(listener: TcpListener, shared: Arc<Shared>) {
             .expect("connection registry")
             .insert(id, None);
         let conn_shared = Arc::clone(&shared);
-        let spawned = std::thread::Builder::new()
+        let spawned = retypd_core::sync::thread::Builder::new()
             .name("retypd-conn".into())
             .spawn(move || {
                 handle_conn(stream, &conn_shared);
@@ -838,7 +758,7 @@ enum PolledRead {
 fn read_frame_polled(
     stream: &mut TcpStream,
     read_timeout: Option<Duration>,
-    draining: &AtomicBool,
+    admission: &Admission,
 ) -> PolledRead {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return PolledRead::Broken;
@@ -908,7 +828,7 @@ fn read_frame_polled(
                 // but only for [`DRAIN_GRACE`], so a client stalled
                 // mid-frame cannot hold the drain join hostage even when
                 // `read_timeout` is disabled.
-                if draining.load(Ordering::Relaxed) {
+                if admission.is_draining() {
                     if expected.is_none() && filled == 0 {
                         return PolledRead::DrainIdle;
                     }
@@ -945,7 +865,7 @@ fn handle_conn(stream: TcpStream, shared: &Shared) {
     let mut frames_used = 0u64;
     let mut bytes_used = 0u64;
     loop {
-        let payload = match read_frame_polled(&mut stream, shared.read_timeout, &shared.draining)
+        let payload = match read_frame_polled(&mut stream, shared.read_timeout, &shared.admission)
         {
             PolledRead::Frame(p) => p,
             PolledRead::Eof | PolledRead::DrainIdle | PolledRead::Broken => return,
@@ -1118,28 +1038,28 @@ fn admit_batch(n: usize, shared: &Shared) -> Result<(), Response> {
     // A batch bigger than the whole admission budget could never be
     // admitted, even idle — that is a permanent error (retrying on
     // `overloaded` would spin forever), so name the limit instead.
-    if n > shared.queue_depth {
+    if n > shared.admission.limit() {
         return Err(Response::Error(format!(
             "batch of {n} modules can never fit the admission limit of {}; \
              split it into smaller batches",
-            shared.queue_depth
+            shared.admission.limit()
         )));
     }
-    if let Err(queued) = shared.admit(n) {
-        if shared.draining.load(Ordering::Relaxed) {
+    if let Err(queued) = shared.admission.admit(n) {
+        if shared.admission.is_draining() {
             // A drain refusal is not overload pressure: report the drain
             // and leave the `rejected` counter (documented as overload
             // rejections) alone.
             return Err(Response::ShuttingDown);
         }
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.admission.record_rejected();
         shared.metrics.rejected_batches.inc();
         return Err(Response::Overloaded {
             queued,
-            limit: shared.queue_depth,
+            limit: shared.admission.limit(),
         });
     }
-    shared.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.admission.record_accepted();
     shared.metrics.admitted_jobs.add(n as u64);
     Ok(())
 }
@@ -1155,7 +1075,7 @@ fn admit_and_dispatch(
     trace_id: Option<&str>,
     shared: &Shared,
 ) -> Result<Dispatched, Response> {
-    if shared.draining.load(Ordering::Relaxed) {
+    if shared.admission.is_draining() {
         return Err(Response::ShuttingDown);
     }
     // Build the lattice and reconstruct jobs *before* admission so a
@@ -1210,7 +1130,7 @@ fn admit_and_dispatch(
         } else {
             // Drain raced us between `admit` and dispatch: release the
             // budget for this job ourselves.
-            shared.queued.fetch_sub(1, Ordering::Relaxed);
+            shared.admission.release(1);
         }
     }
     Ok(Dispatched {
@@ -1270,7 +1190,7 @@ fn solve_streaming(
     shared: &Shared,
 ) -> Result<(), Response> {
     let start = Instant::now();
-    if shared.draining.load(Ordering::Relaxed) {
+    if shared.admission.is_draining() {
         return Err(Response::ShuttingDown);
     }
     let lattice = shared.resolve_lattice(lattice).map_err(Response::Error)?;
@@ -1335,7 +1255,7 @@ fn solve_streaming(
                     if !sent {
                         // Drain raced us between `admit` and dispatch:
                         // release the budget and report it per module.
-                        shared.queued.fetch_sub(1, Ordering::Relaxed);
+                        shared.admission.release(1);
                         write_report(
                             index,
                             Err(format!(
@@ -1351,7 +1271,7 @@ fn solve_streaming(
                 Err(e) => {
                     // A malformed module costs its slot only for the time
                     // it took to fail parsing.
-                    shared.queued.fetch_sub(1, Ordering::Relaxed);
+                    shared.admission.release(1);
                     write_report(
                         index,
                         Err(e.to_string()),
@@ -1434,7 +1354,7 @@ mod tests {
     #[test]
     fn retry_budget_is_bounded_against_a_saturated_server() {
         use crate::client::RetryPolicy;
-        use std::sync::mpsc;
+        use retypd_core::sync::mpsc;
         use std::time::{Duration, Instant};
 
         // One admission slot, and a hook that parks the job occupying it
@@ -1456,7 +1376,7 @@ mod tests {
         let handle = start_with_hook(config, hook).expect("bind");
         let addr = handle.addr();
 
-        let blocker = std::thread::spawn(move || {
+        let blocker = retypd_core::sync::thread::spawn(move || {
             let mut c = Client::connect(addr).expect("connect blocker");
             c.solve_module(&job("blocker")).expect("blocker eventually solves")
         });
@@ -1465,7 +1385,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(10);
         while client.stats().expect("stats").queued < 1 {
             assert!(Instant::now() < deadline, "blocker never admitted");
-            std::thread::sleep(Duration::from_millis(5));
+            retypd_core::sync::thread::sleep(Duration::from_millis(5));
         }
 
         // A bounded budget against permanent saturation must terminate
@@ -1492,8 +1412,8 @@ mod tests {
 
         // With the saturation lifting mid-schedule, a retrying client
         // rides the backoff to success instead of surfacing the refusal.
-        let releaser = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(100));
+        let releaser = retypd_core::sync::thread::spawn(move || {
+            retypd_core::sync::thread::sleep(Duration::from_millis(100));
             release_tx.send(()).expect("release the blocker");
         });
         let patient = RetryPolicy::new(400).with_seed(7);

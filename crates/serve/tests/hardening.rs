@@ -110,7 +110,7 @@ fn client_refuses_a_malicious_length_prefix() {
     // attempt a multi-GiB allocation.
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().unwrap();
-    let attacker = std::thread::spawn(move || {
+    let attacker = retypd_core::sync::thread::spawn(move || {
         let (mut s, _) = listener.accept().expect("accept");
         let _ = read_frame(&mut s);
         s.write_all(&u32::MAX.to_be_bytes()).unwrap();

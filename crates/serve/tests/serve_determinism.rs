@@ -309,8 +309,8 @@ fn repeat_submissions_are_warm_on_every_shard_count() {
 
 #[test]
 fn overload_returns_overloaded_not_a_hang() {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
+    use retypd_core::sync::atomic::{AtomicBool, Ordering};
+    use retypd_core::sync::Arc;
     use std::time::{Duration, Instant};
 
     let jobs = corpus();
@@ -324,7 +324,7 @@ fn overload_returns_overloaded_not_a_hang() {
         let jobs = jobs.clone();
         let addr = handle.addr();
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
+        retypd_core::sync::thread::spawn(move || {
             let mut c = Client::connect(addr).expect("looper connects");
             while !stop.load(Ordering::Relaxed) {
                 match c.solve_batch(&jobs) {

@@ -54,7 +54,7 @@ pub use spans::{
     span, spans_enabled, trace_id_hash, SpanEvent, SpanGuard, TraceGuard,
 };
 
-use std::sync::OnceLock;
+use loom::sync::OnceLock;
 
 /// The process-wide default registry. Core and driver instrumentation lands
 /// here; serve additionally keeps per-shard registries and merges them with

@@ -21,8 +21,8 @@
 //! how the same samples were sharded before the merge — the property the
 //! serve layer's 1-vs-N-shard determinism tests pin.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use loom::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
 
 /// Number of exact unit buckets at the bottom of the range.
 const LINEAR_BUCKETS: usize = 16;
@@ -553,6 +553,7 @@ mod tests {
         let h = Arc::new(Histogram::new());
         let threads = 8;
         let per_thread = 20_000u64;
+        // retypd-lint: allow(no-raw-thread) scoped spawns are not modeled
         std::thread::scope(|scope| {
             for t in 0..threads {
                 let h = Arc::clone(&h);

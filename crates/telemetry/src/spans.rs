@@ -17,9 +17,9 @@
 //! overflow) and [`chrome_trace_json`] renders them as Chrome-trace JSONL
 //! (`about://tracing`, Perfetto, speedscope all open it).
 
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex, OnceLock};
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Per-thread ring capacity, in events. A solve emits a handful of spans per
@@ -261,7 +261,7 @@ mod tests {
 
     // Span tests share process-global state (the enable flag and ring
     // registry), so they run under one lock to stay order-independent.
-    fn span_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    fn span_test_lock() -> loom::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
         LOCK.lock().unwrap()
     }
@@ -311,6 +311,7 @@ mod tests {
         let _l = span_test_lock();
         set_spans_enabled(true);
         drop(drain_spans());
+        // retypd-lint: allow(no-raw-thread) scoped spawns are not modeled
         std::thread::scope(|s| {
             for _ in 0..3 {
                 s.spawn(|| {

@@ -1,0 +1,268 @@
+//! Model-checked doubles of `std::sync::atomic` types.
+//!
+//! Each type wraps the *real* std atomic. Inside a model execution,
+//! every operation is a schedule point against the runtime's
+//! store-history state (so relaxed loads can observe stale values and
+//! acquire/release edges are tracked); outside an execution (statics at
+//! process scope, non-model threads), operations fall through to the
+//! real primitive, so these types are always safe to construct in
+//! `static`s even in model builds.
+//!
+//! Values are stored in the history as `u64` bit patterns; each typed
+//! front converts at the edges. Stores write through to the real cell
+//! (with `Relaxed`) so fall-through readers and later executions see
+//! the latest value.
+
+use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+macro_rules! model_atomic {
+    ($name:ident, $prim:ty, $real:ty, $to:expr, $from:expr) => {
+        /// Model-checked double of the std atomic of the same name; see
+        /// the module docs for semantics.
+        #[derive(Default)]
+        pub struct $name {
+            real: $real,
+        }
+
+        impl $name {
+            /// Creates a new atomic (usable in `static`s).
+            pub const fn new(v: $prim) -> Self {
+                Self { real: <$real>::new(v) }
+            }
+
+            fn addr(&self) -> usize {
+                &self.real as *const $real as usize
+            }
+
+            fn init(&self) -> u64 {
+                ($to)(self.real.load(Ordering::Relaxed))
+            }
+
+            /// Loads the value; under the model a relaxed load may
+            /// observe any coherent stale store.
+            pub fn load(&self, order: Ordering) -> $prim {
+                let (addr, init) = (self.addr(), self.init());
+                match rt::op(|g, tid| g.atomic_load(tid, addr, order, init)) {
+                    Some(bits) => ($from)(bits),
+                    None => self.real.load(order),
+                }
+            }
+
+            /// Stores the value; a relaxed store publishes no
+            /// happens-before edge under the model.
+            pub fn store(&self, v: $prim, order: Ordering) {
+                let (addr, init) = (self.addr(), self.init());
+                let bits = ($to)(v);
+                if rt::op(|g, tid| g.atomic_store(tid, addr, order, bits, init)).is_some() {
+                    self.real.store(v, Ordering::Relaxed);
+                } else {
+                    self.real.store(v, order);
+                }
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |_| v, |r| r.swap(v, order))
+            }
+
+            /// Strong compare-exchange (the weak form is identical
+            /// under the model; spurious failures only add schedules a
+            /// retry loop already has).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                let (addr, init) = (self.addr(), self.init());
+                let (cb, nb) = (($to)(current), ($to)(new));
+                match rt::op(|g, tid| g.atomic_cas(tid, addr, cb, nb, success, failure, init)) {
+                    Some(r) => {
+                        if r.is_ok() {
+                            self.real.store(new, Ordering::Relaxed);
+                        }
+                        r.map(|b| ($from)(b)).map_err(|b| ($from)(b))
+                    }
+                    None => self.real.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            /// See [`Self::compare_exchange`].
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            fn rmw(
+                &self,
+                order: Ordering,
+                f: impl Fn($prim) -> $prim,
+                fallback: impl FnOnce(&$real) -> $prim,
+            ) -> $prim {
+                let (addr, init) = (self.addr(), self.init());
+                let res = rt::op(|g, tid| {
+                    g.atomic_rmw(tid, addr, order, init, &mut |bits| ($to)(f(($from)(bits))))
+                });
+                match res {
+                    Some(prev_bits) => {
+                        let prev = ($from)(prev_bits);
+                        self.real.store(f(prev), Ordering::Relaxed);
+                        prev
+                    }
+                    None => fallback(&self.real),
+                }
+            }
+
+            /// Exclusive access to the value (no model bookkeeping
+            /// needed: `&mut self` proves no concurrency).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                rt::forget_location(self.addr());
+                self.real.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(mut self) -> $prim {
+                *self.get_mut()
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                // The address may be recycled for a fresh atomic; its
+                // model history must die with it.
+                rt::forget_location(self.addr());
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:?}", self.load(Ordering::Relaxed))
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $prim:ty, $real:ty, $to:expr, $from:expr) => {
+        model_atomic!($name, $prim, $real, $to, $from);
+
+        impl $name {
+            /// Wrapping add, returning the previous value.
+            pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |x| x.wrapping_add(v), |r| r.fetch_add(v, order))
+            }
+
+            /// Wrapping subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |x| x.wrapping_sub(v), |r| r.fetch_sub(v, order))
+            }
+
+            /// Maximum, returning the previous value.
+            pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |x| x.max(v), |r| r.fetch_max(v, order))
+            }
+
+            /// Minimum, returning the previous value.
+            pub fn fetch_min(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |x| x.min(v), |r| r.fetch_min(v, order))
+            }
+
+            /// Bitwise and, returning the previous value.
+            pub fn fetch_and(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |x| x & v, |r| r.fetch_and(v, order))
+            }
+
+            /// Bitwise or, returning the previous value.
+            pub fn fetch_or(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |x| x | v, |r| r.fetch_or(v, order))
+            }
+
+            /// Bitwise xor, returning the previous value.
+            pub fn fetch_xor(&self, v: $prim, order: Ordering) -> $prim {
+                self.rmw(order, |x| x ^ v, |r| r.fetch_xor(v, order))
+            }
+        }
+    };
+}
+
+model_atomic_int!(
+    AtomicU64,
+    u64,
+    std::sync::atomic::AtomicU64,
+    |v: u64| v,
+    |b: u64| b
+);
+model_atomic_int!(
+    AtomicUsize,
+    usize,
+    std::sync::atomic::AtomicUsize,
+    |v: usize| v as u64,
+    |b: u64| b as usize
+);
+model_atomic_int!(
+    AtomicU32,
+    u32,
+    std::sync::atomic::AtomicU32,
+    |v: u32| v as u64,
+    |b: u64| b as u32
+);
+model_atomic_int!(
+    AtomicI64,
+    i64,
+    std::sync::atomic::AtomicI64,
+    |v: i64| v as u64,
+    |b: u64| b as i64
+);
+model_atomic_int!(
+    AtomicI32,
+    i32,
+    std::sync::atomic::AtomicI32,
+    |v: i32| v as i64 as u64,
+    |b: u64| b as i32
+);
+model_atomic!(
+    AtomicBool,
+    bool,
+    std::sync::atomic::AtomicBool,
+    |v: bool| v as u64,
+    |b: u64| b != 0
+);
+
+impl AtomicBool {
+    /// Bitwise and, returning the previous value.
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        self.rmw(order, |x| x & v, |r| r.fetch_and(v, order))
+    }
+
+    /// Bitwise or, returning the previous value.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        self.rmw(order, |x| x | v, |r| r.fetch_or(v, order))
+    }
+}
+
+/// A memory fence: modeled coarsely (see the runtime docs), a real
+/// fence outside the model.
+pub fn fence(order: Ordering) {
+    if rt::op(|g, tid| g.fence(tid, order)).is_none() {
+        std::sync::atomic::fence(order);
+    }
+}
+
+/// Compiler fences constrain no cross-thread visibility; passthrough.
+pub fn compiler_fence(order: Ordering) {
+    std::sync::atomic::compiler_fence(order);
+}

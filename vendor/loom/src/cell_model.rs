@@ -1,0 +1,83 @@
+//! [`RaceCell`]: an `UnsafeCell` whose accesses are data-race-checked
+//! under the model.
+//!
+//! This is the checker's probe for *non-atomic* shared state: wrap the
+//! plain data a lock or a release/acquire protocol is supposed to
+//! protect in a `RaceCell`, and any explored interleaving in which two
+//! threads touch it concurrently (per vector clocks, at least one
+//! access a write) fails the model with the schedule that got there.
+//! Outside a model execution the accessors degrade to raw
+//! `UnsafeCell` access — which is why they are `unsafe fn`: the caller
+//! asserts the external synchronization the model would have checked.
+
+use std::cell::UnsafeCell;
+
+use crate::rt;
+
+/// A cell holding plain shared data whose synchronization protocol is
+/// *checked* by the model (and merely *asserted* outside it).
+#[derive(Debug, Default)]
+pub struct RaceCell<T: ?Sized> {
+    val: UnsafeCell<T>,
+}
+
+// SAFETY: `RaceCell` hands out references only through `with`/
+// `with_mut`, whose contract (checked under the model) is that
+// accesses are externally synchronized; with that contract upheld it
+// is no more than a `T` shared by synchronized threads.
+unsafe impl<T: ?Sized + Send> Send for RaceCell<T> {}
+// SAFETY: as above — the accessors' contract carries the
+// synchronization obligation.
+unsafe impl<T: ?Sized + Send> Sync for RaceCell<T> {}
+
+impl<T> RaceCell<T> {
+    /// Creates a cell (usable in `static`s).
+    pub const fn new(val: T) -> RaceCell<T> {
+        RaceCell {
+            val: UnsafeCell::new(val),
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.val.into_inner()
+    }
+}
+
+impl<T: ?Sized> RaceCell<T> {
+    fn addr(&self) -> usize {
+        self.val.get() as *const () as usize
+    }
+
+    /// Shared (read) access to the value.
+    ///
+    /// # Safety
+    ///
+    /// No thread may mutate the cell concurrently. Under the model
+    /// this is *checked*: a concurrent write in any explored
+    /// interleaving fails the run with a replayable schedule.
+    pub unsafe fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let _ = rt::op(|g, tid| g.cell_access(tid, self.addr(), false));
+        // SAFETY: shared read; the caller (plus the model, when
+        // running) guarantees no concurrent mutation.
+        f(unsafe { &*self.val.get() })
+    }
+
+    /// Exclusive (write) access to the value.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may access the cell concurrently. Under the
+    /// model this is *checked* (see [`RaceCell::with`]).
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let _ = rt::op(|g, tid| g.cell_access(tid, self.addr(), true));
+        // SAFETY: the caller (plus the model, when running) guarantees
+        // this is the only live access.
+        f(unsafe { &mut *self.val.get() })
+    }
+
+    /// Safe exclusive access (`&mut self` proves no concurrency).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.val.get_mut()
+    }
+}

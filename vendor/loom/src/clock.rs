@@ -1,0 +1,81 @@
+//! Vector clocks: the happens-before backbone of the checker.
+//!
+//! Every model thread carries a [`VClock`]; every synchronizing event
+//! (release store, mutex unlock, spawn, join, …) snapshots or joins
+//! clocks. `a ≤ b` ("a happens-before-or-equals b") is the pointwise
+//! comparison; two clocks where neither dominates witness concurrency.
+
+/// Hard cap on model threads per execution. Interleaving exploration is
+/// exponential in thread count, so a model that wants more than this is
+/// almost certainly a mis-written model; the scheduler fails the run
+/// with a clear message rather than exploding.
+pub const MAX_THREADS: usize = 8;
+
+/// A fixed-width vector clock over the execution's thread slots.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    /// The zero clock: happens-before everything, known to everyone.
+    pub const fn zero() -> VClock {
+        VClock([0; MAX_THREADS])
+    }
+
+    /// This thread's own component (its local event counter).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0[tid]
+    }
+
+    /// Advances `tid`'s component by one — called once per model event.
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything known to
+    /// either clock is known to `self`.
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (pointwise ≤).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+}
+
+impl std::fmt::Debug for VClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_le_is_pointwise() {
+        let mut a = VClock::zero();
+        let mut b = VClock::zero();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a;
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+    }
+}

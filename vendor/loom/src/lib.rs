@@ -1,0 +1,416 @@
+//! Offline API-compatible stand-in for **loom**: a bounded model
+//! checker for the workspace's concurrency facade.
+//!
+//! Like the other vendor shims, this crate exists so the build works
+//! with no registry access; unlike most of them it is a full (small)
+//! implementation, not a stub. It explores the interleavings of a
+//! closure's model threads with a seeded DFS scheduler under a
+//! preemption bound (CHESS-style), tracks happens-before with vector
+//! clocks per the C11 release/acquire rules (relaxed loads really do
+//! read stale values), and reports any failure — assertion panic, data
+//! race on a [`modelled::cell::RaceCell`], deadlock, livelock — with a
+//! **replayable schedule string**.
+//!
+//! # The two faces of this crate
+//!
+//! - [`modelled`] — the model-checked doubles themselves, *always*
+//!   compiled. Checker self-tests and `conc-check` models use these
+//!   explicitly; they degrade to the real std primitives when used
+//!   outside [`model`]/[`Builder::check`].
+//! - [`sync`] / [`thread`] / [`cell`] — the **facade** modules product
+//!   code imports (normally via `retypd_core::sync`). In a normal
+//!   build they are *re-exports of std* (zero cost, same types); under
+//!   `--cfg retypd_model_check` they re-export the [`modelled`]
+//!   doubles, so the exact production code paths become checkable.
+//!
+//! # Quick start
+//!
+//! ```
+//! use loom::modelled::sync::atomic::{AtomicU64, Ordering};
+//! use loom::modelled::thread;
+//! use std::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = thread::spawn(move || n2.fetch_add(1, Ordering::Relaxed));
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! To *replay* a reported schedule, paste the string from the failure
+//! message into [`Builder::replay`] with the same closure.
+//!
+//! # Bounds and simplifications (vs. real loom / CDSChecker)
+//!
+//! - Preemption-bounded, not exhaustive: schedules with more than
+//!   `preemption_bound` involuntary context switches are not explored
+//!   (empirically, small bounds catch most real bugs). `max_iterations`
+//!   additionally caps the run count; [`Report::complete`] says whether
+//!   the bounded space was exhausted.
+//! - SeqCst is simplified to "reads the newest store + full
+//!   release/acquire": the modification order doubles as the SC order.
+//!   Independent-reads-of-independent-writes distinctions beyond that
+//!   are not modeled.
+//! - Stores join the modification order in execution order; fences are
+//!   modeled coarsely through one global clock.
+//! - At most [`MAX_THREADS`](clock::MAX_THREADS) threads per model.
+//! - Model executions must be deterministic given the schedule: no
+//!   wall-clock time, real I/O, or non-model threading inside a model.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+mod rt;
+
+mod atomics;
+mod cell_model;
+mod sync_model;
+mod thread_model;
+
+/// The model-checked doubles, always available (self-tests and
+/// `conc-check` models use them without any `--cfg`).
+pub mod modelled {
+    /// Doubles of `std::sync` (plus passthroughs for unmodeled items).
+    pub mod sync {
+        pub use crate::sync_model::{
+            Condvar, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard,
+            WaitTimeoutResult,
+        };
+        // Unmodeled passthroughs: ownership/refcounting (`Arc`) carries
+        // no schedule-relevant blocking; `mpsc` is unmodeled (models
+        // should express channels with modeled Mutex/Condvar instead).
+        pub use std::sync::{mpsc, Arc, Barrier, LockResult, Once, PoisonError, TryLockError, TryLockResult, Weak};
+
+        /// Doubles of `std::sync::atomic`.
+        pub mod atomic {
+            pub use crate::atomics::{
+                compiler_fence, fence, AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64,
+                AtomicUsize,
+            };
+            pub use std::sync::atomic::Ordering;
+        }
+    }
+
+    /// Doubles of `std::thread` (spawn/join/yield/sleep).
+    pub mod thread {
+        pub use crate::thread_model::{sleep, spawn, yield_now, Builder, JoinHandle};
+        pub use std::thread::{available_parallelism, current, panicking, Result, Thread, ThreadId};
+    }
+
+    /// The race-checked data cell.
+    pub mod cell {
+        pub use crate::cell_model::RaceCell;
+    }
+}
+
+/// The facade `std::sync`: plain std re-exports in normal builds.
+#[cfg(not(retypd_model_check))]
+pub mod sync {
+    pub use std::sync::{
+        mpsc, Arc, Barrier, Condvar, LockResult, Mutex, MutexGuard, Once, OnceLock, PoisonError,
+        RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError, TryLockResult, WaitTimeoutResult,
+        Weak,
+    };
+
+    /// The facade `std::sync::atomic`: plain std re-exports.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            compiler_fence, fence, AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64,
+            AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// The facade `std::sync`: model-checked doubles under
+/// `--cfg retypd_model_check`.
+#[cfg(retypd_model_check)]
+pub mod sync {
+    pub use crate::modelled::sync::*;
+}
+
+/// The facade `std::thread`: plain std re-exports in normal builds.
+#[cfg(not(retypd_model_check))]
+pub mod thread {
+    pub use std::thread::{
+        available_parallelism, current, panicking, sleep, spawn, yield_now, Builder, JoinHandle,
+        Result, Thread, ThreadId,
+    };
+}
+
+/// The facade `std::thread`: model-checked doubles under
+/// `--cfg retypd_model_check`.
+#[cfg(retypd_model_check)]
+pub mod thread {
+    pub use crate::modelled::thread::*;
+}
+
+/// The facade cell module ([`modelled::cell::RaceCell`] degrades to a
+/// raw `UnsafeCell` outside model executions, so no cfg switch is
+/// needed).
+pub mod cell {
+    pub use crate::cell_model::RaceCell;
+}
+
+/// A failure found by the checker, with the schedule that reproduces
+/// it (feed it to [`Builder::replay`]).
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong (panic message, race description, deadlock…).
+    pub message: String,
+    /// Replayable schedule string, e.g. `"s1-p2:0.2.1"`.
+    pub schedule: String,
+}
+
+/// The result of a [`Builder::check`] exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Distinct interleavings executed (every DFS iteration flips at
+    /// least one recorded choice, so each run is a distinct schedule).
+    pub iterations: u64,
+    /// Whether the bounded schedule space was exhausted (false when
+    /// `max_iterations` stopped the search, or on failure).
+    pub complete: bool,
+    /// The first failure found, if any (the search stops on it).
+    pub failure: Option<Failure>,
+}
+
+/// Exploration configuration; construct with [`Builder::new`], adjust
+/// with the chainable setters, run with [`Builder::check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Seed for the deterministic permutation of choice orders (which
+    /// alternative schedules are tried first). Same seed + same model
+    /// ⇒ bit-identical exploration.
+    pub seed: u64,
+    /// Maximum involuntary context switches per execution.
+    pub preemption_bound: u32,
+    /// Cap on explored interleavings.
+    pub max_iterations: u64,
+    /// Per-execution step budget (livelock guard).
+    pub max_steps: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            seed: 1,
+            preemption_bound: 2,
+            max_iterations: 20_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+fn schedule_string(seed: u64, bound: u32, trace: &[rt::Choice]) -> String {
+    let mut s = format!("s{seed}-p{bound}:");
+    for (i, c) in trace.iter().enumerate() {
+        if i > 0 {
+            s.push('.');
+        }
+        s.push_str(&c.chosen.to_string());
+    }
+    s
+}
+
+fn parse_schedule(s: &str) -> Option<(u64, u32, Vec<u32>)> {
+    let rest = s.strip_prefix('s')?;
+    let (seed, rest) = rest.split_once("-p")?;
+    let (bound, choices) = rest.split_once(':')?;
+    let seed = seed.parse().ok()?;
+    let bound = bound.parse().ok()?;
+    let choices = if choices.is_empty() {
+        Vec::new()
+    } else {
+        choices
+            .split('.')
+            .map(str::parse)
+            .collect::<Result<Vec<u32>, _>>()
+            .ok()?
+    };
+    Some((seed, bound, choices))
+}
+
+/// DFS backtracking: the deepest choice with an unexplored alternative
+/// advances; everything above it replays, everything below explores
+/// fresh. `None` when the bounded space is exhausted.
+fn next_prefix(mut trace: Vec<rt::Choice>) -> Option<Vec<u32>> {
+    while let Some(last) = trace.pop() {
+        if last.chosen + 1 < last.available {
+            let mut p: Vec<u32> = trace.iter().map(|c| c.chosen).collect();
+            p.push(last.chosen + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+impl Builder {
+    /// A builder with the default bounds (seed 1, preemption bound 2).
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Sets the exploration seed.
+    pub fn seed(mut self, seed: u64) -> Builder {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemption_bound(mut self, bound: u32) -> Builder {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Sets the interleaving cap.
+    pub fn max_iterations(mut self, n: u64) -> Builder {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the per-execution step budget.
+    pub fn max_steps(mut self, n: u64) -> Builder {
+        self.max_steps = n;
+        self
+    }
+
+    /// Explores the model's interleavings, stopping at the first
+    /// failure or when the bounded space (or iteration cap) is
+    /// exhausted.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: std::sync::Arc<dyn Fn() + Send + Sync> = std::sync::Arc::new(f);
+        let cfg = rt::Cfg {
+            seed: self.seed,
+            preemption_bound: self.preemption_bound,
+            max_steps: self.max_steps,
+        };
+        let mut prefix: Vec<u32> = Vec::new();
+        let mut iterations = 0u64;
+        loop {
+            if rt::dbg_enabled() {
+                eprintln!("[loom] prefix {prefix:?}");
+            }
+            let res = rt::run_once(cfg, prefix.clone(), std::sync::Arc::clone(&f));
+            iterations += 1;
+            if let Some(rf) = res.failure {
+                return Report {
+                    iterations,
+                    complete: false,
+                    failure: Some(Failure {
+                        schedule: schedule_string(self.seed, self.preemption_bound, &rf.trace),
+                        message: rf.message,
+                    }),
+                };
+            }
+            match next_prefix(res.trace) {
+                Some(p) if iterations < self.max_iterations => prefix = p,
+                Some(_) => {
+                    return Report {
+                        iterations,
+                        complete: false,
+                        failure: None,
+                    }
+                }
+                None => {
+                    return Report {
+                        iterations,
+                        complete: true,
+                        failure: None,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replays exactly one schedule (from a [`Failure::schedule`]
+    /// string) against the model; the string's seed and preemption
+    /// bound override the builder's.
+    pub fn replay<F>(&self, schedule: &str, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let (seed, bound, prefix) = match parse_schedule(schedule) {
+            Some(p) => p,
+            None => {
+                return Report {
+                    iterations: 0,
+                    complete: false,
+                    failure: Some(Failure {
+                        message: format!("unparseable schedule string: {schedule:?}"),
+                        schedule: schedule.to_string(),
+                    }),
+                }
+            }
+        };
+        let cfg = rt::Cfg {
+            seed,
+            preemption_bound: bound,
+            max_steps: self.max_steps,
+        };
+        let f: std::sync::Arc<dyn Fn() + Send + Sync> = std::sync::Arc::new(f);
+        let res = rt::run_once(cfg, prefix, f);
+        Report {
+            iterations: 1,
+            complete: false,
+            failure: res.failure.map(|rf| Failure {
+                schedule: schedule_string(seed, bound, &rf.trace),
+                message: rf.message,
+            }),
+        }
+    }
+}
+
+/// Checks the model with default bounds, panicking (with the
+/// replayable schedule in the message) if any explored interleaving
+/// fails. The loom-compatible entry point for tests.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = Builder::new().check(f);
+    if let Some(fail) = report.failure {
+        panic!(
+            "model check failed after {} interleavings: {}\n  replay with schedule {:?}",
+            report.iterations, fail.message, fail.schedule
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_string_round_trips() {
+        let trace = [
+            rt::Choice {
+                chosen: 0,
+                available: 2,
+            },
+            rt::Choice {
+                chosen: 3,
+                available: 5,
+            },
+        ];
+        let s = schedule_string(7, 2, &trace);
+        assert_eq!(s, "s7-p2:0.3");
+        assert_eq!(parse_schedule(&s), Some((7, 2, vec![0, 3])));
+        assert_eq!(parse_schedule("s1-p2:"), Some((1, 2, vec![])));
+        assert_eq!(parse_schedule("nonsense"), None);
+    }
+
+    #[test]
+    fn next_prefix_walks_the_tree() {
+        let c = |chosen, available| rt::Choice { chosen, available };
+        assert_eq!(next_prefix(vec![c(0, 2), c(0, 3)]), Some(vec![0, 1]));
+        assert_eq!(next_prefix(vec![c(0, 2), c(2, 3)]), Some(vec![1]));
+        assert_eq!(next_prefix(vec![c(1, 2), c(2, 3)]), None);
+        assert_eq!(next_prefix(vec![]), None);
+    }
+}

@@ -1,0 +1,1176 @@
+//! The model-checking runtime: one [`Execution`] per explored
+//! interleaving, driven by a cooperative baton-passing scheduler.
+//!
+//! # How an execution runs
+//!
+//! Model threads are real OS threads, but exactly **one** is ever
+//! executing user code: every model operation (atomic access, lock,
+//! spawn, …) ends in a *schedule point* where the running thread picks
+//! the next thread to run (recording the pick) and then parks on the
+//! execution's condvar until the baton comes back. User code between
+//! two model operations therefore runs fully serialized, and the whole
+//! interleaving is determined by the recorded choice sequence.
+//!
+//! # How the search works
+//!
+//! Choices (which thread runs next; which store a relaxed load reads)
+//! are recorded in a trace. After a run completes, the controller
+//! backtracks DFS-style: find the deepest choice with an unexplored
+//! alternative, replay the prefix up to it, take the next alternative,
+//! and continue fresh from there. A seeded permutation of each choice
+//! point's candidates makes "which schedules come first" deterministic
+//! per seed without biasing the search toward program order. Context
+//! switches away from a runnable thread are *preemptions*; bounding
+//! them (CHESS-style) keeps the state space tractable while catching
+//! most real bugs at small bounds.
+//!
+//! # Happens-before
+//!
+//! Every thread carries a vector clock. Release stores snapshot the
+//! writer's clock; acquire loads that read them join it; mutexes,
+//! spawn and join edges transfer clocks the same way. Relaxed loads
+//! may read *stale* stores (any store not yet overwritten in this
+//! thread's view), which is exactly what surfaces missing-`Release`
+//! bugs as assertion failures or [`RaceCell`](crate::modelled::cell)
+//! races under some explored schedule.
+
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+use crate::clock::{VClock, MAX_THREADS};
+
+/// Sentinel for "no thread is active" (all done).
+const NO_THREAD: usize = usize::MAX;
+
+/// The panic payload used to unwind model threads when an execution
+/// aborts (failure found, or exploration torn down). Never observed by
+/// user code: the thread wrapper catches it.
+pub(crate) struct AbortToken;
+
+/// Per-run limits and the exploration seed (shared by every execution
+/// of one `check()` call).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Cfg {
+    pub seed: u64,
+    pub preemption_bound: u32,
+    pub max_steps: u64,
+}
+
+/// One recorded decision: which of `available` candidates was chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub chosen: u32,
+    pub available: u32,
+}
+
+/// A failure found in some interleaving, with the full choice trace
+/// that reproduces it.
+#[derive(Clone, Debug)]
+pub(crate) struct RawFailure {
+    pub message: String,
+    pub trace: Vec<Choice>,
+}
+
+/// What a thread is currently doing, from the scheduler's view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Ready,
+    Blocked(Block),
+    Done,
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    Mutex(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    Cond(usize),
+    /// A `wait_timeout` waiter: eligible for a timeout wakeup, but only
+    /// once nothing else can run (timeouts fire as late as possible, so
+    /// the notify-first schedules are explored too).
+    TimedCond(usize),
+    Join(usize),
+}
+
+/// Per-thread scheduler state.
+struct Th {
+    state: Run,
+    clock: VClock,
+    /// Per-location coherence floor: the newest store index this thread
+    /// has already read (it may never read older).
+    last_seen: HashMap<usize, usize>,
+    name: Option<String>,
+    timed_out: bool,
+}
+
+/// One store event in a location's modification order.
+#[derive(Clone, Copy)]
+struct StoreEv {
+    val: u64,
+    /// The writer's clock at the store: a later store with
+    /// `wclock ≤ reader` makes this one unreadable (coherence).
+    wclock: VClock,
+    /// The clock an acquire load synchronizes with, `Some` for release
+    /// stores (and RMWs extending a release sequence), `None` for plain
+    /// relaxed stores — which is what breaks the sequence and makes a
+    /// weakened `store` detectable.
+    rel: Option<VClock>,
+}
+
+/// Modification-order history of one atomic location.
+struct Loc {
+    stores: Vec<StoreEv>,
+}
+
+#[derive(Default)]
+struct MutexSt {
+    owner: Option<usize>,
+    /// Join of every unlocker's clock: the lock's release chain.
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct RwSt {
+    writer: Option<usize>,
+    readers: u32,
+    /// Writers' release chain (readers and writers acquire it).
+    clock: VClock,
+    /// Join of reader-unlock clocks since forever; the next writer
+    /// acquires it (write-after-read ordering).
+    read_release: VClock,
+}
+
+#[derive(Default)]
+struct CondSt {
+    waiters: Vec<usize>,
+}
+
+/// Race-detection state for one `RaceCell`.
+#[derive(Default)]
+struct CellSt {
+    /// Last write: (thread, that thread's clock component at the write).
+    write: Option<(usize, u32)>,
+    /// Reads since the last write, same encoding.
+    reads: Vec<(usize, u32)>,
+}
+
+/// Everything mutable about one execution, behind one lock.
+pub(crate) struct Inner {
+    cfg: Cfg,
+    /// Replay prefix: decisions to take verbatim before exploring.
+    prefix: Vec<u32>,
+    pub(crate) trace: Vec<Choice>,
+    threads: Vec<Th>,
+    active: usize,
+    live: usize,
+    preemptions: u32,
+    steps: u64,
+    locs: HashMap<usize, Loc>,
+    mutexes: HashMap<usize, MutexSt>,
+    rws: HashMap<usize, RwSt>,
+    conds: HashMap<usize, CondSt>,
+    cells: HashMap<usize, CellSt>,
+    fence_clock: VClock,
+    aborted: bool,
+    pub(crate) failure: Option<RawFailure>,
+    pending_failure: Option<String>,
+}
+
+/// One interleaving being executed: shared state + the baton condvar.
+pub(crate) struct Execution {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+/// What a model thread's user closure did.
+pub(crate) enum Outcome {
+    Ok,
+    Abort,
+    Panic(String),
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+    static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether `LOOM_DBG` tracing is on (checked once; the reschedule path
+/// is far too hot for a per-call env lookup).
+pub(crate) fn dbg_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("LOOM_DBG").is_some())
+}
+
+/// splitmix64: tiny, well-mixed seeded generator for choice-order
+/// permutations (no external RNG — the vendor shims sit above us).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates over `v[1..]`: index 0 (the "default" candidate —
+/// continue the current thread / read the newest store) always stays
+/// first, so choice 0 is the cheap un-preempted path; the rest are
+/// visited in a seed-determined order.
+pub(crate) fn shuffle_tail<T>(v: &mut [T], seed: u64, salt: u64) {
+    if v.len() <= 2 {
+        return;
+    }
+    let mut s = splitmix64(seed ^ salt.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    for i in (2..v.len()).rev() {
+        s = splitmix64(s);
+        let j = 1 + (s % i as u64) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// Records a decision with `n` candidates and returns the chosen index:
+/// the replay prefix verbatim while it lasts, then always 0 (DFS
+/// explores alternatives by extending the prefix).
+fn choose_raw(prefix: &[u32], trace: &mut Vec<Choice>, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let d = trace.len();
+    let pick = if d < prefix.len() {
+        (prefix[d] as usize).min(n - 1)
+    } else {
+        0
+    };
+    trace.push(Choice {
+        chosen: pick as u32,
+        available: n as u32,
+    });
+    pick
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Inner {
+    fn choose(&mut self, n: usize) -> usize {
+        choose_raw(&self.prefix, &mut self.trace, n)
+    }
+
+    fn ensure_loc(&mut self, addr: usize, init: u64) {
+        self.locs.entry(addr).or_insert_with(|| Loc {
+            stores: vec![StoreEv {
+                val: init,
+                wclock: VClock::zero(),
+                rel: Some(VClock::zero()),
+            }],
+        });
+    }
+
+    /// An atomic load: picks which store in the visible window to read
+    /// (a decision point when more than one is coherent), joins the
+    /// store's release clock for acquire loads.
+    pub(crate) fn atomic_load(&mut self, tid: usize, addr: usize, order: Ordering, init: u64) -> u64 {
+        assert!(
+            !matches!(order, Ordering::Release | Ordering::AcqRel),
+            "there is no such thing as a release load"
+        );
+        self.ensure_loc(addr, init);
+        let c = self.threads[tid].clock;
+        let floor = self.threads[tid].last_seen.get(&addr).copied().unwrap_or(0);
+        let (seed, salt) = (self.cfg.seed, self.steps);
+        let (idx, val, rel) = {
+            let loc = self.locs.get(&addr).expect("location just ensured");
+            let len = loc.stores.len();
+            // Coherence floor: the newest store that happens-before this
+            // load hides everything older.
+            let mut lo = floor;
+            for k in (floor..len).rev() {
+                if loc.stores[k].wclock.le(&c) {
+                    lo = k;
+                    break;
+                }
+            }
+            let idx = if order == Ordering::SeqCst {
+                // Simplification: SC loads read the newest store (the
+                // modification order doubles as the SC order).
+                len - 1
+            } else {
+                let mut cands: Vec<usize> = (lo..len).rev().collect();
+                shuffle_tail(&mut cands, seed, salt);
+                let pick = choose_raw(&self.prefix, &mut self.trace, cands.len());
+                cands[pick]
+            };
+            let st = &loc.stores[idx];
+            (idx, st.val, if is_acquire(order) { st.rel } else { None })
+        };
+        if let Some(rc) = rel {
+            self.threads[tid].clock.join(&rc);
+        }
+        self.threads[tid].last_seen.insert(addr, idx);
+        val
+    }
+
+    /// An atomic store: appended to the modification order; release
+    /// stores publish the writer's clock, relaxed stores publish
+    /// nothing (and break any release sequence below them).
+    pub(crate) fn atomic_store(&mut self, tid: usize, addr: usize, order: Ordering, val: u64, init: u64) {
+        assert!(
+            !matches!(order, Ordering::Acquire | Ordering::AcqRel),
+            "there is no such thing as an acquire store"
+        );
+        self.ensure_loc(addr, init);
+        let c = self.threads[tid].clock;
+        let rel = if is_release(order) { Some(c) } else { None };
+        let loc = self.locs.get_mut(&addr).expect("location just ensured");
+        loc.stores.push(StoreEv {
+            val,
+            wclock: c,
+            rel,
+        });
+        let idx = loc.stores.len() - 1;
+        self.threads[tid].last_seen.insert(addr, idx);
+    }
+
+    /// A read-modify-write: always reads the newest store (C++ RMW
+    /// atomicity), extends its release sequence.
+    pub(crate) fn atomic_rmw(
+        &mut self,
+        tid: usize,
+        addr: usize,
+        order: Ordering,
+        init: u64,
+        f: &mut dyn FnMut(u64) -> u64,
+    ) -> u64 {
+        self.ensure_loc(addr, init);
+        let prev = *self
+            .locs
+            .get(&addr)
+            .expect("location just ensured")
+            .stores
+            .last()
+            .expect("history never empty");
+        if is_acquire(order) {
+            if let Some(rc) = prev.rel {
+                self.threads[tid].clock.join(&rc);
+            }
+        }
+        let c = self.threads[tid].clock;
+        let my_rel = if is_release(order) { Some(c) } else { None };
+        // Release-sequence rule: an RMW inherits the previous store's
+        // release clock (joined with its own if it is itself a release),
+        // so `rel-store; relaxed-RMW; acquire-load` still synchronizes.
+        let rel = match (prev.rel, my_rel) {
+            (Some(a), Some(b)) => {
+                let mut j = a;
+                j.join(&b);
+                Some(j)
+            }
+            (Some(a), None) => Some(a),
+            (None, r) => r,
+        };
+        let newv = f(prev.val);
+        let loc = self.locs.get_mut(&addr).expect("location just ensured");
+        loc.stores.push(StoreEv {
+            val: newv,
+            wclock: c,
+            rel,
+        });
+        let idx = loc.stores.len() - 1;
+        self.threads[tid].last_seen.insert(addr, idx);
+        prev.val
+    }
+
+    /// Compare-exchange: success is an RMW, failure is a load of the
+    /// newest store with the failure ordering. (`_weak` never fails
+    /// spuriously in the model — spurious failure adds schedules that
+    /// retry loops already produce.)
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &mut self,
+        tid: usize,
+        addr: usize,
+        expect: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        init: u64,
+    ) -> Result<u64, u64> {
+        self.ensure_loc(addr, init);
+        let prev = *self
+            .locs
+            .get(&addr)
+            .expect("location just ensured")
+            .stores
+            .last()
+            .expect("history never empty");
+        if prev.val == expect {
+            Ok(self.atomic_rmw(tid, addr, success, init, &mut |_| new))
+        } else {
+            if is_acquire(failure) {
+                if let Some(rc) = prev.rel {
+                    self.threads[tid].clock.join(&rc);
+                }
+            }
+            let len = self.locs.get(&addr).expect("location just ensured").stores.len();
+            self.threads[tid].last_seen.insert(addr, len - 1);
+            Err(prev.val)
+        }
+    }
+
+    /// A memory fence, modeled coarsely through one global fence clock
+    /// (release-ish fences publish to it, acquire-ish fences join it).
+    /// Over-strong for independent fence pairs, but nothing in the
+    /// workspace uses standalone fences today.
+    pub(crate) fn fence(&mut self, tid: usize, order: Ordering) {
+        if is_release(order) {
+            let c = self.threads[tid].clock;
+            self.fence_clock.join(&c);
+        }
+        if is_acquire(order) {
+            let fc = self.fence_clock;
+            self.threads[tid].clock.join(&fc);
+        }
+    }
+
+    /// One `RaceCell` access; flags a data race when the access is
+    /// concurrent (per vector clocks) with a previous conflicting one.
+    pub(crate) fn cell_access(&mut self, tid: usize, addr: usize, write: bool) {
+        let c = self.threads[tid].clock;
+        let me = c.get(tid);
+        let cell = self.cells.entry(addr).or_default();
+        let mut race: Option<String> = None;
+        if let Some((wt, ws)) = cell.write {
+            if wt != tid && c.get(wt) < ws {
+                race = Some(format!(
+                    "data race: {} by thread {tid} concurrent with write by thread {wt}",
+                    if write { "write" } else { "read" }
+                ));
+            }
+        }
+        if write && race.is_none() {
+            for &(rt, rs) in &cell.reads {
+                if rt != tid && c.get(rt) < rs {
+                    race = Some(format!(
+                        "data race: write by thread {tid} concurrent with read by thread {rt}"
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(msg) = race {
+            self.pending_failure = Some(msg);
+            return;
+        }
+        if write {
+            cell.write = Some((tid, me));
+            cell.reads.clear();
+        } else if let Some(slot) = cell.reads.iter_mut().find(|(t, _)| *t == tid) {
+            slot.1 = me;
+        } else {
+            cell.reads.push((tid, me));
+        }
+    }
+}
+
+/// Records the first failure and flips the execution into teardown;
+/// every parked thread wakes and unwinds via [`AbortToken`].
+fn record_failure(g: &mut Inner, message: String) {
+    if g.failure.is_none() {
+        g.failure = Some(RawFailure {
+            message,
+            trace: g.trace.clone(),
+        });
+    }
+    g.aborted = true;
+}
+
+impl Execution {
+    fn new(cfg: Cfg, prefix: Vec<u32>) -> Execution {
+        let root = Th {
+            state: Run::Ready,
+            clock: VClock::zero(),
+            last_seen: HashMap::new(),
+            name: Some("main".to_string()),
+            timed_out: false,
+        };
+        Execution {
+            inner: Mutex::new(Inner {
+                cfg,
+                prefix,
+                trace: Vec::new(),
+                threads: vec![root],
+                active: 0,
+                live: 1,
+                preemptions: 0,
+                steps: 0,
+                locs: HashMap::new(),
+                mutexes: HashMap::new(),
+                rws: HashMap::new(),
+                conds: HashMap::new(),
+                cells: HashMap::new(),
+                fence_clock: VClock::zero(),
+                aborted: false,
+                failure: None,
+                pending_failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Poison-tolerant lock: a checker-internal panic must not cascade.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until this thread holds the baton (is the active thread);
+    /// unwinds with [`AbortToken`] if the execution aborts meanwhile.
+    fn wait_active(&self, tid: usize) -> MutexGuard<'_, Inner> {
+        let mut g = self.lock();
+        loop {
+            if g.aborted {
+                drop(g);
+                panic::panic_any(AbortToken);
+            }
+            if g.active == tid {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Execution::wait_active`] but continues from an
+    /// already-held guard (post-reschedule parking).
+    fn wait_turn<'a>(&'a self, mut g: MutexGuard<'a, Inner>, tid: usize) -> MutexGuard<'a, Inner> {
+        loop {
+            if g.aborted {
+                drop(g);
+                panic::panic_any(AbortToken);
+            }
+            if g.active == tid {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The schedule point: `me` (whose state is already updated) picks
+    /// the next active thread, counting preemptions and detecting
+    /// deadlock when nothing can run.
+    fn reschedule(&self, g: &mut MutexGuard<'_, Inner>, me: usize) {
+        loop {
+            let me_ready = g.threads[me].state == Run::Ready;
+            if me_ready && g.preemptions >= g.cfg.preemption_bound {
+                g.active = me;
+                return;
+            }
+            let mut cands: Vec<usize> = Vec::new();
+            if me_ready {
+                cands.push(me);
+            }
+            for t in 0..g.threads.len() {
+                if t != me && g.threads[t].state == Run::Ready {
+                    cands.push(t);
+                }
+            }
+            if cands.is_empty() {
+                // Timeout rescue: `wait_timeout` waiters time out only
+                // when nothing else can make progress.
+                let timed: Vec<usize> = (0..g.threads.len())
+                    .filter(|&t| matches!(g.threads[t].state, Run::Blocked(Block::TimedCond(_))))
+                    .collect();
+                if !timed.is_empty() {
+                    for t in timed {
+                        if let Run::Blocked(Block::TimedCond(cv)) = g.threads[t].state {
+                            if let Some(cs) = g.conds.get_mut(&cv) {
+                                cs.waiters.retain(|&w| w != t);
+                            }
+                        }
+                        g.threads[t].state = Run::Ready;
+                        g.threads[t].timed_out = true;
+                    }
+                    continue;
+                }
+                if g.threads.iter().all(|t| t.state == Run::Done) {
+                    g.active = NO_THREAD;
+                    self.cv.notify_all();
+                    return;
+                }
+                let stuck: Vec<String> = g
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.state, Run::Blocked(_)))
+                    .map(|(i, t)| {
+                        let name = t.name.as_deref().unwrap_or("?");
+                        // Describe the block by KIND, not by lock address:
+                        // addresses vary run to run, and failure messages
+                        // must be stable so a replayed schedule reproduces
+                        // the failure verbatim.
+                        let what = match t.state {
+                            Run::Blocked(Block::Mutex(_)) => "a Mutex".to_string(),
+                            Run::Blocked(Block::RwRead(_)) => "an RwLock (read)".to_string(),
+                            Run::Blocked(Block::RwWrite(_)) => "an RwLock (write)".to_string(),
+                            Run::Blocked(Block::Cond(_)) => "a Condvar".to_string(),
+                            Run::Blocked(Block::TimedCond(_)) => {
+                                "a Condvar (wait_timeout)".to_string()
+                            }
+                            Run::Blocked(Block::Join(target)) => {
+                                format!("joining thread {target}")
+                            }
+                            Run::Ready | Run::Done => unreachable!("only blocked threads listed"),
+                        };
+                        format!("thread {i} ({name}) on {what}")
+                    })
+                    .collect();
+                record_failure(g, format!("deadlock: no runnable thread; {}", stuck.join("; ")));
+                self.cv.notify_all();
+                return;
+            }
+            let (seed, salt) = (g.cfg.seed, g.steps);
+            shuffle_tail(&mut cands, seed, salt);
+            let pick = g.choose(cands.len());
+            let next = cands[pick];
+            if dbg_enabled() {
+                eprintln!(
+                    "[rt] step {} resched me={me}({:?}) cands={cands:?} -> {next} preempt={}",
+                    g.steps, g.threads[me].state, g.preemptions
+                );
+            }
+            if me_ready && next != me {
+                g.preemptions += 1;
+            }
+            g.active = next;
+            if next != me {
+                self.cv.notify_all();
+            }
+            return;
+        }
+    }
+}
+
+/// Records a failure, aborts the execution, and unwinds the caller.
+fn fail_and_abort(exec: &Execution, mut g: MutexGuard<'_, Inner>, message: String) -> ! {
+    record_failure(&mut g, message);
+    exec.cv.notify_all();
+    drop(g);
+    panic::panic_any(AbortToken);
+}
+
+/// The current thread's model context, if it is a model thread inside a
+/// running execution.
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Binds the current OS thread to a model thread slot.
+fn adopt(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+    IN_MODEL.with(|c| c.set(true));
+}
+
+fn unadopt() {
+    CTX.with(|c| *c.borrow_mut() = None);
+    IN_MODEL.with(|c| c.set(false));
+}
+
+/// Bumps the step budget, failing the run if exceeded (livelock guard).
+fn bump_step<'a>(
+    exec: &'a Execution,
+    mut g: MutexGuard<'a, Inner>,
+    tid: usize,
+) -> MutexGuard<'a, Inner> {
+    g.steps += 1;
+    if g.steps > g.cfg.max_steps {
+        fail_and_abort(
+            exec,
+            g,
+            "step budget exceeded: livelock, or a model too large to explore".to_string(),
+        );
+    }
+    g.threads[tid].clock.tick(tid);
+    g
+}
+
+/// Runs one non-blocking model operation as a schedule point. Returns
+/// `None` when the caller is not a model thread (the caller then falls
+/// through to the real primitive).
+pub(crate) fn op<R>(f: impl FnOnce(&mut Inner, usize) -> R) -> Option<R> {
+    let (exec, tid) = current_ctx()?;
+    let g = exec.wait_active(tid);
+    let mut g = bump_step(&exec, g, tid);
+    let r = f(&mut g, tid);
+    if let Some(msg) = g.pending_failure.take() {
+        fail_and_abort(&exec, g, msg);
+    }
+    exec.reschedule(&mut g, tid);
+    let g = exec.wait_turn(g, tid);
+    drop(g);
+    Some(r)
+}
+
+/// Drops a model atomic's store history (its address may be reused by
+/// a later allocation; stale values must not leak to it). No schedule
+/// point, and safe during unwinding.
+pub(crate) fn forget_location(addr: usize) {
+    if let Some((exec, _)) = current_ctx() {
+        let mut g = exec.lock();
+        g.locs.remove(&addr);
+    }
+}
+
+/// `try_lock` as a single schedule point: acquires iff free. Returns
+/// `None` outside the model, `Some(acquired)` inside.
+pub(crate) fn mutex_try_lock(addr: usize) -> Option<bool> {
+    op(|g, tid| {
+        let m = g.mutexes.entry(addr).or_default();
+        if m.owner.is_none() {
+            m.owner = Some(tid);
+            let mc = m.clock;
+            g.threads[tid].clock.join(&mc);
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Non-blocking read/write acquire for `RwLock::try_read`/`try_write`.
+pub(crate) fn rw_try_lock(addr: usize, write: bool) -> Option<bool> {
+    op(|g, tid| {
+        let rw = g.rws.entry(addr).or_default();
+        let ok = if write {
+            rw.writer.is_none() && rw.readers == 0
+        } else {
+            rw.writer.is_none()
+        };
+        if ok {
+            if write {
+                rw.writer = Some(tid);
+                let mut acq = rw.clock;
+                acq.join(&rw.read_release);
+                g.threads[tid].clock.join(&acq);
+            } else {
+                rw.readers += 1;
+                let rc = rw.clock;
+                g.threads[tid].clock.join(&rc);
+            }
+        }
+        ok
+    })
+}
+
+/// Unregisters a child slot whose real OS thread failed to spawn, so
+/// the execution does not wait forever on a thread that never runs.
+pub(crate) fn cancel_child(tid: usize) {
+    if let Some((exec, _)) = current_ctx() {
+        let mut g = exec.lock();
+        g.threads[tid].state = Run::Done;
+        g.live -= 1;
+        for t in g.threads.iter_mut() {
+            if t.state == Run::Blocked(Block::Join(tid)) {
+                t.state = Run::Ready;
+            }
+        }
+        exec.cv.notify_all();
+    }
+}
+
+/// Model-acquires the mutex at `addr`, blocking (in model time) while
+/// it is held. Returns false when not running under the model.
+pub(crate) fn mutex_lock(addr: usize) -> bool {
+    let Some((exec, tid)) = current_ctx() else {
+        return false;
+    };
+    let mut g = exec.wait_active(tid);
+    loop {
+        g = bump_step(&exec, g, tid);
+        let m = g.mutexes.entry(addr).or_default();
+        match m.owner {
+            None => {
+                m.owner = Some(tid);
+                let mc = m.clock;
+                g.threads[tid].clock.join(&mc);
+                exec.reschedule(&mut g, tid);
+                let g = exec.wait_turn(g, tid);
+                drop(g);
+                return true;
+            }
+            Some(owner) if owner == tid => {
+                fail_and_abort(
+                    &exec,
+                    g,
+                    format!("thread {tid} re-locked a non-reentrant Mutex it already holds"),
+                );
+            }
+            Some(_) => {
+                g.threads[tid].state = Run::Blocked(Block::Mutex(addr));
+                exec.reschedule(&mut g, tid);
+                g = exec.wait_turn(g, tid);
+                // Woken by an unlock and scheduled: retry the acquire.
+            }
+        }
+    }
+}
+
+/// Releases the mutex at `addr` and wakes its waiters. Never panics:
+/// guards drop during abort unwinding, and a panic here would be a
+/// double panic.
+pub(crate) fn mutex_unlock(addr: usize) {
+    let Some((exec, tid)) = current_ctx() else {
+        return;
+    };
+    if std::thread::panicking() {
+        // User panic unwinding (failure already being recorded) or
+        // abort teardown: release the model state without a schedule
+        // point so the unwind stays clean.
+        let mut g = exec.lock();
+        release_mutex_state(&mut g, tid, addr);
+        exec.cv.notify_all();
+        return;
+    }
+    let g = exec.wait_active(tid);
+    let mut g = bump_step(&exec, g, tid);
+    release_mutex_state(&mut g, tid, addr);
+    exec.reschedule(&mut g, tid);
+    let g = exec.wait_turn(g, tid);
+    drop(g);
+}
+
+fn release_mutex_state(g: &mut Inner, tid: usize, addr: usize) {
+    let c = g.threads[tid].clock;
+    let m = g.mutexes.entry(addr).or_default();
+    m.owner = None;
+    m.clock.join(&c);
+    for t in g.threads.iter_mut() {
+        if t.state == Run::Blocked(Block::Mutex(addr)) {
+            t.state = Run::Ready;
+        }
+    }
+}
+
+/// Model-acquires a read lock at `addr`.
+pub(crate) fn rw_lock_read(addr: usize) -> bool {
+    let Some((exec, tid)) = current_ctx() else {
+        return false;
+    };
+    let mut g = exec.wait_active(tid);
+    loop {
+        g = bump_step(&exec, g, tid);
+        let rw = g.rws.entry(addr).or_default();
+        if rw.writer.is_none() {
+            rw.readers += 1;
+            let rc = rw.clock;
+            g.threads[tid].clock.join(&rc);
+            exec.reschedule(&mut g, tid);
+            let g = exec.wait_turn(g, tid);
+            drop(g);
+            return true;
+        }
+        g.threads[tid].state = Run::Blocked(Block::RwRead(addr));
+        exec.reschedule(&mut g, tid);
+        g = exec.wait_turn(g, tid);
+    }
+}
+
+/// Model-acquires the write lock at `addr`.
+pub(crate) fn rw_lock_write(addr: usize) -> bool {
+    let Some((exec, tid)) = current_ctx() else {
+        return false;
+    };
+    let mut g = exec.wait_active(tid);
+    loop {
+        g = bump_step(&exec, g, tid);
+        let rw = g.rws.entry(addr).or_default();
+        if rw.writer.is_none() && rw.readers == 0 {
+            rw.writer = Some(tid);
+            let mut acq = rw.clock;
+            acq.join(&rw.read_release);
+            g.threads[tid].clock.join(&acq);
+            exec.reschedule(&mut g, tid);
+            let g = exec.wait_turn(g, tid);
+            drop(g);
+            return true;
+        }
+        if rw.writer == Some(tid) {
+            fail_and_abort(
+                &exec,
+                g,
+                format!("thread {tid} re-locked a RwLock writer side it already holds"),
+            );
+        }
+        g.threads[tid].state = Run::Blocked(Block::RwWrite(addr));
+        exec.reschedule(&mut g, tid);
+        g = exec.wait_turn(g, tid);
+    }
+}
+
+/// Releases a read or write lock at `addr` and wakes rw waiters.
+pub(crate) fn rw_unlock(addr: usize, write: bool) {
+    let Some((exec, tid)) = current_ctx() else {
+        return;
+    };
+    let release = |g: &mut Inner| {
+        let c = g.threads[tid].clock;
+        let rw = g.rws.entry(addr).or_default();
+        if write {
+            rw.writer = None;
+            rw.clock.join(&c);
+        } else {
+            rw.readers = rw.readers.saturating_sub(1);
+            rw.read_release.join(&c);
+        }
+        for t in g.threads.iter_mut() {
+            if matches!(
+                t.state,
+                Run::Blocked(Block::RwRead(a)) | Run::Blocked(Block::RwWrite(a)) if a == addr
+            ) {
+                t.state = Run::Ready;
+            }
+        }
+    };
+    if std::thread::panicking() {
+        let mut g = exec.lock();
+        release(&mut g);
+        exec.cv.notify_all();
+        return;
+    }
+    let g = exec.wait_active(tid);
+    let mut g = bump_step(&exec, g, tid);
+    release(&mut g);
+    exec.reschedule(&mut g, tid);
+    let g = exec.wait_turn(g, tid);
+    drop(g);
+}
+
+/// Condvar wait: atomically releases the mutex at `mx_addr`, blocks
+/// until notified (or, for `timed`, until nothing else can run), then
+/// model-reacquires the mutex. Returns whether the wait timed out.
+pub(crate) fn cond_wait(cv_addr: usize, mx_addr: usize, timed: bool) -> bool {
+    let Some((exec, tid)) = current_ctx() else {
+        return false;
+    };
+    let g = exec.wait_active(tid);
+    let mut g = bump_step(&exec, g, tid);
+    release_mutex_state(&mut g, tid, mx_addr);
+    g.conds.entry(cv_addr).or_default().waiters.push(tid);
+    g.threads[tid].timed_out = false;
+    g.threads[tid].state = Run::Blocked(if timed {
+        Block::TimedCond(cv_addr)
+    } else {
+        Block::Cond(cv_addr)
+    });
+    exec.reschedule(&mut g, tid);
+    let g = exec.wait_turn(g, tid);
+    let timed_out = g.threads[tid].timed_out;
+    drop(g);
+    // Scheduled again ⇒ notified (or timed out); reacquire the mutex.
+    mutex_lock(mx_addr);
+    timed_out
+}
+
+/// Wakes one waiter (a decision point when several wait) or all.
+pub(crate) fn cond_notify(cv_addr: usize, all: bool) {
+    let _ = op(|g, _tid| {
+        let Some(cs) = g.conds.get_mut(&cv_addr) else {
+            return;
+        };
+        if cs.waiters.is_empty() {
+            return;
+        }
+        if all {
+            let woken = std::mem::take(&mut cs.waiters);
+            for t in woken {
+                g.threads[t].state = Run::Ready;
+            }
+        } else {
+            let mut cands = cs.waiters.clone();
+            cands.sort_unstable();
+            let (seed, salt) = (g.cfg.seed, g.steps);
+            shuffle_tail(&mut cands, seed, salt);
+            let pick = g.choose(cands.len());
+            let woken = cands[pick];
+            if let Some(cs) = g.conds.get_mut(&cv_addr) {
+                cs.waiters.retain(|&w| w != woken);
+            }
+            g.threads[woken].state = Run::Ready;
+        }
+    });
+}
+
+/// Registers a child thread slot. **Not** a schedule point: the parent
+/// must stay active until the real OS thread actually exists (it is the
+/// parent who spawns it — handing the baton to a not-yet-spawned child
+/// would deadlock). The parent calls [`spawn_point`] right after the
+/// real spawn succeeds.
+pub(crate) fn register_child(name: Option<String>) -> Option<(Arc<Execution>, usize)> {
+    let (exec, tid) = current_ctx()?;
+    let g = exec.wait_active(tid);
+    let mut g = bump_step(&exec, g, tid);
+    if g.threads.len() >= MAX_THREADS {
+        fail_and_abort(
+            &exec,
+            g,
+            format!("model spawned more than {MAX_THREADS} threads; shrink the model"),
+        );
+    }
+    let ctid = g.threads.len();
+    let mut cclock = g.threads[tid].clock;
+    cclock.tick(ctid);
+    g.threads.push(Th {
+        state: Run::Ready,
+        clock: cclock,
+        last_seen: HashMap::new(),
+        name,
+        timed_out: false,
+    });
+    g.live += 1;
+    drop(g);
+    Some((exec, ctid))
+}
+
+/// The schedule point right after a successful real spawn: the freshly
+/// registered child is now a real thread parked in
+/// [`child_enter`], so it is safe to hand it the baton.
+pub(crate) fn spawn_point() {
+    let _ = op(|_, _| ());
+}
+
+/// Entry point for a freshly spawned model thread's real OS thread:
+/// binds the slot and parks until first scheduled.
+pub(crate) fn child_enter(exec: Arc<Execution>, tid: usize) {
+    adopt(exec.clone(), tid);
+    let g = exec.wait_active(tid);
+    drop(g);
+}
+
+/// Model-joins thread `target` (blocking in model time), transferring
+/// its final clock.
+pub(crate) fn join_model(target: usize) {
+    let Some((exec, tid)) = current_ctx() else {
+        return;
+    };
+    let mut g = exec.wait_active(tid);
+    loop {
+        g = bump_step(&exec, g, tid);
+        if g.threads[target].state == Run::Done {
+            let tc = g.threads[target].clock;
+            g.threads[tid].clock.join(&tc);
+            exec.reschedule(&mut g, tid);
+            let g = exec.wait_turn(g, tid);
+            drop(g);
+            return;
+        }
+        g.threads[tid].state = Run::Blocked(Block::Join(target));
+        exec.reschedule(&mut g, tid);
+        g = exec.wait_turn(g, tid);
+    }
+}
+
+/// Whether thread `target` has finished, as a model observation.
+pub(crate) fn is_finished_model(target: usize) -> Option<bool> {
+    op(|g, _| g.threads[target].state == Run::Done)
+}
+
+/// Epilogue of every model thread: records panics as failures, marks
+/// the slot done, wakes joiners, hands the baton on.
+pub(crate) fn finish_current(outcome: Outcome) {
+    let Some((exec, tid)) = current_ctx() else {
+        return;
+    };
+    unadopt();
+    let mut g = exec.lock();
+    if let Outcome::Panic(msg) = outcome {
+        let name = g.threads[tid].name.clone().unwrap_or_default();
+        record_failure(&mut g, format!("thread {tid} ({name}) panicked: {msg}"));
+    }
+    g.threads[tid].state = Run::Done;
+    for t in g.threads.iter_mut() {
+        if t.state == Run::Blocked(Block::Join(tid)) {
+            t.state = Run::Ready;
+        }
+    }
+    g.live -= 1;
+    if !g.aborted {
+        exec.reschedule(&mut g, tid);
+    }
+    exec.cv.notify_all();
+}
+
+/// Classifies a `catch_unwind` result for [`finish_current`].
+pub(crate) fn classify(err: &(dyn std::any::Any + Send)) -> Outcome {
+    if err.is::<AbortToken>() {
+        Outcome::Abort
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        Outcome::Panic((*s).to_string())
+    } else if let Some(s) = err.downcast_ref::<String>() {
+        Outcome::Panic(s.clone())
+    } else {
+        Outcome::Panic("panic with non-string payload".to_string())
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that silences panics from
+/// model threads: explored-and-rejected interleavings unwind via
+/// panics by design and must not spam stderr.
+fn install_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_model = IN_MODEL.try_with(|c| c.get()).unwrap_or(false);
+            if !in_model {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The result of running a single interleaving.
+pub(crate) struct RunResult {
+    pub failure: Option<RawFailure>,
+    pub trace: Vec<Choice>,
+}
+
+/// Executes the model closure once under `prefix`, returning the trace
+/// (for DFS backtracking) and any failure found.
+pub(crate) fn run_once(cfg: Cfg, prefix: Vec<u32>, f: Arc<dyn Fn() + Send + Sync>) -> RunResult {
+    install_hook();
+    let exec = Arc::new(Execution::new(cfg, prefix));
+    let e2 = Arc::clone(&exec);
+    let root = std::thread::Builder::new()
+        .name("loom-model-main".to_string())
+        .spawn(move || {
+            adopt(Arc::clone(&e2), 0);
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                let g = e2.wait_active(0);
+                drop(g);
+                f();
+            }));
+            let outcome = match r {
+                Ok(()) => Outcome::Ok,
+                Err(e) => classify(&*e),
+            };
+            finish_current(outcome);
+        })
+        .expect("spawn model root thread");
+    {
+        let mut g = exec.lock();
+        while g.live > 0 {
+            g = exec.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        // While still holding the lock, no model thread can re-enter.
+        let failure = g.failure.take();
+        let trace = std::mem::take(&mut g.trace);
+        drop(g);
+        let _ = root.join();
+        RunResult { failure, trace }
+    }
+}

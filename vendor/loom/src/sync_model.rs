@@ -1,0 +1,551 @@
+//! Model-checked doubles of `std::sync` blocking primitives.
+//!
+//! Each type wraps the real std primitive and uses it for *storage*;
+//! blocking and wakeups are decided by the model scheduler (so every
+//! admissible handoff order is explored), and clock joins implement the
+//! happens-before edges the real primitive would provide.
+//!
+//! Divergences from std, by design:
+//!
+//! - **Poisoning is cleared under the model.** An explored interleaving
+//!   that panics aborts the whole execution and is reported with its
+//!   schedule; carrying the poison into the *next* explored
+//!   interleaving would make every subsequent run fail for the wrong
+//!   reason. `lock()`/`read()`/`write()` therefore always return `Ok`
+//!   in model runs.
+//! - **[`WaitTimeoutResult`] is our own type** (std's has no public
+//!   constructor); it has the same `timed_out()` shape.
+//! - Timeouts carry no durations: a model `wait_timeout` times out
+//!   only when nothing else in the model can run.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+use std::time::Duration;
+
+use crate::rt;
+
+/// Model-checked double of `std::sync::Mutex`.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    real: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the model lock (a schedule
+/// point) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex (usable in `static`s).
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            real: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consumes the mutex, returning the data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.real.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        &self.real as *const _ as *const () as usize
+    }
+
+    /// Acquires the mutex, blocking in model time while held elsewhere.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if rt::mutex_lock(self.addr()) {
+            // The model serializes ownership, so the real lock below is
+            // uncontended; poison from aborted interleavings is cleared.
+            let g = self.real.lock().unwrap_or_else(PoisonError::into_inner);
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(g),
+                modeled: true,
+            })
+        } else {
+            match self.real.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    modeled: false,
+                })),
+            }
+        }
+    }
+
+    /// Attempts the lock without blocking (one schedule point).
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        match rt::mutex_try_lock(self.addr()) {
+            Some(true) => {
+                let g = self.real.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: true,
+                })
+            }
+            Some(false) => Err(TryLockError::WouldBlock),
+            None => match self.real.try_lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(p)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(p.into_inner()),
+                        modeled: false,
+                    })))
+                }
+            },
+        }
+    }
+
+    /// Exclusive access to the data (`&mut self` proves no concurrency).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.real.get_mut()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not dissolved")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not dissolved")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if self.modeled {
+                rt::mutex_unlock(self.lock.addr());
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.real.fmt(f)
+    }
+}
+
+/// Own double of `std::sync::WaitTimeoutResult` (std's cannot be
+/// constructed outside std).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-checked double of `std::sync::Condvar`. Lost wakeups are
+/// modeled faithfully: a notify with no waiter does nothing, and a
+/// waiter that is never notified deadlocks the model (reported with
+/// the schedule that got there).
+#[derive(Default)]
+pub struct Condvar {
+    real: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable (usable in `static`s).
+    pub const fn new() -> Condvar {
+        Condvar {
+            real: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.real as *const _ as usize
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Option<Duration>,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let timed = timeout.is_some();
+        let lock = guard.lock;
+        if guard.modeled {
+            // Dissolve the guard without a model unlock: the model wait
+            // releases and reacquires the mutex itself, atomically with
+            // registering as a waiter.
+            let mut guard = guard;
+            drop(guard.inner.take());
+            drop(guard);
+            let timed_out = rt::cond_wait(self.addr(), lock.addr(), timed);
+            let g = lock.real.lock().unwrap_or_else(PoisonError::into_inner);
+            (
+                MutexGuard {
+                    lock,
+                    inner: Some(g),
+                    modeled: true,
+                },
+                timed_out,
+            )
+        } else {
+            let mut guard = guard;
+            let sg = guard.inner.take().expect("guard not dissolved");
+            drop(guard);
+            let (sg, timed_out) = if let Some(dur) = timeout {
+                let (sg, to) = self
+                    .real
+                    .wait_timeout(sg, dur)
+                    .unwrap_or_else(PoisonError::into_inner);
+                (sg, to.timed_out())
+            } else {
+                (
+                    self.real.wait(sg).unwrap_or_else(PoisonError::into_inner),
+                    false,
+                )
+            };
+            (
+                MutexGuard {
+                    lock,
+                    inner: Some(sg),
+                    modeled: false,
+                },
+                timed_out,
+            )
+        }
+    }
+
+    /// Waits until notified, releasing the mutex meanwhile.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        Ok(self.wait_inner(guard, None).0)
+    }
+
+    /// Waits until notified, or until the model decides the timeout
+    /// fires (only when nothing else can run). The duration is ignored
+    /// in model runs.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (g, timed_out) = self.wait_inner(guard, Some(dur));
+        Ok((g, WaitTimeoutResult(timed_out)))
+    }
+
+    /// Wakes one waiter; which one is a model decision point.
+    pub fn notify_one(&self) {
+        rt::cond_notify(self.addr(), false);
+        self.real.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        rt::cond_notify(self.addr(), true);
+        self.real.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+/// Model-checked double of `std::sync::RwLock`.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    real: std::sync::RwLock<T>,
+}
+
+/// RAII read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    modeled: bool,
+}
+
+/// RAII write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock (usable in `static`s).
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock {
+            real: std::sync::RwLock::new(t),
+        }
+    }
+
+    /// Consumes the lock, returning the data.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.real.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn addr(&self) -> usize {
+        &self.real as *const _ as *const () as usize
+    }
+
+    /// Acquires shared read access (blocking in model time).
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        if rt::rw_lock_read(self.addr()) {
+            let g = self.real.read().unwrap_or_else(PoisonError::into_inner);
+            Ok(RwLockReadGuard {
+                lock: self,
+                inner: Some(g),
+                modeled: true,
+            })
+        } else {
+            match self.real.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: false,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    modeled: false,
+                })),
+            }
+        }
+    }
+
+    /// Acquires exclusive write access (blocking in model time).
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        if rt::rw_lock_write(self.addr()) {
+            let g = self.real.write().unwrap_or_else(PoisonError::into_inner);
+            Ok(RwLockWriteGuard {
+                lock: self,
+                inner: Some(g),
+                modeled: true,
+            })
+        } else {
+            match self.real.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: false,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    modeled: false,
+                })),
+            }
+        }
+    }
+
+    /// Attempts read access without blocking (one schedule point).
+    pub fn try_read(&self) -> TryLockResult<RwLockReadGuard<'_, T>> {
+        match rt::rw_try_lock(self.addr(), false) {
+            Some(true) => {
+                let g = self.real.read().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: true,
+                })
+            }
+            Some(false) => Err(TryLockError::WouldBlock),
+            None => match self.real.try_read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(p)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(p.into_inner()),
+                        modeled: false,
+                    })))
+                }
+            },
+        }
+    }
+
+    /// Attempts write access without blocking (one schedule point).
+    pub fn try_write(&self) -> TryLockResult<RwLockWriteGuard<'_, T>> {
+        match rt::rw_try_lock(self.addr(), true) {
+            Some(true) => {
+                let g = self.real.write().unwrap_or_else(PoisonError::into_inner);
+                Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: true,
+                })
+            }
+            Some(false) => Err(TryLockError::WouldBlock),
+            None => match self.real.try_write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    modeled: false,
+                }),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+                Err(TryLockError::Poisoned(p)) => {
+                    Err(TryLockError::Poisoned(PoisonError::new(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(p.into_inner()),
+                        modeled: false,
+                    })))
+                }
+            },
+        }
+    }
+
+    /// Exclusive access to the data (`&mut self` proves no concurrency).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.real.get_mut()
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not dissolved")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if self.modeled {
+                rt::rw_unlock(self.lock.addr(), false);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not dissolved")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not dissolved")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(g) = self.inner.take() {
+            drop(g);
+            if self.modeled {
+                rt::rw_unlock(self.lock.addr(), true);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.real.fmt(f)
+    }
+}
+
+/// Model-checked double of `std::sync::OnceLock`: a model
+/// acquire-flagged fast path over a model mutex-guarded slow path, so
+/// the checker explores racing initializers.
+pub struct OnceLock<T> {
+    inited: crate::atomics::AtomicBool,
+    lock: Mutex<()>,
+    slot: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell (usable in `static`s).
+    pub const fn new() -> OnceLock<T> {
+        OnceLock {
+            inited: crate::atomics::AtomicBool::new(false),
+            lock: Mutex::new(()),
+            slot: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The value, if initialization has been published.
+    pub fn get(&self) -> Option<&T> {
+        if self.inited.load(std::sync::atomic::Ordering::Acquire) {
+            self.slot.get()
+        } else {
+            None
+        }
+    }
+
+    /// Sets the value if the cell is empty.
+    pub fn set(&self, value: T) -> Result<(), T> {
+        let _g = self.lock.lock();
+        let r = self.slot.set(value);
+        if r.is_ok() {
+            self.inited.store(true, std::sync::atomic::Ordering::Release);
+        }
+        r
+    }
+
+    /// Gets the value, initializing it with `f` if empty. Exactly one
+    /// racing initializer runs `f`; the rest serialize behind it.
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        if let Some(v) = self.get() {
+            return v;
+        }
+        let _g = self.lock.lock();
+        if self.slot.get().is_none() {
+            let v = f();
+            let _ = self.slot.set(v);
+        }
+        self.inited.store(true, std::sync::atomic::Ordering::Release);
+        self.slot.get().expect("slot initialized under lock")
+    }
+
+    /// Exclusive access to the value, if set.
+    pub fn get_mut(&mut self) -> Option<&mut T> {
+        self.slot.get_mut()
+    }
+
+    /// Consumes the cell, returning the value if set.
+    pub fn into_inner(self) -> Option<T> {
+        self.slot.into_inner()
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.slot.fmt(f)
+    }
+}

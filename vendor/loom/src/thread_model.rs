@@ -1,0 +1,159 @@
+//! Model-checked double of `std::thread` spawning and joining.
+//!
+//! Model threads are real OS threads registered with the scheduler:
+//! spawn and join are schedule points and happens-before edges
+//! (spawn: parent → child; join: child's final clock → joiner).
+//! `sleep` and `yield_now` are pure schedule points — model time is
+//! abstract, so a sleep never delays anything; it only lets other
+//! threads run first in some explored schedules.
+//!
+//! Not modeled (deliberately): `std::thread::scope` (borrow-scoped
+//! spawns would need lifetime-erased trampolines; the workspace keeps
+//! `std::thread::scope` call sites on raw std with a lint waiver) and
+//! `park`/`unpark` (parking the active model thread for real would
+//! wedge the baton).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use crate::rt;
+
+/// Model-checked double of `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    real: std::thread::JoinHandle<T>,
+    model: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Joins the thread: blocks in model time until it finishes (its
+    /// final vector clock transfers to the joiner), then reaps the
+    /// real thread.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.model {
+            rt::join_model(tid);
+        }
+        self.real.join()
+    }
+
+    /// Whether the thread has finished (a model observation point).
+    pub fn is_finished(&self) -> bool {
+        if let Some(tid) = self.model {
+            if let Some(done) = rt::is_finished_model(tid) {
+                return done;
+            }
+        }
+        self.real.is_finished()
+    }
+
+    /// The underlying thread.
+    pub fn thread(&self) -> &std::thread::Thread {
+        self.real.thread()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("JoinHandle { .. }")
+    }
+}
+
+/// Model-checked double of `std::thread::Builder`.
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+    stack_size: Option<usize>,
+}
+
+impl Builder {
+    /// A fresh builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Names the thread (used in model failure reports too).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Sets the real thread's stack size (no model meaning).
+    pub fn stack_size(mut self, size: usize) -> Builder {
+        self.stack_size = Some(size);
+        self
+    }
+
+    /// Spawns the thread; under the model this registers a scheduler
+    /// slot and is a schedule point for the parent.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut b = std::thread::Builder::new();
+        if let Some(n) = &self.name {
+            b = b.name(n.clone());
+        }
+        if let Some(s) = self.stack_size {
+            b = b.stack_size(s);
+        }
+        match rt::register_child(self.name) {
+            Some((exec, tid)) => {
+                let real = b.spawn(move || {
+                    rt::child_enter(exec, tid);
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    match &r {
+                        Ok(_) => rt::finish_current(rt::Outcome::Ok),
+                        Err(e) => rt::finish_current(rt::classify(&**e)),
+                    }
+                    match r {
+                        Ok(v) => v,
+                        // Re-raise so the real JoinHandle reports Err;
+                        // resume_unwind skips the (suppressed) hook.
+                        Err(e) => resume_unwind(e),
+                    }
+                });
+                match real {
+                    Ok(real) => {
+                        rt::spawn_point();
+                        Ok(JoinHandle {
+                            real,
+                            model: Some(tid),
+                        })
+                    }
+                    Err(e) => {
+                        rt::cancel_child(tid);
+                        Err(e)
+                    }
+                }
+            }
+            None => Ok(JoinHandle {
+                real: b.spawn(f)?,
+                model: None,
+            }),
+        }
+    }
+}
+
+/// Spawns a thread (see [`Builder::spawn`]).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// A pure schedule point under the model; a real yield outside it.
+pub fn yield_now() {
+    if rt::op(|_, _| ()).is_none() {
+        std::thread::yield_now();
+    }
+}
+
+/// Model time is abstract: under the model this is exactly
+/// [`yield_now`]; outside it, a real sleep.
+pub fn sleep(dur: Duration) {
+    if rt::op(|_, _| ()).is_none() {
+        std::thread::sleep(dur);
+    }
+}
